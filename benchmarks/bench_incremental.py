@@ -1,0 +1,91 @@
+"""Experiment M2 — interactive responsiveness.
+
+Ped reanalyzes after every edit / assertion / transformation; an
+interactive tool lives or dies on that latency.  This bench measures the
+session-level reanalysis cost on the largest suite program (spec77) and
+the incremental cost of the individual interactions a user performs:
+
+* full reanalysis after an edit must complete at interactive latency;
+* a dependence-marking interaction (no reanalysis, only verdict refresh)
+  must be far cheaper than a full reanalysis.
+"""
+
+import pytest
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.workloads import SUITE
+
+
+@pytest.fixture(scope="module")
+def spec77_session():
+    return PedSession(SUITE["spec77"].source)
+
+
+def test_full_reanalysis(benchmark, spec77_session):
+    benchmark.pedantic(
+        spec77_session.reanalyze, rounds=3, iterations=1, warmup_rounds=0
+    )
+
+
+def test_session_open(benchmark):
+    session = benchmark.pedantic(
+        PedSession,
+        args=(SUITE["spec77"].source,),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert session.analysis.loop_count() > 20
+
+
+def test_marking_interaction(benchmark):
+    """Marking a dependence refreshes verdicts without reanalysis."""
+
+    from repro.interproc import FeatureSet
+
+    # Array kill off so the wrk dependences stay pending (markable).
+    session = PedSession(
+        SUITE["arc3d"].source, features=FeatureSet(array_kill=False)
+    )
+    session.select_unit("filtall")
+    session.select_loop(0)
+    deps = [d for d in session.dependences() if d.marking == "pending"]
+    assert deps
+    dep = deps[0]
+
+    def mark_and_unmark():
+        session.mark_dependence(dep.id, "accepted")
+        session.mark_dependence(dep.id, "pending")
+
+    benchmark(mark_and_unmark)
+
+
+def test_assertion_interaction(benchmark):
+    """An assertion triggers one full reanalysis; still interactive."""
+
+    session = PedSession(SUITE["onedim"].source)
+    session.select_unit("deposit")
+
+    def assert_and_undo():
+        session.add_assertion("distinct map")
+        session.undo()
+
+    benchmark.pedantic(assert_and_undo, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_edit_reanalysis(benchmark):
+    """An in-place source edit reparses + reanalyzes the program."""
+
+    session = PedSession(SUITE["pneoss"].source)
+    lines = session.source.splitlines()
+    target = next(
+        i for i, text in enumerate(lines, start=1) if "gam(i) = 1.4" in text
+    )
+
+    def edit_back_and_forth():
+        session.edit(target, target, "         gam(i) = 1.5")
+        session.edit(target, target, "         gam(i) = 1.4")
+
+    benchmark.pedantic(
+        edit_back_and_forth, rounds=3, iterations=1, warmup_rounds=0
+    )

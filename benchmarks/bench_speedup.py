@@ -1,0 +1,60 @@
+"""Experiment S1 — simulated speedups and the granularity crossover.
+
+Regenerates (a) the per-program simulated speedup series after each Ped
+session and (b) the spec77 granularity comparison: outer-loop
+(interprocedural, sections-enabled) parallelism versus naive inner-loop
+parallelism.
+
+Shapes that must hold (the paper's performance narrative):
+
+* outer-loop spec77 speeds up monotonically with processors and beats
+  5× the inner-loop variant at 8 processors — inner loops "with
+  insufficient granularity" lose to fork/join overhead;
+* inner-loop parallelism is a *slowdown* (speedup < 1) on this machine
+  model, matching the "little or no improvement" reports;
+* all parallelized programs are at least no slower at 8 processors than
+  at 1 (no pathological regression from the transformation).
+"""
+
+import pytest
+
+from repro.evaluation.speedup import granularity_comparison, speedup_table
+
+from conftest import save_artifact
+
+
+def test_granularity_crossover(benchmark):
+    result = benchmark.pedantic(
+        granularity_comparison, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result["outer"] > 2.0
+    assert result["inner"] < 1.0
+    assert result["outer"] > 5 * result["inner"]
+    save_artifact(
+        "speedup_granularity.txt",
+        f"outer-loop parallelism: {result['outer']:.2f}x\n"
+        f"inner-loop parallelism: {result['inner']:.2f}x\n",
+    )
+
+
+def test_speedup_curves(benchmark):
+    rows = benchmark.pedantic(
+        speedup_table,
+        kwargs={"names": ["spec77", "arc3d", "nxsns"], "procs": (1, 2, 4, 8)},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    lines = []
+    for row in rows:
+        speeds = dict(row.speedups)
+        # Monotone non-decreasing with processors (fork/join amortised).
+        values = [s for _, s in row.speedups]
+        assert all(b >= a * 0.98 for a, b in zip(values, values[1:])), row.name
+        # The largest program benefits most (granularity).
+        lines.append(
+            f"{row.name:<8} " + "  ".join(f"p={p}:{s:.2f}" for p, s in row.speedups)
+        )
+    by_name = {r.name: dict(r.speedups) for r in rows}
+    assert by_name["spec77"][8] > by_name["nxsns"][8]
+    save_artifact("speedup_curves.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,39 @@
+"""Experiment T1 — Table 1: the program suite.
+
+Regenerates the suite table (name, domain, lines, procedures) and checks
+its shape against the paper: spec77 is by far the largest program with
+the most procedures, the rest span small-to-medium kernels.  The timed
+body is the full front end over every suite program (parse + bind), the
+work Table 1's statistics sit on.
+"""
+
+from repro.evaluation.tables import render_table1, table1_suite
+from repro.fortran import parse_and_bind
+from repro.workloads import SUITE
+
+from conftest import save_artifact
+
+
+def _parse_all():
+    return [parse_and_bind(p.source) for p in SUITE.values()]
+
+
+def test_table1_suite(benchmark):
+    parsed = benchmark(_parse_all)
+    assert len(parsed) == len(SUITE) == 10
+
+    rows = table1_suite()
+    by_name = {r.name: r for r in rows}
+    # Shape: spec77 dominates in size and procedure count (5600/67 in the
+    # paper; proportionally largest here).
+    spec = by_name["spec77"]
+    assert spec.lines == max(r.lines for r in rows)
+    assert spec.procedures == max(r.procedures for r in rows)
+    assert spec.procedures >= 10
+    # pneoss is the small hand-sized code (350/5 in the paper).
+    assert by_name["pneoss"].procedures <= 5
+    # Every program parses to as many units as Table 1 claims procedures.
+    for row, sf in zip(rows, parsed):
+        assert len(sf.units) == row.procedures
+
+    save_artifact("table1.txt", render_table1())

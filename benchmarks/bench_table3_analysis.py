@@ -1,0 +1,48 @@
+"""Experiment T3 — Table 3: analysis contribution per program.
+
+For each suite program, toggles each analysis capability off from the
+full Ped configuration and records whether the program's key loops stay
+parallelizable — regenerating the paper's "importance of existing
+analysis" matrix.
+
+Shape checks (each row reproduces the paper's account of that program):
+
+* spec77 / arc3d / nxsns need interprocedural analysis on calls inside
+  loops (sections; nxsns also MOD/REF + scalar kill);
+* arc3d needs interprocedural array kill; slab2d needs array kill
+  combined with privatization;
+* pneoss / boast / slab2d need reduction recognition;
+* shear / interior need interprocedural constants (symbolic subscripts /
+  bounds); onedim needs a user assertion (index arrays);
+* every requirement our construction documents (``prog.needs``) that maps
+  to a toggle is detected.
+"""
+
+from repro.evaluation.tables import render_table3, table3_analysis
+
+from conftest import save_artifact
+
+
+def test_table3_analysis(benchmark):
+    rows = benchmark.pedantic(
+        table3_analysis, rounds=1, iterations=1, warmup_rounds=0
+    )
+    by_name = {r.name: r for r in rows}
+
+    assert by_name["spec77"].required["sections"]
+    assert by_name["arc3d"].required["sections"]
+    assert by_name["arc3d"].required["array_kill"]
+    assert by_name["nxsns"].required["modref"]
+    assert by_name["nxsns"].required["scalar_kill"]
+    assert by_name["slab2d"].required["array_kill"]
+    assert by_name["slab2d"].required["reductions"]
+    assert by_name["pneoss"].required["reductions"]
+    assert by_name["boast"].required["reductions"]
+    assert by_name["shear"].required["ip_constants"]
+    assert by_name["interior"].required["ip_constants"]
+    assert by_name["onedim"].needs_assertion
+    # Programs whose story is analysis-only must NOT need assertions.
+    for clean in ("spec77", "arc3d", "pneoss", "boast"):
+        assert not by_name[clean].needs_assertion, clean
+
+    save_artifact("table3.txt", render_table3())

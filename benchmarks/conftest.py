@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table / figure / series)
+and asserts its qualitative *shape* before timing, so ``pytest
+benchmarks/ --benchmark-only`` doubles as the reproduction run.  The
+regenerated artifacts are also written to ``benchmarks/out/`` for
+side-by-side comparison with the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text)

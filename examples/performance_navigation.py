@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Performance-guided navigation and the granularity experiment.
+
+The experiences paper's users asked for "improved program navigation
+based on performance estimation": show me the expensive loops first.
+This example:
+
+1. profiles spec77 with the reference interpreter (the gprof/Forge
+   substitute) and prints the hottest loops;
+2. uses the static estimator to rank loops and drive the 'next' command;
+3. reruns the granularity comparison — outer-loop (interprocedural)
+   parallelism versus naive inner-loop parallelism — and prints the
+   simulated speedup curves for both.
+
+Run:  python examples/performance_navigation.py
+"""
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.evaluation.speedup import granularity_comparison
+from repro.fortran import DoLoop, parse_and_bind, walk_statements
+from repro.perf import profile_program
+from repro.perf.simulate import speedup_curve
+from repro.workloads import SUITE
+
+
+def main() -> None:
+    prog = SUITE["spec77"]
+    sf = parse_and_bind(prog.source)
+
+    print("== loop-level profile (interpreter run) ==")
+    profile = profile_program(sf)
+    print(f"{'unit':<10} {'line':>5} {'var':>4} {'iterations':>11} {'avg trip':>9}")
+    for lp in profile.hottest_loops(8):
+        print(
+            f"{lp.unit:<10} {lp.line:>5} {lp.var:>4} "
+            f"{lp.iterations:>11} {lp.avg_trip:>9.1f}"
+        )
+    print()
+
+    print("== static performance ranking (the 'next' command) ==")
+    session = PedSession(prog.source)
+    ped = CommandInterpreter(session)
+    print(ped.execute("ranking"))
+    print()
+    print("'next' jumps to the hottest unparallelized loop:")
+    print(ped.execute("next"))
+    print()
+
+    print("== granularity: outer-loop vs inner-loop parallelism ==")
+    comparison = granularity_comparison(procs=8)
+    print(f"outer (Ped, sections → column loop DOALL): {comparison['outer']:.2f}x")
+    print(f"inner (naive per-callee loops DOALL):       {comparison['inner']:.2f}x")
+    print()
+
+    print("== speedup curves ==")
+    outer_session = PedSession(prog.source)
+    CommandInterpreter(outer_session).run_script(prog.script)
+    print("outer-loop parallel spec77:",
+          [(p, round(s, 2)) for p, s in speedup_curve(outer_session.sf)])
+
+    inner_sf = parse_and_bind(prog.source)
+    for unit in inner_sf.units:
+        if unit.name not in ("spec77", "gloop"):
+            for st in walk_statements(unit.body):
+                if isinstance(st, DoLoop):
+                    st.parallel = True
+    print("inner-loop parallel spec77:",
+          [(p, round(s, 2)) for p, s in speedup_curve(inner_sf)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: open a Ped session, inspect dependences, parallelize.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import open_session
+from repro.editor import CommandInterpreter, render_window
+
+SOURCE = """      program quick
+      integer n
+      parameter (n = 200)
+      real a(n), b(n), s
+      s = 0.0
+      do i = 1, n
+         a(i) = 0.5 * i
+      end do
+      do i = 2, n
+         b(i) = a(i) - a(i-1)
+         s = s + b(i)
+      end do
+      do i = 2, n
+         a(i) = a(i-1) + b(i)
+      end do
+      write (6, *) s
+      end
+"""
+
+
+def main() -> None:
+    session = open_session(SOURCE)
+    ped = CommandInterpreter(session)
+
+    print("The loops of the program, with Ped's verdicts:")
+    print(ped.execute("loops"))
+    print()
+
+    print("Select the middle loop and look at its dependences:")
+    print(ped.execute("select 1"))
+    print(ped.execute("deps"))
+    print()
+
+    print("Variable classification for the selected loop:")
+    print(ped.execute("vars"))
+    print()
+
+    print("Power steering: diagnose, then apply, parallelization:")
+    print(ped.execute("advice parallelize"))
+    print(ped.execute("apply parallelize"))
+    print()
+
+    print("The third loop is a true recurrence — Ped refuses:")
+    print(ped.execute("select 2"))
+    print(ped.execute("advice parallelize"))
+    print()
+
+    print("The full Ped window (Figure 1 layout):")
+    print(render_window(session))
+    print()
+
+    print("Transformed source:")
+    print(session.source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a Python reproduction of the ParaScope Editor (Ped).
+
+The ParaScope Editor (Supercomputing '89; evaluated in "Experiences Using
+the ParaScope Editor") is an interactive parallel-programming tool for
+Fortran: sophisticated dependence analysis, power-steered program
+transformations, and an editor that keeps the analyses current.
+
+Quick start::
+
+    from repro.core import open_session
+    session = open_session(fortran_text)
+    session.select_loop(0)
+    print(session.diagnose("parallelize").describe())
+    session.apply("parallelize")
+    print(session.source)
+
+Packages
+--------
+``repro.fortran``     Fortran 77 subset front end
+``repro.analysis``    scalar data-flow analyses
+``repro.dependence``  dependence testing and the dependence graph
+``repro.interproc``   call graph, MOD/REF, sections, constants, kill
+``repro.assertions``  user assertion facility
+``repro.transform``   power-steered transformations
+``repro.editor``      the Ped session, panes, filters, display, commands
+``repro.perf``        estimator, interpreter, profiler, simulator
+``repro.workloads``   the synthetic evaluation suite (Table 1)
+``repro.evaluation``  table/figure regeneration harness
+"""
+
+__version__ = "1.0.0"
+
+from .core.api import analyze, open_session, parallelize_program, parse  # noqa: F401

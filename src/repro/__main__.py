@@ -1,0 +1,154 @@
+"""Command-line entry points.
+
+``python -m repro ped FILE.f``      — interactive Ped session (REPL)
+``python -m repro analyze FILE.f``  — print loops + verdicts + deps
+``python -m repro auto FILE.f``     — best-effort automatic parallelizer
+``python -m repro tables``          — regenerate the evaluation tables
+``python -m repro suite NAME``      — dump a suite program's source
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def cmd_ped(args: argparse.Namespace) -> int:
+    from .editor import CommandInterpreter, PedSession
+
+    source = _read(args.file)
+    session = PedSession(source)
+    ped = CommandInterpreter(session)
+    print(f"ParaScope Editor — {args.file}")
+    print("type 'help' for commands, 'show' for the window, ctrl-D to quit")
+    print(ped.execute("loops"))
+    while True:
+        try:
+            line = input("ped> ")
+        except EOFError:
+            print()
+            break
+        except KeyboardInterrupt:
+            print()
+            break
+        if line.strip() in ("quit", "exit"):
+            break
+        out = ped.execute(line)
+        if out:
+            print(out)
+    if args.output:
+        Path(args.output).write_text(session.source)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import analyze
+    from .interproc import FeatureSet
+
+    features = FeatureSet.minimal() if args.minimal else FeatureSet()
+    pa = analyze(_read(args.file), features)
+    for name, ua in sorted(pa.units.items()):
+        print(f"{name} ({ua.unit.kind}): {len(ua.loops)} loop(s)")
+        for idx, nest in enumerate(ua.loops):
+            info = ua.info_for(nest.loop)
+            indent = "  " * nest.depth
+            verdict = "parallelizable" if info.parallelizable else "serial"
+            print(
+                f"  [{idx}]{indent}do {nest.loop.var} (line {nest.loop.line}): "
+                f"{verdict}"
+            )
+            if args.verbose:
+                for o in info.obstacles:
+                    print(f"        - {o}")
+    print(
+        f"\n{pa.parallel_loop_count()}/{pa.loop_count()} loops parallelizable "
+        f"({'minimal' if args.minimal else 'full'} analysis)"
+    )
+    return 0
+
+
+def cmd_auto(args: argparse.Namespace) -> int:
+    from .core import parallelize_program
+
+    result = parallelize_program(
+        _read(args.file), require_profitable=not args.eager
+    )
+    for unit, idx in result.parallelized:
+        print(f"parallelized: {unit} loop[{idx}]")
+    for (unit, idx), reason in sorted(result.skipped.items()):
+        print(f"skipped: {unit} loop[{idx}] — {reason}")
+    if args.output:
+        Path(args.output).write_text(result.source)
+        print(f"wrote {args.output}")
+    else:
+        print()
+        print(result.source)
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from .evaluation.tables import render_table1, render_table2, render_table3
+
+    print("Table 1 — the program suite")
+    print(render_table1())
+    print()
+    print("Table 2 — user actions and parallelization outcomes")
+    print(render_table2())
+    print()
+    print("Table 3 — analysis contribution per program")
+    print(render_table3())
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .workloads import SUITE, get_program
+
+    if not args.name:
+        for prog in SUITE.values():
+            print(f"{prog.name:<10} {prog.domain:<32} {prog.lines:>4} lines")
+        return 0
+    prog = get_program(args.name)
+    print(prog.source)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ped", help="interactive Ped session over a file")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", help="write the edited source on exit")
+    p.set_defaults(fn=cmd_ped)
+
+    p = sub.add_parser("analyze", help="loop verdicts for a file")
+    p.add_argument("file")
+    p.add_argument("--minimal", action="store_true", help="baseline analysis")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("auto", help="automatic best-effort parallelizer")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--eager", action="store_true", help="ignore profitability")
+    p.set_defaults(fn=cmd_auto)
+
+    p = sub.add_parser("tables", help="regenerate the evaluation tables")
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("suite", help="list/dump the synthetic suite")
+    p.add_argument("name", nargs="?")
+    p.set_defaults(fn=cmd_suite)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Intraprocedural scalar analyses: CFG, data flow, def-use, constants,
+symbolic expressions, kill analysis, induction variables, reductions."""
+
+from .cfg import CFG, ENTRY, EXIT, build_cfg  # noqa: F401
+from .dataflow import DataFlowProblem, solve  # noqa: F401
+from .defuse import (  # noqa: F401
+    ConservativeEffects,
+    DefUse,
+    SideEffects,
+    compute_defuse,
+    stmt_defs,
+    stmt_uses,
+)
+from .constants import ConstantMap, propagate_constants  # noqa: F401
+from .symbolic import Linear, affine, linear_of_expr  # noqa: F401
+from .kill import killed_scalars, privatizable_scalars, upward_exposed  # noqa: F401
+from .induction import auxiliary_inductions, induction_variables  # noqa: F401
+from .reductions import Reduction, find_reductions  # noqa: F401

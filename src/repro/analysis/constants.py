@@ -1,0 +1,256 @@
+"""Conditional constant propagation for scalars.
+
+A forward optimistic propagation over the statement CFG: every scalar
+starts ⊤ (unknown-yet), assignments evaluate in the incoming environment,
+and the meet of two environments keeps only agreeing constants.  PARAMETER
+constants and, when supplied, *interprocedural constants* (constants
+inherited from all callers — Table 3's ``constants`` column) seed the
+boundary environment.
+
+The result feeds symbolic analysis: constant loop bounds make performance
+estimation precise, and constant subscript terms let the exact dependence
+tests fire where symbolic terms would otherwise force conservative
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from ..fortran.ast_nodes import (
+    Assign,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    FuncRef,
+    IOStmt,
+    LogicalLit,
+    Num,
+    ProcedureUnit,
+    UnOp,
+    VarRef,
+)
+from ..fortran.symbols import PARAM, SymbolTable
+from .cfg import CFG, ENTRY, build_cfg
+from .defuse import ConservativeEffects, SideEffects
+from .symbolic import Linear
+
+Value = Union[int, float, bool]
+
+#: Lattice: missing key = ⊤ (unvisited), _NAC = ⊥ (not a constant).
+_NAC = object()
+
+
+@dataclass
+class ConstantMap:
+    """Constants known at the entry of each statement.
+
+    ``at(sid)`` returns a plain ``{name: value}`` dict of the scalars whose
+    value is a compile-time constant just before ``sid`` executes.
+    """
+
+    entry: Dict[int, Dict[str, Value]] = field(default_factory=dict)
+
+    def at(self, sid: int) -> Dict[str, Value]:
+        return self.entry.get(sid, {})
+
+    def linear_env(self, sid: int) -> Dict[str, Linear]:
+        """The same facts as :class:`Linear` constants for symbolic use."""
+
+        return {
+            name: Linear.constant(value)
+            for name, value in self.at(sid).items()
+            if isinstance(value, int)
+        }
+
+
+def eval_const(expr: Expr, env: Mapping[str, Value]) -> Optional[Value]:
+    """Evaluate ``expr`` to a constant under ``env``; None if unknown."""
+
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, LogicalLit):
+        return expr.value
+    if isinstance(expr, VarRef):
+        value = env.get(expr.name)
+        return None if value is _NAC else value
+    if isinstance(expr, UnOp):
+        inner = eval_const(expr.operand, env)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "+":
+            return inner
+        if expr.op == ".not.":
+            return not inner
+        return None
+    if isinstance(expr, BinOp):
+        left = eval_const(expr.left, env)
+        right = eval_const(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                if right == 0:
+                    return None
+                if isinstance(left, int) and isinstance(right, int):
+                    return int(left / right)  # Fortran truncates toward zero
+                return left / right
+            if expr.op == "**":
+                result = left**right
+                return result
+            if expr.op == "<":
+                return left < right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">":
+                return left > right
+            if expr.op == ">=":
+                return left >= right
+            if expr.op == "==":
+                return left == right
+            if expr.op == "/=":
+                return left != right
+            if expr.op == ".and.":
+                return bool(left and right)
+            if expr.op == ".or.":
+                return bool(left or right)
+        except (OverflowError, ZeroDivisionError, TypeError):
+            return None
+    if isinstance(expr, FuncRef) and expr.intrinsic:
+        args = [eval_const(a, env) for a in expr.args]
+        if any(a is None for a in args):
+            return None
+        try:
+            if expr.name in ("abs", "iabs", "dabs"):
+                return abs(args[0])
+            if expr.name in ("max", "max0", "amax1", "dmax1"):
+                return max(args)
+            if expr.name in ("min", "min0", "amin1", "dmin1"):
+                return min(args)
+            if expr.name in ("mod", "amod", "dmod"):
+                a, b = args
+                if b == 0:
+                    return None
+                import math
+
+                return a - b * int(a / b) if isinstance(a, int) else math.fmod(a, b)
+            if expr.name in ("int", "ifix", "idint"):
+                return int(args[0])
+            if expr.name in ("float", "real", "dble", "sngl"):
+                return float(args[0])
+        except (TypeError, ValueError):
+            return None
+    return None
+
+
+def _meet(a: Dict[str, object], b: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for name in set(a) | set(b):
+        if name not in a:
+            out[name] = b[name]
+        elif name not in b:
+            out[name] = a[name]
+        elif a[name] is _NAC or b[name] is _NAC or a[name] != b[name]:
+            out[name] = _NAC
+        else:
+            out[name] = a[name]
+    return out
+
+
+def propagate_constants(
+    unit: ProcedureUnit,
+    cfg: Optional[CFG] = None,
+    effects: Optional[SideEffects] = None,
+    inherited: Optional[Mapping[str, Value]] = None,
+) -> ConstantMap:
+    """Run constant propagation over ``unit``.
+
+    ``inherited`` supplies interprocedural constants (formals or COMMON
+    variables constant at every call site); PARAMETER constants are always
+    included.
+    """
+
+    effects = effects or ConservativeEffects()
+    cfg = cfg or build_cfg(unit)
+    table: SymbolTable = unit.symtab  # type: ignore[assignment]
+
+    boundary: Dict[str, object] = {}
+    for sym in table.symbols.values():
+        if sym.storage == PARAM and sym.const_value is not None:
+            value = eval_const(sym.const_value, {})
+            if value is not None:
+                boundary[sym.name] = value
+    for name, value in (inherited or {}).items():
+        boundary.setdefault(name.lower(), value)
+
+    envs: Dict[int, Dict[str, object]] = {ENTRY: boundary}
+    out_envs: Dict[int, Dict[str, object]] = {ENTRY: boundary}
+    from collections import deque
+
+    work = deque(cfg.nodes())
+    while work:
+        n = work.popleft()
+        preds = cfg.pred.get(n, set())
+        visited_preds = [p for p in preds if p in out_envs]
+        if n == ENTRY:
+            env = dict(boundary)
+        elif visited_preds:
+            env = out_envs[visited_preds[0]]
+            for p in visited_preds[1:]:
+                env = _meet(env, out_envs[p])
+        else:
+            env = {}
+        envs[n] = env
+        new_out = _transfer(cfg.stmts.get(n), env, table, effects)
+        if out_envs.get(n) != new_out:
+            out_envs[n] = new_out
+            for s in cfg.succ.get(n, ()):
+                work.append(s)
+
+    result = ConstantMap()
+    for sid in cfg.stmts:
+        env = envs.get(sid, {})
+        result.entry[sid] = {
+            name: value  # type: ignore[misc]
+            for name, value in env.items()
+            if value is not _NAC
+        }
+    return result
+
+
+def _transfer(
+    st: Optional[object],
+    env: Dict[str, object],
+    table: SymbolTable,
+    effects: SideEffects,
+) -> Dict[str, object]:
+    if st is None:
+        return dict(env)
+    out = dict(env)
+    const_view = {k: v for k, v in env.items() if v is not _NAC}
+    if isinstance(st, Assign):
+        if isinstance(st.target, VarRef):
+            value = eval_const(st.expr, const_view)
+            out[st.target.name] = value if value is not None else _NAC
+    elif isinstance(st, DoLoop):
+        # The induction variable varies; only its start value would be
+        # constant and only on the first trip, so it is not a constant.
+        out[st.var] = _NAC
+    elif isinstance(st, CallStmt):
+        for name in effects.mod(st.name, st.args, table):
+            out[name] = _NAC
+    elif isinstance(st, IOStmt) and st.kind == "read":
+        for item in st.items:
+            if isinstance(item, VarRef):
+                out[item.name] = _NAC
+    return out

@@ -1,0 +1,129 @@
+"""Generic iterative data-flow solver.
+
+A :class:`DataFlowProblem` bundles direction, meet operator and transfer
+function; :func:`solve` runs a worklist iteration to the (unique, by
+monotonicity) fixed point.  Facts are ``frozenset`` instances so they hash
+and compare cheaply; problems whose lattice is not a powerset can wrap
+their facts in frozensets of tuples.
+
+This is the substrate under reaching definitions, liveness, kill analysis
+and the interprocedural propagation problems.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable
+
+from .cfg import CFG, ENTRY, EXIT
+
+Fact = FrozenSet
+Transfer = Callable[[int, Fact], Fact]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+MAY = "may"  # meet is union
+MUST = "must"  # meet is intersection
+
+
+@dataclass
+class DataFlowProblem:
+    """A data-flow problem over a statement-level CFG.
+
+    Parameters
+    ----------
+    direction:
+        :data:`FORWARD` or :data:`BACKWARD`.
+    kind:
+        :data:`MAY` (union meet, bottom = empty set) or :data:`MUST`
+        (intersection meet; the boundary node seeds the iteration and
+        unvisited nodes start at the universal set).
+    transfer:
+        ``transfer(sid, in_fact) -> out_fact``.
+    boundary:
+        Fact at ENTRY (forward) or EXIT (backward).
+    universe:
+        Required for MUST problems: the top element.
+    """
+
+    direction: str
+    kind: str
+    transfer: Transfer
+    boundary: Fact = frozenset()
+    universe: Fact = frozenset()
+
+
+def solve(cfg: CFG, problem: DataFlowProblem) -> Dict[int, Fact]:
+    """Solve ``problem`` on ``cfg``; returns the IN fact of each node.
+
+    For a forward problem the result maps each node to the fact holding
+    *before* the node executes; for a backward problem, *after* it.
+    """
+
+    if problem.direction == FORWARD:
+        edges_in = cfg.pred
+        edges_out = cfg.succ
+        start = ENTRY
+    else:
+        edges_in = cfg.succ
+        edges_out = cfg.pred
+        start = EXIT
+
+    nodes = cfg.nodes()
+    if problem.kind == MAY:
+        in_facts: Dict[int, Fact] = {n: frozenset() for n in nodes}
+    else:
+        in_facts = {n: problem.universe for n in nodes}
+    in_facts[start] = problem.boundary
+    out_facts: Dict[int, Fact] = {
+        n: problem.transfer(n, in_facts[n]) for n in nodes
+    }
+
+    work = deque(nodes)
+    in_work = set(nodes)
+    while work:
+        n = work.popleft()
+        in_work.discard(n)
+        if n != start:
+            preds = [p for p in edges_in.get(n, ()) if p in in_facts]
+            if preds:
+                if problem.kind == MAY:
+                    new_in: Fact = frozenset().union(*(out_facts[p] for p in preds))
+                else:
+                    new_in = frozenset.intersection(
+                        *(frozenset(out_facts[p]) for p in preds)
+                    )
+            else:
+                new_in = frozenset() if problem.kind == MAY else problem.universe
+            in_facts[n] = new_in
+        new_out = problem.transfer(n, in_facts[n])
+        if new_out != out_facts[n]:
+            out_facts[n] = new_out
+            for s in edges_out.get(n, ()):
+                if s not in in_work:
+                    work.append(s)
+                    in_work.add(s)
+    return in_facts
+
+
+def solve_with_out(cfg: CFG, problem: DataFlowProblem):
+    """Like :func:`solve` but returns ``(in_facts, out_facts)``."""
+
+    in_facts = solve(cfg, problem)
+    out_facts = {n: problem.transfer(n, in_facts[n]) for n in cfg.nodes()}
+    return in_facts, out_facts
+
+
+def gen_kill_transfer(
+    gen: Dict[int, Iterable], kill: Dict[int, Iterable]
+) -> Transfer:
+    """Build the standard ``out = gen ∪ (in − kill)`` transfer function."""
+
+    gen_f = {n: frozenset(v) for n, v in gen.items()}
+    kill_f = {n: frozenset(v) for n, v in kill.items()}
+
+    def transfer(n: int, fact: Fact) -> Fact:
+        return gen_f.get(n, frozenset()) | (fact - kill_f.get(n, frozenset()))
+
+    return transfer

@@ -1,0 +1,131 @@
+"""Induction-variable recognition.
+
+The *basic* induction variable of a DO loop is its control variable.
+*Auxiliary* induction variables are scalars updated exactly once per
+iteration by ``k = k ± c`` with ``c`` loop-invariant; they are affine in
+the trip number and can be rewritten in terms of the basic variable
+(induction-variable substitution), which removes the cross-iteration
+scalar recurrence that otherwise serializes the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..fortran.ast_nodes import (
+    Assign,
+    DoLoop,
+    VarRef,
+    walk_statements,
+)
+from ..fortran.symbols import SymbolTable
+from .defuse import ConservativeEffects, SideEffects, stmt_defs
+from .symbolic import Linear, linear_of_expr
+
+
+@dataclass
+class InductionVar:
+    """One recognised induction variable.
+
+    ``step`` is the per-iteration increment as a :class:`Linear` form over
+    loop-invariant atoms; ``basic`` is True for the DO control variable.
+    """
+
+    name: str
+    step: Linear
+    basic: bool
+    update_sid: Optional[int] = None
+
+
+def loop_invariant_names(loop: DoLoop, table: SymbolTable) -> Set[str]:
+    """Names not (possibly) assigned anywhere inside the loop body."""
+
+    effects = ConservativeEffects()
+    assigned: Set[str] = {loop.var}
+    for st in walk_statements(loop.body):
+        _, may = stmt_defs(st, table, effects)
+        assigned |= may
+    return {name for name in table.symbols} - assigned
+
+
+def induction_variables(
+    loop: DoLoop,
+    table: SymbolTable,
+    effects: Optional[SideEffects] = None,
+) -> List[InductionVar]:
+    """Recognise the basic and auxiliary induction variables of ``loop``."""
+
+    effects = effects or ConservativeEffects()
+    step_expr = loop.step
+    step_lin = (
+        linear_of_expr(step_expr, table) if step_expr is not None else Linear.constant(1)
+    )
+    result = [InductionVar(loop.var, step_lin, True, loop.sid)]
+    result.extend(auxiliary_inductions(loop, table, effects))
+    return result
+
+
+def auxiliary_inductions(
+    loop: DoLoop,
+    table: SymbolTable,
+    effects: Optional[SideEffects] = None,
+) -> List[InductionVar]:
+    """Scalars updated exactly once per iteration by ``k = k ± c``.
+
+    The update must be *unconditional* (top-level in the loop body, not
+    under an IF) and the only assignment to the scalar in the loop, with a
+    loop-invariant increment.
+    """
+
+    effects = effects or ConservativeEffects()
+    invariant = loop_invariant_names(loop, table)
+
+    assign_counts: Dict[str, int] = {}
+    for st in walk_statements(loop.body):
+        must, may = stmt_defs(st, table, effects)
+        for name in may:
+            assign_counts[name] = assign_counts.get(name, 0) + 1
+
+    out: List[InductionVar] = []
+    for st in loop.body:  # top level only: unconditional updates
+        if not isinstance(st, Assign) or not isinstance(st.target, VarRef):
+            continue
+        name = st.target.name
+        if name == loop.var or assign_counts.get(name, 0) != 1:
+            continue
+        step = _self_increment(st, name, table)
+        if step is None:
+            continue
+        if not _linear_invariant(step, invariant):
+            continue
+        out.append(InductionVar(name, step, False, st.sid))
+    return out
+
+
+def _self_increment(st: Assign, name: str, table: SymbolTable) -> Optional[Linear]:
+    """If ``st`` is ``name = name ± c`` return the Linear increment ``±c``."""
+
+    lin = linear_of_expr(st.expr, table)
+    from fractions import Fraction
+
+    if lin.coeff(name) != Fraction(1):
+        return None
+    rest = lin.drop({name})
+    # The increment must not mention the variable itself in opaque atoms.
+    for atom in rest.atoms():
+        if atom.startswith("@") and name in atom:
+            return None
+    return rest
+
+
+def _linear_invariant(lin: Linear, invariant: Set[str]) -> bool:
+    for atom in lin.atoms():
+        base = atom[1:] if atom.startswith("@") else atom
+        # Opaque atoms are conservative: require every identifier-looking
+        # piece to be loop invariant.
+        if atom.startswith("@"):
+            return False
+        if base not in invariant:
+            return False
+    return True

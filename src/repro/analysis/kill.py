@@ -1,0 +1,167 @@
+"""Scalar kill analysis for loops.
+
+"A critical contribution of scalar data-flow analysis is recognizing
+scalars that are killed, or redefined, on every iteration of a loop and may
+be made private, thus eliminating dependences."  (Experiences paper, §4.)
+
+A scalar ``s`` is *privatizable* in loop ``L`` when every use of ``s``
+inside ``L``'s body reads a value assigned earlier in the *same* iteration
+— i.e. ``s`` has no upward-exposed use in the body.  Such a scalar carries
+no cross-iteration flow and the loop-carried true/anti/output dependences
+on it can be discarded by giving each iteration its own copy.
+
+If ``s`` is additionally live after the loop, privatization needs a
+*last-value* copy (lastprivate); :func:`privatizable_scalars` reports that
+distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..fortran.ast_nodes import DoLoop, ProcedureUnit, Stmt, walk_statements
+from ..fortran.symbols import SymbolTable
+from .defuse import (
+    ConservativeEffects,
+    DefUse,
+    SideEffects,
+    compute_defuse,
+    stmt_defs,
+    stmt_uses,
+)
+
+
+def upward_exposed(
+    loop: DoLoop,
+    table: SymbolTable,
+    effects: Optional[SideEffects] = None,
+) -> Set[str]:
+    """Scalar names with an upward-exposed use in the loop body.
+
+    Computed on the body's statement sequence with a backward pass over a
+    *conservative* straight-line/structured approximation: a use is upward
+    exposed unless a must-def of the same scalar appears on **every** path
+    from the body start to the use.  Handles nested DO and IF structurally
+    (no GOTO into/out of the body, which the parser's structured subset
+    guarantees within loop bodies except for explicit GOTOs — any GOTO in
+    the body makes the analysis bail out conservatively).
+    """
+
+    effects = effects or ConservativeEffects()
+    if _has_goto(loop.body):
+        # Conservative: every used scalar is upward exposed.
+        exposed: Set[str] = set()
+        for st in walk_statements(loop.body):
+            exposed |= stmt_uses(st, table, effects)
+        return exposed
+    exposed, _ = _scan_block(loop.body, table, effects)
+    return exposed
+
+
+def _has_goto(body: List[Stmt]) -> bool:
+    from ..fortran.ast_nodes import GotoStmt
+
+    return any(isinstance(st, GotoStmt) for st in walk_statements(body))
+
+
+def _scan_block(
+    body: List[Stmt],
+    table: SymbolTable,
+    effects: SideEffects,
+) -> tuple:
+    """Return ``(exposed, must_defined)`` for a statement list.
+
+    ``exposed`` — scalars read before any must-def along some path through
+    the block; ``must_defined`` — scalars assigned on every path.
+    """
+
+    exposed: Set[str] = set()
+    defined: Set[str] = set()
+    for st in body:
+        e, d = _scan_stmt(st, table, effects)
+        exposed |= e - defined
+        defined |= d
+    return exposed, defined
+
+
+def _scan_stmt(st: Stmt, table: SymbolTable, effects: SideEffects) -> tuple:
+    from ..fortran.ast_nodes import DoLoop as _Do, If as _If
+
+    if isinstance(st, _Do):
+        # Header expressions evaluate once per entry; body may run 0 times.
+        header_uses = stmt_uses(st, table, effects)
+        body_exposed, _body_defined = _scan_block(st.body, table, effects)
+        # Defs inside the loop are not guaranteed (zero-trip); the loop
+        # variable itself is always assigned by the header, so body uses of
+        # it are not upward exposed past this statement.
+        return header_uses | (body_exposed - {st.var}), {st.var}
+    if isinstance(st, _If):
+        exposed: Set[str] = set(stmt_uses(st, table, effects))
+        branch_defs: List[Set[str]] = []
+        for _, arm in st.arms:
+            e, d = _scan_block(arm, table, effects)
+            exposed |= e
+            branch_defs.append(d)
+        has_else = any(cond is None for cond, _ in st.arms)
+        if st.block and has_else and branch_defs:
+            defined = set.intersection(*branch_defs)
+        else:
+            defined = set()
+        return exposed, defined
+    uses = stmt_uses(st, table, effects)
+    must, _may = stmt_defs(st, table, effects)
+    return uses, must
+
+
+def killed_scalars(
+    loop: DoLoop,
+    table: SymbolTable,
+    effects: Optional[SideEffects] = None,
+) -> Set[str]:
+    """Scalars assigned in the loop whose every use follows a same-iteration
+    definition (i.e. the previous iteration's value is dead on entry)."""
+
+    effects = effects or ConservativeEffects()
+    assigned: Set[str] = set()
+    used: Set[str] = set()
+    for st in walk_statements(loop.body):
+        must, _ = stmt_defs(st, table, effects)
+        assigned |= {v for v in must if not table.ensure(v).is_array}
+        used |= stmt_uses(st, table, effects)
+    exposed = upward_exposed(loop, table, effects)
+    return {v for v in assigned if v not in exposed}
+
+
+@dataclass
+class PrivatizableScalar:
+    """One privatization opportunity for a scalar in a loop."""
+
+    name: str
+    needs_last_value: bool
+
+
+def privatizable_scalars(
+    loop: DoLoop,
+    unit: ProcedureUnit,
+    defuse: Optional[DefUse] = None,
+    effects: Optional[SideEffects] = None,
+) -> List[PrivatizableScalar]:
+    """All scalars of ``loop`` that may be made private, with the
+    lastprivate flag set when the scalar is live after the loop."""
+
+    effects = effects or ConservativeEffects()
+    table: SymbolTable = unit.symtab  # type: ignore[assignment]
+    defuse = defuse or compute_defuse(unit, effects=effects)
+    killed = killed_scalars(loop, table, effects)
+    live_after = defuse.live_out.get(loop.sid, frozenset())
+    body_sids = {st.sid for st in walk_statements(loop.body)}
+    # live_out of the loop header excludes the body; approximate "live after
+    # the loop" as live_out of the header node minus names only live in-body.
+    out: List[PrivatizableScalar] = []
+    for name in sorted(killed):
+        if name == loop.var:
+            continue
+        out.append(PrivatizableScalar(name, name in live_after))
+    del body_sids
+    return out

@@ -1,0 +1,13 @@
+"""User assertion facility: facts about variable values that sharpen
+analysis, as requested by the Ped evaluation users."""
+
+from .facts import (  # noqa: F401
+    Assertion,
+    ConstantFact,
+    DistinctFact,
+    NonZeroFact,
+    RangeFact,
+    RelationFact,
+    parse_assertion,
+)
+from .engine import AssertionDB  # noqa: F401

@@ -1,0 +1,168 @@
+"""Assertion kinds.
+
+The experiences paper reports that users "requested higher-level
+assertions": the ability to tell the tool facts it cannot derive — the
+value range of a symbolic loop bound, that an index array is a
+permutation, that two symbolic quantities never coincide.  Each fact kind
+here corresponds to one of those requests:
+
+* :class:`RangeFact` — ``n >= 1``, ``m <= 100``;
+* :class:`ConstantFact` — ``n == 64`` (partial evaluation by hand);
+* :class:`NonZeroFact` — a symbolic difference can never be zero;
+* :class:`RelationFact` — ``k > n`` (linear relations between variables);
+* :class:`DistinctFact` — an index array has pairwise-distinct entries
+  (covers permutation arrays; dependence testing may then look *through*
+  the index array).
+
+:func:`parse_assertion` accepts the textual command language used by the
+editor (``assert n >= 1``, ``assert distinct ip`` …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.symbolic import Linear, linear_of_expr
+from ..fortran.parser import _ExprParser
+from ..fortran.lexer import tokenize, NEWLINE, EOF
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """Base class; ``text`` preserves the user's spelling for display."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class RangeFact(Assertion):
+    """``lin ∈ [lo, hi]`` (either bound may be infinite)."""
+
+    lin: Linear = None  # type: ignore[assignment]
+    lo: float = float("-inf")
+    hi: float = float("inf")
+
+
+@dataclass(frozen=True)
+class ConstantFact(Assertion):
+    """``var == value`` — the user supplies an exact value."""
+
+    var: str = ""
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class NonZeroFact(Assertion):
+    """``lin ≠ 0``."""
+
+    lin: Linear = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class RelationFact(Assertion):
+    """``lin > 0`` / ``lin >= 0`` (normalised linear relation)."""
+
+    lin: Linear = None  # type: ignore[assignment]
+    strict: bool = False
+
+
+@dataclass(frozen=True)
+class DistinctFact(Assertion):
+    """Array ``name`` holds pairwise-distinct values (injective)."""
+
+    name: str = ""
+
+
+class AssertionSyntaxError(ValueError):
+    """Raised when an assertion command cannot be parsed."""
+
+
+def _parse_expr_text(text: str) -> Linear:
+    toks = [t for t in tokenize("      x = " + text) if t.kind not in (NEWLINE, EOF)]
+    # strip the synthetic "x =" prefix (2 tokens)
+    ep = _ExprParser(toks[2:], 0)
+    expr = ep.expression()
+    if not ep.done():
+        raise AssertionSyntaxError(f"trailing input in assertion: {text!r}")
+    return linear_of_expr(expr)
+
+
+def parse_assertion(text: str) -> Assertion:
+    """Parse the editor's assertion command language.
+
+    Forms accepted::
+
+        distinct ip            -- index array has pairwise-distinct entries
+        n == 64                -- constant value
+        n >= 1, n > 0, n <= k  -- linear relations (any comparison operator)
+        m /= 0                 -- non-zero fact (also: m .ne. 0)
+    """
+
+    raw = text.strip()
+    if not raw:
+        raise AssertionSyntaxError("empty assertion")
+    # Accept Fortran dotted comparison spellings.
+    low = raw.lower()
+    for dotted, canon in (
+        (".le.", "<="), (".ge.", ">="), (".lt.", "<"),
+        (".gt.", ">"), (".eq.", "=="), (".ne.", "/="),
+    ):
+        low = low.replace(dotted, f" {canon} ")
+    raw = low
+    parts = raw.split()
+    if parts[0].lower() == "distinct":
+        if len(parts) != 2:
+            raise AssertionSyntaxError("usage: distinct <array>")
+        return DistinctFact(raw, parts[1].lower())
+
+    for op in ("<=", ">=", "==", "/=", "<", ">"):
+        # Use the canonical spellings; dotted forms were canonicalised by
+        # the tokenizer inside _parse_expr_text, so split on text level for
+        # the operators we print.
+        idx = _find_op(raw, op)
+        if idx is None:
+            continue
+        lhs = _parse_expr_text(raw[:idx])
+        rhs = _parse_expr_text(raw[idx + len(op) :])
+        diff = lhs - rhs
+        if op == "==":
+            value = diff.constant_value()
+            atoms = diff.atoms()
+            if len(atoms) == 1 and diff.coeff(atoms[0]) == 1:
+                const = -(diff - Linear.atom(atoms[0])).const
+                if const.denominator == 1:
+                    return ConstantFact(raw, atoms[0], int(const))
+            return RangeFact(raw, diff, 0.0, 0.0)
+        if op == "/=":
+            return NonZeroFact(raw, diff)
+        if op == ">":
+            return RelationFact(raw, diff, True)
+        if op == ">=":
+            return RelationFact(raw, diff, False)
+        if op == "<":
+            return RelationFact(raw, -diff, True)
+        return RelationFact(raw, -diff, False)
+    raise AssertionSyntaxError(f"no comparison operator in assertion: {text!r}")
+
+
+def _find_op(raw: str, op: str) -> Optional[int]:
+    """Find a top-level comparison operator, longest-first match."""
+
+    depth = 0
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and raw.startswith(op, i):
+            # Avoid matching '<' inside '<=' etc.: the caller iterates
+            # longest-first, but guard '<' followed by '=' explicitly.
+            if op in ("<", ">") and i + 1 < len(raw) and raw[i + 1] == "=":
+                i += 1
+                continue
+            return i
+        i += 1
+    return None

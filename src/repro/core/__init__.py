@@ -1,0 +1,8 @@
+"""Top-level façade re-exports."""
+
+from .api import (  # noqa: F401
+    analyze,
+    open_session,
+    parallelize_program,
+    parse,
+)

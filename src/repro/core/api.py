@@ -1,0 +1,92 @@
+"""The public API in four verbs.
+
+>>> from repro.core import parse, analyze, open_session, parallelize_program
+>>> sf = parse(source_text)                 # front end
+>>> pa = analyze(source_text)               # whole-program analysis
+>>> session = open_session(source_text)     # interactive Ped session
+>>> result = parallelize_program(source_text)  # best-effort auto mode
+
+``parallelize_program`` is the "automatic tool" the paper contrasts Ped
+against: it applies only what analysis alone justifies (no assertions, no
+markings, no user insight) — by design it leaves on the table exactly the
+loops whose parallelization needed the interactive features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..editor.session import PedSession
+from ..fortran.ast_nodes import SourceFile
+from ..fortran.printer import to_source
+from ..fortran.symbols import parse_and_bind
+from ..interproc.program import FeatureSet, ProgramAnalysis, analyze_program
+from ..transform.base import TransformContext
+from ..transform.parallelize import Parallelize
+
+
+def parse(source: str) -> SourceFile:
+    """Parse and bind Fortran source (the front end in one call)."""
+
+    return parse_and_bind(source)
+
+
+def analyze(
+    source: str, features: Optional[FeatureSet] = None
+) -> ProgramAnalysis:
+    """Full whole-program analysis of Fortran source text."""
+
+    return analyze_program(parse_and_bind(source), features or FeatureSet())
+
+
+def open_session(
+    source: str, features: Optional[FeatureSet] = None
+) -> PedSession:
+    """Open an interactive Ped session over the source text."""
+
+    return PedSession(source, features=features)
+
+
+@dataclass
+class AutoResult:
+    """Outcome of the non-interactive best-effort parallelizer."""
+
+    source: str
+    parallelized: List[Tuple[str, int]] = field(default_factory=list)
+    skipped: Dict[Tuple[str, int], str] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.parallelized)
+
+
+def parallelize_program(
+    source: str,
+    features: Optional[FeatureSet] = None,
+    require_profitable: bool = True,
+) -> AutoResult:
+    """Automatic mode: parallelize every loop the analysis alone proves
+    safe (outermost-first; loops inside an already-parallel loop are left
+    sequential, matching single-level parallel hardware)."""
+
+    session = PedSession(source, features=features)
+    transform = Parallelize()
+    result = AutoResult(source)
+    for unit_name in sorted(session.analysis.units):
+        ua = session.analysis.unit(unit_name)
+        covered: set = set()
+        for idx, nest in enumerate(ua.loops):
+            if any(id(p) in covered for p in nest.parents):
+                continue
+            ctx = TransformContext(ua.unit, ua)
+            advice = transform.diagnose(ctx, loop=nest.loop)
+            if not advice.ok or (require_profitable and not advice.profitable):
+                reason = "; ".join(advice.reasons) or "unsafe"
+                result.skipped[(unit_name, idx)] = reason
+                continue
+            transform.apply(ctx, loop=nest.loop)
+            covered.add(id(nest.loop))
+            result.parallelized.append((unit_name, idx))
+    result.source = to_source(session.sf)
+    return result

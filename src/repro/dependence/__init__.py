@@ -1,0 +1,29 @@
+"""Dependence analysis: reference collection, the hierarchical test suite,
+direction/distance vectors, and the statement-level dependence graph."""
+
+from .references import ArrayAccess, LoopNest, collect_loops, collect_refs  # noqa: F401
+from .subscript import SubscriptPair, classify_pair, pair_subscripts  # noqa: F401
+from .tests import (  # noqa: F401
+    DEP,
+    INDEP,
+    MAYBE,
+    TestOutcome,
+    banerjee_test,
+    gcd_test,
+    strong_siv_test,
+    weak_crossing_siv_test,
+    weak_zero_siv_test,
+    ziv_test,
+)
+from .hierarchy import DependenceTester, PairResult  # noqa: F401
+from .graph import (  # noqa: F401
+    ANTI,
+    CONTROL,
+    Dependence,
+    DependenceGraph,
+    FLOW,
+    INPUT,
+    OUTPUT,
+)
+from .control import control_dependences  # noqa: F401
+from .driver import LoopInfo, UnitAnalysis, analyze_unit, AnalysisConfig  # noqa: F401

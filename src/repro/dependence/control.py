@@ -1,0 +1,43 @@
+"""Control dependence (Ferrante–Ottenstein–Warren).
+
+Statement ``c`` is control dependent on branch ``a`` when ``a`` has one
+successor through which ``c`` is always reached (``c`` postdominates it)
+and another through which it may be avoided (``c`` does not postdominate
+``a``).  Computed directly from postdominator sets; the graphs here are
+small (one procedure) so the O(E·N) formulation is plenty fast and easy
+to audit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from ..analysis.cfg import CFG, ENTRY, EXIT
+
+
+def control_dependences(cfg: CFG) -> List[Tuple[int, int]]:
+    """All (branch_sid, dependent_sid) control-dependence pairs.
+
+    Synthetic ENTRY/EXIT nodes never appear in the result.
+    """
+
+    pdom = cfg.postdominators()
+    out: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    real_nodes = [n for n in cfg.nodes() if n not in (ENTRY, EXIT)]
+    for a in real_nodes:
+        succs = sorted(cfg.succ.get(a, ()))
+        if len(succs) < 2:
+            continue
+        for s in succs:
+            for c in real_nodes:
+                if c == a:
+                    continue
+                postdominates_succ = c == s or (s in pdom and c in pdom[s])
+                postdominates_branch = c in pdom[a]
+                if postdominates_succ and not postdominates_branch:
+                    key = (a, c)
+                    if key not in seen:
+                        seen.add(key)
+                        out.append(key)
+    return out

@@ -1,0 +1,618 @@
+"""The dependence-analysis driver: one procedure in, one annotated
+dependence graph plus per-loop parallelization verdicts out.
+
+This is the analysis engine behind the Ped session.  Its
+:class:`AnalysisConfig` exposes exactly the levers the experiences paper
+evaluates in Table 3:
+
+* ``effects`` / ``section_provider`` — interprocedural MOD/REF and regular
+  section analysis (without them every call kills precision);
+* ``inherited_constants`` — interprocedural constants;
+* ``oracle`` — symbolic analysis sharpened by user assertions;
+* ``use_kill`` — scalar kill analysis → privatization;
+* ``use_reductions`` / ``use_inductions`` — idiom recognition that
+  discounts the corresponding recurrences.
+
+Toggling these and watching which loops become parallelizable regenerates
+the paper's analysis-contribution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..analysis.cfg import CFG, build_cfg
+from ..analysis.constants import ConstantMap, propagate_constants
+from ..analysis.defuse import (
+    ConservativeEffects,
+    DefUse,
+    SideEffects,
+    compute_defuse,
+)
+from ..analysis.induction import InductionVar, auxiliary_inductions
+from ..analysis.kill import PrivatizableScalar, privatizable_scalars
+from ..analysis.reductions import Reduction, find_reductions
+from ..analysis.symbolic import Linear, linear_of_expr
+from ..fortran.ast_nodes import (
+    DoLoop,
+    GotoStmt,
+    IOStmt,
+    ProcedureUnit,
+    ReturnStmt,
+    Stmt,
+    StopStmt,
+    walk_statements,
+)
+from ..fortran.symbols import SymbolTable
+from .control import control_dependences
+from .graph import (
+    ANTI,
+    CONTROL,
+    Dependence,
+    DependenceGraph,
+    FLOW,
+    INPUT,
+    OUTPUT,
+    PENDING,
+    PROVEN,
+)
+from .hierarchy import DependenceTester, PairResult
+from .references import (
+    ArrayAccess,
+    LoopNest,
+    SectionProvider,
+    collect_loops,
+    collect_refs,
+)
+from .tests import EQ, GT, LT, LoopBound, Oracle
+
+
+@dataclass
+class AnalysisConfig:
+    """Feature switches for the analysis engine (the Table 3 levers)."""
+
+    effects: Optional[SideEffects] = None
+    section_provider: Optional[SectionProvider] = None
+    oracle: Optional[Oracle] = None
+    inherited_constants: Optional[Mapping[str, object]] = None
+    use_constants: bool = True
+    use_kill: bool = True
+    use_reductions: bool = True
+    use_inductions: bool = True
+    input_deps: bool = False
+    control_deps: bool = True
+    #: Optional interprocedural array-kill hook: callable(loop, unit) →
+    #: set of array names privatizable in that loop (fully overwritten
+    #: before any read, every iteration).
+    privatizable_arrays_fn: Optional[object] = None
+
+    def resolved_effects(self) -> SideEffects:
+        return self.effects or ConservativeEffects()
+
+    def resolved_oracle(self) -> Oracle:
+        return self.oracle or Oracle()
+
+
+@dataclass
+class LoopInfo:
+    """Per-loop analysis verdict."""
+
+    nest: LoopNest
+    carried: List[Dependence] = field(default_factory=list)
+    privatizable: List[PrivatizableScalar] = field(default_factory=list)
+    privatizable_arrays: Set[str] = field(default_factory=set)
+    reductions: List[Reduction] = field(default_factory=list)
+    inductions: List[InductionVar] = field(default_factory=list)
+    obstacles: List[str] = field(default_factory=list)
+    parallelizable: bool = False
+
+    @property
+    def loop(self) -> DoLoop:
+        return self.nest.loop
+
+    def blocking_deps(self) -> List[Dependence]:
+        """Carried dependences still standing after idiom discounts."""
+
+        return [
+            d
+            for d in self.carried
+            if d.blocks_parallelization
+            and not d.reason
+            and d.var not in self.privatizable_arrays
+        ]
+
+
+@dataclass
+class UnitAnalysis:
+    """All analysis artifacts of one procedure."""
+
+    unit: ProcedureUnit
+    cfg: CFG
+    defuse: DefUse
+    constants: ConstantMap
+    loops: List[LoopNest]
+    graph: DependenceGraph
+    loop_info: Dict[int, LoopInfo]
+    tester: DependenceTester
+    pair_results: List[PairResult] = field(default_factory=list)
+
+    def info_for(self, loop: DoLoop) -> LoopInfo:
+        return self.loop_info[loop.sid]
+
+    def parallel_loops(self) -> List[LoopInfo]:
+        return [li for li in self.loop_info.values() if li.parallelizable]
+
+
+def analyze_unit(
+    unit: ProcedureUnit, config: Optional[AnalysisConfig] = None
+) -> UnitAnalysis:
+    """Run the full intraprocedural analysis pipeline on ``unit``."""
+
+    config = config or AnalysisConfig()
+    effects = config.resolved_effects()
+    oracle = config.resolved_oracle()
+
+    cfg = build_cfg(unit)
+    defuse = compute_defuse(unit, cfg, effects)
+    inherited = dict(config.inherited_constants or {})
+    # User value assertions ("assert n == 64") act as inherited constants:
+    # the paper's "partial evaluation" prong of the symbolics programme.
+    asserted = getattr(oracle, "constants", None)
+    if callable(asserted):
+        for name, value in asserted().items():
+            inherited.setdefault(name, value)
+    constants = propagate_constants(
+        unit, cfg, effects, inherited
+    ) if config.use_constants else ConstantMap()
+    loops = collect_loops(unit)
+    table: SymbolTable = unit.symtab  # type: ignore[assignment]
+
+    graph = DependenceGraph()
+    tester = DependenceTester(table, oracle)
+    builder = _GraphBuilder(
+        unit, cfg, defuse, constants, loops, graph, tester, config
+    )
+    pair_results = builder.build()
+
+    loop_info: Dict[int, LoopInfo] = {}
+    for nest in loops:
+        loop_info[nest.loop.sid] = _loop_verdict(
+            nest, unit, graph, defuse, config, effects, table
+        )
+
+    return UnitAnalysis(
+        unit, cfg, defuse, constants, loops, graph, loop_info, tester, pair_results
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+
+class _GraphBuilder:
+    def __init__(self, unit, cfg, defuse, constants, loops, graph, tester, config):
+        self.unit = unit
+        self.cfg = cfg
+        self.defuse = defuse
+        self.constants = constants
+        self.loops = loops
+        self.graph = graph
+        self.tester = tester
+        self.config = config
+        self.table: SymbolTable = unit.symtab
+        self.effects = config.resolved_effects()
+        self.oracle = config.resolved_oracle()
+        self._seen_scalar: Set[Tuple] = set()
+        # Idioms per loop, used to annotate (not suppress) edges.
+        self.reduction_vars: Dict[int, Set[str]] = {}
+        self.induction_vars: Dict[int, Set[str]] = {}
+        for nest in loops:
+            loop = nest.loop
+            if config.use_reductions:
+                self.reduction_vars[loop.sid] = {
+                    r.var for r in find_reductions(loop, self.table, self.effects)
+                }
+            else:
+                self.reduction_vars[loop.sid] = set()
+            if config.use_inductions:
+                self.induction_vars[loop.sid] = {
+                    iv.name
+                    for iv in auxiliary_inductions(loop, self.table, self.effects)
+                }
+            else:
+                self.induction_vars[loop.sid] = set()
+
+    # -- bounds ----------------------------------------------------------
+
+    def loop_bound(self, loop: DoLoop) -> LoopBound:
+        env = self.constants.linear_env(loop.sid)
+        lo_lin = linear_of_expr(loop.start, self.table, env)
+        hi_lin = linear_of_expr(loop.end, self.table, env)
+        lo = _lin_to_float(lo_lin, self.oracle, want_low=True)
+        hi = _lin_to_float(hi_lin, self.oracle, want_low=False)
+        return LoopBound(loop.var, lo, hi)
+
+    def bounds_for(self, nest: Sequence[DoLoop]) -> List[LoopBound]:
+        return [self.loop_bound(loop) for loop in nest]
+
+    # -- array dependences --------------------------------------------------
+
+    def build(self) -> List[PairResult]:
+        refs = collect_refs(self.unit, self.config.section_provider)
+        by_array: Dict[str, List[ArrayAccess]] = {}
+        for r in refs:
+            by_array.setdefault(r.array, []).append(r)
+
+        results: List[PairResult] = []
+        for array, accs in sorted(by_array.items()):
+            for i in range(len(accs)):
+                for j in range(i, len(accs)):
+                    a, b = accs[i], accs[j]
+                    if not a.is_write and not b.is_write:
+                        if not self.config.input_deps:
+                            continue
+                    if i == j:
+                        # A single access only matters against itself when
+                        # it can recur across iterations (write in a loop).
+                        if not a.nest or not a.is_write:
+                            continue
+                    results.append(self._test_and_add(array, a, b))
+        self._scalar_dependences()
+        self._procedure_scalar_deps()
+        if self.config.control_deps:
+            for a, c in control_dependences(self.cfg):
+                sa = self.cfg.stmts[a]
+                sc = self.cfg.stmts[c]
+                self.graph.add(
+                    CONTROL,
+                    "",
+                    a,
+                    c,
+                    (),
+                    0,
+                    marking=PROVEN,
+                    src_line=sa.line,
+                    dst_line=sc.line,
+                )
+        return results
+
+    def _test_and_add(
+        self, array: str, a: ArrayAccess, b: ArrayAccess
+    ) -> PairResult:
+        common = a.common_nest(b)
+        bounds = self.bounds_for(common)
+        env = self.constants.linear_env(a.sid)
+        self.tester.env = env
+        result = self.tester.test_pair(a, b, bounds)
+        nest_sids = tuple(loop.sid for loop in common)
+        for vr in result.vectors:
+            self._add_vector_edge(array, a, b, vr.vector, vr.proven, vr.test, common, nest_sids)
+        return result
+
+    def _add_vector_edge(
+        self,
+        array: str,
+        a: ArrayAccess,
+        b: ArrayAccess,
+        vector: Tuple[object, ...],
+        proven: bool,
+        test: str,
+        common: Tuple[DoLoop, ...],
+        nest_sids: Tuple[int, ...],
+    ) -> None:
+        level = _first_nonequal_level(vector)
+        if level is None:
+            # Loop-independent: direction = execution order inside the
+            # iteration. Self-pairs (same statement) carry no information.
+            if a.sid == b.sid:
+                return
+            src, snk = (a, b) if a.sid < b.sid else (b, a)
+            vec = vector
+        else:
+            elem = vector[level - 1]
+            backwards = (isinstance(elem, int) and elem < 0) or elem == GT
+            if backwards:
+                src, snk = b, a
+                vec = _reverse_vector(vector)
+            else:
+                src, snk = a, b
+                vec = vector
+        kind = _dep_kind(src.is_write, snk.is_write)
+        reason = self._idiom_reason(array, common)
+        self.graph.add(
+            kind,
+            array,
+            src.sid,
+            snk.sid,
+            vec,
+            level or 0,
+            marking=PROVEN if proven else PENDING,
+            test=test,
+            src_line=src.line or src.stmt.line,
+            dst_line=snk.line or snk.stmt.line,
+            reason=reason,
+            nest_sids=nest_sids,
+        )
+
+    def _idiom_reason(self, var: str, common: Tuple[DoLoop, ...]) -> str:
+        return ""  # arrays are never reduction/induction idioms here
+
+    # -- scalar dependences ---------------------------------------------------
+
+    def _scalar_dependences(self) -> None:
+        from ..analysis.kill import killed_scalars
+
+        for nest in self.loops:
+            loop = nest.loop
+            body_stmts = list(walk_statements(loop.body))
+            body_sids = {st.sid for st in body_stmts}
+            defs_by_var: Dict[str, List[Stmt]] = {}
+            uses_by_var: Dict[str, List[Stmt]] = {}
+            for st in body_stmts:
+                # May-defs matter too: a CALL that may modify a scalar
+                # creates (pending) cross-iteration dependences — the very
+                # imprecision interprocedural MOD/REF analysis removes.
+                for v in self.defuse.may_defs.get(st.sid, ()):
+                    if not self.table.ensure(v).is_array:
+                        defs_by_var.setdefault(v, []).append(st)
+                for v in self.defuse.uses.get(st.sid, ()):  # uses
+                    if not self.table.ensure(v).is_array:
+                        uses_by_var.setdefault(v, []).append(st)
+            killed = (
+                killed_scalars(loop, self.table, self.effects)
+                if self.config.use_kill
+                else set()
+            )
+            nest_loops = nest.parents + (loop,)
+            nest_sids = tuple(x.sid for x in nest_loops)
+            level = len(nest_loops)  # carried at this loop's level
+            for var, def_sites in sorted(defs_by_var.items()):
+                if var == loop.var:
+                    continue
+                use_sites = uses_by_var.get(var, [])
+                reason = ""
+                if var in self.reduction_vars[loop.sid]:
+                    reason = "reduction"
+                elif var in self.induction_vars[loop.sid]:
+                    reason = "induction"
+                if var in killed and not reason:
+                    # Same-iteration flow only; no carried dependence, but
+                    # privatization is required before parallelization —
+                    # recorded via LoopInfo.privatizable.
+                    continue
+                vec = tuple([EQ] * (level - 1) + [LT])
+                for d in def_sites:
+                    for u in use_sites:
+                        self._add_scalar_edge(FLOW, var, d, u, vec, level, nest_sids, reason)
+                    for d2 in def_sites:
+                        if d2.sid >= d.sid:
+                            self._add_scalar_edge(
+                                OUTPUT, var, d, d2, vec, level, nest_sids, reason
+                            )
+                for u in use_sites:
+                    for d in def_sites:
+                        self._add_scalar_edge(ANTI, var, u, d, vec, level, nest_sids, reason)
+
+    def _procedure_scalar_deps(self) -> None:
+        """Loop-independent scalar dependences across the procedure.
+
+        Flow edges come from def-use chains; anti and output edges from
+        textual def ordering.  These never block parallelization (level 0)
+        but they are what the dependence pane shows between straight-line
+        statements, and what statement interchange / distribution must
+        respect.  Very heavily used scalars are capped to keep the graph
+        readable (the pane filters would drown anyway).
+        """
+
+        from ..analysis.cfg import ENTRY
+
+        cap = 24
+        defs_by_var: Dict[str, List[int]] = {}
+        uses_by_var: Dict[str, List[int]] = {}
+        for sid in self.cfg.stmts:
+            for v in self.defuse.must_defs.get(sid, ()):  # must defs only
+                if not self.table.ensure(v).is_array:
+                    defs_by_var.setdefault(v, []).append(sid)
+            for v in self.defuse.uses.get(sid, ()):  # uses
+                if not self.table.ensure(v).is_array:
+                    uses_by_var.setdefault(v, []).append(sid)
+        for sid, chains in self.defuse.ud.items():
+            for var, def_sites in chains.items():
+                if self.table.ensure(var).is_array:
+                    continue
+                if len(defs_by_var.get(var, [])) + len(
+                    uses_by_var.get(var, [])
+                ) > cap:
+                    continue
+                for d in def_sites:
+                    if d == ENTRY or d == sid:
+                        continue
+                    self._add_scalar_edge(
+                        FLOW,
+                        var,
+                        self.cfg.stmts[d],
+                        self.cfg.stmts[sid],
+                        (),
+                        0,
+                        (),
+                        "",
+                    )
+        for var, defs in defs_by_var.items():
+            if len(defs) + len(uses_by_var.get(var, [])) > cap:
+                continue
+            for u_sid in uses_by_var.get(var, []):
+                for d_sid in defs:
+                    if d_sid > u_sid:
+                        self._add_scalar_edge(
+                            ANTI,
+                            var,
+                            self.cfg.stmts[u_sid],
+                            self.cfg.stmts[d_sid],
+                            (),
+                            0,
+                            (),
+                            "",
+                        )
+            for d1 in defs:
+                for d2 in defs:
+                    if d2 > d1:
+                        self._add_scalar_edge(
+                            OUTPUT,
+                            var,
+                            self.cfg.stmts[d1],
+                            self.cfg.stmts[d2],
+                            (),
+                            0,
+                            (),
+                            "",
+                        )
+
+    def _add_scalar_edge(self, kind, var, src, dst, vec, level, nest_sids, reason):
+        key = (kind, var, src.sid, dst.sid, level)
+        if key in self._seen_scalar:
+            return
+        self._seen_scalar.add(key)
+        self.graph.add(
+            kind,
+            var,
+            src.sid,
+            dst.sid,
+            vec,
+            level,
+            marking=PENDING,
+            test="scalar",
+            src_line=src.line,
+            dst_line=dst.line,
+            reason=reason,
+            nest_sids=nest_sids,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Loop verdicts
+# ---------------------------------------------------------------------------
+
+
+def _loop_verdict(
+    nest: LoopNest,
+    unit: ProcedureUnit,
+    graph: DependenceGraph,
+    defuse: DefUse,
+    config: AnalysisConfig,
+    effects: SideEffects,
+    table: SymbolTable,
+) -> LoopInfo:
+    loop = nest.loop
+    info = LoopInfo(nest)
+    info.carried = graph.carried_by(loop)
+    if config.use_kill:
+        info.privatizable = privatizable_scalars(loop, unit, defuse, effects)
+    if config.privatizable_arrays_fn is not None:
+        candidates = set(
+            config.privatizable_arrays_fn(loop, unit)  # type: ignore[operator]
+        )
+        # A privatized array that is live after the loop would need a
+        # last-value copy-out; without one, permuting iterations changes
+        # the final contents.  Only discount arrays dead on the loop's
+        # *exit edge* (array element defs never kill in liveness, so the
+        # header's merged live-out would wrongly include body uses).
+        body_sids = {st.sid for st in walk_statements(loop.body)}
+        live_after: Set[str] = set()
+        for succ in defuse.cfg.succ.get(loop.sid, ()):
+            if succ not in body_sids:
+                live_after |= set(defuse.live_in.get(succ, frozenset()))
+        info.privatizable_arrays = {
+            v for v in candidates if v not in live_after
+        }
+    if config.use_reductions:
+        info.reductions = find_reductions(loop, table, effects)
+    if config.use_inductions:
+        info.inductions = auxiliary_inductions(loop, table, effects)
+
+    obstacles: List[str] = []
+    blocking = [
+        d
+        for d in info.carried
+        if d.blocks_parallelization
+        and not d.reason
+        and d.var not in info.privatizable_arrays
+    ]
+    for dep in blocking:
+        status = "proven" if dep.marking == "proven" else dep.marking
+        obstacles.append(
+            f"loop-carried {dep.kind} dependence on {dep.var} "
+            f"{dep.vector_str()} [{status}]"
+        )
+    discounted = [d for d in info.carried if d.reason and d.blocks_parallelization]
+    del discounted
+
+    for st in walk_statements(loop.body):
+        if isinstance(st, IOStmt):
+            obstacles.append(f"I/O statement at line {st.line}")
+        elif isinstance(st, (ReturnStmt, StopStmt)):
+            obstacles.append(f"premature exit at line {st.line}")
+        elif isinstance(st, GotoStmt):
+            body_sids = {s.sid for s in walk_statements(loop.body)}
+            target_sid = _label_target(unit, st.target)
+            if target_sid is None or target_sid not in body_sids:
+                obstacles.append(f"branch out of loop at line {st.line}")
+
+    info.obstacles = obstacles
+    info.parallelizable = not obstacles
+    return info
+
+
+def _label_target(unit: ProcedureUnit, label: int) -> Optional[int]:
+    for st in walk_statements(unit.body):
+        if st.label == label:
+            return st.sid
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _lin_to_float(lin: Linear, oracle: Oracle, want_low: bool) -> float:
+    value = lin.constant_value()
+    if value is not None:
+        return float(value)
+    lo, hi = oracle.range_of(lin)
+    return lo if want_low else hi
+
+
+def _first_nonequal_level(vector: Tuple[object, ...]) -> Optional[int]:
+    for k, elem in enumerate(vector):
+        if isinstance(elem, int):
+            if elem != 0:
+                return k + 1
+        elif elem != EQ:
+            return k + 1
+    return None
+
+
+def _reverse_vector(vector: Tuple[object, ...]) -> Tuple[object, ...]:
+    out: List[object] = []
+    for elem in vector:
+        if isinstance(elem, int):
+            out.append(-elem)
+        elif elem == LT:
+            out.append(GT)
+        elif elem == GT:
+            out.append(LT)
+        else:
+            out.append(elem)
+    return tuple(out)
+
+
+def _dep_kind(src_write: bool, snk_write: bool) -> str:
+    if src_write and snk_write:
+        return OUTPUT
+    if src_write:
+        return FLOW
+    if snk_write:
+        return ANTI
+    return INPUT

@@ -1,0 +1,188 @@
+"""The dependence graph: typed, levelled edges between statements.
+
+Edge *types* follow the classic taxonomy: flow (true), anti, output and
+input data dependences plus control dependences.  Every edge carries a
+hybrid direction/distance vector over the common loop nest and a *marking*
+used by the editor: ``proven`` (established by an exact test), ``pending``
+(assumed because no test disproved it), or a user marking ``accepted`` /
+``rejected`` applied through the dependence pane.  Rejected edges are kept
+— Ped never forgets a user decision, it only filters — but they no longer
+inhibit parallelization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..fortran.ast_nodes import DoLoop
+
+FLOW = "true"
+ANTI = "anti"
+OUTPUT = "output"
+INPUT = "input"
+CONTROL = "control"
+
+PROVEN = "proven"
+PENDING = "pending"
+ACCEPTED = "accepted"
+REJECTED = "rejected"
+
+#: Vector element: an int distance, or one of '<', '=', '>', '*'.
+VecElem = object
+
+
+@dataclass
+class Dependence:
+    """One dependence edge.
+
+    ``vector`` is the hybrid distance/direction vector over the common
+    nest, outermost first — ints where the distance is exact, direction
+    symbols otherwise.  ``level`` is the 1-based carrying level within the
+    common nest, or 0 for loop-independent edges.  ``var`` is the array or
+    scalar the dependence flows through.
+    """
+
+    id: int
+    kind: str
+    var: str
+    src_sid: int
+    dst_sid: int
+    vector: Tuple[VecElem, ...]
+    level: int
+    marking: str = PENDING
+    test: str = ""
+    src_line: int = 0
+    dst_line: int = 0
+    reason: str = ""
+    #: sids of the common-nest DO loops, outermost first; vector[k] and
+    #: level refer to positions in this tuple.
+    nest_sids: Tuple[int, ...] = ()
+
+    @property
+    def loop_carried(self) -> bool:
+        return self.level > 0
+
+    def carrier_sid(self) -> Optional[int]:
+        """sid of the loop carrying this dependence (None if independent)."""
+
+        if self.level > 0 and self.level <= len(self.nest_sids):
+            return self.nest_sids[self.level - 1]
+        return None
+
+    @property
+    def loop_independent(self) -> bool:
+        return self.level == 0
+
+    def distance_at(self, level: int) -> Optional[int]:
+        if 1 <= level <= len(self.vector):
+            elem = self.vector[level - 1]
+            if isinstance(elem, int):
+                return elem
+        return None
+
+    def direction_at(self, level: int) -> str:
+        if 1 <= level <= len(self.vector):
+            elem = self.vector[level - 1]
+            if isinstance(elem, int):
+                if elem > 0:
+                    return "<"
+                if elem < 0:
+                    return ">"
+                return "="
+            return str(elem)
+        return "*"
+
+    @property
+    def blocks_parallelization(self) -> bool:
+        """A rejected edge no longer constrains the loop."""
+
+        return self.marking != REJECTED
+
+    def vector_str(self) -> str:
+        parts = []
+        for elem in self.vector:
+            parts.append(str(elem) if isinstance(elem, int) else str(elem))
+        return "(" + ",".join(parts) + ")" if parts else "()"
+
+
+@dataclass
+class DependenceGraph:
+    """All dependence edges of one procedure."""
+
+    edges: List[Dependence] = field(default_factory=list)
+    _ids: count = field(default_factory=count)
+    by_src: Dict[int, List[Dependence]] = field(default_factory=dict)
+    by_dst: Dict[int, List[Dependence]] = field(default_factory=dict)
+
+    def add(
+        self,
+        kind: str,
+        var: str,
+        src_sid: int,
+        dst_sid: int,
+        vector: Tuple[VecElem, ...],
+        level: int,
+        marking: str = PENDING,
+        test: str = "",
+        src_line: int = 0,
+        dst_line: int = 0,
+        reason: str = "",
+        nest_sids: Tuple[int, ...] = (),
+    ) -> Dependence:
+        dep = Dependence(
+            next(self._ids),
+            kind,
+            var,
+            src_sid,
+            dst_sid,
+            vector,
+            level,
+            marking,
+            test,
+            src_line,
+            dst_line,
+            reason,
+            nest_sids,
+        )
+        self.edges.append(dep)
+        self.by_src.setdefault(src_sid, []).append(dep)
+        self.by_dst.setdefault(dst_sid, []).append(dep)
+        return dep
+
+    def find(self, dep_id: int) -> Dependence:
+        for dep in self.edges:
+            if dep.id == dep_id:
+                return dep
+        raise KeyError(dep_id)
+
+    def data_edges(self) -> List[Dependence]:
+        return [d for d in self.edges if d.kind != CONTROL]
+
+    def edges_within(self, sids: Iterable[int]) -> List[Dependence]:
+        """Edges with both endpoints inside the given statement set."""
+
+        sid_set = set(sids)
+        return [
+            d for d in self.edges if d.src_sid in sid_set and d.dst_sid in sid_set
+        ]
+
+    def carried_by(self, loop: DoLoop) -> List[Dependence]:
+        """Data dependences carried by ``loop`` (via ``nest_sids``)."""
+
+        return [
+            d
+            for d in self.edges
+            if d.kind != CONTROL and d.carrier_sid() == loop.sid
+        ]
+
+    def at_loop(self, loop: DoLoop, body_sids) -> List[Dependence]:
+        """All edges whose endpoints both lie in ``loop``'s body."""
+
+        sid_set = set(body_sids)
+        return [
+            d
+            for d in self.edges
+            if d.src_sid in sid_set and d.dst_sid in sid_set
+        ]

@@ -1,0 +1,215 @@
+"""Subscript extraction and ZIV/SIV/MIV classification.
+
+For a pair of accesses to the same array, each subscript position yields a
+:class:`SubscriptPair` carrying both sides as affine forms over the common
+loop index variables.  The classification drives the test hierarchy:
+
+* ``ZIV``  — neither side mentions a common index variable;
+* ``SIV``  — exactly one common index variable occurs (on either side);
+* ``MIV``  — more than one index variable occurs;
+* ``RANGE``/``FULL`` — one side is a call-site section dimension (a range
+  of elements, or an unbounded whole-dimension touch).
+
+Nonlinear subscripts (index arrays like ``a(ip(j))``, products of index
+variables) cannot be put in affine form; they classify as ``NONLINEAR``
+and force conservative MAYBE results unless a user assertion removes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fortran.ast_nodes import Expr
+from ..fortran.symbols import SymbolTable
+from ..analysis.symbolic import Env, Linear, affine
+from .references import ArrayAccess, SectionDim
+
+ZIV = "ZIV"
+SIV = "SIV"
+MIV = "MIV"
+RANGE = "RANGE"
+FULL = "FULL"
+NONLINEAR = "NONLINEAR"
+
+
+@dataclass
+class AffineSub:
+    """One side of a subscript position in affine form."""
+
+    coeffs: Dict[str, int]
+    rem: Linear
+
+    def vars_used(self) -> Tuple[str, ...]:
+        return tuple(v for v, c in self.coeffs.items() if c != 0)
+
+
+@dataclass
+class RangeSub:
+    """A section dimension: inclusive range [lo, hi], or full dimension."""
+
+    lo: Optional[AffineSub]
+    hi: Optional[AffineSub]
+    full: bool = False
+
+
+@dataclass
+class SubscriptPair:
+    """One subscript position of an access pair, classified for testing."""
+
+    kind: str
+    position: int
+    src: Optional[AffineSub] = None
+    snk: Optional[AffineSub] = None
+    src_range: Optional[RangeSub] = None
+    snk_range: Optional[RangeSub] = None
+
+    def index_vars(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for side in (self.src, self.snk):
+            if side is not None:
+                for v in side.vars_used():
+                    if v not in seen:
+                        seen.append(v)
+        return tuple(seen)
+
+
+def _affine_side(
+    expr: Expr,
+    index_vars: Sequence[str],
+    table: Optional[SymbolTable],
+    env: Optional[Env],
+) -> Optional[AffineSub]:
+    got = affine(expr, index_vars, table, env)
+    if got is None:
+        return None
+    coeffs, rem = got
+    return AffineSub(coeffs, rem)
+
+
+def _range_side(
+    dim: SectionDim,
+    index_vars: Sequence[str],
+    table: Optional[SymbolTable],
+    env: Optional[Env],
+) -> Optional[RangeSub]:
+    if dim.full:
+        return RangeSub(None, None, True)
+    lo = _affine_side(dim.lo, index_vars, table, env) if dim.lo is not None else None
+    hi = _affine_side(dim.hi, index_vars, table, env) if dim.hi is not None else None
+    if lo is None or hi is None:
+        return RangeSub(None, None, True)  # unanalyzable -> treat as full
+    return RangeSub(lo, hi, False)
+
+
+def pair_subscripts(
+    src: ArrayAccess,
+    snk: ArrayAccess,
+    index_vars: Sequence[str],
+    table: Optional[SymbolTable] = None,
+    env: Optional[Env] = None,
+    oracle=None,
+) -> List[SubscriptPair]:
+    """Build the classified :class:`SubscriptPair` list for an access pair.
+
+    ``index_vars`` are the common-nest induction variables (outer to
+    inner).  Ranks are padded with FULL dimensions when they disagree
+    (e.g. a whole-array actual of different declared shape).  ``oracle``
+    enables looking *through* asserted-injective index arrays:
+    ``a(ip(i))`` vs ``a(ip(j))`` reduces to testing ``ip``'s arguments.
+    """
+
+    src_dims = _dims_of(src)
+    snk_dims = _dims_of(snk)
+    n = max(len(src_dims), len(snk_dims))
+    pairs: List[SubscriptPair] = []
+    for pos in range(n):
+        s = src_dims[pos] if pos < len(src_dims) else None
+        t = snk_dims[pos] if pos < len(snk_dims) else None
+        s, t = _look_through_injective(s, t, oracle)
+        pairs.append(classify_pair(pos, s, t, index_vars, table, env))
+    return pairs
+
+
+def _look_through_injective(src_dim, snk_dim, oracle):
+    """Replace ``ip(e1)`` vs ``ip(e2)`` by ``e1`` vs ``e2`` when ``ip`` is
+    asserted injective: distinct arguments then imply distinct values, so
+    the element test on the arguments is exact."""
+
+    if oracle is None or src_dim is None or snk_dim is None:
+        return src_dim, snk_dim
+    from ..fortran.ast_nodes import ArrayRef as _AR
+
+    sk, sv = src_dim
+    tk, tv = snk_dim
+    if (
+        sk == "expr"
+        and tk == "expr"
+        and isinstance(sv, _AR)
+        and isinstance(tv, _AR)
+        and sv.name == tv.name
+        and len(sv.subs) == 1
+        and len(tv.subs) == 1
+        and oracle.injective(sv.name)
+    ):
+        return ("expr", sv.subs[0]), ("expr", tv.subs[0])
+    return src_dim, snk_dim
+
+
+def _dims_of(acc: ArrayAccess):
+    if acc.subs is not None:
+        return [("expr", e) for e in acc.subs]
+    return [("dim", d) for d in (acc.section or [])]
+
+
+def classify_pair(
+    position: int,
+    src_dim,
+    snk_dim,
+    index_vars: Sequence[str],
+    table: Optional[SymbolTable],
+    env: Optional[Env],
+) -> SubscriptPair:
+    """Classify one subscript position of an access pair."""
+
+    if src_dim is None or snk_dim is None:
+        return SubscriptPair(FULL, position)
+
+    def build(dim):
+        kind, payload = dim
+        if kind == "expr":
+            side = _affine_side(payload, index_vars, table, env)
+            return ("point", side)
+        d: SectionDim = payload
+        if d.is_point:
+            side = _affine_side(d.lo, index_vars, table, env)
+            return ("point", side)
+        return ("range", _range_side(d, index_vars, table, env))
+
+    src_kind, src_val = build(src_dim)
+    snk_kind, snk_val = build(snk_dim)
+
+    if src_kind == "point" and snk_kind == "point":
+        if src_val is None or snk_val is None:
+            return SubscriptPair(NONLINEAR, position)
+        pair = SubscriptPair(ZIV, position, src=src_val, snk=snk_val)
+        nvars = len(pair.index_vars())
+        if nvars == 1:
+            pair.kind = SIV
+        elif nvars > 1:
+            pair.kind = MIV
+        return pair
+
+    # At least one range side.
+    def as_range(kind, val) -> RangeSub:
+        if kind == "range":
+            return val
+        if val is None:
+            return RangeSub(None, None, True)
+        return RangeSub(val, val, False)
+
+    src_r = as_range(src_kind, src_val)
+    snk_r = as_range(snk_kind, snk_val)
+    if src_r.full or snk_r.full:
+        return SubscriptPair(FULL, position, src_range=src_r, snk_range=snk_r)
+    return SubscriptPair(RANGE, position, src_range=src_r, snk_range=snk_r)

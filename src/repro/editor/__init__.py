@@ -1,0 +1,11 @@
+"""The ParaScope Editor: session state, panes, filtering, marking,
+variable classification, navigation, display and the command language."""
+
+from .marking import DepKey, MarkingStore  # noqa: F401
+from .filters import DependenceFilter, SourceFilter  # noqa: F401
+from .session import PedSession  # noqa: F401
+from .variables import VariableRow, classify_variables  # noqa: F401
+from .panes import dependence_pane, loop_pane, source_pane, variable_pane  # noqa: F401
+from .display import render_window  # noqa: F401
+from .commands import CommandInterpreter  # noqa: F401
+from .navigation import hottest_unparallelized, ranked_loops  # noqa: F401

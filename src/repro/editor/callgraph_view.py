@@ -1,0 +1,90 @@
+"""Call-graph views.
+
+"Several users wanted a graphical representation of the call graph,
+rather than the current textual presentation.  A visual program
+representation provides a much needed 'big picture' when working with a
+large or unfamiliar program."
+
+Two renderings:
+
+* :func:`ascii_tree` — an indented caller→callee tree rooted at the main
+  program (cycles and repeats are marked, not expanded), annotated with
+  each unit's loop verdict summary and estimated cost share;
+* :func:`to_dot` — Graphviz DOT text for real graphical display, nodes
+  coloured by parallelization state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..interproc.program import ProgramAnalysis
+
+
+def _unit_summary(pa: ProgramAnalysis, name: str) -> str:
+    ua = pa.units.get(name)
+    if ua is None:
+        return ""
+    total = len(ua.loops)
+    par = len(ua.parallel_loops())
+    if total == 0:
+        return "no loops"
+    return f"{par}/{total} loops parallelizable"
+
+
+def ascii_tree(pa: ProgramAnalysis, costs: Optional[Dict[str, float]] = None) -> str:
+    """Indented call tree with per-unit verdict annotations."""
+
+    cg = pa.callgraph
+    roots = cg.roots() or sorted(cg.units)
+    lines: List[str] = []
+
+    def visit(name: str, depth: int, path: Set[str]) -> None:
+        summary = _unit_summary(pa, name)
+        cost = ""
+        if costs and name in costs:
+            cost = f"  ~{costs[name]:.0f} cycles"
+        marker = ""
+        if name in path:
+            lines.append("  " * depth + f"{name} (recursive)")
+            return
+        lines.append("  " * depth + f"{name}  [{summary}]{cost}{marker}")
+        for callee in sorted(cg.callees.get(name, ())):
+            visit(callee, depth + 1, path | {name})
+
+    for root in roots:
+        visit(root, 0, set())
+    return "\n".join(lines)
+
+
+def to_dot(pa: ProgramAnalysis) -> str:
+    """Graphviz DOT rendering; green = all loops parallelizable, red =
+    none, yellow = mixed, grey = loopless."""
+
+    cg = pa.callgraph
+    lines = ["digraph callgraph {", "  rankdir=TB;", "  node [shape=box];"]
+    for name in sorted(cg.units):
+        ua = pa.units.get(name)
+        if ua is None or not ua.loops:
+            color = "lightgrey"
+        else:
+            par = len(ua.parallel_loops())
+            if par == len(ua.loops):
+                color = "palegreen"
+            elif par == 0:
+                color = "lightcoral"
+            else:
+                color = "khaki"
+        label = f"{name}\\n{_unit_summary(pa, name)}"
+        lines.append(
+            f'  "{name}" [label="{label}", style=filled, fillcolor={color}];'
+        )
+    seen = set()
+    for site in cg.sites:
+        key = (site.caller, site.callee)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(f'  "{site.caller}" -> "{site.callee}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""The Composition Editor: whole-program signature checking.
+
+"Another ParaScope tool, the Composition Editor, compares a procedure
+definition to calls invoking it, ensuring the parameter lists agree in
+number and type.  These types of errors exist in production codes because
+most compilers do not perform cross-procedure comparisons.  Several
+mismatched parameters between a procedure call and its declaration were
+detected and subsequently corrected using this analysis."
+
+:func:`check_composition` reports, for every call site whose callee is in
+the program:
+
+* **argument-count mismatches** (the classic production-code bug);
+* **type mismatches** between actual and formal (integer vs real, with
+  the usual implicit-typing rules applied);
+* **kind mismatches** — an array actual bound to a scalar formal or vice
+  versa (whole-array vs element actuals are both accepted for array
+  formals, matching Fortran linkage);
+* **COMMON block shape disagreements** between any two units declaring
+  the same block (member count or per-member scalar/array kind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    BinOp,
+    Expr,
+    FuncRef,
+    LogicalLit,
+    Num,
+    SourceFile,
+    Str,
+    UnOp,
+    VarRef,
+)
+from ..fortran.symbols import SymbolTable, implicit_type
+from ..interproc.callgraph import CallGraph, build_callgraph
+
+
+@dataclass
+class CompositionIssue:
+    """One cross-procedure inconsistency."""
+
+    kind: str  # arg-count | arg-type | arg-kind | common-shape
+    where: str  # "caller -> callee" or "unitA / unitB"
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"line {self.line}: [{self.kind}] {self.where}: {self.message}"
+
+
+def _expr_type(expr: Expr, table: SymbolTable) -> Optional[str]:
+    """Static type of an actual argument, or None when unknown."""
+
+    if isinstance(expr, Num):
+        return "integer" if isinstance(expr.value, int) else "real"
+    if isinstance(expr, Str):
+        return "character"
+    if isinstance(expr, LogicalLit):
+        return "logical"
+    if isinstance(expr, VarRef):
+        sym = table.get(expr.name)
+        return sym.typename if sym is not None else implicit_type(expr.name)
+    if isinstance(expr, ArrayRef):
+        sym = table.get(expr.name)
+        return sym.typename if sym is not None else implicit_type(expr.name)
+    if isinstance(expr, FuncRef):
+        sym = table.get(expr.name)
+        if sym is not None and sym.typename:
+            return sym.typename
+        return implicit_type(expr.name)
+    if isinstance(expr, UnOp):
+        return _expr_type(expr.operand, table)
+    if isinstance(expr, BinOp):
+        if expr.op in ("<", "<=", ">", ">=", "==", "/=", ".and.", ".or."):
+            return "logical"
+        left = _expr_type(expr.left, table)
+        right = _expr_type(expr.right, table)
+        if left == right:
+            return left
+        if "real" in (left, right) or "doubleprecision" in (left, right):
+            return "real"
+        return None
+    return None
+
+
+_NUMERIC = {"integer", "real", "doubleprecision"}
+
+
+def _types_conflict(actual: Optional[str], formal: Optional[str]) -> bool:
+    if actual is None or formal is None:
+        return False
+    if actual == formal:
+        return False
+    # double precision / real mixing is a precision bug, not linkage
+    # breakage; the Composition Editor flags integer/real confusion.
+    if {actual, formal} == {"real", "doubleprecision"}:
+        return False
+    return actual in _NUMERIC and formal in _NUMERIC or (
+        (actual in _NUMERIC) != (formal in _NUMERIC)
+    )
+
+
+def check_composition(sf: SourceFile, cg: Optional[CallGraph] = None) -> List[CompositionIssue]:
+    """Run all cross-procedure checks over a bound program."""
+
+    cg = cg or build_callgraph(sf)
+    issues: List[CompositionIssue] = []
+    issues.extend(_check_calls(sf, cg))
+    issues.extend(_check_commons(sf))
+    issues.sort(key=lambda i: (i.line, i.kind))
+    return issues
+
+
+def _check_calls(sf: SourceFile, cg: CallGraph) -> List[CompositionIssue]:
+    issues: List[CompositionIssue] = []
+    for site in cg.sites:
+        callee = cg.units[site.callee]
+        caller = cg.units[site.caller]
+        where = f"{site.caller} -> {site.callee}"
+        ct: SymbolTable = caller.symtab  # type: ignore[assignment]
+        et: SymbolTable = callee.symtab  # type: ignore[assignment]
+        if len(site.args) != len(callee.formals):
+            issues.append(
+                CompositionIssue(
+                    "arg-count",
+                    where,
+                    site.line,
+                    f"call passes {len(site.args)} argument(s), "
+                    f"{site.callee} declares {len(callee.formals)}",
+                )
+            )
+            continue
+        for idx, formal in enumerate(callee.formals):
+            fsym = et[formal]
+            actual = site.args[idx]
+            # Kind check: array vs scalar linkage.
+            actual_is_array = False
+            if isinstance(actual, VarRef):
+                asym = ct.get(actual.name)
+                actual_is_array = asym is not None and asym.is_array
+            if fsym.is_array and not actual_is_array:
+                if isinstance(actual, ArrayRef):
+                    pass  # element actual: legal array linkage
+                elif isinstance(actual, (Num, Str, LogicalLit, BinOp, UnOp, FuncRef)):
+                    issues.append(
+                        CompositionIssue(
+                            "arg-kind",
+                            where,
+                            site.line,
+                            f"argument {idx + 1}: expression passed for "
+                            f"array formal {formal}",
+                        )
+                    )
+                else:
+                    issues.append(
+                        CompositionIssue(
+                            "arg-kind",
+                            where,
+                            site.line,
+                            f"argument {idx + 1}: scalar passed for array "
+                            f"formal {formal}",
+                        )
+                    )
+            elif not fsym.is_array and actual_is_array:
+                issues.append(
+                    CompositionIssue(
+                        "arg-kind",
+                        where,
+                        site.line,
+                        f"argument {idx + 1}: whole array passed for "
+                        f"scalar formal {formal}",
+                    )
+                )
+            # Type check.
+            atype = _expr_type(actual, ct)
+            if _types_conflict(atype, fsym.typename):
+                issues.append(
+                    CompositionIssue(
+                        "arg-type",
+                        where,
+                        site.line,
+                        f"argument {idx + 1}: {atype} actual for "
+                        f"{fsym.typename} formal {formal}",
+                    )
+                )
+    return issues
+
+
+def _check_commons(sf: SourceFile) -> List[CompositionIssue]:
+    issues: List[CompositionIssue] = []
+    shapes: Dict[str, tuple] = {}  # block -> (unit, [(is_array)])
+    for unit in sf.units:
+        table: SymbolTable = unit.symtab  # type: ignore[assignment]
+        if table is None:
+            continue
+        for block, members in table.common_blocks.items():
+            shape = tuple(table[m].is_array for m in members)
+            seen = shapes.get(block)
+            if seen is None:
+                shapes[block] = (unit.name, shape)
+                continue
+            first_unit, first_shape = seen
+            if len(shape) != len(first_shape):
+                issues.append(
+                    CompositionIssue(
+                        "common-shape",
+                        f"{first_unit} / {unit.name}",
+                        unit.line,
+                        f"common /{block}/ has {len(first_shape)} member(s) "
+                        f"in {first_unit} but {len(shape)} in {unit.name}",
+                    )
+                )
+            elif shape != first_shape:
+                issues.append(
+                    CompositionIssue(
+                        "common-shape",
+                        f"{first_unit} / {unit.name}",
+                        unit.line,
+                        f"common /{block}/ member kinds differ between "
+                        f"{first_unit} and {unit.name}",
+                    )
+                )
+    return issues

@@ -1,0 +1,101 @@
+"""Deterministic text rendering of the Ped window (Figure 1).
+
+"The layout of a Ped window is shown in Figure 1.  The large area at the
+top is the source pane displaying the Fortran text"; below it sit the
+loop list, the dependence pane with the current filter, and the variable
+pane.  This module reproduces that layout as fixed-width text so the
+figure can be regenerated (bench F1) and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .panes import dependence_pane, loop_pane, source_pane, variable_pane
+from .session import PedSession
+
+_WIDTH = 78
+
+
+def _bar(title: str) -> str:
+    body = f"== {title} " if title else ""
+    return (body + "=" * _WIDTH)[:_WIDTH]
+
+
+def _clip(text: str) -> str:
+    return text[:_WIDTH]
+
+
+def render_window(session: PedSession, max_source: int = 24) -> str:
+    """Render the full Ped window for the current session state."""
+
+    lines: List[str] = []
+    lines.append(_bar(""))
+    title = f"ParaScope Editor -- {session.current_unit}"
+    lines.append(_clip(f"| {title:<{_WIDTH - 4}} |"))
+    menu = "[ edit ] [ view ] [ filter ] [ analyze ] [ transform ] [ undo ]"
+    lines.append(_clip(f"| {menu:<{_WIDTH - 4}} |"))
+    lines.append(_bar("source"))
+    src_rows = source_pane(session)
+    # Scroll the pane to keep the selection visible (progressive
+    # disclosure: the window centres on what the user is working on).
+    first_selected = next(
+        (i for i, row in enumerate(src_rows) if row.selected), None
+    )
+    start = 0
+    if first_selected is not None and first_selected >= max_source:
+        start = max(0, first_selected - max_source // 3)
+    shown = src_rows[start : start + max_source]
+    if start:
+        lines.append(_clip(f"   ... {start} earlier lines ..."))
+    for row in shown:
+        marker = ">" if row.selected else " "
+        par = "P" if row.parallel else " "
+        lines.append(_clip(f"{marker}{par}{row.lineno:>5} {row.text}"))
+    remaining = len(src_rows) - (start + len(shown))
+    if remaining > 0:
+        lines.append(_clip(f"   ... {remaining} more lines ..."))
+
+    lines.append(_bar("loops"))
+    for lrow in loop_pane(session):
+        sel = ">" if session.loop_index == lrow.index else " "
+        indent = "  " * (lrow.depth - 1)
+        lines.append(
+            _clip(
+                f"{sel} [{lrow.index}] {indent}{lrow.header:<24} "
+                f"line {lrow.line:<4} {lrow.verdict}"
+            )
+        )
+
+    flt = session.dep_filter.describe()
+    lines.append(_bar(f"dependences (filter: {flt})"))
+    dep_rows = dependence_pane(session)
+    if not dep_rows:
+        lines.append(_clip("  (none)"))
+    for drow in dep_rows[:16]:
+        note = f"  [{drow.note}]" if drow.note else ""
+        lines.append(
+            _clip(
+                f"  #{drow.dep_id:<3} {drow.kind:<7} {drow.var:<10} "
+                f"{drow.vector:<10} {drow.marking:<9} "
+                f"{drow.src_line:>4} -> {drow.dst_line:<4}{note}"
+            )
+        )
+    if len(dep_rows) > 16:
+        lines.append(_clip(f"  ... {len(dep_rows) - 16} more ..."))
+
+    lines.append(_bar("variables"))
+    var_rows = variable_pane(session)
+    if not var_rows:
+        lines.append(_clip("  (select a loop)"))
+    for vrow in var_rows[:12]:
+        star = "*" if vrow.user_override else " "
+        lines.append(
+            _clip(
+                f" {star}{vrow.name:<12} {vrow.classification:<10} {vrow.detail}"
+            )
+        )
+    lines.append(_bar(""))
+    if session.last_message:
+        lines.append(_clip(f"  {session.last_message}"))
+    return "\n".join(lines)

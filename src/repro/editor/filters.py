@@ -1,0 +1,113 @@
+"""View filtering.
+
+"View filtering emphasizes or conceals parts of the book as specified by
+a user."  Two filter kinds, matching the two panes that need them:
+
+* :class:`DependenceFilter` — restricts the dependence pane by edge type,
+  variable, marking and carried/independent status;
+* :class:`SourceFilter` — restricts the source pane by text match or to
+  loop headers only (the "show me the loop structure" view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..dependence.graph import Dependence
+
+
+@dataclass
+class DependenceFilter:
+    """Predicate over dependence edges; ``None`` fields mean "any"."""
+
+    kinds: Optional[Set[str]] = None  # {'true','anti','output','input','control'}
+    var: Optional[str] = None
+    markings: Optional[Set[str]] = None
+    carried_only: bool = False
+    independent_only: bool = False
+    hide_control: bool = True
+
+    def matches(self, dep: Dependence) -> bool:
+        if self.hide_control and dep.kind == "control" and (
+            self.kinds is None or "control" not in self.kinds
+        ):
+            return False
+        if self.kinds is not None and dep.kind not in self.kinds:
+            return False
+        if self.var is not None and dep.var != self.var.lower():
+            return False
+        if self.markings is not None and dep.marking not in self.markings:
+            return False
+        if self.carried_only and not dep.loop_carried:
+            return False
+        if self.independent_only and dep.loop_carried:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.kinds:
+            parts.append("type in {" + ",".join(sorted(self.kinds)) + "}")
+        if self.var:
+            parts.append(f"var={self.var}")
+        if self.markings:
+            parts.append("marking in {" + ",".join(sorted(self.markings)) + "}")
+        if self.carried_only:
+            parts.append("carried")
+        if self.independent_only:
+            parts.append("independent")
+        return " & ".join(parts) if parts else "all"
+
+    @staticmethod
+    def parse(spec: str) -> "DependenceFilter":
+        """Parse the command-language filter spec.
+
+        Examples: ``type=true,anti var=a marking=pending carried``.
+        """
+
+        f = DependenceFilter()
+        for token in spec.split():
+            low = token.lower()
+            if low.startswith("type="):
+                f.kinds = set(low[5:].split(","))
+            elif low.startswith("var="):
+                f.var = low[4:]
+            elif low.startswith("marking="):
+                f.markings = set(low[8:].split(","))
+            elif low == "carried":
+                f.carried_only = True
+            elif low == "independent":
+                f.independent_only = True
+            elif low == "control":
+                f.hide_control = False
+            elif low == "all":
+                f = DependenceFilter()
+            else:
+                raise ValueError(f"unknown filter token {token!r}")
+        return f
+
+
+@dataclass
+class SourceFilter:
+    """Predicate over source lines for the source pane."""
+
+    contains: Optional[str] = None
+    loops_only: bool = False
+
+    def matches(self, text: str) -> bool:
+        if self.loops_only:
+            stripped = text.strip().lower()
+            if not (stripped.startswith("do ") or stripped.startswith("end do")):
+                return False
+        if self.contains is not None and self.contains.lower() not in text.lower():
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.loops_only:
+            parts.append("loops")
+        if self.contains:
+            parts.append(f"contains {self.contains!r}")
+        return " & ".join(parts) if parts else "all"

@@ -1,0 +1,69 @@
+"""Performance-guided navigation.
+
+"Desirable functionality includes improved program navigation based on
+performance estimation" — the evaluation's headline interface request.
+These helpers rank a session's loops by estimated cost and point the user
+at the most profitable *unparallelized* loop, across procedures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..perf.estimator import PerformanceEstimator
+from ..perf.machine import MachineModel
+from .session import PedSession
+
+
+def ranked_loops(
+    session: PedSession, machine: Optional[MachineModel] = None
+) -> List[Tuple[float, str, int, object]]:
+    """All loops of the program ranked by estimated sequential cost.
+
+    Returns ``(cycles, unit_name, loop_index_in_unit, LoopNest)`` tuples,
+    costliest first.
+    """
+
+    est = PerformanceEstimator(machine or MachineModel())
+    est.compute_unit_costs(session.analysis)
+    ranked: List[Tuple[float, str, int, object]] = []
+    for name, ua in session.analysis.units.items():
+        for idx, nest in enumerate(ua.loops):
+            cost = est.loop_estimate(nest.loop, ua).sequential
+            ranked.append((cost, name, idx, nest))
+    ranked.sort(key=lambda item: -item[0])
+    return ranked
+
+
+def hottest_unparallelized(
+    session: PedSession, machine: Optional[MachineModel] = None
+) -> Optional[Tuple[float, str, int, object]]:
+    """The costliest loop that is not yet parallel — "look here next".
+
+    Loops already enclosed in a parallel loop don't count (their work is
+    covered); loops marked DOALL don't count either.
+    """
+
+    for cost, name, idx, nest in ranked_loops(session, machine):
+        loop = nest.loop
+        if loop.parallel:
+            continue
+        if any(parent.parallel for parent in nest.parents):
+            continue
+        return (cost, name, idx, nest)
+    return None
+
+
+def goto_hottest(session: PedSession) -> str:
+    """Move the session's selection to the hottest unparallelized loop."""
+
+    got = hottest_unparallelized(session)
+    if got is None:
+        return "every loop is already covered by a parallel loop"
+    cost, name, idx, nest = got
+    session.select_unit(name)
+    session.select_loop(idx)
+    return (
+        f"selected loop {nest.loop.var} (line {nest.loop.line}) in {name}: "
+        f"estimated {cost:.0f} cycles"
+    )

@@ -1,0 +1,127 @@
+"""Pane content builders — the book metaphor's structured views.
+
+Each function produces plain rows (lists of strings / dataclass rows)
+from the session state; :mod:`repro.editor.display` lays them out into
+the Ped window.  Keeping content and layout separate makes the panes
+testable without rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .session import PedSession
+from .variables import VariableRow, classify_variables
+
+
+@dataclass
+class SourceRow:
+    lineno: int
+    text: str
+    selected: bool = False
+    parallel: bool = False
+
+
+def source_pane(session: PedSession, context: int = 0) -> List[SourceRow]:
+    """Source lines (view-filtered) with the selected loop highlighted."""
+
+    loop = session.selected_loop
+    sel_range: Optional[Tuple[int, int]] = None
+    if loop is not None:
+        last = loop.line
+        from ..fortran.ast_nodes import walk_statements
+
+        for st in walk_statements([loop]):
+            last = max(last, st.line)
+        sel_range = (loop.line, last)
+    rows: List[SourceRow] = []
+    for i, text in enumerate(session.source.splitlines(), start=1):
+        if not session.src_filter.matches(text):
+            continue
+        selected = sel_range is not None and sel_range[0] <= i <= sel_range[1]
+        rows.append(
+            SourceRow(i, text.rstrip(), selected, "c$par doall" in text)
+        )
+    return rows
+
+
+@dataclass
+class LoopRow:
+    index: int
+    depth: int
+    header: str
+    line: int
+    parallel: bool
+    verdict: str  # "parallel" | "serial: <reason>" | "DOALL"
+
+
+def loop_pane(session: PedSession) -> List[LoopRow]:
+    """The loop list of the current unit with parallelization verdicts."""
+
+    rows: List[LoopRow] = []
+    ua = session.unit_analysis
+    for idx, nest in enumerate(ua.loops):
+        info = ua.loop_info[nest.loop.sid]
+        loop = nest.loop
+        if loop.parallel:
+            verdict = "DOALL"
+        elif info.parallelizable:
+            verdict = "parallelizable"
+        else:
+            first = info.obstacles[0] if info.obstacles else "?"
+            verdict = f"serial: {first}"
+        header = f"do {loop.var} = ..."
+        rows.append(
+            LoopRow(idx, nest.depth, header, loop.line, loop.parallel, verdict)
+        )
+    return rows
+
+
+@dataclass
+class DepRow:
+    dep_id: int
+    kind: str
+    var: str
+    vector: str
+    level: int
+    marking: str
+    src_line: int
+    dst_line: int
+    test: str
+    note: str
+
+
+def dependence_pane(session: PedSession) -> List[DepRow]:
+    """Dependence rows for the current selection, post-filter."""
+
+    rows: List[DepRow] = []
+    for dep in session.dependences():
+        rows.append(
+            DepRow(
+                dep.id,
+                dep.kind,
+                dep.var,
+                dep.vector_str(),
+                dep.level,
+                dep.marking,
+                dep.src_line,
+                dep.dst_line,
+                dep.test,
+                dep.reason,
+            )
+        )
+    rows.sort(key=lambda r: (r.kind != "true", r.var, r.dep_id))
+    return rows
+
+
+def variable_pane(session: PedSession) -> List[VariableRow]:
+    """Variable classification rows for the selected loop (or empty)."""
+
+    info = session.selected_info
+    if info is None:
+        return []
+    overrides = session.overrides.get(session.current_unit, {}).get(
+        session.loop_index or 0, {}
+    )
+    return classify_variables(info, session.unit.symtab, overrides)

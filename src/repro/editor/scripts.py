@@ -1,0 +1,73 @@
+"""Replayable user sessions.
+
+The workshop evaluation is a set of *user stories*: sequences of editor
+actions that took each application from serial to parallel.  This module
+replays them deterministically — the reproduction's substitute for human
+participants — and records full transcripts for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..interproc.program import FeatureSet
+from .commands import CommandInterpreter
+from .session import PedSession
+
+
+@dataclass
+class SessionTranscript:
+    """The full record of one replayed session."""
+
+    program: str
+    exchanges: List[Tuple[str, str]] = field(default_factory=list)
+    final_source: str = ""
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        out = [f"=== Ped session: {self.program} ==="]
+        for command, reply in self.exchanges:
+            out.append(f"ped> {command}")
+            if reply:
+                out.append(reply)
+        return "\n".join(out)
+
+
+def replay(
+    program_name: str,
+    features: Optional[FeatureSet] = None,
+    extra_commands: Optional[List[str]] = None,
+) -> Tuple[PedSession, SessionTranscript]:
+    """Replay a suite program's scripted session; returns the live session
+    and its transcript."""
+
+    from ..workloads.suite import get_program
+
+    prog = get_program(program_name)
+    session = PedSession(prog.source, features=features)
+    ped = CommandInterpreter(session)
+    transcript = SessionTranscript(prog.name)
+    for command in list(prog.script) + list(extra_commands or []):
+        reply = ped.execute(command)
+        transcript.exchanges.append((command, reply))
+        if reply.startswith("error:"):
+            transcript.errors.append(f"{command!r}: {reply}")
+    transcript.final_source = session.source
+    return session, transcript
+
+
+def replay_all(features: Optional[FeatureSet] = None) -> List[SessionTranscript]:
+    """Replay every suite session; returns the transcripts."""
+
+    from ..workloads.suite import SUITE
+
+    out = []
+    for name in SUITE:
+        _, transcript = replay(name, features)
+        out.append(transcript)
+    return out

@@ -1,0 +1,394 @@
+"""PedSession: the editor's model object.
+
+One session owns the program text and every piece of derived state — the
+bound AST, the whole-program analysis, per-unit assertion databases, the
+marking store, variable reclassifications, the current unit/loop
+selection and the pane filters — plus an undo stack of full snapshots.
+
+Every mutation (edit, transformation, assertion, reclassification) goes
+through :meth:`reanalyze`, mirroring Ped's behaviour of keeping analysis
+current with the program ("incremental parsing occurs in response to
+edits, and the user is immediately informed").  Our "incremental" unit is
+the procedure: the session re-analyzes the whole (small) program, which
+for these program sizes is well inside interactive latency — bench M2
+quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..assertions.engine import AssertionDB
+from ..dependence.driver import LoopInfo, UnitAnalysis
+from ..dependence.graph import Dependence
+from ..fortran.ast_nodes import DoLoop, ProcedureUnit, SourceFile
+from ..fortran.printer import to_source
+from ..fortran.symbols import parse_and_bind
+from ..interproc.program import FeatureSet, ProgramAnalysis, analyze_program
+from ..transform.base import Advice, TransformContext
+from ..transform.registry import get_transformation
+from .filters import DependenceFilter, SourceFilter
+from .marking import MarkingStore
+
+
+@dataclass
+class _Snapshot:
+    source: str
+    assertions: Dict[str, List[str]]
+    marks: Dict
+    overrides: Dict
+    unit: str
+    loop_index: Optional[int]
+
+
+class PedError(Exception):
+    """User-level session errors (bad selection, failed transformation…)."""
+
+
+class PedSession:
+    """An interactive ParaScope Editor session over one Fortran program."""
+
+    def __init__(
+        self,
+        source: str,
+        features: Optional[FeatureSet] = None,
+    ) -> None:
+        self.features = features or FeatureSet()
+        self.source = source
+        self.assertion_texts: Dict[str, List[str]] = {}
+        self.markings = MarkingStore()
+        #: (unit, loop_line-independent) variable reclassifications:
+        #: {unit: {loop_index: {var: class}}}
+        self.overrides: Dict[str, Dict[int, Dict[str, str]]] = {}
+        self.dep_filter = DependenceFilter()
+        self.src_filter = SourceFilter()
+        self.current_unit: str = ""
+        self.loop_index: Optional[int] = None
+        self._undo: List[_Snapshot] = []
+        self._redo: List[_Snapshot] = []
+        self.sf: SourceFile = None  # type: ignore[assignment]
+        self.analysis: ProgramAnalysis = None  # type: ignore[assignment]
+        self.last_message = ""
+        self.reanalyze()
+        if self.sf.units:
+            self.current_unit = self.sf.units[0].name
+
+    # ------------------------------------------------------------------
+    # analysis lifecycle
+    # ------------------------------------------------------------------
+
+    def reanalyze(self) -> None:
+        """(Re)parse and (re)analyze; re-apply markings and overrides."""
+
+        self.sf = parse_and_bind(self.source)
+        oracles = {}
+        for unit_name, texts in self.assertion_texts.items():
+            db = AssertionDB()
+            for t in texts:
+                db.add(t)
+            oracles[unit_name] = db
+        self.analysis = analyze_program(
+            self.sf, self.features, oracles_by_unit=oracles
+        )
+        for ua in self.analysis.units.values():
+            self.markings.apply(ua.graph)
+            self._apply_overrides(ua)
+            self._recompute_verdicts(ua)
+
+    def _apply_overrides(self, ua: UnitAnalysis) -> None:
+        per_unit = self.overrides.get(ua.unit.name, {})
+        for loop_idx, classes in per_unit.items():
+            if loop_idx >= len(ua.loops):
+                continue
+            loop = ua.loops[loop_idx].loop
+            for var, cls in classes.items():
+                if cls == "private":
+                    for dep in ua.graph.carried_by(loop):
+                        if dep.var == var and dep.marking != "proven":
+                            dep.marking = "rejected"
+
+    def _recompute_verdicts(self, ua: UnitAnalysis) -> None:
+        """Refresh per-loop verdicts after markings changed edge states."""
+
+        for info in ua.loop_info.values():
+            blocking = info.blocking_deps()
+            dep_obstacles = [
+                f"loop-carried {d.kind} dependence on {d.var} "
+                f"{d.vector_str()} [{d.marking}]"
+                for d in blocking
+            ]
+            other = [
+                o
+                for o in info.obstacles
+                if not o.startswith("loop-carried")
+            ]
+            info.obstacles = dep_obstacles + other
+            info.parallelizable = not info.obstacles
+
+    # ------------------------------------------------------------------
+    # selection & queries
+    # ------------------------------------------------------------------
+
+    @property
+    def unit(self) -> ProcedureUnit:
+        try:
+            return self.sf.unit(self.current_unit)
+        except KeyError:
+            raise PedError(f"no unit named {self.current_unit!r}")
+
+    @property
+    def unit_analysis(self) -> UnitAnalysis:
+        return self.analysis.unit(self.current_unit)
+
+    def select_unit(self, name: str) -> None:
+        name = name.lower()
+        if name not in self.analysis.units:
+            known = ", ".join(sorted(self.analysis.units))
+            raise PedError(f"unknown unit {name!r}; program units: {known}")
+        self.current_unit = name
+        self.loop_index = None
+
+    def loops(self) -> List:
+        return self.unit_analysis.loops
+
+    def select_loop(self, index: int) -> None:
+        loops = self.loops()
+        if not 0 <= index < len(loops):
+            raise PedError(
+                f"loop index {index} out of range (unit has {len(loops)} loops)"
+            )
+        self.loop_index = index
+
+    @property
+    def selected_loop(self) -> Optional[DoLoop]:
+        if self.loop_index is None:
+            return None
+        loops = self.loops()
+        if self.loop_index >= len(loops):
+            return None
+        return loops[self.loop_index].loop
+
+    @property
+    def selected_info(self) -> Optional[LoopInfo]:
+        loop = self.selected_loop
+        if loop is None:
+            return None
+        return self.unit_analysis.loop_info[loop.sid]
+
+    def dependences(self, unfiltered: bool = False) -> List[Dependence]:
+        """Dependence-pane contents for the current selection."""
+
+        ua = self.unit_analysis
+        loop = self.selected_loop
+        if loop is None:
+            edges = ua.graph.edges
+        else:
+            from ..fortran.ast_nodes import walk_statements
+
+            sids = {st.sid for st in walk_statements(loop.body)} | {loop.sid}
+            edges = [
+                d
+                for d in ua.graph.edges
+                if d.src_sid in sids and d.dst_sid in sids
+            ]
+        if unfiltered:
+            return list(edges)
+        return [d for d in edges if self.dep_filter.matches(d)]
+
+    def find_dependence(self, dep_id: int) -> Dependence:
+        try:
+            return self.unit_analysis.graph.find(dep_id)
+        except KeyError:
+            raise PedError(f"no dependence #{dep_id} in {self.current_unit}")
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def _current_snapshot(self) -> _Snapshot:
+        return _Snapshot(
+            self.source,
+            {k: list(v) for k, v in self.assertion_texts.items()},
+            self.markings.snapshot(),
+            {
+                u: {i: dict(c) for i, c in per.items()}
+                for u, per in self.overrides.items()
+            },
+            self.current_unit,
+            self.loop_index,
+        )
+
+    def _push_undo(self) -> None:
+        self._undo.append(self._current_snapshot())
+        self._redo.clear()
+
+    def _restore(self, snap: _Snapshot) -> None:
+        self.source = snap.source
+        self.assertion_texts = {k: list(v) for k, v in snap.assertions.items()}
+        self.markings.restore(snap.marks)
+        self.overrides = {
+            u: {i: dict(c) for i, c in per.items()}
+            for u, per in snap.overrides.items()
+        }
+        self.current_unit = snap.unit
+        self.loop_index = snap.loop_index
+        self.reanalyze()
+
+    def undo(self) -> None:
+        if not self._undo:
+            raise PedError("nothing to undo")
+        snap = self._undo.pop()
+        self._redo.append(self._current_snapshot())
+        self._restore(snap)
+
+    def redo(self) -> None:
+        if not self._redo:
+            raise PedError("nothing to redo")
+        snap = self._redo.pop()
+        self._undo.append(self._current_snapshot())
+        self._restore(snap)
+
+    def mark_dependence(self, dep_id: int, marking: str) -> str:
+        dep = self.find_dependence(dep_id)
+        self._push_undo()
+        from .marking import MarkingError
+
+        try:
+            self.markings.mark(dep, marking)
+        except MarkingError as exc:
+            self._undo.pop()
+            raise PedError(str(exc)) from exc
+        for ua in self.analysis.units.values():
+            self._recompute_verdicts(ua)
+        return f"dependence #{dep_id} on {dep.var} marked {marking}"
+
+    def add_assertion(self, text: str) -> str:
+        from ..assertions.facts import AssertionSyntaxError, parse_assertion
+
+        try:
+            parse_assertion(text)
+        except AssertionSyntaxError as exc:
+            raise PedError(str(exc)) from exc
+        self._push_undo()
+        self.assertion_texts.setdefault(self.current_unit, []).append(text)
+        self.reanalyze()
+        return f"assertion recorded for {self.current_unit}: {text}"
+
+    def reclassify(self, var: str, classification: str) -> str:
+        if classification not in ("private", "shared"):
+            raise PedError("reclassify supports 'private' or 'shared'")
+        if self.loop_index is None:
+            raise PedError("select a loop first")
+        self._push_undo()
+        per_unit = self.overrides.setdefault(self.current_unit, {})
+        classes = per_unit.setdefault(self.loop_index, {})
+        if classification == "shared":
+            classes.pop(var.lower(), None)
+        else:
+            classes[var.lower()] = classification
+        self.reanalyze()
+        return f"{var} reclassified as {classification}"
+
+    def diagnose(self, name: str, **kwargs) -> Advice:
+        """Power steering step 1: ask for advice without changing code."""
+
+        transform = get_transformation(name)
+        ctx = TransformContext(self.unit, self.unit_analysis, self.sf)
+        kwargs = self._resolve_selection(kwargs)
+        return transform.diagnose(ctx, **kwargs)
+
+    def apply(self, name: str, **kwargs) -> str:
+        """Power steering step 2: perform the transformation."""
+
+        from ..transform.base import TransformError
+
+        transform = get_transformation(name)
+        self._push_undo()
+        ctx = TransformContext(self.unit, self.unit_analysis, self.sf)
+        kwargs = self._resolve_selection(kwargs)
+        try:
+            summary = transform.apply(ctx, **kwargs)
+        except TransformError as exc:
+            self._undo.pop()
+            raise PedError(str(exc)) from exc
+        self.source = to_source(self.sf)
+        self.reanalyze()
+        self.last_message = summary
+        return summary
+
+    def _resolve_selection(self, kwargs: Dict) -> Dict:
+        """Fill the transformation's target from the session selection.
+
+        A ``line=N`` argument selects the statement at that source line
+        (a CALL becomes the ``call`` argument, anything else ``stmt``);
+        otherwise the selected loop is passed as ``loop``.
+        """
+
+        kwargs = dict(kwargs)
+        line = kwargs.pop("line", None)
+        if line is not None:
+            from ..fortran.ast_nodes import CallStmt, walk_statements
+
+            target = None
+            for st in walk_statements(self.unit.body):
+                if st.line == int(line):
+                    target = st
+                    break
+            if target is None:
+                raise PedError(f"no statement at line {line}")
+            if isinstance(target, CallStmt):
+                kwargs.setdefault("call", target)
+            elif isinstance(target, DoLoop):
+                kwargs.setdefault("loop", target)
+            else:
+                kwargs.setdefault("stmt", target)
+        if (
+            "loop" not in kwargs
+            and "call" not in kwargs
+            and "stmt" not in kwargs
+            and self.selected_loop is not None
+        ):
+            kwargs["loop"] = self.selected_loop
+        return kwargs
+
+    def edit(self, start_line: int, end_line: int, new_text: str) -> str:
+        """Replace source lines [start_line, end_line] (1-based, inclusive).
+
+        The session reparses immediately; syntax errors roll the edit back
+        and surface as :class:`PedError` — Ped's "the user is immediately
+        informed of any syntactic or semantic errors".
+        """
+
+        lines = self.source.splitlines()
+        if not (1 <= start_line <= end_line <= len(lines)):
+            raise PedError(
+                f"line range {start_line}-{end_line} outside 1-{len(lines)}"
+            )
+        self._push_undo()
+        new_lines = new_text.splitlines() if new_text else []
+        lines[start_line - 1 : end_line] = new_lines
+        old_source = self.source
+        self.source = "\n".join(lines) + "\n"
+        from ..fortran.errors import FortranError
+
+        try:
+            self.reanalyze()
+        except FortranError as exc:
+            self.source = old_source
+            self._undo.pop()
+            self.reanalyze()
+            raise PedError(f"edit rejected: {exc}") from exc
+        return f"replaced lines {start_line}-{end_line}"
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+
+    def parallel_summary(self) -> List[Tuple[str, int, int]]:
+        """(unit, parallel loops, total loops) triples."""
+
+        out = []
+        for name, ua in sorted(self.analysis.units.items()):
+            out.append((name, len(ua.parallel_loops()), len(ua.loops)))
+        return out

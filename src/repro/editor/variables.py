@@ -1,0 +1,98 @@
+"""The variable pane: per-loop classification of every variable.
+
+For the selected loop each variable is classified as the code generator
+would treat it: the loop **index**, **private** (killed every iteration),
+**reduction**, **induction**, or **shared** (with a note when shared
+accesses carry dependences).  Users may *reclassify* a variable —
+"users performed … variable reclassification to reflect their perception
+of the true program state" — which overrides the analysis verdict and
+rejects the corresponding dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..dependence.driver import LoopInfo
+from ..fortran.ast_nodes import walk_statements
+from ..fortran.symbols import SymbolTable
+
+
+@dataclass
+class VariableRow:
+    """One row of the variable pane."""
+
+    name: str
+    classification: str  # index | private | reduction | induction | shared
+    detail: str = ""
+    user_override: bool = False
+
+
+def classify_variables(
+    info: LoopInfo,
+    table: SymbolTable,
+    overrides: Optional[Dict[str, str]] = None,
+) -> List[VariableRow]:
+    """Classification rows for all variables referenced in the loop."""
+
+    overrides = overrides or {}
+    loop = info.loop
+    from ..analysis.defuse import stmt_defs, stmt_uses
+
+    mentioned: Set[str] = set()
+    for st in walk_statements(loop.body):
+        mentioned |= stmt_uses(st, table)
+        _, may = stmt_defs(st, table)
+        mentioned |= may
+    mentioned.add(loop.var)
+
+    privatizable = {p.name: p for p in info.privatizable}
+    reductions = {r.var: r for r in info.reductions}
+    inductions = {iv.name: iv for iv in info.inductions}
+    dep_vars: Dict[str, int] = {}
+    for d in info.carried:
+        if d.blocks_parallelization:
+            dep_vars[d.var] = dep_vars.get(d.var, 0) + 1
+
+    rows: List[VariableRow] = []
+    for name in sorted(mentioned):
+        sym = table.get(name)
+        if sym is not None and sym.storage == "parameter":
+            continue
+        override = overrides.get(name)
+        if override is not None:
+            rows.append(
+                VariableRow(name, override, "user reclassification", True)
+            )
+            continue
+        if name == loop.var:
+            rows.append(VariableRow(name, "index", "loop control variable"))
+        elif name in reductions:
+            red = reductions[name]
+            rows.append(
+                VariableRow(name, "reduction", f"{red.op}-reduction")
+            )
+        elif name in inductions:
+            rows.append(
+                VariableRow(
+                    name, "induction", f"step {inductions[name].step}"
+                )
+            )
+        elif name in privatizable:
+            detail = "killed every iteration"
+            if privatizable[name].needs_last_value:
+                detail += "; last value needed"
+            rows.append(VariableRow(name, "private", detail))
+        elif name in info.privatizable_arrays:
+            rows.append(
+                VariableRow(
+                    name, "private", "array killed every iteration"
+                )
+            )
+        else:
+            detail = ""
+            if name in dep_vars:
+                detail = f"{dep_vars[name]} carried dependence(s)"
+            rows.append(VariableRow(name, "shared", detail))
+    return rows

@@ -1,0 +1,14 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from .tables import (  # noqa: F401
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    format_table,
+    table1_suite,
+    table2_transformations,
+    table3_analysis,
+)
+from .figures import figure1_window, figure2_worked_examples  # noqa: F401
+from .speedup import speedup_table  # noqa: F401
+from .hierarchy_stats import dependence_test_stats  # noqa: F401

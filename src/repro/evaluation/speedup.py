@@ -1,0 +1,84 @@
+"""Experiment S1: simulated speedups of the parallelized suite.
+
+For every suite program: replay its Ped session, then simulate execution
+of the transformed program at several processor counts.  The shapes that
+must reproduce the paper's discussion:
+
+* parallelized programs speed up with processors, flattening from
+  fork/join overhead and serial residue (Amdahl);
+* *inner-loop* (fine-grain) parallelism is markedly worse than
+  outer-loop parallelism at equal correctness — the granularity story
+  told with spec77/gloop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..editor.commands import CommandInterpreter
+from ..editor.session import PedSession
+from ..fortran.ast_nodes import DoLoop, walk_statements
+from ..fortran.symbols import parse_and_bind
+from ..perf.machine import MachineModel
+from ..perf.simulate import simulate_speedup
+from ..workloads.suite import SUITE
+
+
+@dataclass
+class SpeedupRow:
+    name: str
+    speedups: List[Tuple[int, float]]  # (procs, speedup)
+
+
+def speedup_table(
+    names: Optional[Sequence[str]] = None,
+    procs: Sequence[int] = (1, 2, 4, 8),
+    machine: Optional[MachineModel] = None,
+) -> List[SpeedupRow]:
+    """Simulated speedups of each program after its Ped session."""
+
+    rows: List[SpeedupRow] = []
+    for name in names or SUITE:
+        prog = SUITE[name]
+        session = PedSession(prog.source)
+        ci = CommandInterpreter(session)
+        ci.run_script(prog.script)
+        speedups = []
+        for p in procs:
+            result = simulate_speedup(session.sf, p, machine)
+            speedups.append((p, result.speedup))
+        rows.append(SpeedupRow(name, speedups))
+    return rows
+
+
+def granularity_comparison(
+    procs: int = 8, machine: Optional[MachineModel] = None
+) -> Dict[str, float]:
+    """The gloop granularity experiment: outer- vs inner-loop parallelism.
+
+    Parallelizing the *column loop* in gloop (outer, interprocedural —
+    what sections analysis enables) is compared against parallelizing the
+    *inner loops inside each callee* (what a naive tool without
+    interprocedural analysis would offer).  Returns the two speedups; the
+    outer version must win by a wide margin.
+    """
+
+    prog = SUITE["spec77"]
+
+    # Outer: the Ped session (parallel gloop column loop).
+    session = PedSession(prog.source)
+    ci = CommandInterpreter(session)
+    ci.run_script(prog.script)
+    outer = simulate_speedup(session.sf, procs, machine).speedup
+
+    # Inner: parallelize every loop inside the column routines instead.
+    sf = parse_and_bind(prog.source)
+    for unit in sf.units:
+        if unit.name in ("spec77", "gloop"):
+            continue
+        for st in walk_statements(unit.body):
+            if isinstance(st, DoLoop):
+                st.parallel = True
+    inner = simulate_speedup(sf, procs, machine).speedup
+    return {"outer": outer, "inner": inner}

@@ -1,0 +1,228 @@
+"""Tables 1–3 of the experiences paper, regenerated over the synthetic
+suite.
+
+* **Table 1** — the program suite: name, domain, contributor, lines,
+  procedures.
+* **Table 2** — what it took to parallelize each program: the user
+  actions and transformations its scripted Ped session performed, and the
+  loops parallelized with Ped versus with the naive automatic baseline
+  (dependence testing alone, no interaction).
+* **Table 3** — analysis contribution: for each program, which analysis
+  capabilities are *required* for its key loops (turning the feature off
+  makes a key loop serial) — the reproduction of "the importance of
+  existing analysis and the need for additional analysis".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..editor.commands import CommandInterpreter
+from ..editor.session import PedSession
+from ..fortran.symbols import parse_and_bind
+from ..interproc.program import FeatureSet, analyze_program
+from ..workloads.suite import SUITE
+
+#: Table 3 columns, in paper order: the levers under evaluation.
+TABLE3_FEATURES = [
+    "modref",
+    "sections",
+    "ip_constants",
+    "scalar_kill",
+    "array_kill",
+    "reductions",
+]
+
+
+@dataclass
+class Table1Row:
+    name: str
+    domain: str
+    contributor: str
+    lines: int
+    procedures: int
+
+
+def table1_suite() -> List[Table1Row]:
+    """Regenerate Table 1 (the program suite)."""
+
+    rows = []
+    for prog in SUITE.values():
+        rows.append(
+            Table1Row(
+                prog.name, prog.domain, prog.contributor, prog.lines, prog.procedures
+            )
+        )
+    return rows
+
+
+@dataclass
+class Table2Row:
+    name: str
+    actions: List[str]  # user actions / transformations from the session
+    auto_parallel: int  # loops parallelizable with the naive baseline
+    ped_parallel: int  # loops parallelizable after the Ped session
+    total_loops: int
+
+
+_ACTION_COMMANDS = {
+    "apply": lambda rest: rest.split()[0],
+    "assert": lambda rest: "assertion",
+    "mark": lambda rest: "dependence marking",
+    "classify": lambda rest: "reclassification",
+}
+
+
+def _session_actions(script: Sequence[str]) -> List[str]:
+    actions: List[str] = []
+    for line in script:
+        parts = line.split(None, 1)
+        if not parts:
+            continue
+        fn = _ACTION_COMMANDS.get(parts[0])
+        if fn is not None:
+            action = fn(parts[1] if len(parts) > 1 else "")
+            if action not in actions:
+                actions.append(action)
+    return actions
+
+
+def table2_transformations(names: Optional[Sequence[str]] = None) -> List[Table2Row]:
+    """Regenerate Table 2 (user actions and parallelization outcomes)."""
+
+    rows = []
+    for name in names or SUITE:
+        prog = SUITE[name]
+        sf = parse_and_bind(prog.source)
+        baseline = analyze_program(sf, FeatureSet.minimal())
+        auto = baseline.parallel_loop_count()
+        total = baseline.loop_count()
+        session = PedSession(prog.source)
+        ci = CommandInterpreter(session)
+        ci.run_script(prog.script)
+        ped = sum(
+            len(ua.parallel_loops()) for ua in session.analysis.units.values()
+        )
+        rows.append(
+            Table2Row(name, _session_actions(prog.script), auto, ped, total)
+        )
+    return rows
+
+
+@dataclass
+class Table3Row:
+    name: str
+    required: Dict[str, bool]  # feature -> required for the key loops
+    needs_assertion: bool
+    expected: Dict[str, bool]  # the paper-derived expectation (from needs)
+
+
+def _key_loops_parallel(prog, features: FeatureSet) -> bool:
+    """Are all the program's target loops parallelizable under features?
+
+    Assertions from the program's script are replayed when the feature
+    set leaves them meaningful (they are user input, not analysis)."""
+
+    session = PedSession(prog.source, features=features)
+    ci = CommandInterpreter(session)
+    for line in prog.script:
+        if line.startswith(("assert ", "classify ", "mark ", "unit ", "select ")):
+            ci.execute(line)
+    for unit, idx in prog.target_loops:
+        ua = session.analysis.unit(unit)
+        if idx >= len(ua.loops):
+            return False
+        info = ua.info_for(ua.loops[idx].loop)
+        if not info.parallelizable:
+            return False
+    return True
+
+
+def table3_analysis(names: Optional[Sequence[str]] = None) -> List[Table3Row]:
+    """Regenerate Table 3: which analyses each program *requires*.
+
+    A feature is required when disabling it (from the full configuration)
+    makes some key loop serial.  Assertion dependence is measured by
+    replaying the session without its ``assert`` commands.
+    """
+
+    rows = []
+    for name in names or SUITE:
+        prog = SUITE[name]
+        full = FeatureSet()
+        required: Dict[str, bool] = {}
+        for feature in TABLE3_FEATURES:
+            toggled = full.with_feature(feature, False)
+            required[feature] = not _key_loops_parallel(prog, toggled)
+        # Assertion need: full features but *no* assert commands.
+        needs_assertion = not _all_parallel_without_asserts(prog)
+        expected = {f: prog.needs.get(f, False) for f in TABLE3_FEATURES}
+        rows.append(Table3Row(name, required, needs_assertion, expected))
+    return rows
+
+
+def _all_parallel_without_asserts(prog) -> bool:
+    session = PedSession(prog.source)
+    for unit, idx in prog.target_loops:
+        ua = session.analysis.unit(unit)
+        info = ua.info_for(ua.loops[idx].loop)
+        if not info.parallelizable:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# formatting
+# ---------------------------------------------------------------------------
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table (deterministic; used by benches and docs)."""
+
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_table1() -> str:
+    rows = [
+        (r.name, r.domain, str(r.lines), str(r.procedures))
+        for r in table1_suite()
+    ]
+    return format_table(["name", "description", "lines", "procedures"], rows)
+
+
+def render_table2() -> str:
+    rows = [
+        (
+            r.name,
+            ", ".join(r.actions),
+            f"{r.auto_parallel}/{r.total_loops}",
+            f"{r.ped_parallel}/{r.total_loops}",
+        )
+        for r in table2_transformations()
+    ]
+    return format_table(
+        ["name", "user actions & transformations", "auto", "with Ped"], rows
+    )
+
+
+def render_table3() -> str:
+    headers = ["name"] + TABLE3_FEATURES + ["assertions"]
+    rows = []
+    for r in table3_analysis():
+        cells = [r.name]
+        for f in TABLE3_FEATURES:
+            cells.append("yes" if r.required[f] else "-")
+        cells.append("yes" if r.needs_assertion else "-")
+        rows.append(cells)
+    return format_table(headers, rows)

@@ -1,0 +1,46 @@
+"""Diagnostics for the Fortran front end.
+
+All front-end failures raise :class:`FortranError` (or a subclass) carrying
+the source coordinates of the offending construct so that the editor layer
+can point at the exact line, mirroring Ped's incremental-parsing error
+reporting.
+"""
+
+from __future__ import annotations
+
+
+class FortranError(Exception):
+    """Base class for all front-end diagnostics.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line:
+        1-based source line number, or 0 when unknown.
+    col:
+        1-based source column, or 0 when unknown.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line:
+            return f"line {self.line}:{self.col}: {self.message}"
+        return self.message
+
+
+class LexError(FortranError):
+    """Raised when the tokenizer encounters an unrecognised character."""
+
+
+class ParseError(FortranError):
+    """Raised when the parser cannot derive a statement."""
+
+
+class SemanticError(FortranError):
+    """Raised by the binder for inconsistent declarations or references."""

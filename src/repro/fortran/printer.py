@@ -1,0 +1,268 @@
+"""Unparser: regenerate Fortran source from the AST.
+
+The printer produces relaxed free-form Fortran that the parser accepts, so
+``parse(print(ast))`` round-trips structurally.  Transformed programs are
+materialised through this module; parallel loops are emitted with a
+``c$par doall`` directive comment line (consumed as a comment on re-parse;
+the ``parallel`` flag lives in the AST, not the text).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    CommonDecl,
+    ContinueStmt,
+    DataDecl,
+    DimensionDecl,
+    DoLoop,
+    Entity,
+    Expr,
+    ExternalDecl,
+    FuncRef,
+    GotoStmt,
+    If,
+    ImplicitNone,
+    IntrinsicDecl,
+    IOStmt,
+    LogicalLit,
+    NameArgs,
+    Num,
+    ParameterDecl,
+    ProcedureUnit,
+    ReturnStmt,
+    SaveDecl,
+    SourceFile,
+    Stmt,
+    StopStmt,
+    Str,
+    TypeDecl,
+    UnOp,
+    VarRef,
+)
+
+#: Operator precedence for minimal parenthesisation.
+_PREC = {
+    ".or.": 1,
+    ".eqv.": 1,
+    ".neqv.": 1,
+    ".and.": 2,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "==": 4,
+    "/=": 4,
+    "//": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "**": 9,
+}
+
+#: Symbolic relational spellings back to Fortran 77 dotted form.
+_REL_BACK = {
+    "<": ".lt.",
+    "<=": ".le.",
+    ">": ".gt.",
+    ">=": ".ge.",
+    "==": ".eq.",
+    "/=": ".ne.",
+}
+
+
+def expr_to_str(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+
+    if isinstance(expr, Num):
+        if isinstance(expr.value, int):
+            return str(expr.value)
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, Str):
+        return "'" + expr.value.replace("'", "''") + "'"
+    if isinstance(expr, LogicalLit):
+        return ".true." if expr.value else ".false."
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, (ArrayRef, FuncRef, NameArgs)):
+        args = expr.subs if isinstance(expr, ArrayRef) else expr.args
+        return f"{expr.name}({', '.join(expr_to_str(a) for a in args)})"
+    if isinstance(expr, UnOp):
+        if expr.op == ".not.":
+            inner = expr_to_str(expr.operand, 3)
+            return f".not. {inner}"
+        inner = expr_to_str(expr.operand, 8)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec >= 6 else text
+    if isinstance(expr, BinOp):
+        prec = _PREC[expr.op]
+        op = _REL_BACK.get(expr.op, expr.op)
+        left = expr_to_str(expr.left, prec)
+        # Add 1 on the right for left-associative operators so that
+        # a - (b - c) keeps its parentheses.
+        right_prec = prec if expr.op == "**" else prec + 1
+        right = expr_to_str(expr.right, right_prec)
+        text = f"{left} {op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def _entity_to_str(ent: Entity) -> str:
+    if ent.dims is None:
+        return ent.name
+    parts = []
+    for lo, hi in ent.dims:
+        if lo is None:
+            parts.append(expr_to_str(hi))
+        else:
+            parts.append(f"{expr_to_str(lo)}:{expr_to_str(hi)}")
+    return f"{ent.name}({', '.join(parts)})"
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, depth: int, text: str, label: int = None) -> None:  # type: ignore[assignment]
+        prefix = f"{label:>5d} " if label is not None else "      "
+        self.lines.append(prefix + "  " * depth + text)
+
+    def stmt(self, st: Stmt, depth: int) -> None:
+        if isinstance(st, Assign):
+            self.emit(depth, f"{expr_to_str(st.target)} = {expr_to_str(st.expr)}", st.label)
+        elif isinstance(st, DoLoop):
+            if st.parallel:
+                extras = ""
+                if st.private:
+                    extras += f" private({', '.join(st.private)})"
+                for op, var in st.reductions:
+                    extras += f" reduction({op}:{var})"
+                self.lines.append(f"c$par doall{extras}")
+            head = f"do {st.var} = {expr_to_str(st.start)}, {expr_to_str(st.end)}"
+            if st.step is not None:
+                head += f", {expr_to_str(st.step)}"
+            self.emit(depth, head, st.label)
+            for inner in st.body:
+                self.stmt(inner, depth + 1)
+            self.emit(depth, "end do")
+        elif isinstance(st, If):
+            if not st.block:
+                cond, body = st.arms[0]
+                inner = _single_stmt_text(body[0])
+                self.emit(depth, f"if ({expr_to_str(cond)}) {inner}", st.label)
+                return
+            first = True
+            for cond, body in st.arms:
+                if first:
+                    self.emit(depth, f"if ({expr_to_str(cond)}) then", st.label)
+                    first = False
+                elif cond is not None:
+                    self.emit(depth, f"else if ({expr_to_str(cond)}) then")
+                else:
+                    self.emit(depth, "else")
+                for inner in body:
+                    self.stmt(inner, depth + 1)
+            self.emit(depth, "end if")
+        elif isinstance(st, CallStmt):
+            args = ", ".join(expr_to_str(a) for a in st.args)
+            self.emit(depth, f"call {st.name}({args})", st.label)
+        elif isinstance(st, ReturnStmt):
+            self.emit(depth, "return", st.label)
+        elif isinstance(st, StopStmt):
+            self.emit(depth, "stop", st.label)
+        elif isinstance(st, ContinueStmt):
+            self.emit(depth, "continue", st.label)
+        elif isinstance(st, GotoStmt):
+            self.emit(depth, f"goto {st.target}", st.label)
+        elif isinstance(st, IOStmt):
+            self.emit(depth, _io_text(st), st.label)
+        elif isinstance(st, TypeDecl):
+            names = ", ".join(_entity_to_str(e) for e in st.entities)
+            tn = "double precision" if st.typename == "doubleprecision" else st.typename
+            self.emit(depth, f"{tn} {names}", st.label)
+        elif isinstance(st, DimensionDecl):
+            names = ", ".join(_entity_to_str(e) for e in st.entities)
+            self.emit(depth, f"dimension {names}", st.label)
+        elif isinstance(st, CommonDecl):
+            names = ", ".join(_entity_to_str(e) for e in st.entities)
+            block = f"/{st.block}/ " if st.block else ""
+            self.emit(depth, f"common {block}{names}", st.label)
+        elif isinstance(st, ParameterDecl):
+            inner = ", ".join(f"{n} = {expr_to_str(e)}" for n, e in st.assigns)
+            self.emit(depth, f"parameter ({inner})", st.label)
+        elif isinstance(st, DataDecl):
+            inner = ", ".join(f"{n} /{expr_to_str(e)}/" for n, e in st.items)
+            self.emit(depth, f"data {inner}", st.label)
+        elif isinstance(st, ExternalDecl):
+            self.emit(depth, f"external {', '.join(st.names)}", st.label)
+        elif isinstance(st, IntrinsicDecl):
+            self.emit(depth, f"intrinsic {', '.join(st.names)}", st.label)
+        elif isinstance(st, SaveDecl):
+            self.emit(depth, f"save {', '.join(st.names)}", st.label)
+        elif isinstance(st, ImplicitNone):
+            self.emit(depth, "implicit none", st.label)
+        else:
+            raise TypeError(f"cannot print {type(st).__name__}")
+
+    def unit(self, u: ProcedureUnit) -> None:
+        if u.kind == "program":
+            self.emit(0, f"program {u.name}")
+        elif u.kind == "subroutine":
+            formals = ", ".join(u.formals)
+            self.emit(0, f"subroutine {u.name}({formals})")
+        else:
+            formals = ", ".join(u.formals)
+            prefix = ""
+            if u.rettype:
+                prefix = (
+                    "double precision "
+                    if u.rettype == "doubleprecision"
+                    else u.rettype + " "
+                )
+            self.emit(0, f"{prefix}function {u.name}({formals})")
+        for d in u.decls:
+            self.stmt(d, 1)
+        for st in u.body:
+            self.stmt(st, 1)
+        self.emit(0, "end")
+
+
+def _single_stmt_text(st: Stmt) -> str:
+    p = _Printer()
+    p.stmt(st, 0)
+    return p.lines[0][6:].strip()
+
+
+def _io_text(st: IOStmt) -> str:
+    items = ", ".join(expr_to_str(e) for e in st.items)
+    if st.kind == "print":
+        spec = expr_to_str(st.spec[0]) if st.spec else "*"
+        return f"print {spec}, {items}" if items else f"print {spec}"
+    spec = ", ".join(expr_to_str(e) for e in st.spec) or "*, *"
+    text = f"{st.kind} ({spec})"
+    return f"{text} {items}" if items else text
+
+
+def unit_to_source(unit: ProcedureUnit) -> str:
+    """Render a single program unit to source text."""
+
+    p = _Printer()
+    p.unit(unit)
+    return "\n".join(p.lines) + "\n"
+
+
+def to_source(sf: SourceFile) -> str:
+    """Render a full :class:`SourceFile` to source text."""
+
+    p = _Printer()
+    for u in sf.units:
+        p.unit(u)
+        p.lines.append("")
+    return "\n".join(p.lines)

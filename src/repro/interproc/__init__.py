@@ -1,0 +1,14 @@
+"""Interprocedural analysis: call graph, MOD/REF side effects, regular
+sections, interprocedural constants and kill analysis."""
+
+from .callgraph import CallGraph, CallSite, build_callgraph  # noqa: F401
+from .modref import ModRefInfo, PreciseEffects, compute_modref  # noqa: F401
+from .sections import (  # noqa: F401
+    ArraySectionSummary,
+    SectionInfo,
+    compute_sections,
+    make_section_provider,
+)
+from .ipconst import compute_ip_constants  # noqa: F401
+from .ipkill import KillInfo, compute_kills, privatizable_arrays  # noqa: F401
+from .program import FeatureSet, ProgramAnalysis, analyze_program  # noqa: F401

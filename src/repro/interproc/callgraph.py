@@ -1,0 +1,138 @@
+"""Call graph construction and SCC condensation.
+
+The call graph drives every bottom-up summary computation (MOD/REF,
+sections, kill) and the top-down interprocedural constant propagation.
+Cycles (recursion) are condensed with Tarjan's algorithm; summary
+computations iterate within an SCC until stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..fortran.ast_nodes import (
+    CallStmt,
+    Expr,
+    FuncRef,
+    ProcedureUnit,
+    SourceFile,
+    statement_exprs,
+    walk_expr,
+    walk_statements,
+)
+
+
+@dataclass
+class CallSite:
+    """One call (CALL statement or function reference) in a caller."""
+
+    caller: str
+    callee: str
+    sid: int
+    args: List[Expr]
+    line: int
+    is_function: bool = False
+
+
+@dataclass
+class CallGraph:
+    """Callers, callees and call sites of a whole program."""
+
+    units: Dict[str, ProcedureUnit] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def sites_in(self, caller: str) -> List[CallSite]:
+        return [s for s in self.sites if s.caller == caller]
+
+    def sites_of(self, callee: str) -> List[CallSite]:
+        return [s for s in self.sites if s.callee == callee]
+
+    def sccs_bottom_up(self) -> List[List[str]]:
+        """SCCs in reverse topological order (callees before callers)."""
+
+        return _tarjan(self.units.keys(), self.callees)
+
+    def topo_top_down(self) -> List[List[str]]:
+        """SCCs with callers before callees (for constant propagation)."""
+
+        return list(reversed(self.sccs_bottom_up()))
+
+    def roots(self) -> List[str]:
+        return [u for u in self.units if not self.callers.get(u)]
+
+
+def build_callgraph(sf: SourceFile) -> CallGraph:
+    """Build the call graph of ``sf``; unknown callees are ignored (they
+    are treated as opaque externals by the effect analyses)."""
+
+    cg = CallGraph()
+    for unit in sf.units:
+        cg.units[unit.name] = unit
+        cg.callees.setdefault(unit.name, set())
+        cg.callers.setdefault(unit.name, set())
+    for unit in sf.units:
+        for st in walk_statements(unit.body):
+            if isinstance(st, CallStmt) and st.name in cg.units:
+                cg.sites.append(
+                    CallSite(unit.name, st.name, st.sid, list(st.args), st.line)
+                )
+                cg.callees[unit.name].add(st.name)
+                cg.callers[st.name].add(unit.name)
+            for top in statement_exprs(st):
+                for node in walk_expr(top):
+                    if (
+                        isinstance(node, FuncRef)
+                        and not node.intrinsic
+                        and node.name in cg.units
+                    ):
+                        cg.sites.append(
+                            CallSite(
+                                unit.name,
+                                node.name,
+                                st.sid,
+                                list(node.args),
+                                node.line,
+                                is_function=True,
+                            )
+                        )
+                        cg.callees[unit.name].add(node.name)
+                        cg.callers[node.name].add(unit.name)
+    return cg
+
+
+def _tarjan(nodes, edges: Dict[str, Set[str]]) -> List[List[str]]:
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    out: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(edges.get(v, ())):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            scc: List[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                scc.append(w)
+                if w == v:
+                    break
+            out.append(sorted(scc))
+
+    for v in sorted(nodes):
+        if v not in index:
+            strongconnect(v)
+    return out

@@ -1,0 +1,275 @@
+"""Interprocedural kill analysis (scalars and arrays).
+
+*Scalar kill*: a formal or COMMON scalar is killed by a procedure when it
+is assigned on **every** control-flow path before any use.  At a call site
+inside a loop, a killed scalar carries no value between iterations, so the
+loop-carried dependences through it disappear ("In the program nxsns,
+interprocedural scalar Kill analysis reveals a scalar variable is killed
+in a procedure invoked inside a loop").
+
+*Array kill*: a formal or COMMON array is killed when the procedure
+overwrites **all** of it before reading any of it.  We recognise the
+canonical pattern — an unconditional top-level ``DO`` sweeping the full
+declared extent with the loop index as subscript — plus transitive kills
+through calls.  Array kill is what arc3d and slab2d need: a scratch array
+fully rewritten inside the callee is effectively private to the iteration,
+so the write-write and read-write dependences between iterations can be
+discarded by privatizing the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..analysis.symbolic import Linear, linear_of_expr
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    Assign,
+    CallStmt,
+    DoLoop,
+    Expr,
+    If,
+    IOStmt,
+    ProcedureUnit,
+    Stmt,
+    VarRef,
+    walk_expr,
+    walk_statements,
+)
+from ..fortran.symbols import SymbolTable
+from .callgraph import CallGraph, CallSite
+from .modref import Location, _locate, _name_at
+
+
+@dataclass
+class KillInfo:
+    """Per-procedure kill summary over external locations."""
+
+    scalars: Set[Location] = field(default_factory=set)
+    arrays: Set[Location] = field(default_factory=set)
+
+
+def compute_kills(cg: CallGraph) -> Dict[str, KillInfo]:
+    """Bottom-up kill summaries for all units."""
+
+    out: Dict[str, KillInfo] = {name: KillInfo() for name in cg.units}
+    for scc in cg.sccs_bottom_up():
+        changed = True
+        while changed:
+            changed = False
+            for name in scc:
+                new = _unit_kills(cg.units[name], cg, out)
+                if new.scalars != out[name].scalars or new.arrays != out[name].arrays:
+                    out[name] = new
+                    changed = True
+    return out
+
+
+def _unit_kills(
+    unit: ProcedureUnit, cg: CallGraph, summaries: Dict[str, KillInfo]
+) -> KillInfo:
+    table: SymbolTable = unit.symtab  # type: ignore[assignment]
+    info = KillInfo()
+    sites_by_sid: Dict[int, List[CallSite]] = {}
+    for site in cg.sites_in(unit.name):
+        sites_by_sid.setdefault(site.sid, []).append(site)
+
+    killed: Set[str] = set()  # names killed so far on ALL paths
+    read: Set[str] = set()  # names read before being killed
+
+    def note_reads(expr: Expr) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, VarRef) and node.name != "*":
+                if node.name not in killed:
+                    read.add(node.name)
+            elif isinstance(node, ArrayRef):
+                if node.name not in killed:
+                    read.add(node.name)
+                for sub in node.subs:
+                    note_reads(sub)
+
+    def scan(body: List[Stmt], conditional: bool) -> None:
+        for st in body:
+            if isinstance(st, Assign):
+                note_reads(st.expr)
+                if isinstance(st.target, ArrayRef):
+                    for sub in st.target.subs:
+                        note_reads(sub)
+                if isinstance(st.target, VarRef) and not conditional:
+                    killed.add(st.target.name)
+            elif isinstance(st, DoLoop):
+                note_reads(st.start)
+                note_reads(st.end)
+                if st.step is not None:
+                    note_reads(st.step)
+                arr = _full_sweep_target(st, table)
+                if arr is not None and not conditional:
+                    # The loop overwrites the whole array; its own reads of
+                    # the array inside the body (if any) were noted by the
+                    # recursive scan *before* marking the kill.
+                    scan(st.body, True)
+                    if arr not in read:
+                        killed.add(arr)
+                    continue
+                scan(st.body, True)
+            elif isinstance(st, If):
+                for cond, arm in st.arms:
+                    if cond is not None:
+                        note_reads(cond)
+                    scan(arm, True)
+            elif isinstance(st, CallStmt):
+                call_kills: Set[str] = set()
+                for site in sites_by_sid.get(st.sid, ()):
+                    callee = summaries.get(site.callee)
+                    if callee is None:
+                        continue
+                    for loc in callee.scalars | callee.arrays:
+                        got = _name_at(loc, site, table)
+                        if got is not None:
+                            call_kills.add(got)
+                # Arguments the callee kills are written before any read;
+                # everything else it might read.
+                for arg in st.args:
+                    if isinstance(arg, VarRef) and arg.name in call_kills:
+                        continue
+                    note_reads(arg)
+                if not conditional:
+                    killed.update(call_kills)
+            elif isinstance(st, IOStmt):
+                for e in list(st.spec) + list(st.items):
+                    if st.kind == "read" and isinstance(e, VarRef):
+                        if not conditional:
+                            killed.add(e.name)
+                    else:
+                        note_reads(e)
+            else:
+                return  # GOTO/RETURN/STOP: stop the straight-line scan
+
+    scan(unit.body, False)
+    for name in killed - read:
+        loc = _locate(name, table)
+        if loc is None:
+            continue
+        sym = table.get(name)
+        if sym is not None and sym.is_array:
+            info.arrays.add(loc)
+        else:
+            info.scalars.add(loc)
+    return info
+
+
+def _full_sweep_target(loop: DoLoop, table: SymbolTable) -> Optional[str]:
+    """If ``loop`` unconditionally assigns ``a(i)`` over a's full declared
+    extent (possibly via a perfect inner nest for higher ranks), return the
+    array name."""
+
+    # Collect the perfect nest.
+    nest: List[DoLoop] = [loop]
+    body = loop.body
+    while len(body) == 1 and isinstance(body[0], DoLoop):
+        nest.append(body[0])
+        body = body[0].body
+    # Find an unconditional assignment a(i1, …, ik) with subscripts exactly
+    # the nest variables (in any order).
+    for st in body:
+        if not isinstance(st, Assign) or not isinstance(st.target, ArrayRef):
+            continue
+        name = st.target.name
+        sym = table.get(name)
+        if sym is None or not sym.is_array or sym.rank != len(st.target.subs):
+            continue
+        nest_vars = {lp.var: lp for lp in nest}
+        if len(st.target.subs) > len(nest):
+            continue
+        covered = True
+        for d, sub in enumerate(st.target.subs):
+            if not isinstance(sub, VarRef) or sub.name not in nest_vars:
+                covered = False
+                break
+            lp = nest_vars[sub.name]
+            lo_decl, hi_decl = sym.dims[d]
+            lo_decl_lin = (
+                linear_of_expr(lo_decl, table)
+                if lo_decl is not None
+                else Linear.constant(1)
+            )
+            hi_decl_lin = linear_of_expr(hi_decl, table)
+            lo_lin = linear_of_expr(lp.start, table)
+            hi_lin = linear_of_expr(lp.end, table)
+            if (lo_lin - lo_decl_lin).constant_value() != 0:
+                covered = False
+                break
+            if (hi_lin - hi_decl_lin).constant_value() != 0:
+                covered = False
+                break
+            if lp.step is not None:
+                step_lin = linear_of_expr(lp.step, table)
+                if step_lin.constant_value() != 1:
+                    covered = False
+                    break
+        if covered:
+            return name
+    return None
+
+
+def privatizable_arrays(
+    loop: DoLoop,
+    unit: ProcedureUnit,
+    cg: Optional[CallGraph] = None,
+    kills: Optional[Dict[str, KillInfo]] = None,
+) -> Set[str]:
+    """Arrays killed (fully overwritten before any read) on every iteration
+    of ``loop`` — candidates for array privatization.
+
+    A read of the array before the kill point disqualifies it; kills come
+    either from a local full sweep or from a call whose summary kills the
+    array.
+    """
+
+    table: SymbolTable = unit.symtab  # type: ignore[assignment]
+    killed: Set[str] = set()
+    read_first: Set[str] = set()
+    sites_by_sid: Dict[int, List[CallSite]] = {}
+    if cg is not None:
+        for site in cg.sites_in(unit.name):
+            sites_by_sid.setdefault(site.sid, []).append(site)
+
+    def note_reads(expr: Expr) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, ArrayRef) and node.name not in killed:
+                read_first.add(node.name)
+
+    for st in loop.body:
+        if isinstance(st, Assign):
+            note_reads(st.expr)
+            if isinstance(st.target, ArrayRef):
+                for sub in st.target.subs:
+                    note_reads(sub)
+        elif isinstance(st, DoLoop):
+            arr = _full_sweep_target(st, table)
+            for inner in walk_statements(st.body):
+                if isinstance(inner, Assign):
+                    note_reads(inner.expr)
+            if arr is not None and arr not in read_first:
+                killed.add(arr)
+        elif isinstance(st, CallStmt):
+            for arg in st.args:
+                note_reads(arg)
+            if kills is not None:
+                for site in sites_by_sid.get(st.sid, ()):
+                    summary = kills.get(site.callee)
+                    if summary is None:
+                        continue
+                    for loc in summary.arrays:
+                        name = _name_at(loc, site, table)
+                        if name is not None and name not in read_first:
+                            killed.add(name)
+        elif isinstance(st, If):
+            for cond, arm in st.arms:
+                if cond is not None:
+                    note_reads(cond)
+                for inner in walk_statements(arm):
+                    if isinstance(inner, Assign):
+                        note_reads(inner.expr)
+    return killed - read_first

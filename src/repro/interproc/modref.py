@@ -1,0 +1,215 @@
+"""Flow-insensitive interprocedural MOD/REF analysis (Banning).
+
+For every procedure we summarise which *externally visible* locations it
+may modify or reference: formal parameters (by position) and COMMON
+variables (by block name and member position).  Summaries propagate
+bottom-up over the call graph; call sites translate callee formals to
+caller actuals and callee COMMON slots to the caller's declarations of the
+same block.
+
+The result powers :class:`PreciseEffects`, the drop-in replacement for the
+front end's :class:`ConservativeEffects`: with it, a loop containing
+``CALL SMOOTH(B, N)`` no longer conservatively clobbers every COMMON
+variable — only what SMOOTH really touches ("the sections entry indicates
+that scalar side-effect analysis … reduces the number of dependences on a
+loop containing a procedure call", Table 3 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.defuse import SideEffects, stmt_defs, stmt_uses
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    Expr,
+    ProcedureUnit,
+    VarRef,
+    walk_statements,
+)
+from ..fortran.symbols import COMMON, FORMAL, SymbolTable
+from .callgraph import CallGraph, CallSite
+
+#: External location: ("formal", position) or ("common", block, index).
+Location = Tuple
+
+
+@dataclass
+class ModRefInfo:
+    """MOD/REF summary of one procedure over external locations."""
+
+    mod: Set[Location] = field(default_factory=set)
+    ref: Set[Location] = field(default_factory=set)
+
+
+def _locate(name: str, table: SymbolTable) -> Optional[Location]:
+    sym = table.get(name)
+    if sym is None:
+        return None
+    if sym.storage == FORMAL:
+        return ("formal", sym.formal_index)
+    if sym.storage == COMMON:
+        members = table.common_blocks.get(sym.common_block or "", [])
+        if name in members:
+            return ("common", sym.common_block, members.index(name))
+    return None
+
+
+def _name_at(loc: Location, site: CallSite, caller_table: SymbolTable) -> Optional[str]:
+    """Translate a callee location into a caller-visible name."""
+
+    if loc[0] == "formal":
+        idx = loc[1]
+        if idx is None or idx >= len(site.args):
+            return None
+        arg = site.args[idx]
+        if isinstance(arg, VarRef) and arg.name != "*":
+            return arg.name
+        if isinstance(arg, ArrayRef):
+            return arg.name
+        return None  # expression actual: a value copy, nothing aliased
+    if loc[0] == "common":
+        block, pos = loc[1], loc[2]
+        members = caller_table.common_blocks.get(block, [])
+        if pos < len(members):
+            return members[pos]
+        return None
+    return None
+
+
+def compute_modref(cg: CallGraph) -> Dict[str, ModRefInfo]:
+    """Bottom-up MOD/REF summaries for every unit of the call graph."""
+
+    summaries: Dict[str, ModRefInfo] = {name: ModRefInfo() for name in cg.units}
+    for scc in cg.sccs_bottom_up():
+        changed = True
+        while changed:
+            changed = False
+            for name in scc:
+                new = _local_summary(cg.units[name], cg, summaries)
+                if new.mod != summaries[name].mod or new.ref != summaries[name].ref:
+                    summaries[name] = new
+                    changed = True
+    return summaries
+
+
+def _local_summary(
+    unit: ProcedureUnit,
+    cg: CallGraph,
+    summaries: Dict[str, ModRefInfo],
+) -> ModRefInfo:
+    table: SymbolTable = unit.symtab  # type: ignore[assignment]
+    info = ModRefInfo()
+    sites_by_sid: Dict[int, List[CallSite]] = {}
+    for site in cg.sites_in(unit.name):
+        sites_by_sid.setdefault(site.sid, []).append(site)
+
+    # Direct accesses: a neutral effects provider that ignores calls, since
+    # call effects are folded in explicitly below.
+    neutral = _NeutralEffects()
+    for st in walk_statements(unit.body):
+        must, may = stmt_defs(st, table, neutral)
+        uses = stmt_uses(st, table, neutral)
+        for v in may:
+            loc = _locate(v, table)
+            if loc is not None:
+                info.mod.add(loc)
+        for v in uses:
+            loc = _locate(v, table)
+            if loc is not None:
+                info.ref.add(loc)
+        # Fold callee summaries through each call at this statement.
+        for site in sites_by_sid.get(st.sid, ()):
+            callee = summaries.get(site.callee)
+            if callee is None:
+                continue
+            callee_unit = cg.units[site.callee]
+            del callee_unit
+            for loc in callee.mod:
+                name = _name_at(loc, site, table)
+                if name is not None:
+                    up = _locate(name, table)
+                    if up is not None:
+                        info.mod.add(up)
+            for loc in callee.ref:
+                name = _name_at(loc, site, table)
+                if name is not None:
+                    up = _locate(name, table)
+                    if up is not None:
+                        info.ref.add(up)
+    return info
+
+
+class _NeutralEffects(SideEffects):
+    """Treats calls as touching nothing (used while building summaries)."""
+
+    def mod(self, callee, args, table):
+        return set()
+
+    def ref(self, callee, args, table):
+        names = set()
+        from ..analysis.defuse import walk_expr_args
+
+        for arg in args:
+            names |= walk_expr_args(arg)
+        return names
+
+
+class PreciseEffects(SideEffects):
+    """Call side effects backed by interprocedural MOD/REF summaries.
+
+    Unknown callees (externals) fall back to the conservative assumption.
+    When kill summaries are supplied (interprocedural kill analysis),
+    ``ref`` excludes locations the callee kills before any use — their
+    incoming value cannot matter — and ``kill`` upgrades them to must-defs.
+    """
+
+    def __init__(
+        self,
+        cg: CallGraph,
+        summaries: Dict[str, ModRefInfo],
+        kills: Optional[Dict[str, "object"]] = None,
+    ) -> None:
+        self.cg = cg
+        self.summaries = summaries
+        self.kills = kills or {}
+        from ..analysis.defuse import ConservativeEffects
+
+        self._fallback = ConservativeEffects()
+
+    def _translate(
+        self, locs: Set[Location], callee: str, args: List[Expr], table: SymbolTable
+    ) -> Set[str]:
+        names: Set[str] = set()
+        site = CallSite("", callee, -1, args, 0)
+        for loc in locs:
+            name = _name_at(loc, site, table)
+            if name is not None:
+                names.add(name)
+        return names
+
+    def mod(self, callee: str, args: List[Expr], table: SymbolTable) -> Set[str]:
+        summary = self.summaries.get(callee)
+        if summary is None:
+            return self._fallback.mod(callee, args, table)
+        return self._translate(summary.mod, callee, args, table)
+
+    def ref(self, callee: str, args: List[Expr], table: SymbolTable) -> Set[str]:
+        summary = self.summaries.get(callee)
+        if summary is None:
+            return self._fallback.ref(callee, args, table)
+        names = self._translate(summary.ref, callee, args, table)
+        names -= self.kill(callee, args, table)
+        from ..analysis.defuse import walk_expr_args
+
+        for arg in args:
+            names |= walk_expr_args(arg)
+        return names
+
+    def kill(self, callee: str, args: List[Expr], table: SymbolTable) -> Set[str]:
+        info = self.kills.get(callee)
+        if info is None:
+            return set()
+        locs = set(getattr(info, "scalars", ())) | set(getattr(info, "arrays", ()))
+        return self._translate(locs, callee, args, table)

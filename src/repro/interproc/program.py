@@ -1,0 +1,146 @@
+"""Whole-program analysis orchestration.
+
+:func:`analyze_program` runs the interprocedural phases over a bound
+:class:`SourceFile`, then the per-unit dependence driver with the derived
+providers wired in.  :class:`FeatureSet` exposes one boolean per analysis
+capability — the exact levers of the experiences paper's Table 3 — so the
+evaluation harness can measure which feature unlocks which program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..dependence.driver import AnalysisConfig, UnitAnalysis, analyze_unit
+from ..dependence.tests import Oracle
+from ..fortran.ast_nodes import SourceFile
+from .callgraph import CallGraph, build_callgraph
+from .ipconst import compute_ip_constants
+from .ipkill import KillInfo, compute_kills, privatizable_arrays
+from .modref import ModRefInfo, PreciseEffects, compute_modref
+from .sections import SectionInfo, compute_sections, make_section_provider
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """Analysis capabilities, mirroring the Table 3 columns.
+
+    ``dependence`` is the base capability and cannot be turned off; the
+    others default to the full Ped configuration.
+    """
+
+    modref: bool = True  # interprocedural scalar side effects (MOD/REF)
+    sections: bool = True  # interprocedural regular sections
+    ip_constants: bool = True  # interprocedural constants
+    scalar_kill: bool = True  # scalar kill analysis (incl. interprocedural)
+    array_kill: bool = True  # interprocedural array kill → privatization
+    reductions: bool = True  # reduction idiom recognition
+    inductions: bool = True  # auxiliary induction recognition
+    symbolic: bool = True  # symbolic/affine subscript analysis
+    control: bool = True  # control dependences
+
+    @staticmethod
+    def minimal() -> "FeatureSet":
+        """Dependence testing only — the 'naive automatic tool' baseline."""
+
+        return FeatureSet(
+            modref=False,
+            sections=False,
+            ip_constants=False,
+            scalar_kill=False,
+            array_kill=False,
+            reductions=False,
+            inductions=False,
+            symbolic=True,
+            control=True,
+        )
+
+    def with_feature(self, name: str, value: bool) -> "FeatureSet":
+        return replace(self, **{name: value})
+
+
+@dataclass
+class ProgramAnalysis:
+    """All program-level artifacts plus per-unit analyses."""
+
+    source: SourceFile
+    features: FeatureSet
+    callgraph: CallGraph
+    modref: Dict[str, ModRefInfo] = field(default_factory=dict)
+    sections: Dict[str, SectionInfo] = field(default_factory=dict)
+    kills: Dict[str, KillInfo] = field(default_factory=dict)
+    ip_constants: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    units: Dict[str, UnitAnalysis] = field(default_factory=dict)
+
+    def unit(self, name: str) -> UnitAnalysis:
+        return self.units[name.lower()]
+
+    def parallel_loop_count(self) -> int:
+        return sum(len(ua.parallel_loops()) for ua in self.units.values())
+
+    def loop_count(self) -> int:
+        return sum(len(ua.loops) for ua in self.units.values())
+
+
+def analyze_program(
+    sf: SourceFile,
+    features: Optional[FeatureSet] = None,
+    oracle: Optional[Oracle] = None,
+    oracles_by_unit: Optional[Dict[str, Oracle]] = None,
+) -> ProgramAnalysis:
+    """Analyze a bound source file with the given feature set.
+
+    ``oracle`` (or ``oracles_by_unit``) injects user assertions into the
+    symbolic machinery; sessions re-run this after each assertion or edit.
+    """
+
+    features = features or FeatureSet()
+    cg = build_callgraph(sf)
+    pa = ProgramAnalysis(sf, features, cg)
+
+    if features.modref or features.sections or features.array_kill:
+        pa.modref = compute_modref(cg)
+    if features.scalar_kill or features.array_kill:
+        pa.kills = compute_kills(cg)
+        if not features.scalar_kill:
+            for info in pa.kills.values():
+                info.scalars.clear()
+        if not features.array_kill:
+            for info in pa.kills.values():
+                info.arrays.clear()
+    if features.sections:
+        pa.sections = compute_sections(cg)
+    if features.ip_constants:
+        pa.ip_constants = compute_ip_constants(cg)
+
+    effects = None
+    if features.modref:
+        effects = PreciseEffects(cg, pa.modref, pa.kills if features.scalar_kill else None)
+    section_provider = None
+    if features.sections:
+        section_provider = make_section_provider(
+            cg, pa.sections, pa.kills if features.array_kill else None
+        )
+
+    def arrays_fn(loop, unit):
+        return privatizable_arrays(
+            loop, unit, cg, pa.kills if features.array_kill else None
+        )
+
+    for name, unit in cg.units.items():
+        unit_oracle = (oracles_by_unit or {}).get(name, oracle)
+        config = AnalysisConfig(
+            effects=effects,
+            section_provider=section_provider,
+            oracle=unit_oracle,
+            inherited_constants=pa.ip_constants.get(name),
+            use_constants=True,
+            use_kill=features.scalar_kill,
+            use_reductions=features.reductions,
+            use_inductions=features.inductions,
+            control_deps=features.control,
+            privatizable_arrays_fn=arrays_fn if features.array_kill else None,
+        )
+        pa.units[name] = analyze_unit(unit, config)
+    return pa

@@ -1,0 +1,8 @@
+"""Performance estimation: machine model, static estimator, reference
+interpreter, profiler and parallel-execution simulator."""
+
+from .machine import MachineModel  # noqa: F401
+from .estimator import CostEstimate, PerformanceEstimator  # noqa: F401
+from .interp import Interpreter, InterpError  # noqa: F401
+from .profiler import LoopProfile, profile_program  # noqa: F401
+from .simulate import SimulationResult, simulate_speedup  # noqa: F401

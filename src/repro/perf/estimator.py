@@ -1,0 +1,178 @@
+"""Static performance estimation (Kennedy–McIntosh–McKinley).
+
+"ParaScope now includes a static performance estimator used to predict
+the relative execution time of loops and subroutines in parallel
+programs."  The estimator assigns cycle costs to statements bottom-up:
+expression costs from the machine model, loop costs as trip × body (trip
+from constant propagation, assertions, or the model's default), call
+costs from callee estimates over the call graph, IF costs as the
+arm average.  It answers two questions for the editor:
+
+* *Where should I look next?* — loops ranked by estimated total time;
+* *Is this parallelization profitable?* — sequential vs parallel time of
+  one loop under the fork/join model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.symbolic import linear_of_expr
+from ..dependence.driver import UnitAnalysis
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    FuncRef,
+    If,
+    IOStmt,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+from .machine import MachineModel
+
+
+@dataclass
+class CostEstimate:
+    """Estimated cycles for one construct (sequential and parallel)."""
+
+    sequential: float
+    parallel: float
+    trip: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential / self.parallel if self.parallel > 0 else 1.0
+
+
+@dataclass
+class PerformanceEstimator:
+    """Per-program estimator; procedure costs resolve through the call
+    graph (unknown callees cost one ``call_overhead``)."""
+
+    machine: MachineModel = field(default_factory=MachineModel)
+    unit_costs: Dict[str, float] = field(default_factory=dict)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr_cost(self, expr: Expr) -> float:
+        m = self.machine
+        if isinstance(expr, (VarRef,)):
+            return m.scalar_access
+        if isinstance(expr, ArrayRef):
+            return m.mem + sum(self.expr_cost(s) for s in expr.subs)
+        if isinstance(expr, FuncRef):
+            args = sum(self.expr_cost(a) for a in expr.args)
+            if expr.intrinsic:
+                return m.intrinsic + args
+            return self.unit_costs.get(expr.name, m.call_overhead) + args
+        if isinstance(expr, BinOp):
+            return m.flop + self.expr_cost(expr.left) + self.expr_cost(expr.right)
+        if isinstance(expr, UnOp):
+            return m.flop + self.expr_cost(expr.operand)
+        return 0.0
+
+    # -- statements ------------------------------------------------------------
+
+    def trip_count(
+        self, loop: DoLoop, analysis: Optional[UnitAnalysis] = None
+    ) -> float:
+        table = analysis.unit.symtab if analysis is not None else None
+        env = (
+            analysis.constants.linear_env(loop.sid)
+            if analysis is not None and loop.sid >= 0
+            else None
+        )
+        diff = (
+            linear_of_expr(loop.end, table, env)
+            - linear_of_expr(loop.start, table, env)
+        ).constant_value()
+        step = 1.0
+        if loop.step is not None:
+            s = linear_of_expr(loop.step, table, env).constant_value()
+            if s is not None and s != 0:
+                step = abs(float(s))
+        if diff is None:
+            return self.machine.default_trip
+        return max(0.0, (float(diff) + step) / step)
+
+    def stmt_cost(
+        self, st: Stmt, analysis: Optional[UnitAnalysis] = None
+    ) -> float:
+        m = self.machine
+        if isinstance(st, Assign):
+            target_cost = (
+                m.mem + sum(self.expr_cost(s) for s in st.target.subs)
+                if isinstance(st.target, ArrayRef)
+                else m.scalar_access
+            )
+            return target_cost + self.expr_cost(st.expr)
+        if isinstance(st, DoLoop):
+            return self.loop_estimate(st, analysis).sequential
+        if isinstance(st, If):
+            cond_cost = sum(
+                self.expr_cost(c) for c, _ in st.arms if c is not None
+            )
+            arm_costs = [
+                sum(self.stmt_cost(s, analysis) for s in body)
+                for _, body in st.arms
+            ]
+            avg = sum(arm_costs) / len(arm_costs) if arm_costs else 0.0
+            return m.branch + cond_cost + avg
+        if isinstance(st, CallStmt):
+            args = sum(self.expr_cost(a) for a in st.args)
+            return self.unit_costs.get(st.name, m.call_overhead) + args
+        if isinstance(st, IOStmt):
+            return m.io_cost
+        return 0.0
+
+    def body_cost(
+        self, body: List[Stmt], analysis: Optional[UnitAnalysis] = None
+    ) -> float:
+        return sum(self.stmt_cost(st, analysis) for st in body)
+
+    def loop_estimate(
+        self, loop: DoLoop, analysis: Optional[UnitAnalysis] = None
+    ) -> CostEstimate:
+        """Sequential and would-be-parallel cost of one loop."""
+
+        trip = self.trip_count(loop, analysis)
+        body = self.body_cost(loop.body, analysis)
+        seq = self.machine.sequential_time(trip, body)
+        par = self.machine.parallel_time(trip, body, len(loop.reductions))
+        return CostEstimate(seq, par, trip)
+
+    # -- procedures -------------------------------------------------------------
+
+    def compute_unit_costs(self, program) -> Dict[str, float]:
+        """Bottom-up procedure cost estimates over a ProgramAnalysis."""
+
+        for scc in program.callgraph.sccs_bottom_up():
+            for _ in range(3):  # fixpoint-ish for recursion
+                for name in scc:
+                    analysis = program.units.get(name)
+                    unit = program.callgraph.units[name]
+                    self.unit_costs[name] = self.body_cost(unit.body, analysis)
+        return self.unit_costs
+
+    def rank_loops(
+        self, analysis: UnitAnalysis
+    ) -> List[Tuple[float, "object"]]:
+        """Loops of one procedure, costliest first: the navigation order.
+
+        Returns ``(estimated_cycles, LoopNest)`` pairs.  Only outermost
+        loops of each nest chain appear with their full nest cost; inner
+        loops are listed too (their own cost) so the user can drill down.
+        """
+
+        ranked = []
+        for nest in analysis.loops:
+            est = self.loop_estimate(nest.loop, analysis)
+            ranked.append((est.sequential, nest))
+        ranked.sort(key=lambda pair: -pair[0])
+        return ranked

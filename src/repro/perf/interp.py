@@ -1,0 +1,681 @@
+"""Reference interpreter for the Fortran subset.
+
+Executes a bound :class:`SourceFile` directly on the AST.  It exists for
+three jobs:
+
+* **semantics ground truth** — property tests run a program before and
+  after a transformation and require identical results;
+* **DOALL validation** — loops marked parallel can be executed in
+  *reversed or shuffled iteration order* (``doall_order``); a correct
+  parallelization must produce identical results, which turns the
+  dependence analyzer's safety claims into executable checks;
+* **profiling substrate** — the profiler counts statement/loop executions
+  during a run (the gprof/Forge replacement of the substitution table).
+
+Fortran semantics modelled: column-major arrays, by-reference argument
+passing (including array-element actuals aliasing a column), COMMON
+storage shared by block name and member position, integer division
+truncating toward zero, DO trip count ``max(0, (end−start+step)/step)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    ContinueStmt,
+    DataDecl,
+    DoLoop,
+    Expr,
+    FuncRef,
+    GotoStmt,
+    If,
+    IOStmt,
+    LogicalLit,
+    Num,
+    ProcedureUnit,
+    ReturnStmt,
+    SourceFile,
+    Stmt,
+    StopStmt,
+    Str,
+    UnOp,
+    VarRef,
+)
+from ..fortran.symbols import FORMAL, PARAM, SymbolTable, int_const
+
+Value = Union[int, float, bool, str]
+
+
+class InterpError(Exception):
+    """Raised for unsupported constructs or runtime errors."""
+
+
+class _Return(Exception):
+    pass
+
+
+class _Stop(Exception):
+    pass
+
+
+class _Goto(Exception):
+    def __init__(self, label: int) -> None:
+        self.label = label
+
+
+class Cell:
+    """A mutable scalar location (models by-reference passing)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value = 0) -> None:
+        self.value = value
+
+
+class FortranArray:
+    """Column-major array with declared bounds per dimension."""
+
+    __slots__ = ("lows", "sizes", "data", "name")
+
+    def __init__(self, bounds: Sequence[Tuple[int, int]], name: str = "") -> None:
+        self.lows = [lo for lo, _ in bounds]
+        self.sizes = [hi - lo + 1 for lo, hi in bounds]
+        total = 1
+        for s in self.sizes:
+            if s < 0:
+                raise InterpError(f"negative extent in array {name}")
+            total *= s
+        self.data: List[Value] = [0.0] * total
+        self.name = name
+
+    def flat(self, subs: Sequence[int]) -> int:
+        if len(subs) != len(self.sizes):
+            raise InterpError(
+                f"array {self.name}: rank {len(self.sizes)} accessed with "
+                f"{len(subs)} subscripts"
+            )
+        offset = 0
+        stride = 1
+        for k, sub in enumerate(subs):
+            idx = sub - self.lows[k]
+            if idx < 0 or idx >= self.sizes[k]:
+                raise InterpError(
+                    f"array {self.name}: subscript {sub} out of bounds in "
+                    f"dimension {k + 1} [{self.lows[k]}, "
+                    f"{self.lows[k] + self.sizes[k] - 1}]"
+                )
+            offset += idx * stride
+            stride *= self.sizes[k]
+        return offset
+
+    def get(self, subs: Sequence[int]) -> Value:
+        return self.data[self.flat(subs)]
+
+    def set(self, subs: Sequence[int], value: Value) -> None:
+        self.data[self.flat(subs)] = value
+
+
+class ArrayView:
+    """A lower-rank window into another array (array-element actual)."""
+
+    __slots__ = ("base", "offset", "lows", "sizes", "name")
+
+    def __init__(
+        self,
+        base: "FortranArray",
+        offset: int,
+        bounds: Sequence[Tuple[int, int]],
+        name: str = "",
+    ) -> None:
+        self.base = base
+        self.offset = offset
+        self.lows = [lo for lo, _ in bounds]
+        self.sizes = [hi - lo + 1 for lo, hi in bounds]
+        self.name = name
+
+    def flat(self, subs: Sequence[int]) -> int:
+        offset = self.offset
+        stride = 1
+        for k, sub in enumerate(subs):
+            idx = sub - self.lows[k]
+            if idx < 0 or idx >= self.sizes[k]:
+                raise InterpError(
+                    f"view {self.name}: subscript {sub} out of bounds"
+                )
+            offset += idx * stride
+            stride *= self.sizes[k]
+        if offset >= len(self.base.data):
+            raise InterpError(f"view {self.name}: exceeds base array")
+        return offset
+
+    def get(self, subs: Sequence[int]) -> Value:
+        return self.base.data[self.flat(subs)]
+
+    def set(self, subs: Sequence[int], value: Value) -> None:
+        self.base.data[self.flat(subs)] = value
+
+
+ArrayLike = Union[FortranArray, ArrayView]
+
+
+@dataclass
+class Frame:
+    unit: ProcedureUnit
+    scalars: Dict[str, Cell] = field(default_factory=dict)
+    arrays: Dict[str, ArrayLike] = field(default_factory=dict)
+
+
+_INTRINSICS: Dict[str, Callable] = {
+    "abs": abs, "iabs": abs, "dabs": abs,
+    "sqrt": math.sqrt, "dsqrt": math.sqrt,
+    "exp": math.exp, "dexp": math.exp,
+    "log": math.log, "alog": math.log, "dlog": math.log,
+    "log10": math.log10, "alog10": math.log10,
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+    "atan2": math.atan2, "sinh": math.sinh, "cosh": math.cosh,
+    "tanh": math.tanh,
+    "max": max, "amax1": max, "max0": max, "dmax1": max,
+    "min": min, "amin1": min, "min0": min, "dmin1": min,
+    "int": int, "ifix": int, "idint": int,
+    "nint": lambda x: int(round(x)),
+    "float": float, "real": float, "dble": float, "sngl": float,
+    "mod": lambda a, b: a - b * int(a / b) if isinstance(a, int) and isinstance(b, int) else math.fmod(a, b),
+    "amod": math.fmod, "dmod": math.fmod,
+    "sign": lambda a, b: abs(a) if b >= 0 else -abs(a),
+    "isign": lambda a, b: abs(a) if b >= 0 else -abs(a),
+    "dim": lambda a, b: max(a - b, 0),
+}
+
+
+class Interpreter:
+    """Execute a bound SourceFile.
+
+    Parameters
+    ----------
+    sf:
+        The bound program (main program unit required to ``run()``).
+    inputs:
+        Values consumed by READ statements, in order.
+    doall_order:
+        ``"forward"`` (default), ``"reversed"`` or ``"shuffled"`` —
+        iteration order for loops whose ``parallel`` flag is set.  A valid
+        DOALL must give identical results under every order.
+    max_steps:
+        Execution budget (statement executions) to bound runaway loops.
+    """
+
+    def __init__(
+        self,
+        sf: SourceFile,
+        inputs: Optional[Sequence[Value]] = None,
+        doall_order: str = "forward",
+        max_steps: int = 5_000_000,
+        on_stmt: Optional[Callable[[Stmt], None]] = None,
+    ) -> None:
+        self.sf = sf
+        self.inputs = deque(inputs or [])
+        self.doall_order = doall_order
+        self.max_steps = max_steps
+        self.steps = 0
+        self.output: List[str] = []
+        self.commons: Dict[str, List[object]] = {}
+        self.on_stmt = on_stmt
+        self._rng_state = 0x9E3779B9
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self) -> List[str]:
+        """Execute the main program; returns the collected output lines."""
+
+        main = None
+        for unit in self.sf.units:
+            if unit.kind == "program":
+                main = unit
+                break
+        if main is None:
+            raise InterpError("no PROGRAM unit to run")
+        frame = self._make_frame(main, [])
+        try:
+            self._exec_body(main.body, frame)
+        except (_Return, _Stop):
+            pass
+        return self.output
+
+    def snapshot(self) -> Dict[str, List[Value]]:
+        """COMMON-block contents after a run (for result comparison)."""
+
+        out: Dict[str, List[Value]] = {}
+        for block, slots in self.commons.items():
+            values: List[Value] = []
+            for slot in slots:
+                if isinstance(slot, Cell):
+                    values.append(slot.value)
+                else:
+                    values.extend(slot.data)  # type: ignore[union-attr]
+            out[block] = values
+        return out
+
+    # -- frames ---------------------------------------------------------------
+
+    def _dim_bounds(
+        self, sym, table: SymbolTable, frame: Optional[Frame]
+    ) -> List[Tuple[int, int]]:
+        bounds: List[Tuple[int, int]] = []
+        for lo_e, hi_e in sym.dims or []:
+            lo = 1 if lo_e is None else self._const_or_eval(lo_e, table, frame)
+            if isinstance(hi_e, VarRef) and hi_e.name == "*":
+                hi = lo + 10_000 - 1  # assumed-size: generous window
+            else:
+                hi = self._const_or_eval(hi_e, table, frame)
+            bounds.append((int(lo), int(hi)))
+        return bounds
+
+    def _const_or_eval(self, expr: Expr, table: SymbolTable, frame) -> int:
+        value = int_const(expr, table)
+        if value is not None:
+            return value
+        if frame is None:
+            raise InterpError("non-constant bound outside a frame")
+        got = self._eval(expr, frame)
+        return int(got)
+
+    def _make_frame(self, unit: ProcedureUnit, actuals: List[object]) -> Frame:
+        table: SymbolTable = unit.symtab  # type: ignore[assignment]
+        frame = Frame(unit)
+        # Bind formals first (arrays may use formal scalars in bounds).
+        for idx, formal in enumerate(unit.formals):
+            if idx >= len(actuals):
+                raise InterpError(
+                    f"{unit.name}: expected {len(unit.formals)} args, got "
+                    f"{len(actuals)}"
+                )
+            actual = actuals[idx]
+            sym = table.get(formal)
+            if sym is not None and sym.is_array:
+                if isinstance(actual, Cell):
+                    raise InterpError(
+                        f"{unit.name}: scalar passed for array formal {formal}"
+                    )
+                # Re-window the incoming array to the formal's declared
+                # shape (adjustable dimensions use formal scalars, so this
+                # happens after scalars bind — do a second pass below).
+                frame.arrays[formal] = actual  # placeholder
+            else:
+                if not isinstance(actual, Cell):
+                    raise InterpError(
+                        f"{unit.name}: array passed for scalar formal {formal}"
+                    )
+                frame.scalars[formal] = actual
+        # COMMON storage.
+        for block, members in table.common_blocks.items():
+            slots = self.commons.get(block)
+            if slots is None:
+                slots = []
+                for m in members:
+                    msym = table[m]
+                    if msym.is_array:
+                        slots.append(
+                            FortranArray(self._dim_bounds(msym, table, frame), m)
+                        )
+                    else:
+                        slots.append(Cell(self._default_value(msym)))
+                self.commons[block] = slots
+            for pos, m in enumerate(members):
+                if pos >= len(slots):
+                    raise InterpError(f"common /{block}/ layout mismatch")
+                slot = slots[pos]
+                msym = table[m]
+                if msym.is_array:
+                    if isinstance(slot, Cell):
+                        raise InterpError(f"common /{block}/ member kind mismatch")
+                    frame.arrays[m] = slot
+                else:
+                    if not isinstance(slot, Cell):
+                        raise InterpError(f"common /{block}/ member kind mismatch")
+                    frame.scalars[m] = slot
+        # Locals (and re-window array formals with adjustable bounds).
+        for name, sym in table.symbols.items():
+            if name in frame.scalars or name in frame.arrays:
+                if (
+                    name in frame.arrays
+                    and sym.storage == FORMAL
+                    and sym.is_array
+                ):
+                    base = frame.arrays[name]
+                    bounds = self._dim_bounds(sym, table, frame)
+                    if isinstance(base, FortranArray):
+                        frame.arrays[name] = ArrayView(base, 0, bounds, name)
+                    else:
+                        frame.arrays[name] = ArrayView(
+                            base.base, base.offset, bounds, name
+                        )
+                continue
+            if sym.storage == PARAM:
+                value = int_const(sym.const_value, table) if sym.const_value else None
+                if value is None and sym.const_value is not None:
+                    value = self._eval_const_expr(sym.const_value, table)
+                frame.scalars[name] = Cell(value if value is not None else 0)
+            elif sym.is_array:
+                frame.arrays[name] = FortranArray(
+                    self._dim_bounds(sym, table, frame), name
+                )
+            elif sym.storage != "function":
+                frame.scalars[name] = Cell(self._default_value(sym))
+        # DATA initialisation.
+        for decl in unit.decls:
+            if isinstance(decl, DataDecl):
+                for name, value_expr in decl.items:
+                    value = self._eval(value_expr, frame)
+                    if name in frame.scalars:
+                        frame.scalars[name].value = value
+        # Function result cell.
+        if unit.kind == "function" and unit.name not in frame.scalars:
+            frame.scalars[unit.name] = Cell(0.0)
+        return frame
+
+    def _default_value(self, sym) -> Value:
+        return 0 if sym.typename == "integer" else (
+            False if sym.typename == "logical" else 0.0
+        )
+
+    def _eval_const_expr(self, expr: Expr, table: SymbolTable) -> Value:
+        from ..analysis.constants import eval_const
+
+        env = {}
+        for name, sym in table.symbols.items():
+            if sym.storage == PARAM and sym.const_value is not None:
+                v = eval_const(sym.const_value, env)
+                if v is not None:
+                    env[name] = v
+        got = eval_const(expr, env)
+        if got is None:
+            raise InterpError("PARAMETER value not constant")
+        return got
+
+    # -- execution ----------------------------------------------------------
+
+    def _tick(self, st: Stmt) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpError("execution budget exceeded")
+        if self.on_stmt is not None:
+            self.on_stmt(st)
+
+    def _exec_body(self, body: List[Stmt], frame: Frame) -> None:
+        labels = {st.label: i for i, st in enumerate(body) if st.label is not None}
+        i = 0
+        while i < len(body):
+            st = body[i]
+            try:
+                self._exec_stmt(st, frame)
+            except _Goto as g:
+                if g.label in labels:
+                    i = labels[g.label]
+                    continue
+                raise
+            i += 1
+
+    def _exec_stmt(self, st: Stmt, frame: Frame) -> None:
+        self._tick(st)
+        if isinstance(st, Assign):
+            value = self._eval(st.expr, frame)
+            self._store(st.target, value, frame)
+        elif isinstance(st, DoLoop):
+            self._exec_do(st, frame)
+        elif isinstance(st, If):
+            for cond, arm in st.arms:
+                if cond is None or _truthy(self._eval(cond, frame)):
+                    self._exec_body(arm, frame)
+                    return
+        elif isinstance(st, CallStmt):
+            self._call(st.name, st.args, frame)
+        elif isinstance(st, ReturnStmt):
+            raise _Return()
+        elif isinstance(st, StopStmt):
+            raise _Stop()
+        elif isinstance(st, ContinueStmt):
+            pass
+        elif isinstance(st, GotoStmt):
+            raise _Goto(st.target)
+        elif isinstance(st, IOStmt):
+            self._exec_io(st, frame)
+        else:
+            raise InterpError(f"cannot execute {type(st).__name__}")
+
+    def _iter_space(self, st: DoLoop, frame: Frame) -> List[int]:
+        start = self._as_int(self._eval(st.start, frame))
+        end = self._as_int(self._eval(st.end, frame))
+        step = (
+            self._as_int(self._eval(st.step, frame)) if st.step is not None else 1
+        )
+        if step == 0:
+            raise InterpError("zero DO step")
+        # Fortran trip count: max(0, (end − start + step) / step).
+        trip = max(0, (end - start + step) // step)
+        return [start + k * step for k in range(trip)]
+
+    def _exec_do(self, st: DoLoop, frame: Frame) -> None:
+        values = self._iter_space(st, frame)
+        if st.parallel and self.doall_order != "forward":
+            if self.doall_order == "reversed":
+                values = list(reversed(values))
+            elif self.doall_order == "shuffled":
+                values = self._shuffle(values)
+            else:
+                raise InterpError(f"unknown doall_order {self.doall_order!r}")
+        var_cell = frame.scalars.setdefault(st.var, Cell(0))
+        for v in values:
+            var_cell.value = v
+            self._exec_body(st.body, frame)
+        # After a completed Fortran DO, the variable holds the first
+        # out-of-range value.
+        if values:
+            step = values[1] - values[0] if len(values) > 1 else (
+                self._as_int(self._eval(st.step, frame)) if st.step is not None else 1
+            )
+            var_cell.value = values[-1] + step
+
+    def _shuffle(self, values: List[int]) -> List[int]:
+        # Deterministic xorshift shuffle: reproducible without random().
+        out = list(values)
+        state = self._rng_state
+        for i in range(len(out) - 1, 0, -1):
+            state ^= (state << 13) & 0xFFFFFFFF
+            state ^= state >> 17
+            state ^= (state << 5) & 0xFFFFFFFF
+            j = state % (i + 1)
+            out[i], out[j] = out[j], out[i]
+        self._rng_state = state or 0x9E3779B9
+        return out
+
+    def _exec_io(self, st: IOStmt, frame: Frame) -> None:
+        if st.kind == "read":
+            for item in st.items:
+                if not self.inputs:
+                    raise InterpError("READ with no remaining input")
+                value = self.inputs.popleft()
+                self._store(item, value, frame)
+            return
+        parts = []
+        for item in st.items:
+            value = self._eval(item, frame)
+            parts.append(_format_value(value))
+        self.output.append(" ".join(parts))
+
+    # -- calls -------------------------------------------------------------------
+
+    def _unit_named(self, name: str) -> Optional[ProcedureUnit]:
+        for unit in self.sf.units:
+            if unit.name == name:
+                return unit
+        return None
+
+    def _call(self, name: str, args: List[Expr], frame: Frame) -> Optional[Value]:
+        unit = self._unit_named(name)
+        if unit is None:
+            raise InterpError(f"call to unknown procedure {name!r}")
+        actuals = [self._prepare_actual(arg, frame) for arg in args]
+        callee_frame = self._make_frame(unit, actuals)
+        try:
+            self._exec_body(unit.body, callee_frame)
+        except _Return:
+            pass
+        if unit.kind == "function":
+            return callee_frame.scalars[unit.name].value
+        return None
+
+    def _prepare_actual(self, arg: Expr, frame: Frame) -> object:
+        if isinstance(arg, VarRef):
+            if arg.name in frame.arrays:
+                return frame.arrays[arg.name]
+            if arg.name in frame.scalars:
+                return frame.scalars[arg.name]
+            cell = Cell(0.0)
+            frame.scalars[arg.name] = cell
+            return cell
+        if isinstance(arg, ArrayRef):
+            base = frame.arrays.get(arg.name)
+            if base is None:
+                raise InterpError(f"unknown array {arg.name!r}")
+            subs = [self._as_int(self._eval(s, frame)) for s in arg.subs]
+            offset = base.flat(subs)
+            if isinstance(base, ArrayView):
+                return ArrayView(base.base, offset, [(1, 10_000)], arg.name)
+            return ArrayView(base, offset, [(1, 10_000)], arg.name)
+        # Expression actual: copy-in only.
+        return Cell(self._eval(arg, frame))
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _as_int(self, value: Value) -> int:
+        if isinstance(value, bool):
+            raise InterpError("logical used as subscript")
+        return int(value)
+
+    def _store(self, target: Expr, value: Value, frame: Frame) -> None:
+        if isinstance(target, VarRef):
+            cell = frame.scalars.get(target.name)
+            if cell is None:
+                cell = Cell(0.0)
+                frame.scalars[target.name] = cell
+            sym = frame.unit.symtab.get(target.name)  # type: ignore[union-attr]
+            if sym is not None and sym.typename == "integer" and not isinstance(value, bool):
+                value = int(value)
+            cell.value = value
+            return
+        if isinstance(target, ArrayRef):
+            arr = frame.arrays.get(target.name)
+            if arr is None:
+                raise InterpError(f"unknown array {target.name!r}")
+            subs = [self._as_int(self._eval(s, frame)) for s in target.subs]
+            sym = frame.unit.symtab.get(target.name)  # type: ignore[union-attr]
+            if sym is not None and sym.typename == "integer" and not isinstance(value, bool):
+                value = int(value)
+            arr.set(subs, value)
+            return
+        raise InterpError(f"cannot assign to {type(target).__name__}")
+
+    def _eval(self, expr: Expr, frame: Frame) -> Value:
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, Str):
+            return expr.value
+        if isinstance(expr, LogicalLit):
+            return expr.value
+        if isinstance(expr, VarRef):
+            cell = frame.scalars.get(expr.name)
+            if cell is None:
+                raise InterpError(f"uninitialised name {expr.name!r}")
+            return cell.value
+        if isinstance(expr, ArrayRef):
+            arr = frame.arrays.get(expr.name)
+            if arr is None:
+                raise InterpError(f"unknown array {expr.name!r}")
+            subs = [self._as_int(self._eval(s, frame)) for s in expr.subs]
+            return arr.get(subs)
+        if isinstance(expr, FuncRef):
+            if expr.intrinsic:
+                fn = _INTRINSICS.get(expr.name)
+                if fn is None:
+                    raise InterpError(f"unsupported intrinsic {expr.name!r}")
+                args = [self._eval(a, frame) for a in expr.args]
+                try:
+                    return fn(*args)
+                except ValueError as exc:
+                    raise InterpError(f"intrinsic {expr.name}: {exc}") from exc
+            result = self._call(expr.name, expr.args, frame)
+            if result is None:
+                raise InterpError(f"{expr.name} is not a function")
+            return result
+        if isinstance(expr, UnOp):
+            value = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                return -value
+            if expr.op == "+":
+                return value
+            if expr.op == ".not.":
+                return not value
+            raise InterpError(f"unsupported unary {expr.op!r}")
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, frame)
+            op = expr.op
+            if op == ".and.":
+                return bool(left) and bool(self._eval(expr.right, frame))
+            if op == ".or.":
+                return bool(left) or bool(self._eval(expr.right, frame))
+            right = self._eval(expr.right, frame)
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise InterpError("division by zero")
+                if isinstance(left, int) and isinstance(right, int):
+                    return int(left / right)
+                return left / right
+            if op == "**":
+                return left**right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "==":
+                return left == right
+            if op == "/=":
+                return left != right
+            if op == ".eqv.":
+                return bool(left) == bool(right)
+            if op == ".neqv.":
+                return bool(left) != bool(right)
+            if op == "//":
+                return str(left) + str(right)
+            raise InterpError(f"unsupported operator {op!r}")
+        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _truthy(value: Value) -> bool:
+    return bool(value)
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, bool):
+        return "T" if value else "F"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

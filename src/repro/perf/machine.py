@@ -1,0 +1,45 @@
+"""Parametric machine model.
+
+Abstract cycle costs calibrated to the flavour of machine the workshop
+users ran on (8-processor Alliant FX/8, Cray Y-MP): cheap arithmetic,
+costlier memory traffic, a noticeable procedure-call overhead and a large
+parallel-loop fork/join cost — the constant that makes inner-loop
+parallelism unprofitable and drives the paper's granularity discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cycle costs for the static estimator and the simulator."""
+
+    n_procs: int = 8
+    flop: float = 1.0  # one arithmetic operation
+    mem: float = 2.0  # one array element access
+    scalar_access: float = 0.5
+    intrinsic: float = 8.0  # sqrt/exp/…
+    branch: float = 2.0  # IF evaluation overhead
+    loop_overhead: float = 2.0  # per-iteration increment/test/branch
+    call_overhead: float = 25.0  # procedure linkage
+    io_cost: float = 500.0  # one I/O statement
+    fork_join: float = 1000.0  # parallel loop startup + barrier
+    reduction_combine: float = 20.0  # per-processor combine step
+    default_trip: float = 100.0  # assumed trip count for unknown bounds
+
+    def parallel_time(
+        self, trip: float, body_cost: float, n_reductions: int = 0
+    ) -> float:
+        """Fork/join model: ceil-divided iterations plus fixed overheads."""
+
+        procs = max(1, self.n_procs)
+        chunks = max(1.0, trip / procs)
+        time = self.fork_join + chunks * (body_cost + self.loop_overhead)
+        if n_reductions:
+            time += n_reductions * self.reduction_combine * procs
+        return time
+
+    def sequential_time(self, trip: float, body_cost: float) -> float:
+        return trip * (body_cost + self.loop_overhead)

@@ -1,0 +1,101 @@
+"""Interpreter-based profiling.
+
+The workshop users relied on gprof and Forge's loop-level profiles to
+decide where to spend their effort; this module supplies the equivalent
+signal: execute the program in the reference interpreter counting how
+often each statement runs, then aggregate per loop and per procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..fortran.ast_nodes import DoLoop, ProcedureUnit, SourceFile, Stmt, walk_statements
+from .interp import Interpreter, Value
+
+
+@dataclass
+class LoopProfile:
+    """Execution counts for one loop."""
+
+    unit: str
+    line: int
+    var: str
+    entries: int = 0  # how many times the loop started
+    iterations: int = 0  # total body executions
+
+    @property
+    def avg_trip(self) -> float:
+        return self.iterations / self.entries if self.entries else 0.0
+
+
+@dataclass
+class ProgramProfile:
+    """Whole-program profile: per-statement, per-loop, per-unit counts."""
+
+    stmt_counts: Dict[int, int] = field(default_factory=dict)  # by id(stmt)
+    loops: List[LoopProfile] = field(default_factory=list)
+    unit_counts: Dict[str, int] = field(default_factory=dict)
+    total_steps: int = 0
+
+    def hottest_loops(self, limit: int = 10) -> List[LoopProfile]:
+        return sorted(self.loops, key=lambda lp: -lp.iterations)[:limit]
+
+
+def profile_program(
+    sf: SourceFile,
+    inputs: Optional[Sequence[Value]] = None,
+    max_steps: int = 5_000_000,
+) -> ProgramProfile:
+    """Run the program once, collecting execution counts."""
+
+    profile = ProgramProfile()
+    counts: Dict[int, int] = {}
+
+    # Map statements to loops/units for aggregation.
+    stmt_unit: Dict[int, str] = {}
+    loop_of_stmt: Dict[int, List[DoLoop]] = {}
+    loop_records: Dict[int, LoopProfile] = {}
+
+    for unit in sf.units:
+        for st in walk_statements(unit.body):
+            stmt_unit[id(st)] = unit.name
+        for nest_loop in _loops_of(unit):
+            loop_records[id(nest_loop)] = LoopProfile(
+                unit.name, nest_loop.line, nest_loop.var
+            )
+            for st in nest_loop.body:
+                for inner in walk_statements([st]):
+                    loop_of_stmt.setdefault(id(inner), []).append(nest_loop)
+
+    def on_stmt(st: Stmt) -> None:
+        counts[id(st)] = counts.get(id(st), 0) + 1
+
+    interp = Interpreter(sf, inputs=inputs, max_steps=max_steps, on_stmt=on_stmt)
+    interp.run()
+
+    profile.stmt_counts = counts
+    profile.total_steps = interp.steps
+    for unit in sf.units:
+        total = 0
+        for st in walk_statements(unit.body):
+            total += counts.get(id(st), 0)
+        profile.unit_counts[unit.name] = total
+        for loop in _loops_of(unit):
+            record = loop_records[id(loop)]
+            record.entries = counts.get(id(loop), 0)
+            direct = 0
+            for st in loop.body:
+                direct += counts.get(id(st), 0)
+            # Body executions of the first body statement = iterations.
+            if loop.body:
+                record.iterations = counts.get(id(loop.body[0]), 0)
+            else:
+                record.iterations = 0
+            profile.loops.append(record)
+    return profile
+
+
+def _loops_of(unit: ProcedureUnit) -> List[DoLoop]:
+    return [st for st in walk_statements(unit.body) if isinstance(st, DoLoop)]

@@ -1,0 +1,150 @@
+"""Simulated parallel execution.
+
+Combines the reference profile (real trip counts) with the machine
+model's fork/join cost to predict wall-clock time of a program whose
+loops carry DOALL markings, for any processor count.  This substitutes
+for the paper's Alliant/Y-MP runs: absolute numbers are model artefacts,
+but the *shape* — which loops profit, where inner-loop parallelization
+loses to fork/join overhead, how outer-loop parallelism scales — matches
+the phenomena the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..fortran.ast_nodes import (
+    Assign,
+    CallStmt,
+    DoLoop,
+    If,
+    IOStmt,
+    ProcedureUnit,
+    SourceFile,
+    Stmt,
+)
+from .estimator import PerformanceEstimator
+from .machine import MachineModel
+from .profiler import ProgramProfile, profile_program
+
+
+@dataclass
+class SimulationResult:
+    """Predicted times for one configuration."""
+
+    sequential: float
+    parallel: float
+    n_procs: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential / self.parallel if self.parallel > 0 else 1.0
+
+
+def simulate_speedup(
+    sf: SourceFile,
+    n_procs: int = 8,
+    machine: Optional[MachineModel] = None,
+    profile: Optional[ProgramProfile] = None,
+    inputs: Optional[Sequence] = None,
+) -> SimulationResult:
+    """Predict sequential and parallel time of ``sf`` on ``n_procs``.
+
+    Parallel loops (the ``parallel`` flag set by Ped's transformations)
+    spread their iterations over the processors at the cost of one
+    fork/join per entry; nested parallelism inside an already-parallel
+    loop executes sequentially (single level of parallelism, as on the
+    machines of the era).
+    """
+
+    import dataclasses
+
+    machine = machine or MachineModel(n_procs=n_procs)
+    if machine.n_procs != n_procs:
+        machine = dataclasses.replace(machine, n_procs=n_procs)
+    profile = profile or profile_program(sf, inputs=inputs)
+    est = PerformanceEstimator(machine)
+    sim = _Simulator(sf, est, profile, machine)
+    main = next(u for u in sf.units if u.kind == "program")
+    seq = sim.body_time(main.body, main, parallel_allowed=False)
+    par = sim.body_time(main.body, main, parallel_allowed=True)
+    return SimulationResult(seq, par, n_procs)
+
+
+class _Simulator:
+    def __init__(self, sf, est, profile, machine) -> None:
+        self.sf = sf
+        self.est = est
+        self.profile = profile
+        self.machine = machine
+        self.units = {u.name: u for u in sf.units}
+
+    def _trip(self, loop: DoLoop) -> float:
+        counts = self.profile.stmt_counts
+        entries = counts.get(id(loop), 0)
+        iters = counts.get(id(loop.body[0]), 0) if loop.body else 0
+        if entries:
+            return iters / entries
+        return self.machine.default_trip
+
+    def body_time(
+        self, body: List[Stmt], unit: ProcedureUnit, parallel_allowed: bool
+    ) -> float:
+        total = 0.0
+        for st in body:
+            total += self.stmt_time(st, unit, parallel_allowed)
+        return total
+
+    def stmt_time(
+        self, st: Stmt, unit: ProcedureUnit, parallel_allowed: bool
+    ) -> float:
+        m = self.machine
+        if isinstance(st, DoLoop):
+            trip = self._trip(st)
+            body = self.body_time(
+                st.body, unit, parallel_allowed and not st.parallel
+            )
+            if st.parallel and parallel_allowed:
+                return m.parallel_time(trip, body, len(st.reductions))
+            return m.sequential_time(trip, body)
+        if isinstance(st, If):
+            cond = sum(
+                self.est.expr_cost(c) for c, _ in st.arms if c is not None
+            )
+            arms = [
+                self.body_time(b, unit, parallel_allowed) for _, b in st.arms
+            ]
+            avg = sum(arms) / len(arms) if arms else 0.0
+            return m.branch + cond + avg
+        if isinstance(st, CallStmt):
+            callee = self.units.get(st.name)
+            args = sum(self.est.expr_cost(a) for a in st.args)
+            if callee is None:
+                return m.call_overhead + args
+            return (
+                m.call_overhead
+                + args
+                + self.body_time(callee.body, callee, parallel_allowed)
+            )
+        if isinstance(st, IOStmt):
+            return m.io_cost
+        if isinstance(st, Assign):
+            return self.est.stmt_cost(st)
+        return 0.0
+
+
+def speedup_curve(
+    sf: SourceFile,
+    procs: Sequence[int] = (1, 2, 4, 8, 16),
+    machine: Optional[MachineModel] = None,
+    inputs: Optional[Sequence] = None,
+) -> List[Tuple[int, float]]:
+    """Speedup at each processor count (shared profile, one interp run)."""
+
+    profile = profile_program(sf, inputs=inputs)
+    out: List[Tuple[int, float]] = []
+    for p in procs:
+        result = simulate_speedup(sf, p, machine, profile)
+        out.append((p, result.speedup))
+    return out

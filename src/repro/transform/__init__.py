@@ -1,0 +1,24 @@
+"""Power-steered source-to-source transformations.
+
+Each transformation follows Ped's *power steering* paradigm: the user
+selects the transformation, the system diagnoses whether it is
+**applicable** (syntactically possible), **safe** (semantics preserving,
+per the dependence graph) and **profitable** (worth doing), and then — on
+request — performs the mechanical rewrite.
+"""
+
+from .base import Advice, TransformContext, Transformation, find_parent  # noqa: F401
+from .subst import substitute_var, rename_var  # noqa: F401
+from .parallelize import Parallelize  # noqa: F401
+from .interchange import LoopInterchange  # noqa: F401
+from .distribution import LoopDistribution  # noqa: F401
+from .fusion import LoopFusion  # noqa: F401
+from .reversal import LoopReversal  # noqa: F401
+from .skewing import LoopSkewing  # noqa: F401
+from .stripmine import StripMine  # noqa: F401
+from .unroll import LoopUnroll  # noqa: F401
+from .expansion import ScalarExpansion  # noqa: F401
+from .privatize import Privatize  # noqa: F401
+from .reduction import ReductionRewrite  # noqa: F401
+from .statements import StatementInterchange  # noqa: F401
+from .registry import TRANSFORMATIONS, get_transformation  # noqa: F401

@@ -1,0 +1,251 @@
+"""Procedure extraction (outlining) — the other half of the missing pair.
+
+"Embedding and extraction are not currently implemented in Ped."  Where
+embedding exposes a callee's loops to the caller, *extraction* pulls a
+loop's body out into a new subroutine called once per iteration — the
+restructuring that turns an unwieldy monolithic loop into the
+gloop-shaped form interprocedural analysis handles well, and the basic
+move for sharing per-iteration work between drivers.
+
+The new subroutine receives every non-COMMON name the body references as
+a by-reference formal (the loop variable first); COMMON blocks used by
+the body are redeclared with the caller's layout; PARAMETER constants are
+re-stated.  Bodies containing RETURN/STOP/GOTO are rejected (control
+could escape the new procedure boundary).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..fortran.ast_nodes import (
+    CallStmt,
+    CommonDecl,
+    DoLoop,
+    Entity,
+    GotoStmt,
+    ParameterDecl,
+    ProcedureUnit,
+    ReturnStmt,
+    StopStmt,
+    TypeDecl,
+    VarRef,
+    copy_expr,
+    copy_stmt,
+    walk_statements,
+)
+from ..fortran.symbols import COMMON, PARAM, SymbolTable
+from .base import Advice, TransformContext, Transformation, TransformError
+
+
+class ExtractLoopBody(Transformation):
+    """Outline the selected loop's body into a fresh subroutine."""
+
+    name = "extract"
+
+    def diagnose(
+        self, ctx: TransformContext, loop: DoLoop = None, unit_name: str = "", **kwargs
+    ) -> Advice:
+        if loop is None or not isinstance(loop, DoLoop):
+            return Advice.no("no DO loop selected")
+        if ctx.source_file is None:
+            return Advice.no("no whole-program context for the new unit")
+        for st in walk_statements(loop.body):
+            if isinstance(st, (ReturnStmt, StopStmt)):
+                return Advice.no("body contains RETURN/STOP")
+            if isinstance(st, GotoStmt):
+                return Advice.no("body contains GOTO")
+        new_name = self._unit_name(ctx, unit_name or "body")
+        names = self._referenced(ctx, loop)
+        formals = self._formal_list(ctx, loop, names)
+        if len(formals) > 12:
+            return Advice(
+                True,
+                True,
+                False,
+                [f"{len(formals)} formals needed: consider COMMON first"],
+            )
+        return Advice.yes(
+            f"extracts {len(loop.body)} statement(s) into subroutine "
+            f"{new_name}({', '.join(formals)})",
+            profitable=False,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _unit_name(self, ctx: TransformContext, base: str) -> str:
+        sf = ctx.source_file
+        existing = {u.name for u in sf.units}  # type: ignore[union-attr]
+        name = base
+        k = 1
+        while name in existing:
+            name = f"{base}{k}"
+            k += 1
+        return name
+
+    def _referenced(self, ctx: TransformContext, loop: DoLoop) -> Set[str]:
+        from ..analysis.defuse import stmt_defs, stmt_uses
+
+        table: SymbolTable = ctx.unit.symtab  # type: ignore[assignment]
+        names: Set[str] = set()
+        for st in walk_statements(loop.body):
+            names |= stmt_uses(st, table)
+            _, may = stmt_defs(st, table)
+            names |= may
+        return {n for n in names if table.get(n) is not None}
+
+    def _formal_list(
+        self, ctx: TransformContext, loop: DoLoop, names: Set[str]
+    ) -> List[str]:
+        table: SymbolTable = ctx.unit.symtab  # type: ignore[assignment]
+        formals = [loop.var]
+        extra: Set[str] = set()
+        for n in sorted(names):
+            sym = table[n]
+            if sym.storage in (COMMON, PARAM, "function") or n == loop.var:
+                continue
+            formals.append(n)
+            # Adjustable array bounds pull their symbols in as formals too.
+            if sym.dims is not None:
+                for lo, hi in sym.dims:
+                    for bound in (lo, hi):
+                        if bound is None:
+                            continue
+                        from ..fortran.ast_nodes import walk_expr
+
+                        for node in walk_expr(bound):
+                            if isinstance(node, VarRef) and node.name != "*":
+                                bsym = table.get(node.name)
+                                if bsym is not None and bsym.storage not in (
+                                    COMMON,
+                                    PARAM,
+                                ):
+                                    extra.add(node.name)
+        for n in sorted(extra):
+            if n not in formals:
+                formals.append(n)
+        return formals
+
+    # -- apply ----------------------------------------------------------------
+
+    def apply(
+        self, ctx: TransformContext, loop: DoLoop = None, unit_name: str = "", **kwargs
+    ) -> str:
+        advice = self.diagnose(ctx, loop=loop, unit_name=unit_name)
+        if not advice.ok:
+            raise TransformError(f"extract: {advice.describe()}")
+        sf = ctx.source_file
+        table: SymbolTable = ctx.unit.symtab  # type: ignore[assignment]
+        new_name = self._unit_name(ctx, unit_name or "body")
+        names = self._referenced(ctx, loop)
+        formals = self._formal_list(ctx, loop, names)
+
+        decls = []
+        # PARAMETER constants used anywhere in the body or in the
+        # dimension bounds of anything we are about to redeclare.
+        params_used = {n for n in names if table[n].storage == PARAM}
+        blocks_used0 = {
+            table[n].common_block for n in names if table[n].storage == COMMON
+        }
+        dim_owners = list(formals)
+        for block in blocks_used0:
+            if block is not None:
+                dim_owners.extend(table.common_blocks[block])
+        from ..fortran.ast_nodes import walk_expr
+
+        for n in dim_owners:
+            sym = table.get(n)
+            if sym is None or sym.dims is None:
+                continue
+            for lo, hi in sym.dims:
+                for bound in (lo, hi):
+                    if bound is None:
+                        continue
+                    for node in walk_expr(bound):
+                        if isinstance(node, VarRef) and node.name != "*":
+                            bsym = table.get(node.name)
+                            if bsym is not None and bsym.storage == PARAM:
+                                params_used.add(node.name)
+        for decl in ctx.unit.decls:
+            if isinstance(decl, ParameterDecl):
+                keep = [(n, copy_expr(e)) for n, e in decl.assigns if n in params_used]
+                if keep:
+                    decls.append(ParameterDecl(0, None, -1, keep))
+        # Type declarations for formals.
+        for n in formals:
+            sym = table[n]
+            ent = Entity(
+                n,
+                None
+                if sym.dims is None
+                else [
+                    (None if lo is None else copy_expr(lo), copy_expr(hi))
+                    for lo, hi in sym.dims
+                ],
+                0,
+            )
+            decls.append(TypeDecl(0, None, -1, sym.typename, [ent]))
+        # COMMON blocks whose members the body touches.
+        blocks_used = {
+            table[n].common_block for n in names if table[n].storage == COMMON
+        }
+        for block in sorted(b for b in blocks_used if b is not None):
+            members = table.common_blocks[block]
+            entities = []
+            for m in members:
+                msym = table[m]
+                if msym.dims is not None:
+                    decls.append(
+                        TypeDecl(
+                            0,
+                            None,
+                            -1,
+                            msym.typename,
+                            [
+                                Entity(
+                                    m,
+                                    [
+                                        (
+                                            None if lo is None else copy_expr(lo),
+                                            copy_expr(hi),
+                                        )
+                                        for lo, hi in msym.dims
+                                    ],
+                                    0,
+                                )
+                            ],
+                        )
+                    )
+                    entities.append(Entity(m, None, 0))
+                else:
+                    decls.append(
+                        TypeDecl(0, None, -1, msym.typename, [Entity(m, None, 0)])
+                    )
+                    entities.append(Entity(m, None, 0))
+            decls.append(CommonDecl(0, None, -1, block, entities))
+
+        body = [copy_stmt(st) for st in loop.body]
+        new_unit = ProcedureUnit(
+            "subroutine",
+            new_name,
+            formals,
+            None,
+            decls,
+            body + [ReturnStmt(0, None, -1)],
+            loop.line,
+        )
+        sf.units.append(new_unit)  # type: ignore[union-attr]
+
+        loop.body = [
+            CallStmt(
+                loop.line,
+                None,
+                -1,
+                new_name,
+                [VarRef(0, f) for f in formals],
+            )
+        ]
+        return (
+            f"extracted body into subroutine {new_name}"
+            f"({', '.join(formals)})"
+        )

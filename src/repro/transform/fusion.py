@@ -1,0 +1,224 @@
+"""Loop fusion.
+
+Two adjacent loops with conformable headers fuse into one, raising
+granularity and enabling interchange across what used to be separate
+loops (the gloop recipe: "loops in gloop contained multiple calls so the
+loops of the called procedures were first fused before applying
+interchange").
+
+Safety — the classic fusion-preventing condition: a dependence from the
+first loop's body to the second's that would become *backward
+loop-carried* after fusion (the fused iteration ``i`` of the second body
+would need a value the first body only produces at some iteration
+``> i``).  The check builds the fused candidate, runs the dependence
+analyzer on it, and looks for carried edges from former-second-body
+statements to former-first-body statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..fortran.ast_nodes import DoLoop, ProcedureUnit, copy_stmt, walk_statements
+from ..fortran.printer import expr_to_str
+from .base import Advice, TransformContext, Transformation, TransformError, find_parent
+
+
+class LoopFusion(Transformation):
+    name = "fuse"
+
+    def diagnose(self, ctx: TransformContext, loop: DoLoop = None, **kwargs) -> Advice:
+        """Diagnose fusing ``loop`` with the loop textually after it."""
+
+        if loop is None:
+            return Advice.no("no loop selected")
+        nxt = self._next_loop(ctx.unit, loop)
+        if nxt is None:
+            return Advice.no("no adjacent DO loop follows the selection")
+        if not self._headers_conform(loop, nxt):
+            return Advice.no(
+                "loop headers differ (bounds/step must match textually)"
+            )
+        scalar_issue = self._scalar_crossflow(ctx, loop, nxt)
+        if scalar_issue:
+            return Advice.unsafe(scalar_issue)
+        if self._fusion_preventing(ctx, loop, nxt):
+            return Advice.unsafe(
+                "fusion-preventing dependence: the second loop consumes "
+                "values the first produces in later iterations"
+            )
+        return Advice.yes("headers conform; no fusion-preventing dependence")
+
+    def _scalar_crossflow(self, ctx: TransformContext, a: DoLoop, b: DoLoop) -> str:
+        """Scalars flowing between the loops prevent fusion.
+
+        The second loop's upward-exposed scalar reads see the first loop's
+        *final* value; interleaving the bodies would feed them
+        per-iteration values instead (and symmetrically for scalars the
+        second loop writes that the first reads across what used to be a
+        complete execution).  Loop control variables are exempt — fusion
+        renames them.
+        """
+
+        from ..analysis.defuse import stmt_defs
+        from ..analysis.kill import upward_exposed
+
+        table = ctx.unit.symtab
+
+        def scalar_defs(loop: DoLoop):
+            out = set()
+            for st in walk_statements(loop.body):
+                must, may = stmt_defs(st, table)
+                out |= {
+                    v
+                    for v in may
+                    if (sym := table.get(v)) is not None and not sym.is_array
+                }
+            return out - {loop.var, a.var, b.var}
+
+        def exposed_scalars(loop: DoLoop):
+            return {
+                v
+                for v in upward_exposed(loop, table)
+                if (sym := table.get(v)) is not None and not sym.is_array
+            } - {loop.var, a.var, b.var}
+
+        forward = scalar_defs(a) & exposed_scalars(b)
+        if forward:
+            return (
+                "scalar(s) flow between the loops: "
+                + ", ".join(sorted(forward))
+                + " — the second loop reads the first loop's final value"
+            )
+        backward = scalar_defs(b) & exposed_scalars(a)
+        if backward:
+            return (
+                "the first loop reads scalar(s) the second overwrites: "
+                + ", ".join(sorted(backward))
+            )
+        return ""
+
+    def _next_loop(self, unit: ProcedureUnit, loop: DoLoop) -> Optional[DoLoop]:
+        where = find_parent(unit, loop)
+        if where is None:
+            return None
+        body, idx = where
+        if idx + 1 < len(body) and isinstance(body[idx + 1], DoLoop):
+            return body[idx + 1]
+        return None
+
+    def _headers_conform(self, a: DoLoop, b: DoLoop) -> bool:
+        def step_str(lp: DoLoop) -> str:
+            return expr_to_str(lp.step) if lp.step is not None else "1"
+
+        return (
+            expr_to_str(a.start) == expr_to_str(b.start)
+            and expr_to_str(a.end) == expr_to_str(b.end)
+            and step_str(a) == step_str(b)
+        )
+
+    def _fusion_preventing(
+        self, ctx: TransformContext, a: DoLoop, b: DoLoop
+    ) -> bool:
+        from ..dependence.driver import AnalysisConfig, analyze_unit
+        from ..fortran.ast_nodes import number_statements
+
+        # Build a candidate: a throwaway clone of the unit with the loops
+        # fused, analyzed in isolation.
+        unit = ctx.unit
+        clone = ProcedureUnit(
+            unit.kind,
+            unit.name,
+            list(unit.formals),
+            unit.rettype,
+            unit.decls,
+            [copy_stmt(st) for st in unit.body],
+            unit.line,
+            unit.symtab,
+        )
+        # Locate the cloned loops by structural position.
+        path = _path_to(unit.body, a)
+        a2 = _by_path(clone.body, path)
+        where = find_parent(clone, a2)
+        assert where is not None
+        body, idx = where
+        b2 = body[idx + 1]
+        n_first = len(a2.body)
+        fused = DoLoop(
+            a2.line,
+            None,
+            -1,
+            a2.var,
+            a2.start,
+            a2.end,
+            a2.step,
+            list(a2.body) + [_renamed(st, b2.var, a2.var) for st in b2.body],
+        )
+        body[idx : idx + 2] = [fused]
+        number_statements(clone)
+        analysis = analyze_unit(clone, AnalysisConfig(control_deps=False))
+        first_sids = {st.sid for st in walk_statements(fused.body[:n_first])}
+        second_sids = {st.sid for st in walk_statements(fused.body[n_first:])}
+        for dep in analysis.graph.carried_by(fused):
+            if dep.src_sid in second_sids and dep.dst_sid in first_sids:
+                return True
+        return False
+
+    def apply(self, ctx: TransformContext, loop: DoLoop = None, **kwargs) -> str:
+        advice = self.diagnose(ctx, loop=loop)
+        if not advice.ok:
+            raise TransformError(f"fuse: {advice.describe()}")
+        nxt = self._next_loop(ctx.unit, loop)
+        assert nxt is not None
+        where = find_parent(ctx.unit, loop)
+        assert where is not None
+        body, idx = where
+        loop.body.extend(_renamed(st, nxt.var, loop.var) for st in nxt.body)
+        del body[idx + 1]
+        return f"fused loop {nxt.var} (line {nxt.line}) into loop {loop.var}"
+
+
+def _renamed(st, old: str, new: str):
+    from .subst import substitute_in_stmt
+    from ..fortran.ast_nodes import VarRef
+
+    if old != new:
+        substitute_in_stmt(st, old, VarRef(0, new))
+    return st
+
+
+def _path_to(body, target) -> List[int]:
+    """Structural index path from a body list to a statement."""
+
+    def search(stmts, path):
+        for i, st in enumerate(stmts):
+            if st is target:
+                return path + [i]
+            j = 0
+            for blk in st.blocks():
+                got = search(blk, path + [i, j])
+                if got is not None:
+                    return got
+                j += 1
+        return None
+
+    got = search(body, [])
+    if got is None:
+        raise ValueError("statement not found")
+    return got
+
+
+def _by_path(body, path: List[int]):
+    """Follow a structural index path produced by :func:`_path_to`."""
+
+    stmts = body
+    i = 0
+    while True:
+        idx = path[i]
+        st = stmts[idx]
+        if i == len(path) - 1:
+            return st
+        blk_idx = path[i + 1]
+        blocks = list(st.blocks())
+        stmts = blocks[blk_idx]
+        i += 2

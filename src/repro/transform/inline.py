@@ -1,0 +1,306 @@
+"""Procedure embedding (inlining) — the paper's missing transformation.
+
+"Embedding and extraction are not currently implemented in Ped."  The
+experiences paper lists procedure embedding as the enhancement needed to
+finish the gloop story: after fusing the callee loops, *interchange
+across the procedure boundary* requires the callee's loop to be visible
+in the caller.  This module implements embedding for CALL statements:
+
+* formals are bound to actuals — scalar formals by substitution when the
+  actual is a name or constant (safe because standard-conforming Fortran
+  forbids writing through aliased arguments), array formals by rewriting
+  element references onto the actual array (whole-array actuals map
+  dimensions 1:1; the classic column-pass ``a(1, j)`` actual maps a
+  rank-1 formal onto ``a(i, j)``);
+* callee locals are renamed into fresh caller locals;
+* COMMON declarations must agree (same block layout) and then need no
+  rewriting;
+* a single trailing RETURN is dropped; any other RETURN/STOP or DATA
+  initialisation in the callee makes the embedding inapplicable.
+
+After embedding, the ordinary intraprocedural machinery — interchange,
+fusion, parallelization — applies to what used to be hidden behind the
+call, which is precisely the interprocedural-transformation recipe of
+Hall–Kennedy–McKinley.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    CallStmt,
+    DataDecl,
+    DoLoop,
+    Expr,
+    Num,
+    ProcedureUnit,
+    ReturnStmt,
+    SourceFile,
+    Stmt,
+    StopStmt,
+    VarRef,
+    copy_expr,
+    copy_stmt,
+    walk_expr,
+    walk_statements,
+)
+from ..fortran.symbols import COMMON, FORMAL, PARAM, SymbolTable
+from .base import Advice, TransformContext, Transformation, TransformError
+from .subst import substitute_in_stmt
+
+
+class InlineCall(Transformation):
+    """Embed a callee's body at a CALL site."""
+
+    name = "inline"
+
+    def __init__(self, source: Optional[SourceFile] = None) -> None:
+        self.source = source
+
+    def _find_callee(self, ctx: TransformContext, name: str) -> Optional[ProcedureUnit]:
+        sf = self.source or ctx.source_file
+        if sf is None:
+            return None
+        try:
+            return sf.unit(name)  # type: ignore[union-attr]
+        except KeyError:
+            return None
+
+    def diagnose(self, ctx: TransformContext, call: CallStmt = None, **kwargs) -> Advice:
+        if call is None or not isinstance(call, CallStmt):
+            return Advice.no("no CALL statement selected")
+        callee = self._find_callee(ctx, call.name)
+        if callee is None:
+            return Advice.no(f"no source for callee {call.name!r}")
+        if callee.kind != "subroutine":
+            return Advice.no("only subroutines can be embedded")
+        if len(call.args) != len(callee.formals):
+            return Advice.no("argument count mismatch")
+        problems = self._check_body(callee)
+        if problems:
+            return Advice.no(problems)
+        bind_issue = self._check_bindings(ctx, call, callee)
+        if bind_issue:
+            return Advice.no(bind_issue)
+        common_issue = self._check_commons(ctx.unit, callee)
+        if common_issue:
+            return Advice.no(common_issue)
+        has_loop = any(
+            isinstance(st, DoLoop) for st in walk_statements(callee.body)
+        )
+        return Advice(
+            True,
+            True,
+            has_loop,
+            [
+                f"embeds {call.name}'s body at line {call.line}",
+                "exposes the callee's loops to interchange/fusion"
+                if has_loop
+                else "callee is straight-line code",
+            ],
+        )
+
+    # -- checks ----------------------------------------------------------
+
+    def _check_body(self, callee: ProcedureUnit) -> str:
+        stmts = list(walk_statements(callee.body))
+        for i, st in enumerate(stmts):
+            if isinstance(st, StopStmt):
+                return "callee contains STOP"
+            if isinstance(st, ReturnStmt):
+                is_last_top = (
+                    st is callee.body[-1] and i == len(stmts) - 1
+                )
+                if not is_last_top:
+                    return "callee has an early RETURN"
+        for decl in callee.decls:
+            if isinstance(decl, DataDecl):
+                return "callee has DATA initialisation (SAVE semantics)"
+        return ""
+
+    def _check_bindings(
+        self, ctx: TransformContext, call: CallStmt, callee: ProcedureUnit
+    ) -> str:
+        caller_table: SymbolTable = ctx.unit.symtab  # type: ignore[assignment]
+        callee_table: SymbolTable = callee.symtab  # type: ignore[assignment]
+        for idx, formal in enumerate(callee.formals):
+            fsym = callee_table[formal]
+            actual = call.args[idx]
+            if fsym.is_array:
+                if isinstance(actual, VarRef):
+                    asym = caller_table.get(actual.name)
+                    if asym is None or not asym.is_array:
+                        return f"array formal {formal} bound to scalar actual"
+                    if asym.rank != fsym.rank:
+                        return (
+                            f"array formal {formal}: rank mismatch "
+                            f"({fsym.rank} vs {asym.rank})"
+                        )
+                elif isinstance(actual, ArrayRef):
+                    asym = caller_table.get(actual.name)
+                    if asym is None or not asym.is_array:
+                        return f"unknown array actual for {formal}"
+                    if fsym.rank != 1:
+                        return (
+                            f"array formal {formal}: element actuals are "
+                            "supported for rank-1 formals only"
+                        )
+                    lead = actual.subs[0]
+                    if not (isinstance(lead, Num) and lead.value == 1):
+                        return (
+                            f"array formal {formal}: only unit-offset "
+                            "column actuals are supported"
+                        )
+                else:
+                    return f"array formal {formal} bound to an expression"
+            else:
+                # Scalar formal: written formals need a name actual.
+                if not isinstance(actual, (VarRef, Num)):
+                    written = self._writes_formal(callee, formal)
+                    if written:
+                        return (
+                            f"scalar formal {formal} is assigned but the "
+                            "actual is an expression"
+                        )
+        return ""
+
+    def _writes_formal(self, callee: ProcedureUnit, formal: str) -> bool:
+        from ..analysis.defuse import stmt_defs
+
+        for st in walk_statements(callee.body):
+            must, may = stmt_defs(st, callee.symtab)  # type: ignore[arg-type]
+            if formal in may:
+                return True
+        return False
+
+    def _check_commons(self, caller: ProcedureUnit, callee: ProcedureUnit) -> str:
+        ct: SymbolTable = caller.symtab  # type: ignore[assignment]
+        et: SymbolTable = callee.symtab  # type: ignore[assignment]
+        for block, members in et.common_blocks.items():
+            caller_members = ct.common_blocks.get(block)
+            if caller_members is None:
+                return (
+                    f"callee uses common /{block}/ not declared in the "
+                    "caller (declare it first)"
+                )
+            if caller_members != members:
+                return (
+                    f"common /{block}/ member names differ between caller "
+                    "and callee (positional remap not supported)"
+                )
+        return ""
+
+    # -- apply -------------------------------------------------------------
+
+    def apply(self, ctx: TransformContext, call: CallStmt = None, **kwargs) -> str:
+        advice = self.diagnose(ctx, call=call)
+        if not advice.ok:
+            raise TransformError(f"inline: {advice.describe()}")
+        callee = self._find_callee(ctx, call.name)
+        assert callee is not None
+        caller = ctx.unit
+        caller_table: SymbolTable = caller.symtab  # type: ignore[assignment]
+        callee_table: SymbolTable = callee.symtab  # type: ignore[assignment]
+
+        body = [copy_stmt(st) for st in callee.body]
+        if body and isinstance(body[-1], ReturnStmt):
+            body.pop()
+
+        # 1. Rename callee locals (incl. loop variables) to fresh names.
+        renames: Dict[str, str] = {}
+        for name, sym in callee_table.symbols.items():
+            if sym.storage in (FORMAL, COMMON, PARAM, "function"):
+                continue
+            fresh = self._fresh(caller_table, name)
+            renames[name] = fresh
+            new_sym = caller_table.ensure(fresh)
+            new_sym.typename = sym.typename
+            if sym.dims is not None:
+                new_sym.dims = [
+                    (lo if lo is None else copy_expr(lo), copy_expr(hi))
+                    for lo, hi in sym.dims
+                ]
+        for st in body:
+            for old, new in renames.items():
+                substitute_in_stmt(st, old, VarRef(0, new))
+                _rename_loop_vars(st, old, new)
+                _rename_array_targets(st, old, new)
+
+        # 2. Parameters of the callee fold to their constant values.
+        for name, sym in callee_table.symbols.items():
+            if sym.storage == PARAM and sym.const_value is not None:
+                for st in body:
+                    substitute_in_stmt(st, name, copy_expr(sym.const_value))
+
+        # 3. Bind formals.
+        for idx, formal in enumerate(callee.formals):
+            fsym = callee_table[formal]
+            actual = call.args[idx]
+            if fsym.is_array and isinstance(actual, ArrayRef):
+                _rebase_array(body, formal, actual)
+            else:
+                for st in body:
+                    substitute_in_stmt(st, formal, copy_expr(actual))
+                    if isinstance(actual, VarRef):
+                        _rename_loop_vars(st, formal, actual.name)
+                        _rename_array_targets(st, formal, actual.name)
+
+        # 4. Splice into the caller.
+        from .base import find_parent
+
+        where = find_parent(caller, call)
+        if where is None:
+            raise TransformError("inline: call site not found")
+        parent_body, index = where
+        parent_body[index : index + 1] = body
+        return f"embedded {call.name} ({len(body)} statements)"
+
+    def _fresh(self, table: SymbolTable, base: str) -> str:
+        name = f"{base}_in"
+        k = 1
+        while table.get(name) is not None:
+            name = f"{base}_in{k}"
+            k += 1
+        return name
+
+
+def _rename_loop_vars(st: Stmt, old: str, new: str) -> None:
+    for inner in walk_statements([st]):
+        if isinstance(inner, DoLoop) and inner.var == old:
+            inner.var = new
+
+
+def _rename_array_targets(st: Stmt, old: str, new: str) -> None:
+    """substitute_in_stmt rewrites VarRef targets but ArrayRef *names*
+    live on the node; rename them explicitly."""
+
+    for inner in walk_statements([st]):
+        for expr in _stmt_exprs(inner):
+            for node in walk_expr(expr):
+                if isinstance(node, ArrayRef) and node.name == old:
+                    node.name = new
+
+
+def _stmt_exprs(st: Stmt):
+    from ..fortran.ast_nodes import statement_exprs
+
+    return list(statement_exprs(st))
+
+
+def _rebase_array(body: List[Stmt], formal: str, actual: ArrayRef) -> None:
+    """Map rank-r formal references ``x(s1..sr)`` onto the actual array:
+    ``a(1, e2.., ek)`` actual → ``a(s1.., e2.., ek)``."""
+
+    trailing = [copy_expr(e) for e in actual.subs[1:]]
+
+    def rewrite(expr: Expr) -> None:
+        for node in walk_expr(expr):
+            if isinstance(node, ArrayRef) and node.name == formal:
+                node.name = actual.name
+                node.subs = list(node.subs) + [copy_expr(e) for e in trailing]
+
+    for st in walk_statements(body):
+        for expr in _stmt_exprs(st):
+            rewrite(expr)

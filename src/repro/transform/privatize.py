@@ -1,0 +1,65 @@
+"""Privatization: give each iteration its own copy of a scalar or array.
+
+Safe for scalars proved killed on every iteration (scalar kill analysis)
+and arrays fully overwritten before any read (array kill analysis —
+``slab2d``'s requirement).  The rewrite records the name on the loop's
+``private`` list; the parallel code generator/simulator allocates
+per-iteration storage.
+"""
+
+from __future__ import annotations
+
+from ..fortran.ast_nodes import DoLoop
+from .base import Advice, TransformContext, Transformation, TransformError
+
+
+class Privatize(Transformation):
+    name = "privatize"
+
+    def diagnose(
+        self, ctx: TransformContext, loop: DoLoop = None, var: str = "", **kwargs
+    ) -> Advice:
+        if loop is None:
+            return Advice.no("no loop selected")
+        if not var:
+            return Advice.no("no variable selected")
+        var = var.lower()
+        info = ctx.analysis.loop_info.get(loop.sid)
+        if info is None:
+            return Advice.no("selection is not a DO loop of this procedure")
+        scalars = {p.name: p for p in info.privatizable}
+        if var in scalars:
+            extra = (
+                ["live after loop: last-value copy required"]
+                if scalars[var].needs_last_value
+                else []
+            )
+            return Advice.yes(
+                f"{var} is killed on every iteration (scalar kill analysis)",
+                *extra,
+            )
+        if var in info.privatizable_arrays:
+            return Advice.yes(
+                f"array {var} is fully overwritten before any read each "
+                "iteration (array kill analysis)"
+            )
+        table = ctx.unit.symtab
+        sym = table.get(var) if table is not None else None
+        if sym is None:
+            return Advice.no(f"unknown variable {var}")
+        return Advice.unsafe(
+            f"{var} may carry a value between iterations (not killed); "
+            "privatizing it would change results"
+        )
+
+    def apply(
+        self, ctx: TransformContext, loop: DoLoop = None, var: str = "", **kwargs
+    ) -> str:
+        advice = self.diagnose(ctx, loop=loop, var=var)
+        if not advice.ok:
+            raise TransformError(f"privatize: {advice.describe()}")
+        var = var.lower()
+        if var not in loop.private:
+            loop.private.append(var)
+            loop.private.sort()
+        return f"{var} marked private on loop {loop.var}"

@@ -1,0 +1,52 @@
+"""Transformation registry: name → instance, for the editor's command
+interpreter and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Transformation
+from .distribution import LoopDistribution
+from .expansion import ScalarExpansion
+from .extract import ExtractLoopBody
+from .fusion import LoopFusion
+from .inline import InlineCall
+from .interchange import LoopInterchange
+from .parallelize import Parallelize
+from .privatize import Privatize
+from .reduction import ReductionRewrite
+from .reversal import LoopReversal
+from .skewing import LoopSkewing
+from .statements import StatementInterchange
+from .stripmine import StripMine
+from .unroll import LoopUnroll
+
+TRANSFORMATIONS: Dict[str, Transformation] = {
+    t.name: t
+    for t in (
+        Parallelize(),
+        LoopInterchange(),
+        LoopDistribution(),
+        LoopFusion(),
+        LoopReversal(),
+        LoopSkewing(),
+        StripMine(),
+        LoopUnroll(),
+        ScalarExpansion(),
+        Privatize(),
+        ReductionRewrite(),
+        StatementInterchange(),
+        InlineCall(),
+        ExtractLoopBody(),
+    )
+}
+
+
+def get_transformation(name: str) -> Transformation:
+    """Look up a transformation by its command name."""
+
+    try:
+        return TRANSFORMATIONS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(TRANSFORMATIONS))
+        raise KeyError(f"unknown transformation {name!r}; known: {known}") from None

@@ -1,0 +1,109 @@
+"""Compound transformation recipes.
+
+Ped's users discovered multi-step idioms — "the loops of the called
+procedures were first fused before applying interchange" — and asked the
+tool for more guidance in selecting transformations.  A :class:`Recipe`
+packages such an idiom: an ordered list of (transformation, kwargs)
+steps, applied through a session with power-steering checks at every
+step; the recipe stops cleanly at the first step whose diagnosis fails,
+reporting how far it got.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..editor.session import PedError, PedSession
+
+
+@dataclass
+class RecipeStep:
+    transform: str
+    kwargs: Dict = field(default_factory=dict)
+    #: re-select this loop index before the step (None keeps selection)
+    select: Optional[int] = None
+
+
+@dataclass
+class RecipeResult:
+    applied: List[str] = field(default_factory=list)
+    stopped_at: Optional[str] = None
+    reason: str = ""
+
+    @property
+    def complete(self) -> bool:
+        return self.stopped_at is None
+
+
+@dataclass
+class Recipe:
+    """An ordered idiom of power-steered steps."""
+
+    name: str
+    description: str
+    steps: List[RecipeStep]
+
+    def apply(self, session: PedSession) -> RecipeResult:
+        result = RecipeResult()
+        for step in self.steps:
+            if step.select is not None:
+                loops = session.loops()
+                if step.select >= len(loops):
+                    result.stopped_at = step.transform
+                    result.reason = f"no loop [{step.select}] to select"
+                    return result
+                session.select_loop(step.select)
+            advice = session.diagnose(step.transform, **step.kwargs)
+            if not (advice.applicable and advice.safe):
+                result.stopped_at = step.transform
+                result.reason = advice.describe()
+                return result
+            try:
+                summary = session.apply(step.transform, **step.kwargs)
+            except PedError as exc:
+                result.stopped_at = step.transform
+                result.reason = str(exc)
+                return result
+            result.applied.append(f"{step.transform}: {summary}")
+        return result
+
+
+def outer_parallel_recipe(loop_index: int = 0) -> Recipe:
+    """Distribute if possible, then parallelize the outermost piece."""
+
+    return Recipe(
+        "outer-parallel",
+        "distribute the selected loop, then parallelize the first piece",
+        [
+            RecipeStep("distribute", select=loop_index),
+            RecipeStep("parallelize", select=loop_index),
+        ],
+    )
+
+
+def fuse_then_parallelize(loop_index: int = 0) -> Recipe:
+    """The granularity recipe: merge adjacent loops, then go parallel."""
+
+    return Recipe(
+        "fuse-parallel",
+        "fuse the selected loop with its successor, then parallelize",
+        [
+            RecipeStep("fuse", select=loop_index),
+            RecipeStep("parallelize", select=loop_index),
+        ],
+    )
+
+
+def embed_fuse_parallelize(call_line: int, loop_index: int = 0) -> Recipe:
+    """The full gloop recipe: embedding + fusion + parallelization."""
+
+    return Recipe(
+        "embed-fuse-parallel",
+        "inline the call, fuse the adjacent column loops, parallelize",
+        [
+            RecipeStep("inline", {"line": call_line}),
+            RecipeStep("fuse", select=loop_index),
+            RecipeStep("parallelize", select=loop_index),
+        ],
+    )

@@ -1,0 +1,74 @@
+"""Loop skewing.
+
+Skewing replaces the inner index ``j`` of a perfect 2-nest by
+``jj = j + f·i``: the inner bounds shift by ``f·i`` and every use of the
+old index becomes ``jj − f·i``.  As a pure change of variables it is
+always safe; its value is that it turns ``(<, >)`` dependence vectors
+into ``(<, ≤)`` form, after which interchange (and then inner-loop
+parallelization of the wavefront) becomes legal.
+"""
+
+from __future__ import annotations
+
+from ..fortran.ast_nodes import BinOp, DoLoop, Num, VarRef, copy_expr
+from .base import (
+    Advice,
+    TransformContext,
+    Transformation,
+    TransformError,
+    perfect_nest,
+)
+from .subst import substitute_in_body
+
+
+class LoopSkewing(Transformation):
+    name = "skew"
+
+    def diagnose(
+        self, ctx: TransformContext, loop: DoLoop = None, factor: int = 1, **kwargs
+    ) -> Advice:
+        if loop is None:
+            return Advice.no("no loop selected")
+        nest = perfect_nest(loop)
+        if len(nest) < 2:
+            return Advice.no("skewing needs a perfect 2-nest")
+        if factor == 0:
+            return Advice.no("skew factor must be nonzero")
+        helps = self._enables_interchange(ctx, nest[0], nest[1])
+        return Advice(
+            True,
+            True,
+            helps,
+            ["change of variables; always semantics-preserving"]
+            + (["prepares the nest for interchange"] if helps else []),
+        )
+
+    def _enables_interchange(self, ctx, outer, inner) -> bool:
+        for dep in ctx.analysis.graph.edges:
+            sids = dep.nest_sids
+            if outer.sid in sids and inner.sid in sids:
+                ko = sids.index(outer.sid) + 1
+                ki = sids.index(inner.sid) + 1
+                if dep.direction_at(ko) == "<" and dep.direction_at(ki) == ">":
+                    return True
+        return False
+
+    def apply(
+        self, ctx: TransformContext, loop: DoLoop = None, factor: int = 1, **kwargs
+    ) -> str:
+        advice = self.diagnose(ctx, loop=loop, factor=factor)
+        if not advice.ok:
+            raise TransformError(f"skew: {advice.describe()}")
+        nest = perfect_nest(loop)
+        outer, inner = nest[0], nest[1]
+        i, j = outer.var, inner.var
+        f_times_i: BinOp = BinOp(
+            0, "*", Num(0, factor), VarRef(0, i)
+        )
+        # New bounds: [lo + f·i, hi + f·i].
+        inner.start = BinOp(0, "+", copy_expr(inner.start), copy_expr(f_times_i))
+        inner.end = BinOp(0, "+", copy_expr(inner.end), copy_expr(f_times_i))
+        # Body: j := j − f·i.
+        replacement = BinOp(0, "-", VarRef(0, j), copy_expr(f_times_i))
+        substitute_in_body(inner.body, j, replacement)
+        return f"skewed loop {j} by {factor}*{i}"

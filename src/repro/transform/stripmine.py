@@ -1,0 +1,82 @@
+"""Strip mining.
+
+``DO I = 1, N`` becomes an outer strip loop over blocks of ``size`` and an
+inner loop over one strip.  Always semantics-preserving; used to tile for
+the memory hierarchy and to coarsen parallel-loop granularity (each strip
+becomes one task).
+"""
+
+from __future__ import annotations
+
+from ..fortran.ast_nodes import BinOp, DoLoop, FuncRef, Num, VarRef, copy_expr
+from .base import Advice, TransformContext, Transformation, TransformError, find_parent
+
+
+class StripMine(Transformation):
+    name = "stripmine"
+
+    def diagnose(
+        self, ctx: TransformContext, loop: DoLoop = None, size: int = 32, **kwargs
+    ) -> Advice:
+        if loop is None:
+            return Advice.no("no loop selected")
+        if size < 2:
+            return Advice.no("strip size must be at least 2")
+        if loop.step is not None:
+            from ..fortran.ast_nodes import Num as _Num
+
+            if not (isinstance(loop.step, _Num) and loop.step.value == 1):
+                return Advice.no("strip mining requires unit step")
+        return Advice.yes(
+            f"strips of {size} iterations; always semantics-preserving"
+        )
+
+    def apply(
+        self, ctx: TransformContext, loop: DoLoop = None, size: int = 32, **kwargs
+    ) -> str:
+        advice = self.diagnose(ctx, loop=loop, size=size)
+        if not advice.ok:
+            raise TransformError(f"stripmine: {advice.describe()}")
+        where = find_parent(ctx.unit, loop)
+        if where is None:
+            raise TransformError("stripmine: loop not found in unit")
+        strip_var = _fresh_name(ctx, loop.var + "s")
+        inner = DoLoop(
+            loop.line,
+            None,
+            -1,
+            loop.var,
+            VarRef(0, strip_var),
+            FuncRef(
+                0,
+                "min",
+                [
+                    BinOp(
+                        0,
+                        "+",
+                        VarRef(0, strip_var),
+                        Num(0, size - 1),
+                    ),
+                    copy_expr(loop.end),
+                ],
+                intrinsic=True,
+            ),
+            None,
+            loop.body,
+        )
+        loop.var = strip_var
+        loop.step = Num(0, size)
+        loop.body = [inner]
+        return f"strip mined into blocks of {size} (strip variable {strip_var})"
+
+
+def _fresh_name(ctx: TransformContext, base: str) -> str:
+    table = ctx.unit.symtab
+    name = base
+    k = 1
+    while table is not None and table.get(name) is not None:
+        name = f"{base}{k}"
+        k += 1
+    if table is not None:
+        table.ensure(name)
+    return name

@@ -1,0 +1,107 @@
+"""Variable substitution and renaming over AST fragments.
+
+Used by unrolling (induction variable → literal), skewing (index change of
+variables), scalar expansion (scalar → array element) and privatization
+(renaming into a fresh local).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..fortran.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    FuncRef,
+    If,
+    IOStmt,
+    NameArgs,
+    Stmt,
+    UnOp,
+    VarRef,
+    copy_expr,
+)
+
+
+def substitute_var(expr: Expr, name: str, replacement: Expr) -> Expr:
+    """Return ``expr`` with every ``VarRef(name)`` replaced (fresh copies).
+
+    The replacement expression is deep-copied at each site.
+    """
+
+    if isinstance(expr, VarRef):
+        if expr.name == name:
+            return copy_expr(replacement)
+        return expr
+    if isinstance(expr, BinOp):
+        expr.left = substitute_var(expr.left, name, replacement)
+        expr.right = substitute_var(expr.right, name, replacement)
+        return expr
+    if isinstance(expr, UnOp):
+        expr.operand = substitute_var(expr.operand, name, replacement)
+        return expr
+    if isinstance(expr, ArrayRef):
+        expr.subs = [substitute_var(s, name, replacement) for s in expr.subs]
+        return expr
+    if isinstance(expr, (FuncRef, NameArgs)):
+        expr.args = [substitute_var(a, name, replacement) for a in expr.args]
+        return expr
+    return expr
+
+
+def substitute_in_stmt(st: Stmt, name: str, replacement: Expr) -> None:
+    """Substitute a variable through one statement (recursively)."""
+
+    if isinstance(st, Assign):
+        st.target = substitute_var(st.target, name, replacement)
+        st.expr = substitute_var(st.expr, name, replacement)
+    elif isinstance(st, DoLoop):
+        st.start = substitute_var(st.start, name, replacement)
+        st.end = substitute_var(st.end, name, replacement)
+        if st.step is not None:
+            st.step = substitute_var(st.step, name, replacement)
+        for inner in st.body:
+            substitute_in_stmt(inner, name, replacement)
+    elif isinstance(st, If):
+        st.arms = [
+            (
+                substitute_var(c, name, replacement) if c is not None else None,
+                b,
+            )
+            for c, b in st.arms
+        ]
+        for _, body in st.arms:
+            for inner in body:
+                substitute_in_stmt(inner, name, replacement)
+    elif isinstance(st, CallStmt):
+        st.args = [substitute_var(a, name, replacement) for a in st.args]
+    elif isinstance(st, IOStmt):
+        st.spec = [substitute_var(e, name, replacement) for e in st.spec]
+        st.items = [substitute_var(e, name, replacement) for e in st.items]
+
+
+def substitute_in_body(body: List[Stmt], name: str, replacement: Expr) -> None:
+    for st in body:
+        substitute_in_stmt(st, name, replacement)
+
+
+def rename_var(body: List[Stmt], old: str, new: str) -> None:
+    """Rename a scalar throughout a statement list (targets included)."""
+
+    substitute_in_body(body, old, VarRef(0, new))
+
+
+def map_scalar_to_array(
+    body: List[Stmt], scalar: str, array: str, index: Expr
+) -> None:
+    """Rewrite every occurrence of ``scalar`` as ``array(index)``.
+
+    Used by scalar expansion: the replacement ArrayRef gets a fresh copy of
+    ``index`` at each site.
+    """
+
+    substitute_in_body(body, scalar, ArrayRef(0, array, [copy_expr(index)]))

@@ -1,0 +1,159 @@
+"""Loop unrolling.
+
+Full unrolling (constant small trip count) replicates the body once per
+iteration with the index substituted; partial unrolling by factor ``k``
+replicates the body ``k`` times inside a stepped loop plus a remainder
+loop.  Always semantics-preserving; profitable for tiny hot loops where
+the branch overhead dominates (a memory-hierarchy transformation in
+ParaScope's compiler family).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.symbolic import linear_of_expr
+from ..fortran.ast_nodes import (
+    BinOp,
+    DoLoop,
+    Num,
+    Stmt,
+    VarRef,
+    copy_stmt,
+)
+from .base import Advice, TransformContext, Transformation, TransformError, find_parent
+from .subst import substitute_in_stmt
+
+
+class LoopUnroll(Transformation):
+    name = "unroll"
+
+    def diagnose(
+        self,
+        ctx: TransformContext,
+        loop: DoLoop = None,
+        factor: Optional[int] = None,
+        **kwargs,
+    ) -> Advice:
+        if loop is None:
+            return Advice.no("no loop selected")
+        if loop.step is not None and not (
+            isinstance(loop.step, Num) and loop.step.value == 1
+        ):
+            return Advice.no("unrolling requires unit step")
+        trip = self._const_trip(ctx, loop)
+        if factor is None:  # full unroll
+            if trip is None:
+                return Advice.no("trip count unknown: full unroll impossible")
+            if trip > 16:
+                return Advice(
+                    True, True, False, [f"trip count {trip} > 16: code bloat"]
+                )
+            return Advice.yes(f"fully unrolls {trip} iterations")
+        if factor < 2:
+            return Advice.no("unroll factor must be ≥ 2")
+        return Advice.yes(f"unrolls {factor}× with remainder loop")
+
+    def _const_trip(self, ctx: TransformContext, loop: DoLoop) -> Optional[int]:
+        table = ctx.unit.symtab
+        env = ctx.analysis.constants.linear_env(loop.sid)
+        diff = (
+            linear_of_expr(loop.end, table, env)
+            - linear_of_expr(loop.start, table, env)
+        ).int_value()
+        return None if diff is None else diff + 1
+
+    def apply(
+        self,
+        ctx: TransformContext,
+        loop: DoLoop = None,
+        factor: Optional[int] = None,
+        **kwargs,
+    ) -> str:
+        advice = self.diagnose(ctx, loop=loop, factor=factor)
+        if not advice.ok:
+            raise TransformError(f"unroll: {advice.describe()}")
+        if factor is None:
+            return self._full(ctx, loop)
+        return self._partial(ctx, loop, factor)
+
+    def _full(self, ctx: TransformContext, loop: DoLoop) -> str:
+        table = ctx.unit.symtab
+        env = ctx.analysis.constants.linear_env(loop.sid)
+        start = linear_of_expr(loop.start, table, env).int_value()
+        trip = self._const_trip(ctx, loop)
+        if start is None or trip is None:
+            raise TransformError("unroll: bounds not constant")
+        where = find_parent(ctx.unit, loop)
+        if where is None:
+            raise TransformError("unroll: loop not found")
+        body_list, index = where
+        out: List[Stmt] = []
+        for k in range(trip):
+            for st in loop.body:
+                clone = copy_stmt(st)
+                substitute_in_stmt(clone, loop.var, Num(0, start + k))
+                out.append(clone)
+        body_list[index : index + 1] = out
+        return f"fully unrolled {trip} iterations of loop {loop.var}"
+
+    def _partial(self, ctx: TransformContext, loop: DoLoop, factor: int) -> str:
+        # do i = lo, hi  →
+        #   do i = lo, hi − (factor−1), factor
+        #     body(i) … body(i + factor−1)
+        #   end do
+        #   do i = i_resume, hi   (remainder — expressed with a fresh var)
+        where = find_parent(ctx.unit, loop)
+        if where is None:
+            raise TransformError("unroll: loop not found")
+        body_list, index = where
+        original_body = [copy_stmt(st) for st in loop.body]
+        new_body: List[Stmt] = []
+        for k in range(factor):
+            for st in loop.body if k == 0 else original_body:
+                clone = copy_stmt(st)
+                if k:
+                    substitute_in_stmt(
+                        clone,
+                        loop.var,
+                        BinOp(0, "+", VarRef(0, loop.var), Num(0, k)),
+                    )
+                new_body.append(clone)
+        from ..fortran.ast_nodes import copy_expr
+
+        remainder = DoLoop(
+            loop.line,
+            None,
+            -1,
+            loop.var,
+            # Remainder start: lo + ((hi − lo + 1) / factor) * factor
+            BinOp(
+                0,
+                "+",
+                copy_expr(loop.start),
+                BinOp(
+                    0,
+                    "*",
+                    BinOp(
+                        0,
+                        "/",
+                        BinOp(
+                            0,
+                            "+",
+                            BinOp(0, "-", copy_expr(loop.end), copy_expr(loop.start)),
+                            Num(0, 1),
+                        ),
+                        Num(0, factor),
+                    ),
+                    Num(0, factor),
+                ),
+            ),
+            copy_expr(loop.end),
+            None,
+            [copy_stmt(st) for st in loop.body],
+        )
+        loop.end = BinOp(0, "-", copy_expr(loop.end), Num(0, factor - 1))
+        loop.step = Num(0, factor)
+        loop.body = new_body
+        body_list.insert(index + 1, remainder)
+        return f"unrolled loop {loop.var} by {factor} (remainder loop added)"

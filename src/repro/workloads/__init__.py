@@ -1,0 +1,9 @@
+"""The synthetic evaluation suite.
+
+One program per row of the experiences paper's Table 1, each constructed
+to embody the parallelization obstacles the paper attributes to the real
+(unavailable) application.  See DESIGN.md's substitution table.
+"""
+
+from .base import SuiteProgram  # noqa: F401
+from .suite import SUITE, get_program, program_names  # noqa: F401

@@ -1,0 +1,119 @@
+"""arc3d — implicit CFD code (stand-in).
+
+The paper uses arc3d twice: its ``filter3d`` routine motivates advanced
+interprocedural *symbolic* analysis, and "in arc3d, an array is killed
+inside a procedure invoked in a loop, so interprocedural array kill
+analysis is required" to privatize the scratch array and parallelize the
+surrounding loop.
+
+The stand-in's plane loop calls ``filter``, which fully rewrites the
+COMMON scratch array ``wrk`` (a full sweep before any read) and then uses
+it to smooth one grid column.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program arc3d
+      integer n, m
+      parameter (n = 24, m = 20)
+      real grid(n, m)
+      real wrk(24)
+      real total
+      common /scr/ wrk
+      common /dom/ grid
+      call fill(m)
+      call filtall(m)
+      total = 0.0
+      do j = 1, m
+         do i = 1, n
+            total = total + grid(i, j)
+         end do
+      end do
+      write (6, *) total
+      end
+
+      subroutine fill(mm)
+      integer mm
+      integer n, m
+      parameter (n = 24, m = 20)
+      real grid(n, m)
+      common /dom/ grid
+      do j = 1, mm
+         do i = 1, n
+            grid(i, j) = sin(0.1 * i) + 0.02 * j
+         end do
+      end do
+      return
+      end
+
+      subroutine filtall(mm)
+      integer mm
+      integer n, m
+      parameter (n = 24, m = 20)
+      real grid(n, m)
+      real wrk(24)
+      common /dom/ grid
+      common /scr/ wrk
+      do j = 1, mm
+         call filter(grid(1, j), n)
+      end do
+      return
+      end
+
+      subroutine filter(col, k)
+      integer k
+      real col(k)
+      real wrk(24)
+      common /scr/ wrk
+      do i = 1, 24
+         wrk(i) = 0.0
+      end do
+      do i = 2, k - 1
+         wrk(i) = 0.25 * (col(i-1) + 2.0 * col(i) + col(i+1))
+      end do
+      do i = 2, k - 1
+         col(i) = wrk(i)
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="arc3d",
+        domain="computational fluid dynamics",
+        contributor="stand-in for the NASA Ames ARC3D users at the workshop",
+        description=(
+            "Implicit smoother: the plane loop calls filter, which kills "
+            "the COMMON scratch array wrk before reading it."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": True,
+            "sections": True,
+            "ip_constants": False,
+            "scalar_kill": False,
+            "array_kill": True,
+            "reductions": True,  # the checksum loop
+            "symbolic": True,
+        },
+        script=[
+            "unit filtall",
+            "loops",
+            "select 0",
+            "deps",
+            "vars",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("filtall", 0)],
+        notes=(
+            "Without interprocedural array kill the wrk output/flow "
+            "dependences serialize the plane loop; with it, wrk is "
+            "privatizable and the loop is a DOALL."
+        ),
+    )

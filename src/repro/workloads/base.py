@@ -1,0 +1,46 @@
+"""Suite program descriptor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SuiteProgram:
+    """One synthetic stand-in for a Table 1 application.
+
+    ``needs`` maps :class:`repro.interproc.program.FeatureSet` field names
+    to True when the paper (and our construction) requires that analysis
+    to parallelize the program's key loops — the expected Table 3 row.
+    ``script`` is the Ped command sequence a user would issue to reach the
+    paper-reported outcome; the scripted sessions replay it.
+    """
+
+    name: str
+    domain: str
+    contributor: str
+    description: str
+    source: str
+    needs: Dict[str, bool] = field(default_factory=dict)
+    script: List[str] = field(default_factory=list)
+    #: (unit, loop_index) pairs that must end up parallel after the script.
+    target_loops: List[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def lines(self) -> int:
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+    @property
+    def procedures(self) -> int:
+        count = 0
+        for line in self.source.splitlines():
+            stripped = line.strip().lower()
+            if stripped.startswith(("program ", "subroutine ")) or "function " in stripped.split("!")[0][:40]:
+                if stripped.startswith(
+                    ("program ", "subroutine ", "function ", "real function",
+                     "integer function", "double precision function")
+                ):
+                    count += 1
+        return count

@@ -1,0 +1,93 @@
+"""boast — reservoir simulation diagnostics (stand-in).
+
+"Five of the programs contain sum reductions which go unrecognized by
+Ped."  The stand-in's diagnostic pass computes a material-balance sum, a
+squared-residual sum and a guarded maximum over the pressure field — the
+three reduction flavours the recognizer must handle before the loops
+parallelize.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program boast
+      integer n
+      parameter (n = 60)
+      real pres(n), sat(n)
+      real balsum, resid, pmax
+      common /fld/ pres, sat
+      call start
+      call diagno(balsum, resid, pmax)
+      write (6, *) balsum, resid, pmax
+      end
+
+      subroutine start
+      integer n
+      parameter (n = 60)
+      real pres(n), sat(n)
+      common /fld/ pres, sat
+      do i = 1, n
+         pres(i) = 100.0 + 3.0 * i - 0.04 * i * i
+         sat(i) = 0.3 + 0.005 * i
+      end do
+      return
+      end
+
+      subroutine diagno(balsum, resid, pmax)
+      real balsum, resid, pmax
+      integer n
+      parameter (n = 60)
+      real pres(n), sat(n)
+      real r
+      common /fld/ pres, sat
+      balsum = 0.0
+      resid = 0.0
+      pmax = 0.0
+      do i = 1, n
+         balsum = balsum + sat(i)
+         r = pres(i) - 100.0
+         resid = resid + r * r
+         if (pres(i) .gt. pmax) pmax = pres(i)
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="boast",
+        domain="petroleum reservoir simulation",
+        contributor="stand-in for the BOAST contributors",
+        description=(
+            "Diagnostics sweep with sum, sum-of-squares and guarded-max "
+            "reductions plus a killed scalar temporary."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": False,
+            "sections": False,
+            "ip_constants": False,
+            "scalar_kill": True,  # the temporary r
+            "array_kill": False,
+            "reductions": True,
+            "symbolic": True,
+        },
+        script=[
+            "unit diagno",
+            "loops",
+            "select 0",
+            "vars",
+            "advice reduction",
+            "apply reduction",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("diagno", 0)],
+        notes=(
+            "All three recurrences (balsum, resid, pmax) are reductions; "
+            "r is a killed scalar.  With recognition on, the loop is a "
+            "DOALL; with it off, every recurrence blocks."
+        ),
+    )

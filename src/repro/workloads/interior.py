@@ -1,0 +1,97 @@
+"""interior — stencil with special boundary handling (stand-in).
+
+The second Singh–Hennessy style obstacle: "specialized use of the
+boundary elements in an array".  The interior update reads the boundary
+cells ``old(1)`` and ``old(nn)`` while writing ``new(2..nn−1)``; proving
+the writes never touch the boundaries needs the *value* of the symbolic
+bound ``nn`` (or at least ``nn ≥ 3``), which only a user assertion
+supplies — the paper's "incorporating user assertions in analysis".
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program interior
+      integer n
+      parameter (n = 50)
+      real a(n), b(n)
+      real edge, total
+      common /grid/ a, b
+      call init
+      call step(n)
+      total = 0.0
+      do i = 1, n
+         total = total + b(i)
+      end do
+      write (6, *) total
+      end
+
+      subroutine init
+      integer n
+      parameter (n = 50)
+      real a(n), b(n)
+      common /grid/ a, b
+      do i = 1, n
+         a(i) = 0.1 * i
+         b(i) = 0.0
+      end do
+      return
+      end
+
+      subroutine step(nn)
+      integer nn
+      integer n
+      parameter (n = 50)
+      real a(n), b(n)
+      real edge
+      common /grid/ a, b
+      edge = 0.5 * (a(1) + a(nn))
+      do i = 2, nn - 1
+         b(i) = a(i) + 0.25 * (a(1) - 2.0 * a(i) + a(nn))
+     &        + b(1) + b(nn) + edge
+      end do
+      b(1) = a(1) + edge
+      b(nn) = a(nn) + edge
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="interior",
+        domain="boundary-specialized stencil",
+        contributor="stand-in for the Singh–Hennessy boundary-element style",
+        description=(
+            "Interior sweep reading boundary cells a(1)/a(nn) under a "
+            "symbolic bound; the boundary writes follow the loop."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": False,
+            "sections": False,
+            "ip_constants": True,
+            "scalar_kill": False,
+            "array_kill": False,
+            "reductions": True,  # total loop
+            "symbolic": True,
+            "assertions": True,
+        },
+        script=[
+            "unit step",
+            "loops",
+            "select 0",
+            "deps",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("step", 0)],
+        notes=(
+            "The write b(2..nn−1) vs the later boundary writes b(1)/b(nn) "
+            "and the reads of a(1)/a(nn) resolve only when nn's value is "
+            "known (interprocedural constant nn = 50, or 'assert nn == "
+            "50' when constants are off)."
+        ),
+    )

@@ -1,0 +1,107 @@
+"""nxsns — quantum mechanics code (stand-in).
+
+The real nxsns (1400 lines, 11 procedures; John Engle, LLNL) supplied the
+paper's interprocedural *scalar kill* example: "interprocedural scalar
+Kill analysis reveals a scalar variable is killed in a procedure invoked
+inside a loop" — without it, the COMMON scalar looks like a value carried
+between iterations and the loop stays serial.
+
+The stand-in's sweep loop calls ``phase`` for each basis state; ``phase``
+writes the COMMON work scalar ``wre``/``wim`` before reading them.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program nxsns
+      integer n
+      parameter (n = 40)
+      real psire(n), psiim(n), h(n)
+      real wre, wim
+      real norm
+      common /wave/ psire, psiim, h
+      common /work/ wre, wim
+      call setup(n)
+      call sweep(n)
+      norm = 0.0
+      do i = 1, n
+         norm = norm + psire(i) * psire(i) + psiim(i) * psiim(i)
+      end do
+      write (6, *) norm
+      end
+
+      subroutine setup(m)
+      integer m
+      real psire(40), psiim(40), h(40)
+      common /wave/ psire, psiim, h
+      do i = 1, m
+         psire(i) = 1.0 / i
+         psiim(i) = 0.5 / i
+         h(i) = 0.01 * i
+      end do
+      return
+      end
+
+      subroutine sweep(m)
+      integer m
+      real psire(40), psiim(40), h(40)
+      real wre, wim
+      common /wave/ psire, psiim, h
+      common /work/ wre, wim
+      do i = 1, m
+         call phase(i)
+      end do
+      return
+      end
+
+      subroutine phase(i)
+      integer i
+      real psire(40), psiim(40), h(40)
+      real wre, wim
+      common /wave/ psire, psiim, h
+      common /work/ wre, wim
+      wre = psire(i) * (1.0 - h(i) * h(i) * 0.5)
+      wim = psiim(i) + h(i) * psire(i)
+      psire(i) = wre
+      psiim(i) = wim
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="nxsns",
+        domain="quantum mechanics",
+        contributor="stand-in for John Engle, Lawrence Livermore National Laboratory",
+        description=(
+            "Wavefunction phase sweep: a COMMON scalar pair is killed "
+            "inside the procedure invoked by the key loop."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": True,
+            "sections": True,
+            "ip_constants": False,
+            "scalar_kill": True,
+            "array_kill": False,
+            "reductions": True,  # the norm loop
+            "symbolic": True,
+        },
+        script=[
+            "unit sweep",
+            "loops",
+            "select 0",
+            "deps",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("sweep", 0)],
+        notes=(
+            "The sweep loop parallelizes only when interprocedural scalar "
+            "kill shows wre/wim cannot carry values between iterations "
+            "(and sections confine the psi accesses to element i)."
+        ),
+    )

@@ -1,0 +1,122 @@
+"""ocean — outer-loop parallelization study (stand-in).
+
+Joseph Stein's study ("On outer-loop parallelization of existing,
+real-life Fortran-77 programs") contributed the workshop's other
+evaluation thread: real codes whose *outer* loops parallelize only after
+restructuring.  The stand-in is an ocean-circulation relaxation step in
+which the key column loop is split across two adjacent conformable loops
+and a per-column procedure call:
+
+* **fusion** merges the adjacent column loops (raising granularity);
+* **embedding** (procedure inlining) exposes the callee's loop;
+* the fused outer loop then parallelizes, each iteration owning a column.
+
+This is the complete gloop recipe of the experiences paper — "the loops
+of the called procedures were first fused before applying interchange" —
+driven entirely through the editor's command language.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program ocean
+      integer n, m
+      parameter (n = 20, m = 16)
+      real psi(n, m), vort(n, m)
+      real total
+      common /oc/ psi, vort
+      call start
+      call relax(m)
+      total = 0.0
+      do j = 1, m
+         do i = 1, n
+            total = total + psi(i, j)
+         end do
+      end do
+      write (6, *) total
+      end
+
+      subroutine start
+      integer n, m
+      parameter (n = 20, m = 16)
+      real psi(n, m), vort(n, m)
+      common /oc/ psi, vort
+      do j = 1, m
+         do i = 1, n
+            psi(i, j) = 0.1 * i - 0.05 * j
+            vort(i, j) = 0.02 * i * j
+         end do
+      end do
+      return
+      end
+
+      subroutine relax(mm)
+      integer mm
+      integer n, m
+      parameter (n = 20, m = 16)
+      real psi(n, m), vort(n, m)
+      common /oc/ psi, vort
+      do j = 1, mm
+         call smooth(psi(1, j), n)
+      end do
+      do j = 1, mm
+         do i = 1, n
+            psi(i, j) = psi(i, j) + 0.1 * vort(i, j)
+         end do
+      end do
+      return
+      end
+
+      subroutine smooth(x, k)
+      integer k
+      real x(k)
+      do i = 2, k - 1
+         x(i) = 0.5 * x(i) + 0.25 * (x(i-1) + x(i+1))
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="ocean",
+        domain="ocean circulation (outer-loop study)",
+        contributor="stand-in for Joseph Stein's Syracuse study",
+        description=(
+            "Relaxation step split across two adjacent column loops and a "
+            "per-column call; outer-loop parallelization needs embedding "
+            "+ fusion."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": True,
+            "sections": True,
+            "ip_constants": False,
+            "scalar_kill": False,
+            "array_kill": False,
+            "reductions": True,  # the checksum loop
+            "symbolic": True,
+        },
+        # The full restructuring recipe: embed the call, fuse the two
+        # column loops, parallelize the result.
+        script=[
+            "unit relax",
+            "loops",
+            "apply inline line=39",
+            "select 0",
+            "advice fuse",
+            "apply fuse",
+            "select 0",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("relax", 0)],
+        notes=(
+            "Sections alone already parallelize each column loop, but the "
+            "session's value is granularity: one fused outer loop instead "
+            "of two fork/joins plus a hidden callee loop."
+        ),
+    )

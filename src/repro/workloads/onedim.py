@@ -1,0 +1,96 @@
+"""onedim — particle/gather code with index arrays (stand-in).
+
+"The index arrays entry in Table 3 demonstrates that three programs
+contained index arrays in subscript expressions that prevented
+parallelization."  No static analysis can see that ``map(i)`` never
+repeats; the user must assert it.  The stand-in scatters particle
+contributions through a permutation index array; the key loop
+parallelizes only after ``assert distinct map``.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program onedim
+      integer n
+      parameter (n = 40)
+      real cell(n), pmass(n)
+      integer map(n)
+      real total
+      common /mesh/ cell, pmass, map
+      call build
+      call deposit
+      total = 0.0
+      do i = 1, n
+         total = total + cell(i)
+      end do
+      write (6, *) total
+      end
+
+      subroutine build
+      integer n
+      parameter (n = 40)
+      real cell(n), pmass(n)
+      integer map(n)
+      common /mesh/ cell, pmass, map
+      do i = 1, n
+         cell(i) = 0.0
+         pmass(i) = 1.0 + 0.01 * i
+         map(i) = n + 1 - i
+      end do
+      return
+      end
+
+      subroutine deposit
+      integer n
+      parameter (n = 40)
+      real cell(n), pmass(n)
+      integer map(n)
+      common /mesh/ cell, pmass, map
+      do i = 1, n
+         cell(map(i)) = cell(map(i)) + pmass(i)
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="onedim",
+        domain="1-D particle-in-cell",
+        contributor="stand-in for the workshop's particle-code contributors",
+        description=(
+            "Scatter through a permutation index array; only a user "
+            "assertion that map is injective removes the dependences."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": False,
+            "sections": False,
+            "ip_constants": False,
+            "scalar_kill": False,
+            "array_kill": False,
+            "reductions": True,  # the total loop
+            "symbolic": True,
+            "assertions": True,
+        },
+        script=[
+            "unit deposit",
+            "loops",
+            "select 0",
+            "deps",
+            "assert distinct map",
+            "deps",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("deposit", 0)],
+        notes=(
+            "Before the assertion the deposit loop shows pending "
+            "output/flow dependences on cell through map(i); 'assert "
+            "distinct map' lets the tester look through the index array."
+        ),
+    )

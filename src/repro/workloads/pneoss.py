@@ -1,0 +1,104 @@
+"""pneoss — thermodynamics code (stand-in).
+
+The real pneoss (350 lines, 5 procedures; Mary Zosel, LLNL) is a small
+equation-of-state kernel.  Its key loop computes per-cell state using
+scalar temporaries that are killed on every iteration — exactly the
+pattern scalar kill analysis must recognise so the temporaries can be
+privatized — plus an energy-total sum reduction.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program pneoss
+      integer n
+      parameter (n = 48)
+      real p(n), rho(n), e(n), gam(n)
+      real etot
+      common /state/ p, rho, e, gam
+      call init(n)
+      call eos(n, etot)
+      call relax(n)
+      write (6, *) etot
+      end
+
+      subroutine init(m)
+      integer m
+      real p(48), rho(48), e(48), gam(48)
+      common /state/ p, rho, e, gam
+      do i = 1, m
+         rho(i) = 1.0 + 0.01 * i
+         e(i) = 2.0 + 0.005 * i
+         gam(i) = 1.4
+         p(i) = 0.0
+      end do
+      return
+      end
+
+      subroutine eos(m, etot)
+      integer m
+      real etot
+      real p(48), rho(48), e(48), gam(48)
+      real t1, t2, c
+      common /state/ p, rho, e, gam
+      etot = 0.0
+      do i = 1, m
+         t1 = rho(i) * e(i)
+         t2 = gam(i) - 1.0
+         c = t1 * t2
+         p(i) = c
+         etot = etot + e(i) * rho(i)
+      end do
+      return
+      end
+
+      subroutine relax(m)
+      integer m
+      real p(48), rho(48), e(48), gam(48)
+      real w
+      common /state/ p, rho, e, gam
+      do i = 2, m
+         w = 0.5 * (p(i) + p(i-1))
+         e(i) = e(i) - 0.001 * w
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="pneoss",
+        domain="thermodynamics",
+        contributor="stand-in for Mary Zosel, Lawrence Livermore National Laboratory",
+        description=(
+            "Equation-of-state kernel: per-cell pressure from scalar "
+            "temporaries (privatizable) with an energy sum reduction."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": False,
+            "sections": False,
+            "ip_constants": False,
+            "scalar_kill": True,
+            "array_kill": False,
+            "reductions": True,
+            "symbolic": True,
+        },
+        script=[
+            "unit eos",
+            "loops",
+            "select 0",
+            "vars",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("eos", 0), ("init", 0)],
+        notes=(
+            "The EOS loop carries only dependences on killed scalars "
+            "(t1, t2, c) and the etot reduction; scalar kill analysis + "
+            "reduction recognition make it a DOALL."
+        ),
+    )

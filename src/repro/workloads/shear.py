@@ -1,0 +1,91 @@
+"""shear — shear-flow kernel with linearized arrays (stand-in).
+
+Singh and Hennessy "observe that certain programming styles interfere
+with compiler analysis.  These include linearized arrays…".  The
+stand-in's update kernel addresses a logically 2-D field through a 1-D
+array with the classic ``(j-1)*ld + i`` linearization, where the leading
+dimension arrives as a procedure argument.  Disproving cross-column
+dependences then needs the *interprocedural constant* for ``ld`` (making
+the MIV subscript testable by Banerjee) — Table 3's ``constants`` lever.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program shear
+      integer n, m
+      parameter (n = 24, m = 18)
+      real field(432)
+      real total
+      common /lin/ field
+      call seed(n, m)
+      call stir(n, m, n)
+      total = 0.0
+      do k = 1, n * m
+         total = total + field(k)
+      end do
+      write (6, *) total
+      end
+
+      subroutine seed(nn, mm)
+      integer nn, mm
+      real field(432)
+      common /lin/ field
+      do k = 1, nn * mm
+         field(k) = 0.001 * k
+      end do
+      return
+      end
+
+      subroutine stir(nn, mm, ld)
+      integer nn, mm, ld
+      real field(432)
+      common /lin/ field
+      do j = 1, mm
+         do i = 2, nn
+            field((j-1)*ld + i) = field((j-1)*ld + i)
+     &                          + 0.3 * field((j-1)*ld + i - 1)
+         end do
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="shear",
+        domain="shear-flow kernel",
+        contributor="stand-in for the Singh–Hennessy linearized-array style",
+        description=(
+            "Column-recurrence over a linearized 2-D array whose leading "
+            "dimension is a formal parameter."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": False,
+            "sections": False,
+            "ip_constants": True,
+            "scalar_kill": False,
+            "array_kill": False,
+            "reductions": True,  # the total loop
+            "symbolic": True,
+        },
+        script=[
+            "unit stir",
+            "loops",
+            "select 0",
+            "deps",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("stir", 0)],
+        notes=(
+            "The j loop carries no dependence because columns are "
+            "disjoint, but proving it requires ld's value: (j−j')·ld "
+            "dominates (i−i') only when ld ≥ nn is known — supplied by "
+            "interprocedural constants (ld = nn = 24 at the only call)."
+        ),
+    )

@@ -1,0 +1,98 @@
+"""slab2d — 2-D slab decomposition code (stand-in).
+
+"To perform array privatization in slab2d, kill analysis must be combined
+with loop transformations."  The stand-in's row loop builds a local work
+row (full sweep — killed), then consumes it; the same loop also
+accumulates a diagnostic sum.  Parallelizing it takes array kill analysis
+(privatize ``row``) *and* the reduction rewrite (the diagnostic) — the
+combination the paper describes.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_SOURCE = """      program slab2d
+      integer n, m
+      parameter (n = 32, m = 24)
+      real slab(n, m)
+      real diag
+      common /dom/ slab, diag
+      call fill
+      call update
+      write (6, *) diag
+      end
+
+      subroutine fill
+      integer n, m
+      parameter (n = 32, m = 24)
+      real slab(n, m)
+      real diag
+      common /dom/ slab, diag
+      do j = 1, m
+         do i = 1, n
+            slab(i, j) = 0.05 * i - 0.02 * j
+         end do
+      end do
+      diag = 0.0
+      return
+      end
+
+      subroutine update
+      integer n, m
+      parameter (n = 32, m = 24)
+      real slab(n, m)
+      real diag
+      real row(32)
+      common /dom/ slab, diag
+      do j = 1, m
+         do i = 1, n
+            row(i) = slab(i, j) * slab(i, j)
+         end do
+         do i = 2, n
+            slab(i, j) = slab(i, j) + 0.5 * (row(i) - row(i-1))
+         end do
+         diag = diag + row(n)
+      end do
+      return
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    return SuiteProgram(
+        name="slab2d",
+        domain="2-D slab hydrodynamics",
+        contributor="stand-in for the LLNL slab2d contributor",
+        description=(
+            "Row update with a local scratch row: killed each iteration of "
+            "the outer loop, plus a diagnostic sum reduction."
+        ),
+        source=_SOURCE,
+        needs={
+            "modref": False,
+            "sections": False,
+            "ip_constants": False,
+            "scalar_kill": True,
+            "array_kill": True,
+            "reductions": True,
+            "symbolic": True,
+        },
+        script=[
+            "unit update",
+            "loops",
+            "select 0",
+            "vars",
+            "advice privatize var=row",
+            "apply privatize var=row",
+            "advice parallelize",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("update", 0)],
+        notes=(
+            "row is fully overwritten before its reads every j iteration "
+            "(local array kill); diag is a sum reduction.  Both discounts "
+            "are needed before the outer loop parallelizes."
+        ),
+    )

@@ -1,0 +1,204 @@
+"""spec77 — weather simulation (stand-in).
+
+The real spec77 (5600 lines, 67 procedures; Steve Poole, IBM Kingston &
+Lo Hsieh, IBM Palo Alto) drove the paper's interprocedural discussion:
+its driver routine *gloop* loops over grid columns calling per-column
+physics routines, so parallelizing the important loops needs
+interprocedural section analysis, and good granularity needs fusing the
+callees' loops / interchanging across the call boundary.
+
+The stand-in keeps that exact shape at laptop scale: a time loop calls
+``gloop``, which sweeps columns invoking several per-column update
+routines (advection, diffusion, filtering per field), each an internal
+``DO`` over one column.  The key loop is gloop's column loop: serial
+under conservative call handling, parallel once MOD/REF + sections prove
+each iteration touches only its own column.
+"""
+
+from __future__ import annotations
+
+from .base import SuiteProgram
+
+_FIELDS = ["u", "v", "t", "q"]
+_STAGES = [
+    ("advec", "x(i) = x(i) + 0.25 * (x(i+1) - x(i-1))", 2, "k - 1"),
+    ("diffu", "x(i) = x(i) + 0.1 * (x(i+1) - 2.0 * x(i) + x(i-1))", 2, "k - 1"),
+    ("decay", "x(i) = x(i) * 0.995", 1, "k"),
+]
+
+
+def _column_routines() -> str:
+    """One routine per (stage, field): spec77's many similar procedures."""
+
+    out = []
+    for stage, update, lo, hi in _STAGES:
+        for f in _FIELDS:
+            name = f"{stage}{f}"
+            out.append(
+                f"""      subroutine {name}(x, k)
+      integer k
+      real x(k)
+      do i = {lo}, {hi}
+         {update}
+      end do
+      return
+      end
+"""
+            )
+    return "\n".join(out)
+
+
+def _gloop() -> str:
+    calls = []
+    for stage, _, _, _ in _STAGES:
+        for f in _FIELDS:
+            calls.append(f"         call {stage}{f}({f}(1, j), n)")
+    body = "\n".join(calls)
+    return f"""      subroutine gloop(m)
+      integer m
+      integer n, mm
+      parameter (n = 24, mm = 16)
+      real u(n, mm), v(n, mm), t(n, mm), q(n, mm)
+      common /fields/ u, v, t, q
+      do j = 1, m
+{body}
+      end do
+      return
+      end
+"""
+
+
+def _phys() -> str:
+    """Column physics: scalar temporaries killed every iteration (the
+    scalar-privatization pattern) plus a guarded update."""
+
+    return """      subroutine phys(m)
+      integer m
+      integer n, mm
+      parameter (n = 24, mm = 16)
+      real u(n, mm), v(n, mm), t(n, mm), q(n, mm)
+      real ekin, cond
+      common /fields/ u, v, t, q
+      do j = 1, m
+         do i = 1, n
+            ekin = 0.5 * (u(i, j) * u(i, j) + v(i, j) * v(i, j))
+            cond = q(i, j) - 0.01 * ekin
+            if (cond .gt. 0.0) then
+               t(i, j) = t(i, j) + 0.1 * cond
+               q(i, j) = q(i, j) - 0.1 * cond
+            end if
+         end do
+      end do
+      return
+      end
+"""
+
+
+def _diag() -> str:
+    """Diagnostics: the sum/max reductions every weather code prints."""
+
+    return """      subroutine diag(etot, qmax)
+      real etot, qmax
+      integer n, mm
+      parameter (n = 24, mm = 16)
+      real u(n, mm), v(n, mm), t(n, mm), q(n, mm)
+      common /fields/ u, v, t, q
+      etot = 0.0
+      qmax = 0.0
+      do j = 1, mm
+         do i = 1, n
+            etot = etot + u(i, j) * u(i, j) + v(i, j) * v(i, j)
+            if (q(i, j) .gt. qmax) qmax = q(i, j)
+         end do
+      end do
+      return
+      end
+"""
+
+
+def _main() -> str:
+    inits = []
+    for k, f in enumerate(_FIELDS):
+        inits.append(
+            f"""      do j = 1, mm
+         do i = 1, n
+            {f}(i, j) = 0.01 * i + 0.1 * j + {k}.0
+         end do
+      end do"""
+        )
+    init_text = "\n".join(inits)
+    sums = "\n".join(
+        f"""      do j = 1, mm
+         do i = 1, n
+            chksum = chksum + {f}(i, j)
+         end do
+      end do"""
+        for f in _FIELDS
+    )
+    return f"""      program spec77
+      integer n, mm, nsteps
+      parameter (n = 24, mm = 16, nsteps = 3)
+      real u(n, mm), v(n, mm), t(n, mm), q(n, mm)
+      real chksum, etot, qmax
+      common /fields/ u, v, t, q
+{init_text}
+      do it = 1, nsteps
+         call gloop(mm)
+         call phys(mm)
+      end do
+      call diag(etot, qmax)
+      chksum = 0.0
+{sums}
+      write (6, *) chksum, etot, qmax
+      end
+"""
+
+
+def build() -> SuiteProgram:
+    source = (
+        _main() + "\n" + _gloop() + "\n" + _phys() + "\n" + _diag() + "\n"
+        + _column_routines()
+    )
+    return SuiteProgram(
+        name="spec77",
+        domain="weather simulation",
+        contributor="stand-in for Steve Poole (IBM Kingston) & Lo Hsieh (IBM Palo Alto)",
+        description=(
+            "Spectral weather model skeleton: a time loop drives gloop "
+            "(per-column dynamics via calls), column physics with scalar "
+            "temporaries, and a reductions diagnostic."
+        ),
+        source=source,
+        needs={
+            "modref": True,
+            "sections": True,
+            "ip_constants": False,
+            "scalar_kill": True,  # phys temporaries
+            "array_kill": False,
+            "reductions": True,  # diag + checksum loops
+            "symbolic": True,
+        },
+        script=[
+            "unit gloop",
+            "loops",
+            "select 0",
+            "deps",
+            "advice parallelize",
+            "apply parallelize",
+            "unit phys",
+            "select 0",
+            "vars",
+            "apply parallelize",
+            "unit diag",
+            "select 0",
+            "apply reduction",
+            "apply parallelize",
+            "loops",
+        ],
+        target_loops=[("gloop", 0), ("phys", 0), ("diag", 0)],
+        notes=(
+            "The column loop in gloop parallelizes only when regular "
+            "section analysis proves each call touches a single column; "
+            "fusion of the callees' loops then raises granularity."
+        ),
+    )

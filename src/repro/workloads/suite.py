@@ -1,0 +1,49 @@
+"""Suite registry (the reproduction's Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import (
+    arc3d,
+    boast,
+    interior,
+    nxsns,
+    ocean,
+    onedim,
+    pneoss,
+    shear,
+    slab2d,
+    spec77,
+)
+from .base import SuiteProgram
+
+_BUILDERS = [
+    spec77.build,
+    pneoss.build,
+    nxsns.build,
+    arc3d.build,
+    slab2d.build,
+    onedim.build,
+    boast.build,
+    shear.build,
+    interior.build,
+    ocean.build,
+]
+
+SUITE: Dict[str, SuiteProgram] = {}
+for _b in _BUILDERS:
+    _p = _b()
+    SUITE[_p.name] = _p
+
+
+def program_names() -> List[str]:
+    return list(SUITE)
+
+
+def get_program(name: str) -> SuiteProgram:
+    try:
+        return SUITE[name.lower()]
+    except KeyError:
+        known = ", ".join(SUITE)
+        raise KeyError(f"unknown suite program {name!r}; known: {known}") from None

@@ -1,0 +1,131 @@
+"""Unit tests for the statement-level CFG."""
+
+import pytest
+
+from repro.analysis.cfg import ENTRY, EXIT, build_cfg
+from repro.fortran import parse_and_bind
+
+
+def cfg_of(body, decls=""):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    unit = parse_and_bind(src).units[0]
+    return unit, build_cfg(unit)
+
+
+class TestStraightLine:
+    def test_sequential_edges(self):
+        _, cfg = cfg_of("x = 1\ny = 2\nz = 3")
+        assert cfg.succ[ENTRY] == {0}
+        assert cfg.succ[0] == {1}
+        assert cfg.succ[1] == {2}
+        assert cfg.succ[2] == {EXIT}
+
+    def test_preds_mirror_succs(self):
+        _, cfg = cfg_of("x = 1\ny = 2")
+        for a, succs in cfg.succ.items():
+            for b in succs:
+                assert a in cfg.pred[b]
+
+    def test_empty_body(self):
+        _, cfg = cfg_of("continue")
+        assert cfg.succ[ENTRY] == {0}
+
+    def test_stop_goes_to_exit(self):
+        _, cfg = cfg_of("x = 1\nstop\ny = 2")
+        assert EXIT in cfg.succ[1]
+        assert 2 not in cfg.succ[1]
+
+    def test_return_goes_to_exit(self):
+        src = "      subroutine s\n      x = 1\n      return\n      end\n"
+        unit = parse_and_bind(src).units[0]
+        cfg = build_cfg(unit)
+        assert EXIT in cfg.succ[1]
+
+
+class TestDoLoop:
+    def test_loop_edges(self):
+        _, cfg = cfg_of("do i = 1, 3\nx = i\nend do\ny = 1")
+        # header -> body, header -> after (zero trip)
+        assert cfg.succ[0] == {1, 2}
+        # last body stmt -> header (back edge)
+        assert cfg.succ[1] == {0}
+
+    def test_nested_loop_back_edges(self):
+        _, cfg = cfg_of("do i = 1, 3\ndo j = 1, 3\nx = i\nend do\nend do")
+        assert 1 in cfg.succ[0]  # outer -> inner header
+        assert 2 in cfg.succ[1]  # inner -> body
+        assert 1 in cfg.succ[2]  # body -> inner header
+        assert 0 in cfg.succ[1]  # inner header -> outer header (exit)
+
+    def test_empty_loop_body(self):
+        _, cfg = cfg_of("do i = 1, 3\nend do\nx = 1")
+        # header loops to itself and exits forward
+        assert cfg.succ[0] == {0, 1}
+
+
+class TestIf:
+    def test_if_then_else_edges(self):
+        _, cfg = cfg_of("if (x .gt. 0) then\ny = 1\nelse\ny = 2\nend if\nz = 3")
+        assert cfg.succ[0] == {1, 2}
+        assert cfg.succ[1] == {3}
+        assert cfg.succ[2] == {3}
+
+    def test_if_without_else_falls_through(self):
+        _, cfg = cfg_of("if (x .gt. 0) then\ny = 1\nend if\nz = 3")
+        assert cfg.succ[0] == {1, 2}
+
+    def test_logical_if(self):
+        _, cfg = cfg_of("if (x .gt. 0) y = 1\nz = 3")
+        assert cfg.succ[0] == {1, 2}
+        assert cfg.succ[1] == {2}
+
+
+class TestGoto:
+    def test_goto_forward(self):
+        _, cfg = cfg_of("goto 10\nx = 1\n10 y = 2")
+        assert cfg.succ[0] == {2}
+
+    def test_goto_backward(self):
+        _, cfg = cfg_of("10 x = x + 1\nif (x .lt. 3) goto 10\ny = 1")
+        # logical IF's inner goto statement targets statement 0
+        goto_sid = 2
+        assert cfg.succ[goto_sid] == {0}
+
+    def test_unresolved_goto_falls_through(self):
+        _, cfg = cfg_of("goto 99\nx = 1")
+        assert cfg.succ[0] == {1}
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        _, cfg = cfg_of("x = 1\nif (x .gt. 0) then\ny = 1\nend if\nz = 2")
+        dom = cfg.dominators()
+        for n in cfg.stmts:
+            assert ENTRY in dom[n]
+
+    def test_branch_arms_not_dominating_join(self):
+        _, cfg = cfg_of("if (x .gt. 0) then\ny = 1\nelse\ny = 2\nend if\nz = 2")
+        dom = cfg.dominators()
+        join = 3
+        assert 1 not in dom[join]
+        assert 2 not in dom[join]
+        assert 0 in dom[join]
+
+    def test_postdominators(self):
+        _, cfg = cfg_of("if (x .gt. 0) then\ny = 1\nend if\nz = 2")
+        pdom = cfg.postdominators()
+        # The join postdominates the branch.
+        assert 2 in pdom[0]
+        # The arm does not postdominate the branch.
+        assert 1 not in pdom[0]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        _, cfg = cfg_of("x = 1\ny = 2")
+        order = cfg.reverse_postorder()
+        assert order[0] == ENTRY
+        assert order.index(0) < order.index(1)

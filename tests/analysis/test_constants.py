@@ -1,0 +1,118 @@
+"""Unit tests for constant propagation."""
+
+import pytest
+
+from repro.analysis.constants import eval_const, propagate_constants
+from repro.fortran import parse_and_bind
+
+
+def unit_of(body, decls=""):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    return parse_and_bind(src).units[0]
+
+
+class TestEvalConst:
+    def expr(self, text, body_extra=""):
+        u = unit_of(f"x = {text}")
+        return u.body[0].expr
+
+    def test_arith(self):
+        assert eval_const(self.expr("2 + 3 * 4"), {}) == 14
+
+    def test_env_lookup(self):
+        assert eval_const(self.expr("n + 1"), {"n": 9}) == 10
+
+    def test_unknown_is_none(self):
+        assert eval_const(self.expr("n + 1"), {}) is None
+
+    def test_integer_division_truncates(self):
+        assert eval_const(self.expr("7 / 2"), {}) == 3
+        assert eval_const(self.expr("(-7) / 2"), {}) == -3
+
+    def test_division_by_zero_none(self):
+        assert eval_const(self.expr("1 / 0"), {}) is None
+
+    def test_relational(self):
+        assert eval_const(self.expr("2 .lt. 3"), {}) is True
+
+    def test_logical_ops(self):
+        assert eval_const(self.expr(".true. .and. .false."), {}) is False
+
+    def test_intrinsics(self):
+        assert eval_const(self.expr("abs(-4)"), {}) == 4
+        assert eval_const(self.expr("max(2, 7)"), {}) == 7
+        assert eval_const(self.expr("mod(7, 3)"), {}) == 1
+
+
+class TestPropagation:
+    def test_parameter_seed(self):
+        u = unit_of("x = n", "integer n\nparameter (n = 12)")
+        cm = propagate_constants(u)
+        assert cm.at(0)["n"] == 12
+
+    def test_assignment_propagates(self):
+        u = unit_of("k = 5\nx = k")
+        cm = propagate_constants(u)
+        assert cm.at(1)["k"] == 5
+
+    def test_chained_folding(self):
+        u = unit_of("k = 5\nm = k * 2\nx = m")
+        cm = propagate_constants(u)
+        assert cm.at(2)["m"] == 10
+
+    def test_branch_agreement(self):
+        u = unit_of("if (p .gt. 0) then\nk = 4\nelse\nk = 4\nend if\nx = k")
+        cm = propagate_constants(u)
+        assert cm.at(3).get("k") == 4
+
+    def test_branch_disagreement(self):
+        u = unit_of("if (p .gt. 0) then\nk = 4\nelse\nk = 5\nend if\nx = k")
+        cm = propagate_constants(u)
+        assert "k" not in cm.at(3)
+
+    def test_loop_var_not_constant(self):
+        u = unit_of("do i = 1, 3\nx = i\nend do")
+        cm = propagate_constants(u)
+        assert "i" not in cm.at(1)
+
+    def test_redefinition_in_loop_not_constant(self):
+        u = unit_of("k = 1\ndo i = 1, 3\nk = k + 1\nend do\nx = k")
+        cm = propagate_constants(u)
+        assert "k" not in cm.at(3)
+
+    def test_constant_survives_loop(self):
+        u = unit_of("k = 7\ndo i = 1, 3\nx = k\nend do")
+        cm = propagate_constants(u)
+        assert cm.at(2).get("k") == 7
+
+    def test_call_clobbers_actual(self):
+        u = unit_of("k = 7\ncall foo(k)\nx = k")
+        cm = propagate_constants(u)
+        assert "k" not in cm.at(2)
+
+    def test_call_does_not_clobber_parameter(self):
+        u = unit_of("call foo(n)\nx = n", "integer n\nparameter (n = 3)")
+        cm = propagate_constants(u)
+        assert cm.at(1).get("n") == 3
+
+    def test_read_clobbers(self):
+        u = unit_of("k = 7\nread (5, *) k\nx = k")
+        cm = propagate_constants(u)
+        assert "k" not in cm.at(2)
+
+    def test_inherited_constants(self):
+        src = "      subroutine s(n)\n      integer n\n      x = n\n      end\n"
+        unit = parse_and_bind(src).units[0]
+        cm = propagate_constants(unit, inherited={"n": 42})
+        assert cm.at(0)["n"] == 42
+
+    def test_linear_env(self):
+        u = unit_of("k = 3\nx = k")
+        cm = propagate_constants(u)
+        env = cm.linear_env(1)
+        assert env["k"].constant_value() == 3

@@ -1,0 +1,137 @@
+"""Unit tests for defs/uses, reaching definitions and liveness."""
+
+import pytest
+
+from repro.analysis.cfg import ENTRY, build_cfg
+from repro.analysis.defuse import (
+    ConservativeEffects,
+    compute_defuse,
+    stmt_defs,
+    stmt_uses,
+)
+from repro.fortran import parse_and_bind
+
+
+def unit_of(body, decls=""):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    return parse_and_bind(src).units[0]
+
+
+class TestStmtDefsUses:
+    def test_scalar_assign_must_def(self):
+        u = unit_of("x = y + 1")
+        must, may = stmt_defs(u.body[0], u.symtab)
+        assert must == {"x"}
+        assert may == {"x"}
+
+    def test_array_assign_may_def_only(self):
+        u = unit_of("a(i) = 0.0", "real a(10)")
+        must, may = stmt_defs(u.body[0], u.symtab)
+        assert must == set()
+        assert may == {"a"}
+
+    def test_uses_include_subscripts(self):
+        u = unit_of("a(i+k) = b(j)", "real a(10), b(10)")
+        uses = stmt_uses(u.body[0], u.symtab)
+        assert {"i", "k", "j", "b"} <= uses
+        assert "a" not in uses
+
+    def test_do_header_defines_var(self):
+        u = unit_of("do i = 1, n\nx = i\nend do")
+        must, _ = stmt_defs(u.body[0], u.symtab)
+        assert must == {"i"}
+
+    def test_do_header_uses_bounds(self):
+        u = unit_of("do i = j, n, k\nx = i\nend do")
+        uses = stmt_uses(u.body[0], u.symtab)
+        assert {"j", "n", "k"} <= uses
+
+    def test_read_defines_items(self):
+        u = unit_of("read (5, *) x, n")
+        must, _ = stmt_defs(u.body[0], u.symtab)
+        assert must == {"x", "n"}
+
+    def test_write_uses_items(self):
+        u = unit_of("write (6, *) x, y")
+        uses = stmt_uses(u.body[0], u.symtab)
+        assert {"x", "y"} <= uses
+
+    def test_call_conservative_may_defs(self):
+        u = unit_of("call foo(x, a)", "real a(5)\ncommon /c/ q")
+        must, may = stmt_defs(u.body[0], u.symtab)
+        assert must == set()
+        assert {"x", "a", "q"} <= may
+
+    def test_call_conservative_uses(self):
+        u = unit_of("call foo(x)", "common /c/ q")
+        uses = stmt_uses(u.body[0], u.symtab)
+        assert {"x", "q"} <= uses
+
+    def test_if_condition_uses(self):
+        u = unit_of("if (p .gt. q) x = 1")
+        uses = stmt_uses(u.body[0], u.symtab)
+        assert {"p", "q"} <= uses
+
+
+class TestReachingDefs:
+    def test_straightline_chain(self):
+        u = unit_of("x = 1\ny = x")
+        du = compute_defuse(u)
+        assert du.ud[1]["x"] == {0}
+
+    def test_redefinition_kills(self):
+        u = unit_of("x = 1\nx = 2\ny = x")
+        du = compute_defuse(u)
+        assert du.ud[2]["x"] == {1}
+
+    def test_branch_merges_defs(self):
+        u = unit_of(
+            "if (p .gt. 0) then\nx = 1\nelse\nx = 2\nend if\ny = x"
+        )
+        du = compute_defuse(u)
+        assert du.ud[3]["x"] == {1, 2}
+
+    def test_entry_def_for_undefined(self):
+        u = unit_of("y = x")
+        du = compute_defuse(u)
+        assert du.ud[0]["x"] == {ENTRY}
+
+    def test_loop_carried_reach(self):
+        u = unit_of("do i = 1, 3\ny = x\nx = y + 1\nend do")
+        du = compute_defuse(u)
+        # The use of x sees both the entry value and the loop's def.
+        assert du.ud[1]["x"] == {ENTRY, 2}
+
+    def test_array_defs_accumulate(self):
+        u = unit_of("a(1) = 0.\na(2) = 0.\nx = a(i)", "real a(5)")
+        du = compute_defuse(u)
+        assert du.ud[2]["a"] == {ENTRY, 0, 1}
+
+    def test_du_chains_inverse(self):
+        u = unit_of("x = 1\ny = x\nz = x")
+        du = compute_defuse(u)
+        assert du.du[(0, "x")] == {1, 2}
+
+
+class TestLiveness:
+    def test_dead_after_last_use(self):
+        u = unit_of("x = 1\ny = x\nz = 2")
+        du = compute_defuse(u)
+        assert "x" in du.live_in[1]
+        assert "x" not in du.live_out[1]
+
+    def test_live_through_loop(self):
+        u = unit_of("s = 0.0\ndo i = 1, 3\ns = s + 1.0\nend do\ny = s")
+        du = compute_defuse(u)
+        assert "s" in du.live_out[2]  # live across iterations
+        assert "s" in du.live_out[1]  # live out of the loop header
+
+    def test_condition_vars_live(self):
+        u = unit_of("if (p .gt. 0) then\nx = 1\nend if")
+        du = compute_defuse(u)
+        assert "p" in du.live_in[0]

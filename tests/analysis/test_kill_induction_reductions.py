@@ -1,0 +1,210 @@
+"""Unit tests for kill analysis, induction variables and reductions."""
+
+import pytest
+
+from repro.analysis.induction import auxiliary_inductions, induction_variables
+from repro.analysis.kill import killed_scalars, privatizable_scalars, upward_exposed
+from repro.analysis.reductions import find_reductions
+from repro.fortran import parse_and_bind
+
+
+def loop_of(body, decls="real a(100), b(100)"):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    unit = parse_and_bind(src).units[0]
+    from repro.fortran import DoLoop, walk_statements
+
+    loop = next(st for st in unit.body if isinstance(st, DoLoop))
+    return loop, unit
+
+
+class TestKill:
+    def test_def_before_use_killed(self):
+        loop, u = loop_of("do i = 1, 9\nt = a(i)\nb(i) = t\nend do")
+        assert "t" in killed_scalars(loop, u.symtab)
+
+    def test_use_before_def_not_killed(self):
+        loop, u = loop_of("do i = 1, 9\nb(i) = t\nt = a(i)\nend do")
+        assert "t" not in killed_scalars(loop, u.symtab)
+
+    def test_conditional_def_not_killed(self):
+        loop, u = loop_of(
+            "do i = 1, 9\nif (a(i) .gt. 0.) then\nt = 1.\nend if\nb(i) = t\nend do"
+        )
+        assert "t" not in killed_scalars(loop, u.symtab)
+
+    def test_def_on_both_branches_killed(self):
+        loop, u = loop_of(
+            "do i = 1, 9\nif (a(i) .gt. 0.) then\nt = 1.\nelse\nt = 2.\nend if\n"
+            "b(i) = t\nend do"
+        )
+        assert "t" in killed_scalars(loop, u.symtab)
+
+    def test_inner_loop_var_killed(self):
+        loop, u = loop_of("do i = 1, 9\ndo j = 1, 9\nb(j) = a(j)\nend do\nend do")
+        assert "j" in killed_scalars(loop, u.symtab)
+
+    def test_accumulator_not_killed(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i)\nend do")
+        assert "s" not in killed_scalars(loop, u.symtab)
+
+    def test_goto_in_body_conservative(self):
+        loop, u = loop_of(
+            "do i = 1, 9\nt = a(i)\nif (t .gt. 0.) goto 10\nb(i) = t\n"
+            "10 continue\nend do"
+        )
+        # Conservative bail-out: nothing is killed.
+        assert killed_scalars(loop, u.symtab) == set()
+
+    def test_upward_exposed_reports_reads(self):
+        loop, u = loop_of("do i = 1, 9\nb(i) = t + u\nt = 1.\nend do")
+        exposed = upward_exposed(loop, u.symtab)
+        assert {"t", "u"} <= exposed
+
+    def test_privatizable_lastvalue_flag(self):
+        loop, u = loop_of(
+            "do i = 1, 9\nt = a(i)\nb(i) = t\nend do\nx = t"
+        )
+        privs = privatizable_scalars(loop, u)
+        by_name = {p.name: p for p in privs}
+        assert "t" in by_name
+        assert by_name["t"].needs_last_value
+
+    def test_privatizable_dead_after_loop(self):
+        loop, u = loop_of("do i = 1, 9\nt = a(i)\nb(i) = t\nend do")
+        privs = privatizable_scalars(loop, u)
+        by_name = {p.name: p for p in privs}
+        assert not by_name["t"].needs_last_value
+
+
+class TestInduction:
+    def test_basic_induction(self):
+        loop, u = loop_of("do i = 1, 9\nb(i) = a(i)\nend do")
+        ivs = induction_variables(loop, u.symtab)
+        assert ivs[0].name == "i" and ivs[0].basic
+
+    def test_auxiliary_recognised(self):
+        loop, u = loop_of("k = 0\ndo i = 1, 9\nk = k + 2\nb(i) = a(k)\nend do")
+        aux = auxiliary_inductions(loop, u.symtab)
+        assert [iv.name for iv in aux] == ["k"]
+        assert str(aux[0].step) == "2"
+
+    def test_decrement_recognised(self):
+        loop, u = loop_of("k = 9\ndo i = 1, 9\nk = k - 1\nb(i) = a(k)\nend do")
+        aux = auxiliary_inductions(loop, u.symtab)
+        assert [iv.name for iv in aux] == ["k"]
+
+    def test_symbolic_invariant_step(self):
+        loop, u = loop_of("do i = 1, 9\nk = k + m\nb(i) = a(k)\nend do")
+        aux = auxiliary_inductions(loop, u.symtab)
+        assert [iv.name for iv in aux] == ["k"]
+
+    def test_variant_step_rejected(self):
+        loop, u = loop_of("do i = 1, 9\nm = m + 1\nk = k + m\nend do")
+        aux = auxiliary_inductions(loop, u.symtab)
+        assert "k" not in [iv.name for iv in aux]
+
+    def test_conditional_update_rejected(self):
+        loop, u = loop_of(
+            "do i = 1, 9\nif (a(i) .gt. 0.) then\nk = k + 1\nend if\nend do"
+        )
+        assert auxiliary_inductions(loop, u.symtab) == []
+
+    def test_double_update_rejected(self):
+        loop, u = loop_of("do i = 1, 9\nk = k + 1\nk = k + 2\nend do")
+        assert auxiliary_inductions(loop, u.symtab) == []
+
+    def test_non_unit_coefficient_rejected(self):
+        loop, u = loop_of("do i = 1, 9\nk = 2 * k + 1\nend do")
+        assert auxiliary_inductions(loop, u.symtab) == []
+
+
+class TestReductions:
+    def names(self, loop, u):
+        return [(r.op, r.var) for r in find_reductions(loop, u.symtab)]
+
+    def test_sum(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i)\nend do")
+        assert ("+", "s") in self.names(loop, u)
+
+    def test_sum_reversed_operands(self):
+        loop, u = loop_of("do i = 1, 9\ns = a(i) + s\nend do")
+        assert ("+", "s") in self.names(loop, u)
+
+    def test_difference(self):
+        loop, u = loop_of("do i = 1, 9\ns = s - a(i)\nend do")
+        assert ("+", "s") in self.names(loop, u)
+
+    def test_product(self):
+        loop, u = loop_of("do i = 1, 9\np = p * a(i)\nend do")
+        assert ("*", "p") in self.names(loop, u)
+
+    def test_intrinsic_max(self):
+        loop, u = loop_of("do i = 1, 9\nm = max(m, a(i))\nend do")
+        assert ("max", "m") in self.names(loop, u)
+
+    def test_guarded_max(self):
+        loop, u = loop_of("do i = 1, 9\nif (a(i) .gt. m) m = a(i)\nend do")
+        assert ("max", "m") in self.names(loop, u)
+
+    def test_guarded_min(self):
+        loop, u = loop_of("do i = 1, 9\nif (a(i) .lt. m) m = a(i)\nend do")
+        assert ("min", "m") in self.names(loop, u)
+
+    def test_multiple_updates_same_op(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i)\ns = s + b(i)\nend do")
+        got = self.names(loop, u)
+        assert ("+", "s") in got
+
+    def test_mixed_ops_rejected(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i)\ns = s * b(i)\nend do")
+        assert self.names(loop, u) == []
+
+    def test_other_use_rejected(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i)\nb(i) = s\nend do")
+        assert self.names(loop, u) == []
+
+    def test_operand_mentions_var_rejected(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + s * a(i)\nend do")
+        assert self.names(loop, u) == []
+
+    def test_multiple_reductions(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i)\np = p * b(i)\nend do")
+        got = self.names(loop, u)
+        assert ("+", "s") in got and ("*", "p") in got
+
+
+class TestChainedReductions:
+    def names(self, loop, u):
+        return [(r.op, r.var) for r in find_reductions(loop, u.symtab)]
+
+    def test_chained_sum(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + a(i) + b(i)\nend do")
+        assert ("+", "s") in self.names(loop, u)
+
+    def test_chained_mixed_signs(self):
+        loop, u = loop_of("do i = 1, 9\ns = s - a(i) + b(i)\nend do")
+        assert ("+", "s") in self.names(loop, u)
+
+    def test_negated_var_not_reduction(self):
+        # s = a(i) - s is NOT associative-accumulation shaped.
+        loop, u = loop_of("do i = 1, 9\ns = a(i) - s\nend do")
+        assert self.names(loop, u) == []
+
+    def test_var_twice_rejected(self):
+        loop, u = loop_of("do i = 1, 9\ns = s + s + a(i)\nend do")
+        assert self.names(loop, u) == []
+
+    def test_chained_product(self):
+        loop, u = loop_of("do i = 1, 9\np = p * a(i) * 2.0\nend do")
+        assert ("*", "p") in self.names(loop, u)
+
+    def test_nested_loop_reduction_visible_at_outer(self):
+        loop, u = loop_of(
+            "do i = 1, 9\ndo j = 1, 9\ns = s + a(j) + b(i)\nend do\nend do",
+        )
+        assert ("+", "s") in self.names(loop, u)

@@ -1,0 +1,179 @@
+"""Unit and property tests for the Linear symbolic algebra."""
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.analysis.symbolic import Linear, affine, linear_of_expr
+from repro.fortran import parse_and_bind
+
+
+def expr_of(text, decls=""):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    src += f"      x = {text}\n      end\n"
+    u = parse_and_bind(src).units[0]
+    return u.body[0].expr, u.symtab
+
+
+class TestLinearAlgebra:
+    def test_constant(self):
+        lin = Linear.constant(5)
+        assert lin.is_constant
+        assert lin.int_value() == 5
+
+    def test_atom(self):
+        lin = Linear.atom("n", 2)
+        assert lin.coeff("n") == 2
+        assert not lin.is_constant
+
+    def test_zero_coeff_dropped(self):
+        assert Linear.atom("n", 0) == Linear()
+
+    def test_addition_merges(self):
+        a = Linear.atom("n") + Linear.constant(1)
+        b = Linear.atom("n", 2) + Linear.constant(3)
+        total = a + b
+        assert total.coeff("n") == 3
+        assert total.const == 4
+
+    def test_subtraction_cancels(self):
+        a = Linear.atom("n") + Linear.constant(5)
+        assert (a - a) == Linear()
+
+    def test_scale(self):
+        a = Linear.atom("n", 2) + Linear.constant(3)
+        b = a.scale(Fraction(1, 2))
+        assert b.coeff("n") == 1
+        assert b.const == Fraction(3, 2)
+
+    def test_neg(self):
+        a = Linear.atom("n")
+        assert (-a).coeff("n") == -1
+
+    def test_drop_and_restrict(self):
+        a = Linear.atom("i", 2) + Linear.atom("n") + Linear.constant(7)
+        assert a.drop({"i"}).coeff("i") == 0
+        assert a.drop({"i"}).const == 7
+        assert a.restrict({"i"}).coeff("n") == 0
+        assert a.restrict({"i"}).const == 0
+
+    def test_equality_is_structural(self):
+        assert Linear.atom("n") + Linear.atom("m") == Linear.atom("m") + Linear.atom("n")
+
+
+@st.composite
+def linears(draw):
+    n = draw(st.integers(0, 3))
+    lin = Linear.constant(draw(st.integers(-10, 10)))
+    for _ in range(n):
+        atom = draw(st.sampled_from(["i", "j", "n", "m"]))
+        lin = lin + Linear.atom(atom, draw(st.integers(-5, 5)))
+    return lin
+
+
+class TestLinearProperties:
+    @given(linears(), linears())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(linears(), linears(), linears())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(linears())
+    def test_sub_self_is_zero(self, a):
+        assert a - a == Linear()
+
+    @given(linears(), st.integers(-4, 4))
+    def test_scale_distributes(self, a, k):
+        assert a.scale(k) + a.scale(k) == a.scale(2 * k)
+
+    @given(linears())
+    def test_double_negation(self, a):
+        assert -(-a) == a
+
+
+class TestLinearOfExpr:
+    def test_simple_affine(self):
+        e, tab = expr_of("2*i + n - 1")
+        lin = linear_of_expr(e, tab)
+        assert lin.coeff("i") == 2
+        assert lin.coeff("n") == 1
+        assert lin.const == -1
+
+    def test_parameter_resolution(self):
+        e, tab = expr_of("n + 1", "integer n\nparameter (n = 10)")
+        lin = linear_of_expr(e, tab)
+        assert lin.int_value() == 11
+
+    def test_env_overrides(self):
+        e, tab = expr_of("k + 1")
+        lin = linear_of_expr(e, tab, {"k": Linear.constant(4)})
+        assert lin.int_value() == 5
+
+    def test_nonlinear_becomes_opaque(self):
+        e, tab = expr_of("n * m")
+        lin = linear_of_expr(e, tab)
+        atoms = lin.atoms()
+        assert len(atoms) == 1 and atoms[0].startswith("@")
+
+    def test_identical_opaque_terms_cancel(self):
+        e1, tab = expr_of("n*m + 1")
+        e2, _ = expr_of("n*m + 3")
+        diff = linear_of_expr(e2, tab) - linear_of_expr(e1, tab)
+        assert diff.int_value() == 2
+
+    def test_division_by_constant_exact(self):
+        e, tab = expr_of("(2*i + 4) / 2")
+        lin = linear_of_expr(e, tab)
+        assert lin.coeff("i") == 1
+        assert lin.const == 2
+
+    def test_inexact_division_opaque(self):
+        e, tab = expr_of("i / 2")
+        lin = linear_of_expr(e, tab)
+        assert lin.atoms()[0].startswith("@")
+
+    def test_power_one(self):
+        e, tab = expr_of("i ** 1")
+        assert linear_of_expr(e, tab).coeff("i") == 1
+
+    def test_constant_power(self):
+        e, tab = expr_of("2 ** 5")
+        assert linear_of_expr(e, tab).int_value() == 32
+
+
+class TestAffine:
+    def test_splits_index_coeffs(self):
+        e, tab = expr_of("2*i + 3*j + n")
+        got = affine(e, ["i", "j"], tab)
+        assert got is not None
+        coeffs, rest = got
+        assert coeffs == {"i": 2, "j": 3}
+        assert rest.coeff("n") == 1
+
+    def test_index_inside_nonlinear_rejected(self):
+        e, tab = expr_of("i * j + 1")
+        assert affine(e, ["i", "j"], tab) is None
+
+    def test_index_inside_array_ref_rejected(self):
+        e, tab = expr_of("ip(i)", "integer ip(10)")
+        assert affine(e, ["i"], tab) is None
+
+    def test_symbol_only_ok(self):
+        e, tab = expr_of("n + 1")
+        got = affine(e, ["i"], tab)
+        assert got is not None
+        coeffs, rest = got
+        assert coeffs == {}
+        assert rest.coeff("n") == 1
+
+    def test_whole_word_mention_no_false_positive(self):
+        # "ii" contains "i" but is a different variable.
+        e, tab = expr_of("ip(ii) + 1", "integer ip(10)")
+        got = affine(e, ["i"], tab)
+        assert got is not None

@@ -1,0 +1,152 @@
+"""Unit tests for the assertion facility (parsing and the oracle)."""
+
+import math
+
+import pytest
+
+from repro.analysis.symbolic import Linear
+from repro.assertions import AssertionDB, parse_assertion
+from repro.assertions.facts import (
+    AssertionSyntaxError,
+    ConstantFact,
+    DistinctFact,
+    NonZeroFact,
+    RangeFact,
+    RelationFact,
+)
+
+INF = math.inf
+
+
+class TestParsing:
+    def test_distinct(self):
+        fact = parse_assertion("distinct ip")
+        assert isinstance(fact, DistinctFact)
+        assert fact.name == "ip"
+
+    def test_constant(self):
+        fact = parse_assertion("n == 64")
+        assert isinstance(fact, ConstantFact)
+        assert fact.var == "n" and fact.value == 64
+
+    def test_ge_relation(self):
+        fact = parse_assertion("n >= 1")
+        assert isinstance(fact, RelationFact) and not fact.strict
+
+    def test_gt_relation(self):
+        fact = parse_assertion("n > 0")
+        assert isinstance(fact, RelationFact) and fact.strict
+
+    def test_le_normalised(self):
+        fact = parse_assertion("n <= 100")
+        assert isinstance(fact, RelationFact)
+        # normalised to 100 - n >= 0
+        assert fact.lin.coeff("n") == -1
+
+    def test_dotted_operators(self):
+        fact = parse_assertion("m .ge. 2")
+        assert isinstance(fact, RelationFact)
+
+    def test_nonzero(self):
+        fact = parse_assertion("k /= 0")
+        assert isinstance(fact, NonZeroFact)
+
+    def test_relation_between_variables(self):
+        fact = parse_assertion("k > n")
+        assert isinstance(fact, RelationFact)
+        assert fact.lin.coeff("k") == 1 and fact.lin.coeff("n") == -1
+
+    def test_expression_sides(self):
+        fact = parse_assertion("2*n + 1 <= m")
+        assert isinstance(fact, RelationFact)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion("   ")
+
+    def test_no_operator_rejected(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion("hello world 3")
+
+    def test_bad_distinct_rejected(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion("distinct a b")
+
+
+class TestOracle:
+    def test_range_from_bounds(self):
+        db = AssertionDB()
+        db.add("n >= 10")
+        db.add("n <= 20")
+        assert db.range_of(Linear.atom("n")) == (10.0, 20.0)
+
+    def test_range_of_expression(self):
+        db = AssertionDB()
+        db.add("n >= 10")
+        lin = Linear.atom("n").scale(2) + Linear.constant(-5)
+        lo, hi = db.range_of(lin)
+        assert lo == 15.0 and hi == INF
+
+    def test_range_of_difference(self):
+        db = AssertionDB()
+        db.add("k > n")
+        lo, _ = db.range_of(Linear.atom("k") - Linear.atom("n"))
+        assert lo >= 1.0
+
+    def test_nonzero_from_fact(self):
+        db = AssertionDB()
+        db.add("k /= 0")
+        assert db.nonzero(Linear.atom("k"))
+        assert db.nonzero(Linear.atom("k").scale(3))
+
+    def test_nonzero_from_range(self):
+        db = AssertionDB()
+        db.add("n > 5")
+        assert db.nonzero(Linear.atom("n"))
+        assert db.nonzero(Linear.atom("n") - Linear.constant(5))
+        assert not db.nonzero(Linear.atom("n") - Linear.constant(7))
+
+    def test_injective(self):
+        db = AssertionDB()
+        db.add("distinct ip")
+        assert db.injective("ip")
+        assert not db.injective("jp")
+
+    def test_constants_exported(self):
+        db = AssertionDB()
+        db.add("n == 32")
+        assert db.constants() == {"n": 32}
+        assert db.range_of(Linear.atom("n")) == (32.0, 32.0)
+
+    def test_unknown_atom_unbounded(self):
+        db = AssertionDB()
+        assert db.range_of(Linear.atom("zz")) == (-INF, INF)
+
+    def test_remove_fact(self):
+        db = AssertionDB()
+        fact = db.add("n >= 10")
+        db.remove(fact)
+        assert db.range_of(Linear.atom("n")) == (-INF, INF)
+
+    def test_clear(self):
+        db = AssertionDB()
+        db.add("distinct ip")
+        db.clear()
+        assert not db.injective("ip")
+
+    def test_conflicting_facts_tighten_to_empty(self):
+        db = AssertionDB()
+        db.add("n >= 10")
+        db.add("n <= 5")
+        lo, hi = db.range_of(Linear.atom("n"))
+        assert lo > hi  # empty interval: everything is provable (garbage in)
+
+    def test_interval_arithmetic_multiple_atoms(self):
+        db = AssertionDB()
+        db.add("n >= 1")
+        db.add("n <= 10")
+        db.add("m >= 2")
+        db.add("m <= 3")
+        lin = Linear.atom("n") + Linear.atom("m").scale(-2)
+        lo, hi = db.range_of(lin)
+        assert lo == 1 - 6 and hi == 10 - 4

@@ -1,0 +1,20 @@
+"""Shared test configuration.
+
+Set ``HYPOTHESIS_PROFILE=deep`` (or pass ``--hypothesis-profile=deep``)
+for an extended property-test run — the configuration the soundness bugs
+were hunted with.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "deep",
+    max_examples=600,
+    deadline=None,
+    suppress_health_check=list(HealthCheck),
+)
+settings.register_profile("default", deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,84 @@
+"""Tests for the public API façade."""
+
+import pytest
+
+from repro import analyze, open_session, parallelize_program, parse
+from repro.interproc import FeatureSet
+
+SRC = """      program demo
+      integer n
+      parameter (n = 50)
+      real a(n), b(n)
+      do i = 1, n
+         a(i) = 1.0 * i
+      end do
+      do i = 2, n
+         b(i) = b(i-1) + a(i)
+      end do
+      write (6, *) b(n)
+      end
+"""
+
+
+class TestFacade:
+    def test_parse(self):
+        sf = parse(SRC)
+        assert sf.units[0].name == "demo"
+        assert sf.units[0].symtab is not None
+
+    def test_analyze(self):
+        pa = analyze(SRC)
+        assert pa.loop_count() == 2
+        assert pa.parallel_loop_count() == 1
+
+    def test_analyze_with_features(self):
+        pa = analyze(SRC, FeatureSet.minimal())
+        assert pa.loop_count() == 2
+
+    def test_open_session(self):
+        session = open_session(SRC)
+        session.select_loop(0)
+        assert session.diagnose("parallelize").ok
+
+
+class TestAutoParallelizer:
+    def test_marks_safe_loops_only(self):
+        result = parallelize_program(SRC, require_profitable=False)
+        assert ("demo", 0) in result.parallelized
+        assert ("demo", 1) not in result.parallelized
+        assert ("demo", 1) in result.skipped
+        assert "c$par doall" in result.source
+
+    def test_skipped_reasons_recorded(self):
+        result = parallelize_program(SRC, require_profitable=False)
+        assert "dependence" in result.skipped[("demo", 1)]
+
+    def test_profitability_gate(self):
+        tiny = (
+            "      program t\n      real a(3)\n      do i = 1, 3\n"
+            "      a(i) = 1.0\n      end do\n      end\n"
+        )
+        eager = parallelize_program(tiny, require_profitable=False)
+        lazy = parallelize_program(tiny, require_profitable=True)
+        assert eager.count == 1
+        assert lazy.count == 0
+
+    def test_outermost_first(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 20)\n"
+            "      real a(n, n)\n"
+            "      do j = 1, n\n      do i = 1, n\n      a(i, j) = 1.0\n"
+            "      end do\n      end do\n      end\n"
+        )
+        result = parallelize_program(src, require_profitable=False)
+        # Only the outer loop is marked; the inner stays sequential.
+        assert result.count == 1
+        assert result.source.count("c$par doall") == 1
+
+    def test_transformed_source_runs(self):
+        from repro.perf import Interpreter
+
+        result = parallelize_program(SRC, require_profitable=False)
+        before = Interpreter(parse(SRC)).run()
+        after = Interpreter(parse(result.source), doall_order="reversed").run()
+        assert before == after

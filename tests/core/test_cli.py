@@ -1,0 +1,95 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.workloads import SUITE
+
+
+@pytest.fixture
+def arc3d_file(tmp_path):
+    f = tmp_path / "arc3d.f"
+    f.write_text(SUITE["arc3d"].source)
+    return str(f)
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestAnalyzeCommand:
+    def test_full_analysis(self, arc3d_file, capsys):
+        code, out = run_cli(["analyze", arc3d_file], capsys)
+        assert code == 0
+        assert "filtall" in out
+        assert "8/8 loops parallelizable" in out
+
+    def test_minimal_analysis(self, arc3d_file, capsys):
+        code, out = run_cli(["analyze", arc3d_file, "--minimal"], capsys)
+        assert code == 0
+        assert "minimal analysis" in out
+        assert "serial" in out
+
+    def test_verbose_shows_obstacles(self, arc3d_file, capsys):
+        code, out = run_cli(
+            ["analyze", arc3d_file, "--minimal", "-v"], capsys
+        )
+        assert "dependence" in out
+
+
+class TestAutoCommand:
+    def test_auto_writes_output(self, arc3d_file, tmp_path, capsys):
+        out_file = tmp_path / "par.f"
+        code, out = run_cli(
+            ["auto", arc3d_file, "--eager", "-o", str(out_file)], capsys
+        )
+        assert code == 0
+        assert "parallelized:" in out
+        text = out_file.read_text()
+        assert "c$par doall" in text
+        # The rewritten program still runs identically.
+        from repro.fortran import parse_and_bind
+        from repro.perf import Interpreter
+
+        ref = Interpreter(parse_and_bind(SUITE["arc3d"].source)).run()
+        got = Interpreter(parse_and_bind(text), doall_order="reversed").run()
+        assert got == ref
+
+    def test_auto_prints_when_no_output(self, arc3d_file, capsys):
+        code, out = run_cli(["auto", arc3d_file, "--eager"], capsys)
+        assert "program arc3d" in out
+
+
+class TestSuiteCommand:
+    def test_list(self, capsys):
+        code, out = run_cli(["suite"], capsys)
+        assert code == 0
+        for name in SUITE:
+            assert name in out
+
+    def test_dump(self, capsys):
+        code, out = run_cli(["suite", "pneoss"], capsys)
+        assert "program pneoss" in out
+
+
+class TestPedCommand:
+    def test_scripted_session(self, arc3d_file, tmp_path, capsys, monkeypatch):
+        commands = iter(["unit filtall", "select 0", "apply parallelize", "quit"])
+
+        def fake_input(prompt=""):
+            try:
+                return next(commands)
+            except StopIteration:
+                raise EOFError
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        out_file = tmp_path / "edited.f"
+        code, out = run_cli(["ped", arc3d_file, "-o", str(out_file)], capsys)
+        assert code == 0
+        assert "DOALL" in out
+        assert "c$par doall" in out_file.read_text()

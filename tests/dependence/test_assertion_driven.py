@@ -1,0 +1,94 @@
+"""Tests for assertion-sharpened dependence analysis (the oracle paths)."""
+
+import pytest
+
+from repro.assertions import AssertionDB
+from repro.dependence import AnalysisConfig, analyze_unit
+from repro.fortran import parse_and_bind
+
+
+def analysis_with(body, asserts=(), decls="real a(200), b(200)"):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    unit = parse_and_bind(src).units[0]
+    db = AssertionDB()
+    for text in asserts:
+        db.add(text)
+    return analyze_unit(unit, AnalysisConfig(oracle=db)), unit
+
+
+def first_parallel(ua):
+    return ua.info_for(ua.loops[0].loop).parallelizable
+
+
+class TestZivAssert:
+    def test_symbolic_offset_blocked_without_assert(self):
+        ua, _ = analysis_with("do i = 1, 50\na(i + m) = a(i) + 1.0\nend do")
+        assert not first_parallel(ua)
+
+    def test_range_assert_unblocks(self):
+        # m ≥ 50 puts every write at least 50 slots beyond every read;
+        # with trip 50, no feasible distance remains.
+        ua, _ = analysis_with(
+            "do i = 1, 50\na(i + m) = a(i) + 1.0\nend do",
+            asserts=["m >= 50", "m <= 150"],
+        )
+        assert first_parallel(ua)
+
+    def test_insufficient_range_still_blocked(self):
+        ua, _ = analysis_with(
+            "do i = 1, 50\na(i + m) = a(i) + 1.0\nend do",
+            asserts=["m >= 10", "m <= 20"],
+        )
+        assert not first_parallel(ua)
+
+
+class TestConstantAssert:
+    def test_value_assertion_enables_exact_test(self):
+        # Stride m: with m == 2 the accesses interleave without collision.
+        body = "do i = 1, 50\na(m * i) = a(m * i - 1) + 1.0\nend do"
+        blocked, _ = analysis_with(body)
+        assert not first_parallel(blocked)
+        ua, _ = analysis_with(body, asserts=["m == 2"])
+        assert first_parallel(ua)
+
+
+class TestDistinctAssert:
+    def test_gather_scatter(self):
+        body = "do i = 1, 50\na(ip(i)) = b(i) + a(ip(i))\nend do"
+        decls = "real a(200), b(200)\ninteger ip(200)"
+        blocked, _ = analysis_with(body, decls=decls)
+        assert not first_parallel(blocked)
+        ua, _ = analysis_with(body, asserts=["distinct ip"], decls=decls)
+        assert first_parallel(ua)
+
+    def test_distinct_other_array_does_not_help(self):
+        body = "do i = 1, 50\na(ip(i)) = b(i) + a(ip(i))\nend do"
+        decls = "real a(200), b(200)\ninteger ip(200), jp(200)"
+        ua, _ = analysis_with(body, asserts=["distinct jp"], decls=decls)
+        assert not first_parallel(ua)
+
+    def test_distinct_different_index_arrays_conservative(self):
+        # a(ip(i)) vs a(jp(i)): distinctness of each says nothing about
+        # their cross-collisions.
+        body = "do i = 1, 50\na(ip(i)) = a(jp(i)) + 1.0\nend do"
+        decls = "real a(200)\ninteger ip(200), jp(200)"
+        ua, _ = analysis_with(
+            body, asserts=["distinct ip", "distinct jp"], decls=decls
+        )
+        assert not first_parallel(ua)
+
+
+class TestAssertedLoopBounds:
+    def test_symbolic_trip_with_asserted_bound(self):
+        # Distance-10 dependence; the loop runs at most 8 iterations by
+        # assertion, so the dependence cannot be realised.
+        body = "do i = 1, n\na(i + 10) = a(i) + 1.0\nend do"
+        blocked, _ = analysis_with(body)
+        assert not first_parallel(blocked)
+        ua, _ = analysis_with(body, asserts=["n >= 1", "n <= 8"])
+        assert first_parallel(ua)

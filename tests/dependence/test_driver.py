@@ -1,0 +1,182 @@
+"""Integration tests for the dependence driver on realistic loops."""
+
+import pytest
+
+from repro.dependence import AnalysisConfig, analyze_unit
+from repro.dependence.graph import ANTI, FLOW, INPUT, OUTPUT
+from repro.fortran import parse_and_bind
+
+
+def analysis_of(body, decls="real a(100), b(100), c(100, 100)", config=None):
+    src = "      program t\n"
+    src += "      integer n\n      parameter (n = 100)\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    unit = parse_and_bind(src).units[0]
+    return analyze_unit(unit, config), unit
+
+
+def first_loop_info(ua, unit):
+    return ua.info_for(ua.loops[0].loop)
+
+
+class TestClassicLoops:
+    def test_vector_add_parallel(self):
+        ua, u = analysis_of("do i = 1, n\na(i) = b(i) + 1.0\nend do")
+        assert first_loop_info(ua, u).parallelizable
+
+    def test_recurrence_serial_distance_one(self):
+        ua, u = analysis_of("do i = 2, n\na(i) = a(i-1) + 1.0\nend do")
+        info = first_loop_info(ua, u)
+        assert not info.parallelizable
+        deps = info.blocking_deps()
+        assert any(d.kind == FLOW and d.vector == (1,) for d in deps)
+
+    def test_distance_two_recurrence(self):
+        ua, u = analysis_of("do i = 3, n\na(i) = a(i-2) + 1.0\nend do")
+        deps = first_loop_info(ua, u).blocking_deps()
+        assert any(d.vector == (2,) for d in deps)
+
+    def test_anti_dependence_forward_read(self):
+        ua, u = analysis_of("do i = 1, n - 1\na(i) = a(i+1) + 1.0\nend do")
+        info = first_loop_info(ua, u)
+        # a(i) = a(i+1): write at i, read of i+1 happens at the earlier
+        # iteration — anti dependence, carried.
+        deps = [d for d in info.carried if d.kind == ANTI]
+        assert deps and deps[0].vector == (1,)
+
+    def test_stride_two_no_collision(self):
+        ua, u = analysis_of("do i = 1, 50\na(2*i) = a(2*i - 1)\nend do")
+        assert first_loop_info(ua, u).parallelizable
+
+    def test_offset_beyond_bounds_parallel(self):
+        # With constant bounds the distance exceeds the trip count.
+        ua, u = analysis_of(
+            "do i = 1, 10\na(i) = a(i + 20) + 1.0\nend do"
+        )
+        assert first_loop_info(ua, u).parallelizable
+
+    def test_two_d_column_independent(self):
+        ua, u = analysis_of(
+            "do j = 2, n\ndo i = 1, n\nc(i, j) = c(i, j-1)\nend do\nend do"
+        )
+        outer = ua.info_for(ua.loops[0].loop)
+        inner = ua.info_for(ua.loops[1].loop)
+        assert not outer.parallelizable  # carries the column recurrence
+        assert inner.parallelizable
+
+    def test_wavefront_vectors(self):
+        ua, u = analysis_of(
+            "do j = 2, n\ndo i = 2, n\nc(i, j) = c(i-1, j) + c(i, j-1)\nend do\nend do"
+        )
+        vectors = {d.vector for d in ua.graph.data_edges() if d.kind == FLOW}
+        assert (0, 1) in vectors and (1, 0) in vectors
+
+    def test_input_deps_off_by_default(self):
+        ua, u = analysis_of("do i = 1, n\na(i) = b(i) + b(i+1)\nend do")
+        assert not any(d.kind == INPUT for d in ua.graph.edges)
+
+    def test_input_deps_on_demand(self):
+        ua, u = analysis_of(
+            "do i = 1, n\na(i) = b(i) + b(i+1)\nend do",
+            config=AnalysisConfig(input_deps=True),
+        )
+        assert any(d.kind == INPUT for d in ua.graph.edges)
+
+    def test_output_dep_same_location(self):
+        ua, u = analysis_of("do i = 1, n\na(1) = b(i)\nend do")
+        info = first_loop_info(ua, u)
+        assert any(d.kind == OUTPUT for d in info.blocking_deps())
+
+    def test_symbolic_offset_cancels(self):
+        # a(i+m) vs a(i+m): same symbolic term on both sides cancels.
+        ua, u = analysis_of("do i = 1, n\na(i + m) = a(i + m) + 1.0\nend do")
+        assert first_loop_info(ua, u).parallelizable
+
+    def test_symbolic_mismatch_conservative(self):
+        ua, u = analysis_of("do i = 1, n\na(i + m) = a(i + k) + 1.0\nend do")
+        assert not first_loop_info(ua, u).parallelizable
+
+    def test_nonlinear_subscript_conservative(self):
+        ua, u = analysis_of(
+            "do i = 1, n\na(ip(i)) = b(i)\nend do",
+            decls="real a(100), b(100)\ninteger ip(100)",
+        )
+        assert not first_loop_info(ua, u).parallelizable
+
+
+class TestLoopInfoExtras:
+    def test_io_obstacle(self):
+        ua, u = analysis_of("do i = 1, n\nwrite (6, *) a(i)\nend do")
+        info = first_loop_info(ua, u)
+        assert not info.parallelizable
+        assert any("I/O" in o for o in info.obstacles)
+
+    def test_exit_obstacle(self):
+        ua, u = analysis_of(
+            "do i = 1, n\nif (a(i) .gt. 9.) stop\nend do"
+        )
+        info = first_loop_info(ua, u)
+        assert any("exit" in o for o in info.obstacles)
+
+    def test_goto_out_of_loop_obstacle(self):
+        ua, u = analysis_of(
+            "do i = 1, n\nif (a(i) .gt. 9.) goto 10\nend do\n10 continue"
+        )
+        info = first_loop_info(ua, u)
+        assert any("branch out" in o for o in info.obstacles)
+
+    def test_goto_within_loop_ok(self):
+        ua, u = analysis_of(
+            "do i = 1, n\nif (a(i) .gt. 9.) goto 10\na(i) = 0.0\n"
+            "10 b(i) = a(i)\nend do"
+        )
+        info = first_loop_info(ua, u)
+        assert not any("branch out" in o for o in info.obstacles)
+
+    def test_reduction_discounted(self):
+        ua, u = analysis_of("do i = 1, n\ns = s + a(i)\nend do")
+        info = first_loop_info(ua, u)
+        assert info.parallelizable
+        assert [r.var for r in info.reductions] == ["s"]
+
+    def test_reduction_toggle_off(self):
+        ua, u = analysis_of(
+            "do i = 1, n\ns = s + a(i)\nend do",
+            config=AnalysisConfig(use_reductions=False),
+        )
+        assert not first_loop_info(ua, u).parallelizable
+
+    def test_privatizable_scalar_discounted(self):
+        ua, u = analysis_of("do i = 1, n\nt = b(i)\na(i) = t * t\nend do")
+        info = first_loop_info(ua, u)
+        assert info.parallelizable
+        assert [p.name for p in info.privatizable] == ["t"]
+
+    def test_kill_toggle_off(self):
+        ua, u = analysis_of(
+            "do i = 1, n\nt = b(i)\na(i) = t * t\nend do",
+            config=AnalysisConfig(use_kill=False),
+        )
+        assert not first_loop_info(ua, u).parallelizable
+
+    def test_induction_discounted(self):
+        ua, u = analysis_of("k = 0\ndo i = 1, n\nk = k + 2\na(i) = b(k)\nend do")
+        info = first_loop_info(ua, u)
+        assert info.parallelizable is True or [iv.name for iv in info.inductions] == ["k"]
+        assert any(iv.name == "k" for iv in info.inductions)
+
+    def test_proven_vs_pending_markings(self):
+        ua, u = analysis_of(
+            "do i = 2, n\na(i) = a(i-1)\nb(i) = b(i+m)\nend do"
+        )
+        markings = {(d.var, d.marking) for d in ua.graph.data_edges()}
+        assert ("a", "proven") in markings
+        assert ("b", "pending") in markings
+
+    def test_tier_stats_populated(self):
+        ua, u = analysis_of("do i = 2, n\na(i) = a(i-1)\nend do")
+        assert ua.tester.tier_counts["siv"] > 0

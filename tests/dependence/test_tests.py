@@ -1,0 +1,244 @@
+"""Unit + property tests for the individual dependence tests.
+
+The property tests check *soundness* against brute force: whenever a test
+answers INDEP, exhaustive enumeration of the iteration space must find no
+colliding pair — the compiler invariant "assume a dependence exists if it
+cannot prove otherwise" seen from the other side.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.symbolic import Linear
+from repro.dependence.tests import (
+    ANY,
+    DEP,
+    EQ,
+    GT,
+    INDEP,
+    LT,
+    LoopBound,
+    MAYBE,
+    banerjee_test,
+    gcd_test,
+    strong_siv_test,
+    weak_crossing_siv_test,
+    weak_zero_siv_test,
+    ziv_test,
+)
+
+
+class TestZIV:
+    def test_nonzero_constant_independent(self):
+        assert ziv_test(Linear.constant(2)).result == INDEP
+
+    def test_zero_constant_dependent(self):
+        out = ziv_test(Linear.constant(0))
+        assert out.result == DEP and out.distance == 0
+
+    def test_symbolic_maybe(self):
+        assert ziv_test(Linear.atom("n")).result == MAYBE
+
+
+class TestStrongSIV:
+    def test_integer_distance(self):
+        out = strong_siv_test(1, Linear.constant(3), LoopBound("i", 1, 10))
+        assert out.result == DEP and out.distance == 3 and out.exact
+
+    def test_scaled_distance(self):
+        out = strong_siv_test(2, Linear.constant(4), LoopBound("i", 1, 10))
+        assert out.distance == 2
+
+    def test_non_integer_distance_independent(self):
+        out = strong_siv_test(2, Linear.constant(3), LoopBound("i", 1, 10))
+        assert out.result == INDEP
+
+    def test_distance_beyond_trip_independent(self):
+        out = strong_siv_test(1, Linear.constant(50), LoopBound("i", 1, 10))
+        assert out.result == INDEP
+
+    def test_unknown_bounds_assume_dep(self):
+        out = strong_siv_test(1, Linear.constant(5), LoopBound("i"))
+        assert out.result == DEP
+
+    def test_symbolic_diff_maybe(self):
+        out = strong_siv_test(1, Linear.atom("n"), LoopBound("i", 1, 10))
+        assert out.result == MAYBE
+
+
+class TestWeakSIV:
+    def test_weak_zero_in_bounds(self):
+        # i + 0 == 5  ->  i = 5 in [1,10]: dependence.
+        out = weak_zero_siv_test(1, Linear.constant(-5), LoopBound("i", 1, 10))
+        assert out.result == DEP
+
+    def test_weak_zero_out_of_bounds(self):
+        out = weak_zero_siv_test(1, Linear.constant(-15), LoopBound("i", 1, 10))
+        assert out.result == INDEP
+
+    def test_weak_zero_non_integer(self):
+        out = weak_zero_siv_test(2, Linear.constant(-5), LoopBound("i", 1, 10))
+        assert out.result == INDEP
+
+    def test_weak_crossing_in_bounds(self):
+        # i + i' = 6 with i,i' in [1,10]: dependence exists.
+        out = weak_crossing_siv_test(1, Linear.constant(-6), LoopBound("i", 1, 10))
+        assert out.result == DEP
+
+    def test_weak_crossing_out_of_bounds(self):
+        out = weak_crossing_siv_test(1, Linear.constant(-40), LoopBound("i", 1, 10))
+        assert out.result == INDEP
+
+
+class TestGCD:
+    def test_divisible_maybe(self):
+        out = gcd_test({"i": 2}, {"i": 4}, Linear.constant(6))
+        assert out.result == MAYBE
+
+    def test_indivisible_independent(self):
+        out = gcd_test({"i": 2}, {"i": 4}, Linear.constant(3))
+        assert out.result == INDEP
+
+    def test_symbolic_diff_maybe(self):
+        out = gcd_test({"i": 2}, {"i": 4}, Linear.atom("n"))
+        assert out.result == MAYBE
+
+
+class TestBanerjee:
+    def test_disproves_far_offsets(self):
+        # a(i) vs a(i + 100) in i ∈ [1, 10]: never equal.
+        out = banerjee_test(
+            {"i": 1}, {"i": 1}, Linear.constant(100), [LoopBound("i", 1, 10)], (ANY,)
+        )
+        assert out.result == INDEP
+
+    def test_equal_direction_cancels_unknown_bounds(self):
+        # Under '=' the equal-coefficient terms cancel: a(i+1) vs a(i)
+        # cannot collide in the same iteration, even with unknown bounds.
+        out = banerjee_test(
+            {"i": 1}, {"i": 1}, Linear.constant(1), [LoopBound("i")], (EQ,)
+        )
+        assert out.result == INDEP
+
+    def test_lt_direction_unknown_bounds(self):
+        # f = i − i' + 1 with i < i': always ≤ 0... equals 0 when i'=i+1 —
+        # cannot be disproved.
+        out = banerjee_test(
+            {"i": 1}, {"i": 1}, Linear.constant(1), [LoopBound("i")], (LT,)
+        )
+        assert out.result == MAYBE
+
+    def test_gt_direction_disproved(self):
+        # f = i − i' + 1 with i > i': f ≥ 2 > 0 — disproved even without
+        # bounds.
+        out = banerjee_test(
+            {"i": 1}, {"i": 1}, Linear.constant(1), [LoopBound("i")], (GT,)
+        )
+        assert out.result == INDEP
+
+
+# ---------------------------------------------------------------------------
+# Property-based soundness vs brute force
+# ---------------------------------------------------------------------------
+
+coef = st.integers(-3, 3)
+offset = st.integers(-6, 6)
+bound_hi = st.integers(1, 8)
+
+
+def _brute_force_siv(a1, c1, a2, c2, lo, hi, rel):
+    for i in range(lo, hi + 1):
+        for i2 in range(lo, hi + 1):
+            if rel == LT and not i < i2:
+                continue
+            if rel == EQ and i != i2:
+                continue
+            if rel == GT and not i > i2:
+                continue
+            if a1 * i + c1 == a2 * i2 + c2:
+                return True
+    return False
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=st.integers(1, 3), c1=offset, c2=offset, hi=bound_hi)
+def test_strong_siv_sound(a, c1, c2, hi):
+    bound = LoopBound("i", 1, hi)
+    out = strong_siv_test(a, Linear.constant(c1 - c2), bound)
+    truth = _brute_force_siv(a, c1, a, c2, 1, hi, ANY)
+    if out.result == INDEP:
+        assert not truth
+    if out.result == DEP and out.distance is not None:
+        # The reported distance must be a real collision distance.
+        assert truth
+        found = any(
+            a * i + c1 == a * (i + out.distance) + c2
+            for i in range(1, hi + 1)
+            if 1 <= i + out.distance <= hi
+        )
+        assert found
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=st.integers(1, 3), c1=offset, c2=offset, hi=bound_hi)
+def test_weak_zero_sound(a, c1, c2, hi):
+    bound = LoopBound("i", 1, hi)
+    out = weak_zero_siv_test(a, Linear.constant(c1 - c2), bound)
+    truth = any(a * i + c1 == c2 for i in range(1, hi + 1))
+    if out.result == INDEP:
+        assert not truth
+    if out.result == DEP:
+        assert truth
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=st.integers(1, 3), c1=offset, c2=offset, hi=bound_hi)
+def test_weak_crossing_sound(a, c1, c2, hi):
+    bound = LoopBound("i", 1, hi)
+    out = weak_crossing_siv_test(a, Linear.constant(c1 - c2), bound)
+    truth = any(
+        a * i + c1 == -a * i2 + c2
+        for i in range(1, hi + 1)
+        for i2 in range(1, hi + 1)
+    )
+    if out.result == INDEP:
+        assert not truth
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    a1=coef, b1=coef, a2=coef, b2=coef, c=st.integers(-12, 12), hi=bound_hi,
+    d1=st.sampled_from([LT, EQ, GT, ANY]), d2=st.sampled_from([LT, EQ, GT, ANY]),
+)
+def test_banerjee_sound_two_deep(a1, b1, a2, b2, c, hi, d1, d2):
+    """Banerjee INDEP over a 2-nest must agree with enumeration."""
+
+    bounds = [LoopBound("i", 1, hi), LoopBound("j", 1, hi)]
+    out = banerjee_test(
+        {"i": a1, "j": b1}, {"i": a2, "j": b2}, Linear.constant(c), bounds, (d1, d2)
+    )
+
+    def rel_ok(x, y, rel):
+        return rel == ANY or (rel == LT and x < y) or (rel == EQ and x == y) or (
+            rel == GT and x > y
+        )
+
+    if out.result == INDEP:
+        for i in range(1, hi + 1):
+            for j in range(1, hi + 1):
+                for i2 in range(1, hi + 1):
+                    for j2 in range(1, hi + 1):
+                        if not (rel_ok(i, i2, d1) and rel_ok(j, j2, d2)):
+                            continue
+                        assert a1 * i + b1 * j + c != a2 * i2 + b2 * j2
+
+
+@settings(max_examples=300, deadline=None)
+@given(a1=coef, a2=coef, c=st.integers(-12, 12), hi=bound_hi)
+def test_gcd_sound(a1, a2, c, hi):
+    out = gcd_test({"i": a1}, {"i": a2}, Linear.constant(c))
+    if out.result == INDEP:
+        for i in range(1, hi + 1):
+            for i2 in range(1, hi + 1):
+                assert a1 * i - a2 * i2 != c

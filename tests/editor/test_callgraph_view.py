@@ -1,0 +1,70 @@
+"""Tests for the call-graph views (the users' 'big picture' request)."""
+
+import pytest
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.editor.callgraph_view import ascii_tree, to_dot
+from repro.workloads import SUITE
+
+
+@pytest.fixture(scope="module")
+def session():
+    return PedSession(SUITE["spec77"].source)
+
+
+class TestAsciiTree:
+    def test_rooted_at_main(self, session):
+        tree = ascii_tree(session.analysis)
+        first = tree.splitlines()[0]
+        assert first.startswith("spec77")
+
+    def test_indentation_reflects_depth(self, session):
+        tree = ascii_tree(session.analysis)
+        lines = tree.splitlines()
+        gloop = next(l for l in lines if l.strip().startswith("gloop"))
+        advecu = next(l for l in lines if l.strip().startswith("advecu"))
+        assert len(advecu) - len(advecu.lstrip()) > len(gloop) - len(gloop.lstrip())
+
+    def test_verdict_annotations(self, session):
+        tree = ascii_tree(session.analysis)
+        assert "parallelizable" in tree
+
+    def test_recursion_marked(self):
+        src = (
+            "      program t\n      call even(4)\n      end\n"
+            "      subroutine even(n)\n      integer n\n"
+            "      if (n .gt. 0) call odd(n - 1)\n      end\n"
+            "      subroutine odd(n)\n      integer n\n"
+            "      if (n .gt. 0) call even(n - 1)\n      end\n"
+        )
+        tree = ascii_tree(PedSession(src).analysis)
+        assert "(recursive)" in tree
+
+
+class TestDot:
+    def test_valid_structure(self, session):
+        dot = to_dot(session.analysis)
+        assert dot.startswith("digraph callgraph {")
+        assert dot.rstrip().endswith("}")
+        assert '"gloop" -> "advecu";' in dot
+
+    def test_colors_by_verdict(self, session):
+        dot = to_dot(session.analysis)
+        assert "palegreen" in dot  # fully parallelizable units exist
+        assert "lightgrey" in dot or "khaki" in dot or "lightcoral" in dot
+
+    def test_edges_deduplicated(self, session):
+        dot = to_dot(session.analysis)
+        # gloop calls advecu once per field stage, but one edge suffices.
+        assert dot.count('"gloop" -> "advecu";') == 1
+
+
+class TestCommand:
+    def test_callgraph_command(self, session):
+        ped = CommandInterpreter(session)
+        out = ped.execute("callgraph")
+        assert "spec77" in out and "cycles" in out
+
+    def test_callgraph_dot_command(self, session):
+        ped = CommandInterpreter(session)
+        assert "digraph" in ped.execute("callgraph dot")

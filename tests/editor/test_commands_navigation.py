@@ -1,0 +1,176 @@
+"""Unit tests for the command interpreter and navigation."""
+
+import pytest
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.editor.navigation import hottest_unparallelized, ranked_loops
+
+SRC = """      program demo
+      integer n
+      parameter (n = 60)
+      real a(n), b(n), s
+      s = 0.0
+      do i = 2, n
+         a(i) = a(i-1) + 1.0
+      end do
+      do i = 1, n
+         b(i) = a(i) * 2.0
+         s = s + b(i)
+      end do
+      write (6, *) s
+      end
+"""
+
+
+@pytest.fixture
+def ped():
+    return CommandInterpreter(PedSession(SRC))
+
+
+class TestCommands:
+    def test_units(self, ped):
+        out = ped.execute("units")
+        assert "demo" in out and "2 loop(s)" in out
+
+    def test_unit_switch(self, ped):
+        assert "error" in ped.execute("unit nosuch")
+        assert ped.execute("unit demo") == "unit demo"
+
+    def test_loops(self, ped):
+        out = ped.execute("loops")
+        assert "[0]" in out and "[1]" in out
+        assert "serial" in out
+
+    def test_select_and_deps(self, ped):
+        ped.execute("select 0")
+        out = ped.execute("deps")
+        assert "true" in out and "a" in out
+
+    def test_select_bad_index(self, ped):
+        assert ped.execute("select 9").startswith("error:")
+
+    def test_filter_command(self, ped):
+        ped.execute("select 1")
+        out = ped.execute("filter var=s carried")
+        assert "var=s" in out
+        deps = ped.execute("deps")
+        assert "b" not in deps.split()
+
+    def test_viewsrc_loops(self, ped):
+        out = ped.execute("viewsrc loops")
+        assert "loops" in out
+
+    def test_mark_command(self, ped):
+        ped.execute("select 1")
+        deps_out = ped.execute("deps")
+        dep_id = int(deps_out.split("#")[1].split()[0])
+        out = ped.execute(f"mark {dep_id} rejected")
+        assert "rejected" in out or "error" in out
+
+    def test_mark_usage_error(self, ped):
+        assert ped.execute("mark 1").startswith("error:")
+
+    def test_assert_command(self, ped):
+        out = ped.execute("assert n == 60")
+        assert "assertion recorded" in out
+
+    def test_classify_command(self, ped):
+        ped.execute("select 1")
+        out = ped.execute("classify s private")
+        assert "reclassified" in out
+
+    def test_advice_and_apply(self, ped):
+        ped.execute("select 1")
+        advice = ped.execute("advice parallelize")
+        assert "applicable" in advice
+        out = ped.execute("apply parallelize")
+        assert "DOALL" in out
+
+    def test_apply_unknown_transformation(self, ped):
+        ped.execute("select 1")
+        out = ped.execute("apply warpdrive")
+        assert "error" in out
+
+    def test_apply_with_arguments(self, ped):
+        ped.execute("select 1")
+        out = ped.execute("apply stripmine size=16")
+        assert "blocks of 16" in out
+
+    def test_edit_command(self, ped):
+        out = ped.execute("edit 5 5 |       s = 1.0")
+        assert "replaced" in out
+        assert "s = 1.0" in ped.session.source
+
+    def test_edit_usage_error(self, ped):
+        assert ped.execute("edit 1").startswith("error:")
+
+    def test_vars_command(self, ped):
+        ped.execute("select 1")
+        out = ped.execute("vars")
+        assert "reduction" in out
+
+    def test_show_command(self, ped):
+        out = ped.execute("show")
+        assert "ParaScope Editor" in out
+
+    def test_summary_command(self, ped):
+        out = ped.execute("summary")
+        assert "demo" in out and "1/2" in out
+
+    def test_undo_redo_commands(self, ped):
+        ped.execute("select 1")
+        ped.execute("apply parallelize")
+        assert ped.execute("undo") == "undone"
+        assert ped.execute("redo") == "redone"
+
+    def test_unknown_command(self, ped):
+        assert "unknown command" in ped.execute("bogus")
+
+    def test_help(self, ped):
+        out = ped.execute("help")
+        assert "mark" in out and "assert" in out
+
+    def test_run_script_collects_outputs(self, ped):
+        outs = ped.run_script(["loops", "select 1", "deps"])
+        assert len(outs) == 3
+
+    def test_source_command_roundtrip(self, ped):
+        out = ped.execute("source")
+        assert "program demo" in out
+
+
+class TestNavigation:
+    def test_ranked_loops_order(self, ped):
+        ranked = ranked_loops(ped.session)
+        costs = [c for c, *_ in ranked]
+        assert costs == sorted(costs, reverse=True)
+        assert len(ranked) == 2
+
+    def test_ranking_command(self, ped):
+        out = ped.execute("ranking")
+        assert "demo" in out
+
+    def test_next_selects_hottest(self, ped):
+        out = ped.execute("next")
+        assert "selected loop" in out
+        assert ped.session.loop_index is not None
+
+    def test_hottest_skips_parallel(self, ped):
+        ped.execute("select 1")
+        ped.execute("apply parallelize")
+        got = hottest_unparallelized(ped.session)
+        assert got is not None
+        _, _, idx, nest = got
+        assert not nest.loop.parallel
+
+    def test_all_covered_message(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 50)\n"
+            "      real a(n)\n      do i = 1, n\n      a(i) = 1.0\n"
+            "      end do\n      end\n"
+        )
+        ped = CommandInterpreter(PedSession(src))
+        ped.execute("select 0")
+        ped.execute("apply parallelize")
+        out = ped.execute("next")
+        assert "every loop" in out

@@ -1,0 +1,146 @@
+"""Tests for the Composition Editor (cross-procedure checking)."""
+
+import pytest
+
+from repro.editor.composition import check_composition
+from repro.fortran import parse_and_bind
+
+
+def issues_of(src):
+    return check_composition(parse_and_bind(src))
+
+
+class TestArgumentChecks:
+    def test_clean_program_no_issues(self):
+        src = (
+            "      program t\n      real a(5)\n      call s(a, 5)\n      end\n"
+            "      subroutine s(x, n)\n      integer n\n      real x(n)\n"
+            "      x(1) = 0.\n      end\n"
+        )
+        assert issues_of(src) == []
+
+    def test_arg_count_mismatch(self):
+        src = (
+            "      program t\n      call s(1, 2)\n      end\n"
+            "      subroutine s(x)\n      x = 1.\n      end\n"
+        )
+        got = issues_of(src)
+        assert len(got) == 1
+        assert got[0].kind == "arg-count"
+        assert "2 argument(s)" in got[0].message
+
+    def test_type_mismatch_integer_for_real(self):
+        src = (
+            "      program t\n      integer k\n      k = 1\n      call s(k)\n      end\n"
+            "      subroutine s(x)\n      real x\n      y = x\n      end\n"
+        )
+        got = issues_of(src)
+        assert any(i.kind == "arg-type" for i in got)
+
+    def test_literal_type_mismatch(self):
+        src = (
+            "      program t\n      call s(3)\n      end\n"
+            "      subroutine s(x)\n      real x\n      y = x\n      end\n"
+        )
+        got = issues_of(src)
+        assert any(i.kind == "arg-type" for i in got)
+
+    def test_real_double_mixing_tolerated(self):
+        src = (
+            "      program t\n      double precision d\n      call s(d)\n      end\n"
+            "      subroutine s(x)\n      real x\n      y = x\n      end\n"
+        )
+        assert not any(i.kind == "arg-type" for i in issues_of(src))
+
+    def test_scalar_for_array_kind(self):
+        src = (
+            "      program t\n      x = 1.\n      call s(x)\n      end\n"
+            "      subroutine s(a)\n      real a(10)\n      a(1) = 0.\n      end\n"
+        )
+        got = issues_of(src)
+        assert any(i.kind == "arg-kind" and "scalar" in i.message for i in got)
+
+    def test_array_for_scalar_kind(self):
+        src = (
+            "      program t\n      real a(5)\n      call s(a)\n      end\n"
+            "      subroutine s(x)\n      real x\n      y = x\n      end\n"
+        )
+        got = issues_of(src)
+        assert any(i.kind == "arg-kind" and "whole array" in i.message for i in got)
+
+    def test_element_actual_for_array_formal_ok(self):
+        src = (
+            "      program t\n      real a(5, 5)\n      call s(a(1, 2))\n      end\n"
+            "      subroutine s(x)\n      real x(5)\n      x(1) = 0.\n      end\n"
+        )
+        assert not any(i.kind == "arg-kind" for i in issues_of(src))
+
+    def test_expression_for_array_formal_flagged(self):
+        src = (
+            "      program t\n      call s(1.0 + 2.0)\n      end\n"
+            "      subroutine s(x)\n      real x(5)\n      x(1) = 0.\n      end\n"
+        )
+        got = issues_of(src)
+        assert any("expression passed" in i.message for i in got)
+
+    def test_function_reference_checked(self):
+        src = (
+            "      program t\n      y = f(1)\n      end\n"
+            "      function f(x)\n      real x\n      f = x\n      end\n"
+        )
+        got = issues_of(src)
+        assert any(i.kind == "arg-type" for i in got)
+
+
+class TestCommonChecks:
+    def test_member_count_mismatch(self):
+        src = (
+            "      program t\n      common /c/ a, b\n      end\n"
+            "      subroutine s\n      common /c/ a\n      end\n"
+        )
+        got = issues_of(src)
+        assert any(i.kind == "common-shape" for i in got)
+
+    def test_member_kind_mismatch(self):
+        src = (
+            "      program t\n      real a(5)\n      common /c/ a, b\n      end\n"
+            "      subroutine s\n      real a\n      common /c/ a, b\n      end\n"
+        )
+        got = issues_of(src)
+        assert any("kinds differ" in i.message for i in got)
+
+    def test_conforming_commons_clean(self):
+        src = (
+            "      program t\n      real a(5)\n      common /c/ a, b\n      end\n"
+            "      subroutine s\n      real x(5)\n      common /c/ x, y\n      end\n"
+        )
+        assert issues_of(src) == []
+
+
+class TestSuiteClean:
+    def test_whole_suite_passes_composition(self):
+        from repro.workloads import SUITE
+
+        for prog in SUITE.values():
+            got = issues_of(prog.source)
+            assert got == [], (prog.name, [str(i) for i in got])
+
+
+class TestCheckCommand:
+    def test_command_reports(self):
+        from repro.editor import CommandInterpreter, PedSession
+
+        src = (
+            "      program t\n      call s(1, 2)\n      end\n"
+            "      subroutine s(x)\n      x = 1.\n      end\n"
+        )
+        ped = CommandInterpreter(PedSession(src))
+        out = ped.execute("check")
+        assert "arg-count" in out
+
+    def test_command_clean(self):
+        from repro.editor import CommandInterpreter, PedSession
+        from repro.workloads import SUITE
+
+        ped = CommandInterpreter(PedSession(SUITE["pneoss"].source))
+        assert "no cross-procedure" in ped.execute("check")

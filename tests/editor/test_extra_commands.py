@@ -1,0 +1,52 @@
+"""Tests for the estimate / profile / goto editor commands."""
+
+import pytest
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.workloads import SUITE
+
+
+@pytest.fixture
+def ped():
+    session = PedSession(SUITE["pneoss"].source)
+    return CommandInterpreter(session)
+
+
+class TestEstimate:
+    def test_requires_selection(self, ped):
+        assert ped.execute("estimate").startswith("error:")
+
+    def test_reports_cycles_and_speedup(self, ped):
+        ped.execute("unit eos")
+        ped.execute("select 0")
+        out = ped.execute("estimate")
+        assert "sequential" in out and "speedup" in out
+        assert "trip ≈ 48" in out
+
+
+class TestProfile:
+    def test_hottest_loops_listed(self, ped):
+        out = ped.execute("profile")
+        assert "iterations" in out
+        assert "eos" in out or "init" in out
+
+    def test_profile_counts_plausible(self, ped):
+        out = ped.execute("profile")
+        # All three sweeps run 47-48 iterations.
+        assert "48" in out or "47" in out
+
+
+class TestGoto:
+    def test_shows_both_endpoints(self, ped):
+        ped.execute("unit relax")
+        ped.execute("select 0")
+        deps = ped.execute("deps")
+        dep_id = int(deps.split("#")[1].split()[0])
+        out = ped.execute(f"goto {dep_id}")
+        assert "source:" in out and "sink:" in out
+
+    def test_usage_error(self, ped):
+        assert ped.execute("goto notanumber").startswith("error:")
+
+    def test_unknown_id(self, ped):
+        assert ped.execute("goto 99999").startswith("error:")

@@ -1,0 +1,192 @@
+"""Unit tests for panes, view filters, variable classification, display."""
+
+import pytest
+
+from repro.editor import (
+    DependenceFilter,
+    PedSession,
+    SourceFilter,
+    dependence_pane,
+    loop_pane,
+    render_window,
+    source_pane,
+    variable_pane,
+)
+
+SRC = """      program demo
+      integer n
+      parameter (n = 60)
+      real a(n), b(n), s
+      s = 0.0
+      k = 0
+      do i = 2, n
+         a(i) = a(i-1) + 1.0
+      end do
+      do i = 1, n
+         t = a(i) * 2.0
+         b(i) = t
+         s = s + b(i)
+         k = k + 1
+      end do
+      write (6, *) s, k
+      end
+"""
+
+
+@pytest.fixture
+def session():
+    s = PedSession(SRC)
+    s.select_loop(1)
+    return s
+
+
+class TestDependenceFilter:
+    def deps(self, session):
+        return session.dependences()
+
+    def test_default_hides_control(self, session):
+        assert all(d.kind != "control" for d in self.deps(session))
+
+    def test_filter_by_kind(self, session):
+        session.dep_filter = DependenceFilter.parse("type=true")
+        assert all(d.kind == "true" for d in self.deps(session))
+
+    def test_filter_by_var(self, session):
+        session.dep_filter = DependenceFilter.parse("var=s")
+        got = self.deps(session)
+        assert got and all(d.var == "s" for d in got)
+
+    def test_filter_by_marking(self, session):
+        session.dep_filter = DependenceFilter.parse("marking=pending")
+        assert all(d.marking == "pending" for d in self.deps(session))
+
+    def test_filter_carried(self, session):
+        session.dep_filter = DependenceFilter.parse("carried")
+        assert all(d.loop_carried for d in self.deps(session))
+
+    def test_filter_independent(self, session):
+        session.dep_filter = DependenceFilter.parse("independent")
+        assert all(not d.loop_carried for d in self.deps(session))
+
+    def test_filter_combination(self, session):
+        session.dep_filter = DependenceFilter.parse("type=true,anti var=s carried")
+        got = self.deps(session)
+        assert all(
+            d.var == "s" and d.kind in ("true", "anti") and d.loop_carried
+            for d in got
+        )
+
+    def test_filter_reset_all(self):
+        f = DependenceFilter.parse("var=s carried")
+        f2 = DependenceFilter.parse("all")
+        assert f2.var is None and not f2.carried_only
+
+    def test_bad_token_raises(self):
+        with pytest.raises(ValueError):
+            DependenceFilter.parse("wibble=3")
+
+    def test_describe(self):
+        f = DependenceFilter.parse("type=true var=a carried")
+        text = f.describe()
+        assert "var=a" in text and "carried" in text
+
+
+class TestSourceFilter:
+    def test_loops_only(self, session):
+        session.src_filter = SourceFilter(loops_only=True)
+        rows = source_pane(session)
+        assert rows
+        assert all(
+            r.text.strip().startswith(("do ", "end do")) for r in rows
+        )
+
+    def test_contains(self, session):
+        session.src_filter = SourceFilter(contains="s = s")
+        rows = source_pane(session)
+        assert len(rows) == 1
+
+    def test_all_lines_by_default(self, session):
+        rows = source_pane(session)
+        assert len(rows) == len([l for l in session.source.splitlines()])
+
+
+class TestPanes:
+    def test_source_pane_selection_highlight(self, session):
+        rows = source_pane(session)
+        selected = [r for r in rows if r.selected]
+        texts = "\n".join(r.text for r in selected)
+        assert "do i = 1, n" in texts
+        assert "s = s + b(i)" in texts
+        assert not any("a(i-1)" in r.text for r in selected)
+
+    def test_loop_pane_rows(self, session):
+        rows = loop_pane(session)
+        assert len(rows) == 2
+        assert "serial" in rows[0].verdict
+        assert rows[1].verdict == "parallelizable"
+
+    def test_loop_pane_doall_after_apply(self, session):
+        session.apply("parallelize")
+        rows = loop_pane(session)
+        assert rows[1].verdict == "DOALL"
+
+    def test_dependence_pane_sorted_true_first(self, session):
+        rows = dependence_pane(session)
+        kinds = [r.kind for r in rows]
+        if "true" in kinds:
+            assert kinds[0] == "true"
+
+    def test_variable_pane_classifications(self, session):
+        rows = {r.name: r for r in variable_pane(session)}
+        assert rows["i"].classification == "index"
+        assert rows["t"].classification == "private"
+        assert rows["s"].classification == "reduction"
+        assert rows["k"].classification in ("induction", "reduction")
+        assert rows["a"].classification == "shared"
+
+    def test_variable_pane_override_star(self, session):
+        session.reclassify("t", "private")
+        rows = {r.name: r for r in variable_pane(session)}
+        assert rows["t"].user_override
+
+    def test_variable_pane_empty_without_selection(self, session):
+        session.loop_index = None
+        assert variable_pane(session) == []
+
+
+class TestDisplay:
+    def test_window_sections_in_order(self, session):
+        window = render_window(session)
+        idx = [
+            window.index("== source"),
+            window.index("== loops"),
+            window.index("== dependences"),
+            window.index("== variables"),
+        ]
+        assert idx == sorted(idx)
+
+    def test_window_width_bounded(self, session):
+        window = render_window(session)
+        assert all(len(line) <= 78 for line in window.splitlines())
+
+    def test_window_deterministic(self, session):
+        assert render_window(session) == render_window(session)
+
+    def test_window_shows_doall_marker(self, session):
+        session.apply("parallelize")
+        window = render_window(session)
+        assert "c$par doall" in window
+
+    def test_window_scrolls_to_selection(self):
+        # A long prelude pushes the loop past the first screenful.
+        filler = "".join(f"      x{i} = {i}.0\n" for i in range(40))
+        src = (
+            "      program big\n      real a(50)\n"
+            + filler
+            + "      do i = 1, 50\n      a(i) = 1.0\n      end do\n      end\n"
+        )
+        session = PedSession(src)
+        session.select_loop(0)
+        window = render_window(session)
+        assert "do i = 1, 50" in window
+        assert "earlier lines" in window

@@ -1,0 +1,96 @@
+"""Tests for the table/figure regeneration harness (fast subsets; the
+full regenerations run as benchmarks)."""
+
+import pytest
+
+from repro.evaluation.hierarchy_stats import dependence_test_stats
+from repro.evaluation.speedup import speedup_table
+from repro.evaluation.tables import (
+    format_table,
+    table1_suite,
+    table2_transformations,
+    table3_analysis,
+)
+
+
+class TestTable1:
+    def test_rows_complete(self):
+        rows = table1_suite()
+        assert len(rows) == 10
+        assert all(r.lines > 0 and r.procedures > 0 for r in rows)
+
+    def test_contributors_noted_as_standins(self):
+        rows = table1_suite()
+        assert all("stand-in" in r.contributor for r in rows)
+
+
+class TestTable2:
+    def test_single_program(self):
+        rows = table2_transformations(names=["boast"])
+        row = rows[0]
+        assert row.name == "boast"
+        assert row.ped_parallel > row.auto_parallel
+        assert "reduction" in row.actions
+
+
+class TestTable3:
+    def test_single_program_row(self):
+        rows = table3_analysis(names=["arc3d"])
+        row = rows[0]
+        assert row.required["sections"]
+        assert row.required["array_kill"]
+        assert not row.needs_assertion
+
+    def test_expectations_recorded(self):
+        rows = table3_analysis(names=["pneoss"])
+        assert rows[0].expected["reductions"] is True
+
+
+class TestHierarchyStats:
+    def test_cheap_tiers_dominate(self):
+        stats = dependence_test_stats(names=["pneoss", "boast", "interior"])
+        assert stats.total_classic > 10
+        assert stats.cheap_fraction() >= 0.7
+
+    def test_tests_run_counts_present(self):
+        stats = dependence_test_stats(names=["pneoss"])
+        assert stats.tests_run.get("siv", 0) > 0
+
+
+class TestSpeedupTable:
+    def test_row_shape(self):
+        rows = speedup_table(names=["arc3d"], procs=(1, 4))
+        assert rows[0].name == "arc3d"
+        speeds = dict(rows[0].speedups)
+        assert speeds[4] >= speeds[1] * 0.98
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_deterministic(self):
+        args = (["x"], [["1"], ["2"]])
+        assert format_table(*args) == format_table(*args)
+
+
+class TestFigures:
+    def test_figure1_renders_every_program(self):
+        from repro.evaluation.figures import figure1_window
+        from repro.workloads import SUITE
+
+        for name in SUITE:
+            window = figure1_window(name)
+            assert "ParaScope Editor" in window
+            assert "== dependences" in window
+
+    def test_figure2_sections(self):
+        from repro.evaluation.figures import figure2_worked_examples
+
+        sections = figure2_worked_examples()
+        assert len(sections) == 4
+        assert "UNSAFE" in sections[1]

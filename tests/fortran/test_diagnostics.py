@@ -1,0 +1,80 @@
+"""Tests for front-end error diagnostics (Ped's immediate error feedback
+depends on precise positions)."""
+
+import pytest
+
+from repro.fortran import parse_and_bind, parse_source
+from repro.fortran.errors import FortranError, LexError, ParseError, SemanticError
+
+
+class TestLexDiagnostics:
+    def test_position_reported(self):
+        with pytest.raises(LexError) as exc:
+            parse_source("      program t\n      x = 1 ? 2\n      end\n")
+        assert exc.value.line == 2
+        assert exc.value.col > 0
+        assert "line 2" in str(exc.value)
+
+    def test_unterminated_string_position(self):
+        with pytest.raises(LexError) as exc:
+            parse_source("      program t\n      s = 'oops\n      end\n")
+        assert exc.value.line == 2
+
+
+class TestParseDiagnostics:
+    def test_unclosed_do(self):
+        with pytest.raises(ParseError):
+            parse_source("      program t\n      do i = 1, 3\n      x = 1\n")
+
+    def test_unclosed_if(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "      program t\n      if (x .gt. 0) then\n      y = 1\n"
+            )
+
+    def test_unrecognised_statement(self):
+        with pytest.raises(ParseError) as exc:
+            parse_source("      program t\n      frobnicate everything\n      end\n")
+        assert "frobnicate" in str(exc.value)
+
+    def test_trailing_junk_after_assignment(self):
+        with pytest.raises(ParseError):
+            parse_source("      program t\n      x = 1 2\n      end\n")
+
+    def test_missing_do_variable(self):
+        with pytest.raises(ParseError):
+            parse_source("      program t\n      do 5 = 1, 3\n      end\n")
+
+    def test_bad_directive_clause(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "      program t\nc$par doall turbo(on)\n      do i = 1, 3\n"
+                "      end do\n      end\n"
+            )
+
+    def test_directive_without_loop(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "      program t\nc$par doall\n      x = 1\n      end\n"
+            )
+
+
+class TestSemanticDiagnostics:
+    def test_rank_mismatch_position(self):
+        with pytest.raises(SemanticError) as exc:
+            parse_and_bind(
+                "      program t\n      real a(2, 2)\n      a(1) = 0.\n      end\n"
+            )
+        assert exc.value.line == 3
+
+    def test_assignment_to_undeclared_array(self):
+        with pytest.raises(SemanticError):
+            parse_and_bind("      program t\n      zz(3) = 1.0\n      end\n")
+
+    def test_all_errors_are_fortran_errors(self):
+        for bad in (
+            "      program t\n      x = ?\n      end\n",
+            "      program t\n      if (x then\n      end\n",
+        ):
+            with pytest.raises(FortranError):
+                parse_and_bind(bad)

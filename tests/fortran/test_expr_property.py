@@ -1,0 +1,84 @@
+"""Property tests: expression printing round-trips *semantically*.
+
+Random integer expressions over the full operator set are printed and
+re-parsed; the interpreter must compute the same value for the original
+and reprinted forms — catching precedence/parenthesisation bugs that a
+purely structural round-trip could mask.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.constants import eval_const
+from repro.fortran import parse_and_bind
+from repro.fortran.printer import expr_to_str
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    if depth > 3:
+        return str(draw(st.integers(1, 9)))
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return str(draw(st.integers(1, 9)))
+    if kind == 1:
+        inner = draw(arith_exprs(depth=depth + 1))
+        return f"(-({inner}))"
+    if kind == 6:
+        base = draw(st.integers(1, 3))
+        exp = draw(st.integers(0, 3))
+        return f"{base} ** {exp}"
+    a = draw(arith_exprs(depth=depth + 1))
+    b = draw(arith_exprs(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    if op == "/":
+        # Keep divisors nonzero: literal divisor.
+        b = str(draw(st.integers(1, 9)))
+    return f"({a} {op} {b})"
+
+
+def _expr_of(text):
+    src = f"      program t\n      i = {text}\n      end\n"
+    return parse_and_bind(src).units[0].body[0].expr
+
+
+@settings(max_examples=250, deadline=None)
+@given(arith_exprs())
+def test_reprint_preserves_value(text):
+    expr = _expr_of(text)
+    value = eval_const(expr, {})
+    if value is None:
+        return  # division edge: skip
+    reprinted = expr_to_str(expr)
+    expr2 = _expr_of(reprinted)
+    assert eval_const(expr2, {}) == value, reprinted
+
+
+@st.composite
+def logical_exprs(draw, depth=0):
+    if depth > 2:
+        a = draw(st.integers(0, 9))
+        b = draw(st.integers(0, 9))
+        op = draw(st.sampled_from([".lt.", ".le.", ".gt.", ".ge.", ".eq.", ".ne."]))
+        return f"{a} {op} {b}"
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(logical_exprs(depth=3))
+    if kind == 1:
+        inner = draw(logical_exprs(depth=depth + 1))
+        return f".not. ({inner})"
+    a = draw(logical_exprs(depth=depth + 1))
+    b = draw(logical_exprs(depth=depth + 1))
+    op = draw(st.sampled_from([".and.", ".or."]))
+    return f"({a}) {op} ({b})"
+
+
+@settings(max_examples=250, deadline=None)
+@given(logical_exprs())
+def test_logical_reprint_preserves_value(text):
+    expr = _expr_of(text)
+    value = eval_const(expr, {})
+    assert value is not None
+    reprinted = expr_to_str(expr)
+    expr2 = _expr_of(reprinted)
+    assert eval_const(expr2, {}) == value, reprinted

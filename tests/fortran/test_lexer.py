@@ -1,0 +1,155 @@
+"""Unit tests for the Fortran tokenizer."""
+
+import pytest
+
+from repro.fortran import lexer as lx
+from repro.fortran.errors import LexError
+from repro.fortran.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind not in (lx.NEWLINE, lx.EOF)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.kind not in (lx.NEWLINE, lx.EOF)]
+
+
+class TestBasicTokens:
+    def test_names_are_lowercased(self):
+        assert values("      X = Foo") == ["x", "=", "foo"]
+
+    def test_integer_literal(self):
+        toks = tokenize("      i = 42")
+        assert [t for t in toks if t.kind == lx.INT][0].value == "42"
+
+    def test_real_literal(self):
+        toks = [t for t in tokenize("      x = 3.14") if t.kind == lx.REAL]
+        assert toks[0].value == "3.14"
+
+    def test_real_with_exponent(self):
+        toks = [t for t in tokenize("      x = 1.5e-3") if t.kind == lx.REAL]
+        assert toks[0].value == "1.5e-3"
+
+    def test_double_precision_exponent_normalised(self):
+        toks = [t for t in tokenize("      x = 1.0d0") if t.kind == lx.REAL]
+        assert toks[0].value == "1.0e0"
+
+    def test_integer_then_exponent(self):
+        toks = [t for t in tokenize("      x = 1e6") if t.kind == lx.REAL]
+        assert toks[0].value == "1e6"
+
+    def test_string_literal(self):
+        toks = [t for t in tokenize("      s = 'hello'") if t.kind == lx.STRING]
+        assert toks[0].value == "hello"
+
+    def test_string_with_doubled_quote(self):
+        toks = [t for t in tokenize("      s = 'don''t'") if t.kind == lx.STRING]
+        assert toks[0].value == "don't"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("      s = 'oops")
+
+    def test_power_operator(self):
+        assert "**" in values("      x = y ** 2")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("      x = y ? z")
+
+
+class TestDottedOperators:
+    @pytest.mark.parametrize(
+        "dotted,canon",
+        [
+            (".lt.", "<"),
+            (".le.", "<="),
+            (".gt.", ">"),
+            (".ge.", ">="),
+            (".eq.", "=="),
+            (".ne.", "/="),
+            (".and.", ".and."),
+            (".or.", ".or."),
+            (".not.", ".not."),
+        ],
+    )
+    def test_canonical_spelling(self, dotted, canon):
+        assert canon in values(f"      if (a {dotted} b) goto 10")
+
+    def test_dotted_ops_case_insensitive(self):
+        assert "<" in values("      if (a .LT. b) goto 10")
+
+    def test_logical_literals(self):
+        vals = values("      flag = .TRUE. .or. .false.")
+        assert ".true." in vals and ".false." in vals
+
+    def test_real_adjacent_to_dotted_op(self):
+        # "1.eq." must lex as INT 1 then .eq., not a real literal "1."
+        vals = values("      if (i .eq. 1) goto 10")
+        assert "==" in vals
+
+
+class TestCommentsAndContinuations:
+    def test_column_one_c_comment(self):
+        src = "C this is a comment\n      x = 1"
+        assert values(src) == ["x", "=", "1"]
+
+    def test_star_comment(self):
+        src = "* star comment\n      x = 1"
+        assert values(src) == ["x", "=", "1"]
+
+    def test_bang_comment_line(self):
+        src = "! free comment\n      x = 1"
+        assert values(src) == ["x", "=", "1"]
+
+    def test_inline_bang_comment(self):
+        assert values("      x = 1 ! trailing") == ["x", "=", "1"]
+
+    def test_bang_inside_string_kept(self):
+        toks = [t for t in tokenize("      s = 'a!b'") if t.kind == lx.STRING]
+        assert toks[0].value == "a!b"
+
+    def test_call_at_column_one_is_code(self):
+        # Relaxed form: 'call' at column 1 must not be treated as a comment.
+        assert values("call foo(x)") == ["call", "foo", "(", "x", ")"]
+
+    def test_common_at_column_one_is_code(self):
+        assert values("common /blk/ a")[0] == "common"
+
+    def test_fixed_form_continuation(self):
+        src = "      x = a +\n     & b"
+        assert values(src) == ["x", "=", "a", "+", "b"]
+
+    def test_free_form_continuation(self):
+        src = "      x = a + &\n      b"
+        assert values(src) == ["x", "=", "a", "+", "b"]
+
+    def test_blank_lines_skipped(self):
+        src = "\n\n      x = 1\n\n"
+        assert values(src) == ["x", "=", "1"]
+
+
+class TestLabels:
+    def test_fixed_form_label(self):
+        toks = tokenize("   10 continue")
+        assert toks[0].kind == lx.LABEL and toks[0].value == "10"
+
+    def test_label_then_statement(self):
+        toks = tokenize("   20 x = 1")
+        assert toks[0].kind == lx.LABEL
+        assert toks[1].value == "x"
+
+    def test_statement_without_label(self):
+        toks = tokenize("      x = 1")
+        assert toks[0].kind != lx.LABEL
+
+    def test_newline_tokens_separate_statements(self):
+        toks = tokenize("      x = 1\n      y = 2")
+        newlines = [t for t in toks if t.kind == lx.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_line_numbers_recorded(self):
+        toks = tokenize("      x = 1\n      y = 2")
+        ys = [t for t in toks if t.kind == lx.NAME and t.value == "y"]
+        assert ys[0].line == 2

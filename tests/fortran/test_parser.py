@@ -1,0 +1,367 @@
+"""Unit tests for the Fortran parser."""
+
+import pytest
+
+from repro.fortran import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    CommonDecl,
+    DoLoop,
+    FuncRef,
+    GotoStmt,
+    If,
+    IOStmt,
+    NameArgs,
+    Num,
+    ParameterDecl,
+    ReturnStmt,
+    StopStmt,
+    TypeDecl,
+    UnOp,
+    VarRef,
+    parse_source,
+    parse_and_bind,
+)
+from repro.fortran.errors import ParseError
+
+
+def parse_body(body_lines, decls=""):
+    src = "      program t\n"
+    if decls:
+        src += "".join(f"      {d}\n" for d in decls.splitlines())
+    src += "".join(f"      {line}\n" for line in body_lines.splitlines())
+    src += "      end\n"
+    return parse_source(src).units[0].body
+
+
+class TestUnits:
+    def test_program_unit(self):
+        sf = parse_source("      program p\n      x = 1\n      end\n")
+        assert sf.units[0].kind == "program"
+        assert sf.units[0].name == "p"
+
+    def test_subroutine_with_formals(self):
+        sf = parse_source("      subroutine s(a, b, n)\n      return\n      end\n")
+        u = sf.units[0]
+        assert u.kind == "subroutine"
+        assert u.formals == ["a", "b", "n"]
+
+    def test_subroutine_without_formals(self):
+        sf = parse_source("      subroutine s\n      return\n      end\n")
+        assert sf.units[0].formals == []
+
+    def test_function_unit(self):
+        sf = parse_source("      function f(x)\n      f = x\n      end\n")
+        assert sf.units[0].kind == "function"
+
+    def test_typed_function_unit(self):
+        sf = parse_source("      real function f(x)\n      f = x\n      end\n")
+        u = sf.units[0]
+        assert u.kind == "function"
+        assert u.rettype == "real"
+
+    def test_integer_function_unit(self):
+        sf = parse_source("      integer function g(i)\n      g = i\n      end\n")
+        assert sf.units[0].rettype == "integer"
+
+    def test_multiple_units(self):
+        src = (
+            "      program p\n      call s(1)\n      end\n"
+            "      subroutine s(i)\n      return\n      end\n"
+        )
+        sf = parse_source(src)
+        assert [u.name for u in sf.units] == ["p", "s"]
+
+    def test_headerless_main(self):
+        sf = parse_source("      x = 1\n      end\n")
+        assert sf.units[0].kind == "program"
+
+    def test_unit_lookup(self):
+        sf = parse_source("      program p\n      end\n")
+        assert sf.unit("P").name == "p"
+        with pytest.raises(KeyError):
+            sf.unit("nosuch")
+
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("      program p\n      x = 1\n")
+
+
+class TestDeclarations:
+    def test_type_decl_scalars(self):
+        sf = parse_source("      program p\n      integer i, j\n      end\n")
+        decl = sf.units[0].decls[0]
+        assert isinstance(decl, TypeDecl)
+        assert [e.name for e in decl.entities] == ["i", "j"]
+
+    def test_type_decl_array(self):
+        sf = parse_source("      program p\n      real a(10, 20)\n      end\n")
+        ent = sf.units[0].decls[0].entities[0]
+        assert len(ent.dims) == 2
+
+    def test_array_with_bounds(self):
+        sf = parse_source("      program p\n      real a(0:n)\n      end\n")
+        lo, hi = sf.units[0].decls[0].entities[0].dims[0]
+        assert isinstance(lo, Num) and lo.value == 0
+
+    def test_assumed_size_array(self):
+        sf = parse_source("      subroutine s(a)\n      real a(*)\n      end\n")
+        _, hi = sf.units[0].decls[0].entities[0].dims[0]
+        assert isinstance(hi, VarRef) and hi.name == "*"
+
+    def test_double_precision(self):
+        sf = parse_source("      program p\n      double precision d\n      end\n")
+        assert sf.units[0].decls[0].typename == "doubleprecision"
+
+    def test_dimension_decl(self):
+        sf = parse_source("      program p\n      dimension a(5)\n      end\n")
+        assert sf.units[0].decls[0].entities[0].name == "a"
+
+    def test_common_named(self):
+        sf = parse_source("      program p\n      common /blk/ a, b(3)\n      end\n")
+        decl = sf.units[0].decls[0]
+        assert isinstance(decl, CommonDecl)
+        assert decl.block == "blk"
+        assert [e.name for e in decl.entities] == ["a", "b"]
+
+    def test_common_blank(self):
+        sf = parse_source("      program p\n      common x\n      end\n")
+        assert sf.units[0].decls[0].block == ""
+
+    def test_parameter_decl(self):
+        sf = parse_source("      program p\n      parameter (n = 10, m = n*2)\n      end\n")
+        decl = sf.units[0].decls[0]
+        assert isinstance(decl, ParameterDecl)
+        assert decl.assigns[0][0] == "n"
+
+    def test_external_decl(self):
+        sf = parse_source("      program p\n      external foo, bar\n      end\n")
+        assert sf.units[0].decls[0].names == ["foo", "bar"]
+
+    def test_implicit_none(self):
+        sf = parse_source("      program p\n      implicit none\n      end\n")
+        assert sf.units[0].decls  # present
+
+    def test_data_decl(self):
+        sf = parse_source("      program p\n      data x /1.5/\n      end\n")
+        name, val = sf.units[0].decls[0].items[0]
+        assert name == "x" and val.value == 1.5
+
+
+class TestExpressions:
+    def expr(self, text):
+        body = parse_body(f"x = {text}")
+        return body[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_power_right_associative(self):
+        e = self.expr("a ** b ** c")
+        assert e.op == "**"
+        assert isinstance(e.right, BinOp) and e.right.op == "**"
+
+    def test_unary_minus(self):
+        e = self.expr("-a + b")
+        assert e.op == "+"
+        assert isinstance(e.left, UnOp)
+
+    def test_parenthesised_grouping(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.left, BinOp) and e.left.op == "+"
+
+    def test_relational(self):
+        body = parse_body("if (a .le. b) x = 1")
+        cond = body[0].arms[0][0]
+        assert cond.op == "<="
+
+    def test_logical_and_or_precedence(self):
+        body = parse_body("if (a .lt. b .and. c .gt. d .or. e .eq. f) x = 1")
+        cond = body[0].arms[0][0]
+        assert cond.op == ".or."
+        assert cond.left.op == ".and."
+
+    def test_name_args_unresolved(self):
+        e = self.expr("a(i) + f(x, y)")
+        assert isinstance(e.left, NameArgs)
+        assert isinstance(e.right, NameArgs)
+        assert len(e.right.args) == 2
+
+    def test_nested_subscripts(self):
+        e = self.expr("a(ip(j))")
+        assert isinstance(e, NameArgs)
+        assert isinstance(e.args[0], NameArgs)
+
+
+class TestStatements:
+    def test_assignment(self):
+        body = parse_body("x = 1")
+        assert isinstance(body[0], Assign)
+
+    def test_array_assignment(self):
+        body = parse_body("a(i) = 0.0", decls="real a(10)")
+        assert isinstance(body[0], Assign)
+        assert isinstance(body[0].target, NameArgs)
+
+    def test_do_enddo(self):
+        body = parse_body("do i = 1, n\nx = i\nend do")
+        loop = body[0]
+        assert isinstance(loop, DoLoop)
+        assert loop.var == "i"
+        assert loop.step is None
+        assert len(loop.body) == 1
+
+    def test_do_with_step(self):
+        body = parse_body("do i = 1, n, 2\nx = i\nend do")
+        assert body[0].step.value == 2
+
+    def test_do_labeled_continue(self):
+        src = (
+            "      program t\n"
+            "      do 10 i = 1, n\n"
+            "      x = i\n"
+            "   10 continue\n"
+            "      end\n"
+        )
+        loop = parse_source(src).units[0].body[0]
+        assert isinstance(loop, DoLoop)
+        assert loop.end_label == 10
+        assert len(loop.body) == 1  # trailing CONTINUE dropped
+
+    def test_do_labeled_terminal_statement_kept(self):
+        src = (
+            "      program t\n"
+            "      do 10 i = 1, n\n"
+            "   10 x = i\n"
+            "      end\n"
+        )
+        loop = parse_source(src).units[0].body[0]
+        assert len(loop.body) == 1
+        assert isinstance(loop.body[0], Assign)
+
+    def test_nested_do(self):
+        body = parse_body("do i = 1, n\ndo j = 1, m\nx = i\nend do\nend do")
+        outer = body[0]
+        inner = outer.body[0]
+        assert isinstance(inner, DoLoop) and inner.var == "j"
+
+    def test_block_if_then_else(self):
+        body = parse_body("if (a .gt. 0) then\nx = 1\nelse\nx = 2\nend if")
+        st = body[0]
+        assert isinstance(st, If) and st.block
+        assert len(st.arms) == 2
+        assert st.arms[1][0] is None
+
+    def test_elseif_chain(self):
+        body = parse_body(
+            "if (a .gt. 0) then\nx = 1\nelse if (a .lt. 0) then\nx = 2\n"
+            "else\nx = 3\nend if"
+        )
+        st = body[0]
+        assert len(st.arms) == 3
+
+    def test_logical_if(self):
+        body = parse_body("if (a .gt. 0) x = 1")
+        st = body[0]
+        assert isinstance(st, If) and not st.block
+        assert isinstance(st.arms[0][1][0], Assign)
+
+    def test_logical_if_goto(self):
+        body = parse_body("if (a .gt. 0) goto 10\n10 continue")
+        st = body[0]
+        assert isinstance(st.arms[0][1][0], GotoStmt)
+
+    def test_call_statement(self):
+        body = parse_body("call foo(x, 1)")
+        st = body[0]
+        assert isinstance(st, CallStmt)
+        assert st.name == "foo" and len(st.args) == 2
+
+    def test_call_no_args(self):
+        body = parse_body("call foo")
+        assert body[0].args == []
+
+    def test_goto(self):
+        body = parse_body("goto 99\n99 continue")
+        assert isinstance(body[0], GotoStmt) and body[0].target == 99
+
+    def test_go_to_two_words(self):
+        body = parse_body("go to 99\n99 continue")
+        assert isinstance(body[0], GotoStmt)
+
+    def test_return_stop_continue(self):
+        body = parse_body("continue\nstop")
+        assert isinstance(body[1], StopStmt)
+
+    def test_write_statement(self):
+        body = parse_body("write (6, *) x, y")
+        st = body[0]
+        assert isinstance(st, IOStmt) and st.kind == "write"
+        assert len(st.items) == 2
+
+    def test_print_statement(self):
+        body = parse_body("print *, x")
+        assert body[0].kind == "print"
+
+    def test_read_statement(self):
+        body = parse_body("read (5, *) n")
+        assert body[0].kind == "read"
+
+    def test_statement_labels_preserved(self):
+        src = "      program t\n   30 x = 1\n      end\n"
+        body = parse_source(src).units[0].body
+        assert body[0].label == 30
+
+    def test_assignment_to_variable_named_if(self):
+        # No reserved words: "if" can be an array.
+        src = "      program t\n      integer if(3)\n      if(2) = 5\n      end\n"
+        body = parse_source(src).units[0].body
+        assert isinstance(body[0], Assign)
+
+    def test_do_variable_named_do_scalar_assign(self):
+        body = parse_body("do = 3")
+        assert isinstance(body[0], Assign)
+        assert body[0].target.name == "do"
+
+
+class TestBinder:
+    def test_array_ref_resolution(self):
+        sf = parse_and_bind(
+            "      program t\n      real a(10)\n      a(1) = 2.0\n      x = a(2)\n      end\n"
+        )
+        body = sf.units[0].body
+        assert isinstance(body[0].target, ArrayRef)
+        assert isinstance(body[1].expr, ArrayRef)
+
+    def test_intrinsic_resolution(self):
+        sf = parse_and_bind("      program t\n      x = sqrt(y)\n      end\n")
+        e = sf.units[0].body[0].expr
+        assert isinstance(e, FuncRef) and e.intrinsic
+
+    def test_user_function_resolution(self):
+        src = (
+            "      program t\n      x = f(y)\n      end\n"
+            "      function f(z)\n      f = z\n      end\n"
+        )
+        sf = parse_and_bind(src)
+        e = sf.units[0].body[0].expr
+        assert isinstance(e, FuncRef) and not e.intrinsic
+
+    def test_external_overrides_intrinsic(self):
+        src = "      program t\n      external sqrt\n      x = sqrt(y)\n      end\n"
+        sf = parse_and_bind(src)
+        e = sf.units[0].body[0].expr
+        assert isinstance(e, FuncRef) and not e.intrinsic
+
+    def test_statement_numbering(self):
+        sf = parse_and_bind(
+            "      program t\n      x = 1\n      do i = 1, 3\n      y = 2\n"
+            "      end do\n      end\n"
+        )
+        sids = [st.sid for st in sf.units[0].all_statements()]
+        assert sids == [0, 1, 2]

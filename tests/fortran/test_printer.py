@@ -1,0 +1,130 @@
+"""Unit tests for the unparser (printer)."""
+
+import pytest
+
+from repro.fortran import parse_and_bind, parse_source, to_source
+from repro.fortran.printer import expr_to_str
+
+
+def roundtrip(src):
+    out1 = to_source(parse_source(src))
+    out2 = to_source(parse_source(out1))
+    assert out1 == out2
+    return out1
+
+
+def body_expr(text, decls=""):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    src += f"      x = {text}\n      end\n"
+    return parse_and_bind(src).units[0].body[0].expr
+
+
+class TestExpressionPrinting:
+    def test_simple_sum(self):
+        assert expr_to_str(body_expr("a + b")) == "a + b"
+
+    def test_precedence_no_extra_parens(self):
+        assert expr_to_str(body_expr("a + b * c")) == "a + b * c"
+
+    def test_needed_parens_kept(self):
+        assert expr_to_str(body_expr("(a + b) * c")) == "(a + b) * c"
+
+    def test_right_assoc_subtraction(self):
+        assert expr_to_str(body_expr("a - (b - c)")) == "a - (b - c)"
+
+    def test_left_assoc_subtraction_flat(self):
+        assert expr_to_str(body_expr("a - b - c")) == "a - b - c"
+
+    def test_power(self):
+        assert expr_to_str(body_expr("a ** 2")) == "a ** 2"
+
+    def test_relational_roundtrip_dotted(self):
+        src = "      program t\n      if (a .lt. b) x = 1\n      end\n"
+        out = to_source(parse_source(src))
+        assert ".lt." in out
+
+    def test_array_ref(self):
+        assert expr_to_str(body_expr("a(i, j + 1)", "real a(5, 5)")) == "a(i, j + 1)"
+
+    def test_function_call(self):
+        assert expr_to_str(body_expr("sqrt(x + 1.0)")) == "sqrt(x + 1.0)"
+
+    def test_string_with_quote(self):
+        assert expr_to_str(body_expr("'don''t'")) == "'don''t'"
+
+    def test_unary_minus_in_product(self):
+        text = expr_to_str(body_expr("a * (-b)"))
+        assert "(-b)" in text
+
+
+class TestStatementPrinting:
+    def test_do_loop_roundtrip(self):
+        out = roundtrip(
+            "      program t\n      do i = 1, n\n      x = i\n      end do\n      end\n"
+        )
+        assert "do i = 1, n" in out
+        assert "end do" in out
+
+    def test_labeled_do_becomes_structured(self):
+        out = roundtrip(
+            "      program t\n      do 10 i = 1, n\n      x = i\n   10 continue\n      end\n"
+        )
+        assert "end do" in out
+
+    def test_if_block(self):
+        out = roundtrip(
+            "      program t\n      if (a .gt. 0) then\n      x = 1\n"
+            "      else\n      x = 2\n      end if\n      end\n"
+        )
+        assert "else" in out and "end if" in out
+
+    def test_logical_if_stays_one_line(self):
+        out = roundtrip("      program t\n      if (a .gt. 0) x = 1\n      end\n")
+        assert "if (a .gt. 0) x = 1" in out
+
+    def test_labels_preserved(self):
+        out = roundtrip("      program t\n   30 x = 1\n      goto 30\n      end\n")
+        assert "   30   x = 1" in out
+        assert "goto 30" in out
+
+    def test_declarations_printed(self):
+        out = roundtrip(
+            "      program t\n      integer n\n      parameter (n = 4)\n"
+            "      real a(n, 0:n)\n      common /blk/ q\n      end\n"
+        )
+        assert "parameter (n = 4)" in out
+        assert "a(n, 0:n)" in out
+        assert "common /blk/ q" in out
+
+    def test_subroutine_header(self):
+        out = roundtrip("      subroutine s(a, n)\n      return\n      end\n")
+        assert "subroutine s(a, n)" in out
+
+    def test_typed_function_header(self):
+        out = roundtrip("      real function f(x)\n      f = x\n      end\n")
+        assert "real function f(x)" in out
+
+    def test_parallel_loop_directive(self):
+        sf = parse_and_bind(
+            "      program t\n      real a(10)\n      do i = 1, 10\n"
+            "      a(i) = 0.0\n      end do\n      end\n"
+        )
+        loop = sf.units[0].body[0]
+        loop.parallel = True
+        loop.private = ["t1"]
+        loop.reductions = [("+", "s")]
+        out = to_source(sf)
+        assert "c$par doall private(t1) reduction(+:s)" in out
+        # Directive must survive re-parsing as a comment.
+        to_source(parse_source(out))
+
+    def test_io_statements(self):
+        out = roundtrip(
+            "      program t\n      write (6, *) x\n      print *, y\n"
+            "      read (5, *) n\n      end\n"
+        )
+        assert "write (6, *) x" in out
+        assert "print *, y" in out
+        assert "read (5, *) n" in out

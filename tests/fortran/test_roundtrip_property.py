@@ -1,0 +1,101 @@
+"""Property-based round-trip tests for the front end.
+
+Random programs in the supported subset are generated, printed, re-parsed
+and re-printed; the second print must equal the first (print/parse is a
+projection onto a canonical form, and the canonical form is a fixed point).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.fortran import parse_source, to_source
+
+names = st.sampled_from(["i", "j", "k", "n", "m", "x", "y", "z"])
+array_names = st.sampled_from(["a", "b", "c"])
+ints = st.integers(min_value=0, max_value=99)
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth > 3:
+        choice = draw(st.integers(0, 1))
+    else:
+        choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return str(draw(ints))
+    if choice == 1:
+        return draw(names)
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        left = draw(exprs(depth=depth + 1))
+        right = draw(exprs(depth=depth + 1))
+        return f"({left} {op} {right})"
+    if choice == 3:
+        arr = draw(array_names)
+        sub = draw(exprs(depth=depth + 1))
+        return f"{arr}({sub})"
+    fn = draw(st.sampled_from(["sqrt", "abs"]))
+    arg = draw(exprs(depth=depth + 1))
+    return f"{fn}({arg})"
+
+
+@st.composite
+def statements(draw, depth=0):
+    kind = draw(st.integers(0, 4 if depth < 2 else 2))
+    if kind in (0, 1):
+        target = draw(names)
+        value = draw(exprs())
+        return [f"{target} = {value}"]
+    if kind == 2:
+        arr = draw(array_names)
+        sub = draw(exprs(depth=2))
+        value = draw(exprs(depth=2))
+        return [f"{arr}({sub}) = {value}"]
+    if kind == 3:
+        var = draw(st.sampled_from(["i", "j", "k"]))
+        lo = draw(ints)
+        hi = draw(ints)
+        inner = draw(statements(depth=depth + 1))
+        return [f"do {var} = {lo}, {hi}", *inner, "end do"]
+    cond_l = draw(exprs(depth=2))
+    cond_r = draw(exprs(depth=2))
+    then_body = draw(statements(depth=depth + 1))
+    else_body = draw(statements(depth=depth + 1))
+    return [
+        f"if ({cond_l} .lt. {cond_r}) then",
+        *then_body,
+        "else",
+        *else_body,
+        "end if",
+    ]
+
+
+@st.composite
+def programs(draw):
+    nstmts = draw(st.integers(1, 4))
+    lines = ["      program p", "      real a(100), b(100), c(100)"]
+    for _ in range(nstmts):
+        for text in draw(statements()):
+            lines.append("      " + text)
+    lines.append("      end")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_print_parse_print_is_fixed_point(src):
+    first = to_source(parse_source(src))
+    second = to_source(parse_source(first))
+    assert first == second
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_reparse_preserves_statement_count(src):
+    from repro.fortran import walk_statements
+
+    sf1 = parse_source(src)
+    sf2 = parse_source(to_source(sf1))
+    count1 = sum(1 for _ in walk_statements(sf1.units[0].body))
+    count2 = sum(1 for _ in walk_statements(sf2.units[0].body))
+    assert count1 == count2

@@ -1,0 +1,84 @@
+"""Unit tests for call graph construction."""
+
+import pytest
+
+from repro.fortran import parse_and_bind
+from repro.interproc import build_callgraph
+
+
+def cg_of(src):
+    return build_callgraph(parse_and_bind(src))
+
+
+SIMPLE = """      program main
+      call a
+      call b
+      end
+      subroutine a
+      call b
+      return
+      end
+      subroutine b
+      return
+      end
+"""
+
+
+class TestCallGraph:
+    def test_edges(self):
+        cg = cg_of(SIMPLE)
+        assert cg.callees["main"] == {"a", "b"}
+        assert cg.callees["a"] == {"b"}
+        assert cg.callers["b"] == {"main", "a"}
+
+    def test_sites(self):
+        cg = cg_of(SIMPLE)
+        assert len(cg.sites_in("main")) == 2
+        assert len(cg.sites_of("b")) == 2
+
+    def test_roots(self):
+        cg = cg_of(SIMPLE)
+        assert cg.roots() == ["main"]
+
+    def test_function_reference_edge(self):
+        src = (
+            "      program main\n      x = f(1.0)\n      end\n"
+            "      function f(y)\n      f = y\n      end\n"
+        )
+        cg = cg_of(src)
+        assert cg.callees["main"] == {"f"}
+        site = cg.sites_of("f")[0]
+        assert site.is_function
+
+    def test_unknown_callee_ignored(self):
+        src = "      program main\n      call extern(1)\n      end\n"
+        cg = cg_of(src)
+        assert cg.callees["main"] == set()
+
+    def test_bottom_up_order(self):
+        cg = cg_of(SIMPLE)
+        order = cg.sccs_bottom_up()
+        flat = [name for scc in order for name in scc]
+        assert flat.index("b") < flat.index("a") < flat.index("main")
+
+    def test_top_down_order(self):
+        cg = cg_of(SIMPLE)
+        flat = [name for scc in cg.topo_top_down() for name in scc]
+        assert flat.index("main") < flat.index("a")
+
+    def test_recursion_single_scc(self):
+        src = (
+            "      subroutine even(n)\n      if (n .gt. 0) call odd(n - 1)\n      end\n"
+            "      subroutine odd(n)\n      if (n .gt. 0) call even(n - 1)\n      end\n"
+        )
+        cg = cg_of(src)
+        sccs = cg.sccs_bottom_up()
+        assert ["even", "odd"] in sccs
+
+    def test_call_inside_loop_recorded(self):
+        src = (
+            "      program main\n      do i = 1, 3\n      call w(i)\n      end do\n      end\n"
+            "      subroutine w(i)\n      return\n      end\n"
+        )
+        cg = cg_of(src)
+        assert len(cg.sites_of("w")) == 1

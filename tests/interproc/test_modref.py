@@ -1,0 +1,116 @@
+"""Unit tests for MOD/REF analysis and PreciseEffects."""
+
+import pytest
+
+from repro.fortran import parse_and_bind
+from repro.interproc import PreciseEffects, build_callgraph, compute_modref
+from repro.interproc.ipkill import compute_kills
+
+
+def setup(src):
+    sf = parse_and_bind(src)
+    cg = build_callgraph(sf)
+    return sf, cg, compute_modref(cg)
+
+
+class TestSummaries:
+    def test_formal_mod(self):
+        src = (
+            "      subroutine s(x, y)\n      x = y + 1.0\n      end\n"
+        )
+        _, cg, mr = setup(src)
+        assert ("formal", 0) in mr["s"].mod
+        assert ("formal", 1) in mr["s"].ref
+        assert ("formal", 1) not in mr["s"].mod
+
+    def test_common_mod(self):
+        src = (
+            "      subroutine s\n      common /c/ u, v\n      u = v\n      end\n"
+        )
+        _, cg, mr = setup(src)
+        assert ("common", "c", 0) in mr["s"].mod
+        assert ("common", "c", 1) in mr["s"].ref
+
+    def test_array_formal_mod(self):
+        src = "      subroutine s(a, n)\n      real a(n)\n      a(1) = 0.\n      end\n"
+        _, cg, mr = setup(src)
+        assert ("formal", 0) in mr["s"].mod
+
+    def test_transitive_through_call(self):
+        src = (
+            "      subroutine outer(p)\n      call inner(p)\n      end\n"
+            "      subroutine inner(q)\n      q = 1.0\n      end\n"
+        )
+        _, cg, mr = setup(src)
+        assert ("formal", 0) in mr["outer"].mod
+
+    def test_transitive_common_through_call(self):
+        src = (
+            "      subroutine outer\n      common /c/ w\n      call inner\n      end\n"
+            "      subroutine inner\n      common /c/ w\n      w = 1.0\n      end\n"
+        )
+        _, cg, mr = setup(src)
+        assert ("common", "c", 0) in mr["outer"].mod
+
+    def test_expression_actual_not_aliased(self):
+        src = (
+            "      subroutine outer(p)\n      call inner(p + 1.0)\n      end\n"
+            "      subroutine inner(q)\n      q = 1.0\n      end\n"
+        )
+        _, cg, mr = setup(src)
+        assert ("formal", 0) not in mr["outer"].mod
+
+    def test_local_not_visible(self):
+        src = "      subroutine s\n      t = 1.0\n      end\n"
+        _, cg, mr = setup(src)
+        assert mr["s"].mod == set()
+
+
+class TestPreciseEffects:
+    def test_mod_translates_to_actual(self):
+        src = (
+            "      program main\n      call s(x, y)\n      end\n"
+            "      subroutine s(p, q)\n      p = q\n      end\n"
+        )
+        sf, cg, mr = setup(src)
+        eff = PreciseEffects(cg, mr)
+        main = sf.unit("main")
+        call = main.body[0]
+        mods = eff.mod(call.name, call.args, main.symtab)
+        refs = eff.ref(call.name, call.args, main.symtab)
+        assert mods == {"x"}
+        assert "y" in refs
+
+    def test_common_translates_by_position(self):
+        src = (
+            "      program main\n      common /c/ alpha, beta\n      call s\n      end\n"
+            "      subroutine s\n      common /c/ u, v\n      v = u\n      end\n"
+        )
+        sf, cg, mr = setup(src)
+        eff = PreciseEffects(cg, mr)
+        main = sf.unit("main")
+        call = main.body[0]
+        assert eff.mod(call.name, call.args, main.symtab) == {"beta"}
+        assert "alpha" in eff.ref(call.name, call.args, main.symtab)
+
+    def test_unknown_callee_falls_back_conservative(self):
+        src = "      program main\n      common /c/ q\n      call ext(x)\n      end\n"
+        sf, cg, mr = setup(src)
+        eff = PreciseEffects(cg, mr)
+        main = sf.unit("main")
+        call = main.body[0]
+        assert {"x", "q"} <= eff.mod(call.name, call.args, main.symtab)
+
+    def test_kill_upgrades_and_prunes_ref(self):
+        src = (
+            "      program main\n      common /w/ t\n      call s\n      end\n"
+            "      subroutine s\n      common /w/ t\n      t = 1.0\n      x = t\n      end\n"
+        )
+        sf, cg, mr = setup(src)
+        kills = compute_kills(cg)
+        eff = PreciseEffects(cg, mr, kills)
+        main = sf.unit("main")
+        call = main.body[0]
+        assert eff.kill(call.name, call.args, main.symtab) == {"t"}
+        # t is killed before use: its incoming value is never referenced.
+        assert "t" not in eff.ref(call.name, call.args, main.symtab)

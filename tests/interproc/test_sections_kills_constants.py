@@ -1,0 +1,231 @@
+"""Unit tests for regular sections, interprocedural kill and constants."""
+
+import pytest
+
+from repro.fortran import parse_and_bind
+from repro.interproc import (
+    build_callgraph,
+    compute_ip_constants,
+    compute_kills,
+    compute_sections,
+    make_section_provider,
+)
+from repro.interproc.ipkill import privatizable_arrays
+
+
+def setup(src):
+    sf = parse_and_bind(src)
+    cg = build_callgraph(sf)
+    return sf, cg
+
+
+class TestSections:
+    def test_whole_array_write_section(self):
+        src = (
+            "      subroutine s(x, k)\n      integer k\n      real x(k)\n"
+            "      do i = 1, k\n      x(i) = 0.0\n      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        sections = compute_sections(cg)
+        summary = sections["s"].arrays[("formal", 0)]
+        writes = [r for r in summary.records if r.is_write]
+        assert writes
+        dim = writes[0].dims[0]
+        assert dim[0] == "range"
+        assert dim[1].int_value() == 1  # lower bound 1
+        assert dim[2].coeff("k") == 1  # upper bound k
+
+    def test_point_access_section(self):
+        src = "      subroutine s(x, j)\n      real x(10)\n      x(j) = 1.\n      end\n"
+        sf, cg = setup(src)
+        sections = compute_sections(cg)
+        summary = sections["s"].arrays[("formal", 0)]
+        dim = summary.records[0].dims[0]
+        assert dim[0] == "point" and dim[1].coeff("j") == 1
+
+    def test_provider_column_idiom(self):
+        src = (
+            "      program main\n      real a(8, 8)\n"
+            "      do j = 1, 8\n      call col(a(1, j), 8)\n      end do\n      end\n"
+            "      subroutine col(x, k)\n      integer k\n      real x(k)\n"
+            "      do i = 1, k\n      x(i) = 0.0\n      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        sections = compute_sections(cg)
+        provider = make_section_provider(cg, sections)
+        main = sf.unit("main")
+        call = main.body[0].body[0]
+        accesses = provider(call, main)
+        assert accesses
+        acc = accesses[0]
+        assert acc.array == "a"
+        assert len(acc.section) == 2
+        # Dim 1: the full column range; dim 2: point j.
+        assert not acc.section[0].full
+        assert acc.section[1].is_point
+
+    def test_provider_unknown_callee_none(self):
+        src = "      program main\n      real a(8)\n      call ext(a)\n      end\n"
+        sf, cg = setup(src)
+        provider = make_section_provider(cg, compute_sections(cg))
+        call = sf.unit("main").body[0]
+        assert provider(call, sf.unit("main")) is None
+
+    def test_rank_mismatch_degrades_to_full(self):
+        src = (
+            "      program main\n      real a(8, 8)\n      call s(a)\n      end\n"
+            "      subroutine s(x)\n      real x(64)\n      x(1) = 0.\n      end\n"
+        )
+        sf, cg = setup(src)
+        provider = make_section_provider(cg, compute_sections(cg))
+        call = sf.unit("main").body[0]
+        accesses = provider(call, sf.unit("main"))
+        assert accesses
+        assert all(d.full for d in accesses[0].section)
+
+
+class TestKills:
+    def test_scalar_kill(self):
+        src = "      subroutine s(t)\n      t = 1.0\n      x = t\n      end\n"
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) in kills["s"].scalars
+
+    def test_read_before_write_not_killed(self):
+        src = "      subroutine s(t)\n      x = t\n      t = 1.0\n      end\n"
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) not in kills["s"].scalars
+
+    def test_conditional_write_not_killed(self):
+        src = (
+            "      subroutine s(t, p)\n      if (p .gt. 0.) then\n      t = 1.0\n"
+            "      end if\n      end\n"
+        )
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) not in kills["s"].scalars
+
+    def test_array_full_sweep_killed(self):
+        src = (
+            "      subroutine s(x, k)\n      integer k\n      real x(k)\n"
+            "      do i = 1, k\n      x(i) = 0.0\n      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) in kills["s"].arrays
+
+    def test_partial_sweep_not_killed(self):
+        src = (
+            "      subroutine s(x, k)\n      integer k\n      real x(k)\n"
+            "      do i = 2, k\n      x(i) = 0.0\n      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) not in kills["s"].arrays
+
+    def test_read_first_array_not_killed(self):
+        src = (
+            "      subroutine s(x, k)\n      integer k\n      real x(k)\n"
+            "      y = x(1)\n      do i = 1, k\n      x(i) = 0.0\n      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) not in kills["s"].arrays
+
+    def test_transitive_kill_through_call(self):
+        src = (
+            "      subroutine outer(t)\n      call inner(t)\n      end\n"
+            "      subroutine inner(u)\n      u = 1.0\n      end\n"
+        )
+        sf, cg = setup(src)
+        kills = compute_kills(cg)
+        assert ("formal", 0) in kills["outer"].scalars
+
+    def test_privatizable_arrays_local_sweep(self):
+        src = (
+            "      program main\n      real w(8), a(8)\n"
+            "      do j = 1, 4\n"
+            "      do i = 1, 8\n      w(i) = a(i) * j\n      end do\n"
+            "      do i = 1, 8\n      a(i) = w(i)\n      end do\n"
+            "      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        loop = sf.unit("main").body[0]
+        assert privatizable_arrays(loop, sf.unit("main"), cg, compute_kills(cg)) == {
+            "w"
+        }
+
+    def test_privatizable_arrays_read_first_excluded(self):
+        src = (
+            "      program main\n      real w(8), a(8)\n"
+            "      do j = 1, 4\n"
+            "      do i = 1, 8\n      a(i) = w(i)\n      end do\n"
+            "      do i = 1, 8\n      w(i) = a(i) * j\n      end do\n"
+            "      end do\n      end\n"
+        )
+        sf, cg = setup(src)
+        loop = sf.unit("main").body[0]
+        got = privatizable_arrays(loop, sf.unit("main"), cg, compute_kills(cg))
+        # w is read (first inner loop) before being overwritten: not
+        # privatizable.  a *is* fully overwritten before its reads.
+        assert "w" not in got
+        assert "a" in got
+
+
+class TestIPConstants:
+    def test_single_site_constant(self):
+        src = (
+            "      program main\n      call s(4)\n      end\n"
+            "      subroutine s(n)\n      integer n\n      x = n\n      end\n"
+        )
+        sf, cg = setup(src)
+        ipc = compute_ip_constants(cg)
+        assert ipc["s"] == {"n": 4}
+
+    def test_parameter_actual(self):
+        src = (
+            "      program main\n      integer m\n      parameter (m = 7)\n"
+            "      call s(m)\n      end\n"
+            "      subroutine s(n)\n      integer n\n      x = n\n      end\n"
+        )
+        sf, cg = setup(src)
+        ipc = compute_ip_constants(cg)
+        assert ipc["s"] == {"n": 7}
+
+    def test_conflicting_sites_bottom(self):
+        src = (
+            "      program main\n      call s(4)\n      call s(5)\n      end\n"
+            "      subroutine s(n)\n      integer n\n      x = n\n      end\n"
+        )
+        sf, cg = setup(src)
+        ipc = compute_ip_constants(cg)
+        assert ipc["s"] == {}
+
+    def test_transitive_propagation(self):
+        src = (
+            "      program main\n      call mid(6)\n      end\n"
+            "      subroutine mid(k)\n      integer k\n      call leaf(k)\n      end\n"
+            "      subroutine leaf(n)\n      integer n\n      x = n\n      end\n"
+        )
+        sf, cg = setup(src)
+        ipc = compute_ip_constants(cg)
+        assert ipc["leaf"] == {"n": 6}
+
+    def test_nonconstant_actual_bottom(self):
+        src = (
+            "      program main\n      read (5, *) k\n      call s(k)\n      end\n"
+            "      subroutine s(n)\n      integer n\n      x = n\n      end\n"
+        )
+        sf, cg = setup(src)
+        ipc = compute_ip_constants(cg)
+        assert ipc["s"] == {}
+
+    def test_array_formal_skipped(self):
+        src = (
+            "      program main\n      real a(3)\n      call s(a)\n      end\n"
+            "      subroutine s(x)\n      real x(3)\n      x(1) = 0.\n      end\n"
+        )
+        sf, cg = setup(src)
+        ipc = compute_ip_constants(cg)
+        assert ipc["s"] == {}

@@ -1,0 +1,158 @@
+"""Unit tests for the estimator, profiler, machine model and simulator."""
+
+import pytest
+
+from repro.dependence import analyze_unit
+from repro.fortran import DoLoop, parse_and_bind
+from repro.perf import (
+    Interpreter,
+    MachineModel,
+    PerformanceEstimator,
+    profile_program,
+)
+from repro.perf.simulate import simulate_speedup, speedup_curve
+
+SRC = """      program t
+      integer n
+      parameter (n = 40)
+      real a(n), b(n), s
+      common /r/ a, b, s
+      do i = 1, n
+         a(i) = 0.5 * i
+      end do
+      do it = 1, 5
+         do i = 1, n
+            b(i) = a(i) * 2.0 + 1.0
+         end do
+      end do
+      s = 0.0
+      do i = 1, n
+         s = s + b(i)
+      end do
+      write (6, *) s
+      end
+"""
+
+
+@pytest.fixture(scope="module")
+def bound():
+    sf = parse_and_bind(SRC)
+    ua = analyze_unit(sf.units[0])
+    return sf, ua
+
+
+class TestMachineModel:
+    def test_parallel_time_divides_work(self):
+        m = MachineModel(n_procs=4, fork_join=0.0, loop_overhead=0.0)
+        assert m.parallel_time(100, 10.0) == pytest.approx(250.0)
+
+    def test_fork_join_added_once(self):
+        m = MachineModel(n_procs=4, fork_join=500.0, loop_overhead=0.0)
+        assert m.parallel_time(100, 10.0) == pytest.approx(750.0)
+
+    def test_reduction_combine_cost(self):
+        m = MachineModel(n_procs=4, fork_join=0.0, loop_overhead=0.0)
+        with_red = m.parallel_time(100, 10.0, n_reductions=1)
+        assert with_red > m.parallel_time(100, 10.0)
+
+    def test_sequential_time(self):
+        m = MachineModel(loop_overhead=2.0)
+        assert m.sequential_time(10, 8.0) == pytest.approx(100.0)
+
+
+class TestEstimator:
+    def test_trip_count_constant(self, bound):
+        sf, ua = bound
+        est = PerformanceEstimator()
+        loop = ua.loops[0].loop
+        assert est.trip_count(loop, ua) == 40.0
+
+    def test_trip_count_unknown_uses_default(self):
+        src = (
+            "      subroutine s(a, n)\n      integer n\n      real a(n)\n"
+            "      do i = 1, n\n      a(i) = 0.\n      end do\n      end\n"
+        )
+        sf = parse_and_bind(src)
+        ua = analyze_unit(sf.units[0])
+        est = PerformanceEstimator()
+        assert est.trip_count(ua.loops[0].loop, ua) == est.machine.default_trip
+
+    def test_nest_cost_multiplies(self, bound):
+        sf, ua = bound
+        est = PerformanceEstimator()
+        inner = est.loop_estimate(ua.loops[2].loop, ua).sequential
+        outer = est.loop_estimate(ua.loops[1].loop, ua).sequential
+        assert outer > 4 * inner
+
+    def test_parallel_estimate_speedup(self, bound):
+        sf, ua = bound
+        est = PerformanceEstimator(MachineModel(n_procs=8, fork_join=10.0))
+        ce = est.loop_estimate(ua.loops[0].loop, ua)
+        assert ce.speedup > 2.0
+
+    def test_rank_loops_costliest_first(self, bound):
+        sf, ua = bound
+        est = PerformanceEstimator()
+        ranked = est.rank_loops(ua)
+        costs = [c for c, _ in ranked]
+        assert costs == sorted(costs, reverse=True)
+        # The 5x-repeated nest is the most expensive.
+        assert ranked[0][1].loop.var == "it"
+
+
+class TestProfiler:
+    def test_loop_iteration_counts(self):
+        sf = parse_and_bind(SRC)
+        profile = profile_program(sf)
+        by_line = {lp.line: lp for lp in profile.loops}
+        # The inner loop of the 5x nest executes 200 body iterations.
+        hot = max(profile.loops, key=lambda lp: lp.iterations)
+        assert hot.iterations == 200
+        assert hot.avg_trip == pytest.approx(40.0)
+
+    def test_unit_counts(self):
+        sf = parse_and_bind(SRC)
+        profile = profile_program(sf)
+        assert profile.unit_counts["t"] == profile.total_steps
+
+    def test_hottest_loops_sorted(self):
+        sf = parse_and_bind(SRC)
+        profile = profile_program(sf)
+        hot = profile.hottest_loops()
+        iters = [lp.iterations for lp in hot]
+        assert iters == sorted(iters, reverse=True)
+
+
+class TestSimulate:
+    def _parallel_marked(self):
+        sf = parse_and_bind(SRC)
+        for st in sf.units[0].body:
+            if isinstance(st, DoLoop):
+                st.parallel = True
+                for inner in st.body:
+                    if isinstance(inner, DoLoop):
+                        inner.parallel = False
+        return sf
+
+    def test_sequential_equals_parallel_when_unmarked(self):
+        sf = parse_and_bind(SRC)
+        result = simulate_speedup(sf, 8)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_parallel_marked_speeds_up(self):
+        sf = self._parallel_marked()
+        result = simulate_speedup(sf, 8, MachineModel(n_procs=8, fork_join=50.0))
+        assert result.speedup > 1.5
+
+    def test_more_processors_never_slower(self):
+        sf = self._parallel_marked()
+        machine = MachineModel(fork_join=50.0)
+        curve = speedup_curve(sf, procs=(1, 2, 4, 8), machine=machine)
+        values = [s for _, s in curve]
+        assert all(b >= a * 0.999 for a, b in zip(values, values[1:]))
+
+    def test_fork_join_hurts_tiny_loops(self):
+        sf = self._parallel_marked()
+        heavy = MachineModel(fork_join=100000.0)
+        result = simulate_speedup(sf, 8, heavy)
+        assert result.speedup < 1.0

@@ -1,0 +1,249 @@
+"""Unit tests for the reference interpreter."""
+
+import pytest
+
+from repro.fortran import parse_and_bind
+from repro.perf import Interpreter, InterpError
+
+
+def run(src, inputs=None, **kw):
+    return Interpreter(parse_and_bind(src), inputs=inputs, **kw).run()
+
+
+def prog(body, decls=""):
+    src = "      program t\n"
+    for d in decls.splitlines():
+        src += f"      {d}\n"
+    for line in body.splitlines():
+        src += f"      {line}\n"
+    src += "      end\n"
+    return src
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run(prog("x = 2 + 3 * 4\nwrite (6, *) x")) == ["14"]
+
+    def test_integer_division_truncates(self):
+        assert run(prog("i = 7 / 2\nj = (-7) / 2\nwrite (6, *) i, j")) == ["3 -3"]
+
+    def test_integer_assignment_truncates(self):
+        assert run(prog("i = 3.7\nwrite (6, *) i")) == ["3"]
+
+    def test_real_formatting(self):
+        assert run(prog("x = 0.5\nwrite (6, *) x")) == ["0.5"]
+
+    def test_logical(self):
+        out = run(prog("l = 2 .lt. 3\nwrite (6, *) l", "logical l"))
+        assert out == ["T"]
+
+    def test_intrinsics(self):
+        out = run(prog("x = sqrt(16.0)\ni = max(3, 7)\nwrite (6, *) x, i"))
+        assert out == ["4 7"]
+
+    def test_read_inputs(self):
+        out = run(prog("read (5, *) n\nwrite (6, *) n * 2"), inputs=[21])
+        assert out == ["42"]
+
+    def test_read_exhausted_raises(self):
+        with pytest.raises(InterpError):
+            run(prog("read (5, *) n"))
+
+    def test_parameter_value(self):
+        out = run(prog("write (6, *) n", "integer n\nparameter (n = 5)"))
+        assert out == ["5"]
+
+    def test_data_initialisation(self):
+        out = run(prog("write (6, *) x", "real x\ndata x /2.5/"))
+        assert out == ["2.5"]
+
+
+class TestControlFlow:
+    def test_do_loop_trip(self):
+        assert run(prog("k = 0\ndo i = 1, 5\nk = k + i\nend do\nwrite (6, *) k")) == ["15"]
+
+    def test_do_loop_step(self):
+        out = run(prog("k = 0\ndo i = 1, 9, 3\nk = k + 1\nend do\nwrite (6, *) k"))
+        assert out == ["3"]
+
+    def test_do_loop_negative_step(self):
+        out = run(prog("k = 0\ndo i = 5, 1, -1\nk = k * 10 + i\nend do\nwrite (6, *) k"))
+        assert out == ["54321"]
+
+    def test_zero_trip_loop(self):
+        assert run(prog("k = 7\ndo i = 5, 1\nk = 0\nend do\nwrite (6, *) k")) == ["7"]
+
+    def test_loop_var_after_loop(self):
+        assert run(prog("do i = 1, 3\nend do\nwrite (6, *) i")) == ["4"]
+
+    def test_if_chain(self):
+        src = prog(
+            "x = -2.0\nif (x .gt. 0.) then\nk = 1\nelse if (x .lt. 0.) then\n"
+            "k = 2\nelse\nk = 3\nend if\nwrite (6, *) k"
+        )
+        assert run(src) == ["2"]
+
+    def test_logical_if(self):
+        assert run(prog("k = 0\nif (1 .lt. 2) k = 9\nwrite (6, *) k")) == ["9"]
+
+    def test_goto_backward_loop(self):
+        src = prog("k = 0\n10 k = k + 1\nif (k .lt. 4) goto 10\nwrite (6, *) k")
+        assert run(src) == ["4"]
+
+    def test_goto_forward_skip(self):
+        src = prog("k = 1\ngoto 20\nk = 99\n20 write (6, *) k")
+        assert run(src) == ["1"]
+
+    def test_stop_halts(self):
+        src = prog("write (6, *) 1\nstop\nwrite (6, *) 2")
+        assert run(src) == ["1"]
+
+    def test_budget_exceeded(self):
+        src = prog("10 k = k + 1\ngoto 10")
+        with pytest.raises(InterpError):
+            Interpreter(parse_and_bind(src), max_steps=1000).run()
+
+
+class TestArraysAndCalls:
+    def test_array_rw(self):
+        src = prog("a(3) = 7.0\nwrite (6, *) a(3)", "real a(5)")
+        assert run(src) == ["7"]
+
+    def test_array_bounds_checked(self):
+        src = prog("a(6) = 1.0", "real a(5)")
+        with pytest.raises(InterpError):
+            run(src)
+
+    def test_lower_bound_arrays(self):
+        src = prog("a(0) = 2.0\nwrite (6, *) a(0)", "real a(0:4)")
+        assert run(src) == ["2"]
+
+    def test_two_d_column_major(self):
+        src = prog(
+            "do j = 1, 3\ndo i = 1, 2\na(i, j) = 10 * i + j\nend do\nend do\n"
+            "write (6, *) a(2, 3)",
+            "real a(2, 3)",
+        )
+        assert run(src) == ["23"]
+
+    def test_scalar_by_reference(self):
+        src = (
+            "      program t\n      x = 1.0\n      call bump(x)\n"
+            "      write (6, *) x\n      end\n"
+            "      subroutine bump(y)\n      y = y + 1.0\n      end\n"
+        )
+        assert run(src) == ["2"]
+
+    def test_expression_actual_copy_in(self):
+        src = (
+            "      program t\n      x = 1.0\n      call bump(x + 0.0)\n"
+            "      write (6, *) x\n      end\n"
+            "      subroutine bump(y)\n      y = y + 1.0\n      end\n"
+        )
+        assert run(src) == ["1"]
+
+    def test_whole_array_passing(self):
+        src = (
+            "      program t\n      real a(4)\n      call fill(a, 4)\n"
+            "      write (6, *) a(4)\n      end\n"
+            "      subroutine fill(x, n)\n      integer n\n      real x(n)\n"
+            "      do i = 1, n\n      x(i) = 1.0 * i\n      end do\n      end\n"
+        )
+        assert run(src) == ["4"]
+
+    def test_column_slice_passing(self):
+        src = (
+            "      program t\n      real a(3, 2)\n      call fill(a(1, 2), 3)\n"
+            "      write (6, *) a(2, 2), a(2, 1)\n      end\n"
+            "      subroutine fill(x, n)\n      integer n\n      real x(n)\n"
+            "      do i = 1, n\n      x(i) = 5.0\n      end do\n      end\n"
+        )
+        assert run(src) == ["5 0"]
+
+    def test_function_call(self):
+        src = (
+            "      program t\n      x = twice(4.0)\n      write (6, *) x\n      end\n"
+            "      function twice(y)\n      twice = 2.0 * y\n      end\n"
+        )
+        assert run(src) == ["8"]
+
+    def test_common_shared_across_units(self):
+        src = (
+            "      program t\n      common /c/ v\n      v = 3.0\n      call show\n      end\n"
+            "      subroutine show\n      common /c/ w\n      write (6, *) w\n      end\n"
+        )
+        assert run(src) == ["3"]
+
+    def test_common_array_positional(self):
+        src = (
+            "      program t\n      real a(3)\n      common /c/ a\n"
+            "      a(2) = 9.0\n      call show\n      end\n"
+            "      subroutine show\n      real b(3)\n      common /c/ b\n"
+            "      write (6, *) b(2)\n      end\n"
+        )
+        assert run(src) == ["9"]
+
+    def test_recursion_via_snapshot(self):
+        interp = Interpreter(
+            parse_and_bind(
+                "      program t\n      common /c/ v\n      v = 1.5\n      end\n"
+            )
+        )
+        interp.run()
+        assert interp.snapshot() == {"c": [1.5]}
+
+
+class TestDoallOrders:
+    SRC = """      program t
+      real a(10), s
+      do i = 1, 10
+         a(i) = 1.0 * i
+      end do
+      s = 0.0
+      do i = 1, 10
+         s = s + a(i)
+      end do
+      write (6, *) s
+      end
+"""
+
+    def _marked(self):
+        sf = parse_and_bind(self.SRC)
+        from repro.fortran import DoLoop
+
+        for st in sf.units[0].body:
+            if isinstance(st, DoLoop):
+                st.parallel = True
+        return sf
+
+    def test_reversed_matches(self):
+        sf = self._marked()
+        assert Interpreter(sf, doall_order="reversed").run() == ["55"]
+
+    def test_shuffled_matches(self):
+        sf = self._marked()
+        assert Interpreter(sf, doall_order="shuffled").run() == ["55"]
+
+    def test_shuffle_detects_real_recurrence(self):
+        src = """      program t
+      real a(10)
+      a(1) = 1.0
+      do i = 2, 10
+         a(i) = a(i-1) + 1.0
+      end do
+      write (6, *) a(10)
+      end
+"""
+        sf = parse_and_bind(src)
+        from repro.fortran import DoLoop
+
+        loop = next(st for st in sf.units[0].body if isinstance(st, DoLoop))
+        loop.parallel = True  # wrong! — the orders must disagree
+        fwd = Interpreter(sf, doall_order="forward").run()
+        rev = Interpreter(sf, doall_order="reversed").run()
+        assert fwd != rev
+
+    def test_unknown_order_rejected(self):
+        sf = self._marked()
+        with pytest.raises(InterpError):
+            Interpreter(sf, doall_order="sideways").run()

@@ -1,0 +1,97 @@
+"""Crosschecks between independent components.
+
+The constant folder (`eval_const`), the symbolic algebra (`Linear`) and
+the interpreter implement overlapping semantics; they must agree wherever
+their domains intersect.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.constants import eval_const
+from repro.analysis.symbolic import linear_of_expr
+from repro.fortran import parse_and_bind
+from repro.perf import Interpreter
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth > 2:
+        return str(draw(st.integers(1, 20)))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return str(draw(st.integers(1, 20)))
+    a = draw(int_exprs(depth=depth + 1))
+    b = draw(int_exprs(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return f"({a} {op} {b})"
+
+
+@settings(max_examples=150, deadline=None)
+@given(int_exprs())
+def test_constant_folder_agrees_with_interpreter(expr_text):
+    src = f"      program t\n      i = {expr_text}\n      write (6, *) i\n      end\n"
+    sf = parse_and_bind(src)
+    expr = sf.units[0].body[0].expr
+    folded = eval_const(expr, {})
+    executed = Interpreter(sf).run()
+    assert folded is not None
+    assert executed == [str(folded)]
+
+
+@settings(max_examples=150, deadline=None)
+@given(int_exprs())
+def test_linear_algebra_agrees_with_folder(expr_text):
+    src = f"      program t\n      i = {expr_text}\n      end\n"
+    sf = parse_and_bind(src)
+    expr = sf.units[0].body[0].expr
+    folded = eval_const(expr, {})
+    lin = linear_of_expr(expr, sf.units[0].symtab)
+    assert lin.int_value() == folded
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lo=st.integers(-3, 3),
+    hi=st.integers(-3, 12),
+    step=st.integers(1, 4),
+)
+def test_interpreter_trip_count_formula(lo, hi, step):
+    """DO trip counts match max(0, (hi-lo+step)//step)."""
+
+    src = (
+        "      program t\n      k = 0\n"
+        f"      do i = {lo}, {hi}, {step}\n      k = k + 1\n      end do\n"
+        "      write (6, *) k\n      end\n"
+    )
+    out = Interpreter(parse_and_bind(src)).run()
+    expected = max(0, (hi - lo + step) // step)
+    assert out == [str(expected)]
+
+
+class TestGotoInsideLoop:
+    def test_goto_skips_within_iteration(self):
+        src = """      program t
+      k = 0
+      do i = 1, 5
+         if (i .eq. 3) goto 10
+         k = k + 1
+   10    continue
+      end do
+      write (6, *) k
+      end
+"""
+        assert Interpreter(parse_and_bind(src)).run() == ["4"]
+
+    def test_goto_out_of_loop_exits(self):
+        src = """      program t
+      k = 0
+      do i = 1, 100
+         k = k + 1
+         if (k .eq. 7) goto 20
+      end do
+   20 write (6, *) k
+      end
+"""
+        assert Interpreter(parse_and_bind(src)).run() == ["7"]

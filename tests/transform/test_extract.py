@@ -1,0 +1,113 @@
+"""Tests for procedure extraction (outlining) and the embed/extract pair."""
+
+import pytest
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.fortran import CallStmt, parse_and_bind, walk_statements
+from repro.perf import Interpreter
+
+SRC = """      program t
+      integer n, m
+      parameter (n = 12, m = 8)
+      real a(n, m), w
+      common /g/ a
+      do j = 1, m
+         do i = 1, n
+            a(i, j) = 0.3 * i + j
+         end do
+      end do
+      do j = 1, m
+         do i = 2, n
+            w = a(i, j) + a(i-1, j)
+            a(i, j) = 0.5 * w
+         end do
+      end do
+      write (6, *) a(5, 3), a(12, 8)
+      end
+"""
+
+
+def run(sf_or_src):
+    if isinstance(sf_or_src, str):
+        return Interpreter(parse_and_bind(sf_or_src)).run()
+    return Interpreter(sf_or_src).run()
+
+
+class TestExtract:
+    def test_extract_preserves_semantics(self):
+        reference = run(SRC)
+        session = PedSession(SRC)
+        session.select_loop(2)  # the second j loop
+        msg = session.apply("extract")
+        assert "extracted body into subroutine" in msg
+        assert run(session.sf) == reference
+
+    def test_new_unit_created(self):
+        session = PedSession(SRC)
+        session.select_loop(2)
+        session.apply("extract")
+        names = {u.name for u in session.sf.units}
+        assert "body" in names
+        new_unit = session.sf.unit("body")
+        # Parameters used by the common declaration are restated.
+        assert "parameter" in session.source.split("subroutine body")[1]
+
+    def test_loop_body_becomes_single_call(self):
+        session = PedSession(SRC)
+        session.select_loop(2)
+        session.apply("extract")
+        loop = session.loops()[2].loop
+        assert len(loop.body) == 1
+        assert isinstance(loop.body[0], CallStmt)
+
+    def test_custom_name(self):
+        session = PedSession(SRC)
+        session.select_loop(2)
+        msg = session.apply("extract", unit_name="smooth")
+        assert "subroutine smooth" in msg
+
+    def test_name_collision_freshened(self):
+        src = SRC.replace("program t", "program body")
+        session = PedSession(src)
+        session.select_loop(2)
+        msg = session.apply("extract")
+        assert "body1" in msg
+
+    def test_goto_in_body_rejected(self):
+        src = """      program t
+      real a(9)
+      do i = 1, 9
+         if (a(i) .gt. 0.) goto 10
+         a(i) = 1.0
+   10    continue
+      end do
+      end
+"""
+        session = PedSession(src)
+        session.select_loop(0)
+        advice = session.diagnose("extract")
+        assert not advice.applicable
+
+    def test_extract_then_inline_round_trip(self):
+        reference = run(SRC)
+        session = PedSession(SRC)
+        session.select_loop(2)
+        session.apply("extract")
+        call_line = next(
+            i
+            for i, text in enumerate(session.source.splitlines(), 1)
+            if "call body" in text
+        )
+        ped = CommandInterpreter(session)
+        out = ped.execute(f"apply inline line={call_line}")
+        assert "embedded" in out
+        assert run(session.sf) == reference
+
+    def test_extracted_program_reanalyzes(self):
+        session = PedSession(SRC)
+        session.select_loop(2)
+        session.apply("extract")
+        # The extracted call is analyzed interprocedurally; the j loop
+        # remains analyzable (sections over the new callee).
+        ua = session.unit_analysis
+        assert len(ua.loops) == 3

@@ -1,0 +1,290 @@
+"""Tests for procedure embedding (the paper's future-work transformation)."""
+
+import pytest
+
+from repro.dependence import analyze_unit
+from repro.editor import CommandInterpreter, PedSession
+from repro.fortran import CallStmt, DoLoop, number_statements, parse_and_bind, to_source
+from repro.perf import Interpreter
+from repro.transform import TransformContext, get_transformation
+from repro.transform.base import TransformError
+from repro.fortran import walk_statements
+
+
+def run_equal(src, session):
+    before = Interpreter(parse_and_bind(src)).run()
+    after = Interpreter(session.sf).run()
+    assert before == after, (before, after)
+
+
+def find_call(unit, name):
+    return next(
+        st
+        for st in walk_statements(unit.body)
+        if isinstance(st, CallStmt) and st.name == name
+    )
+
+
+BASE = """      program t
+      integer n
+      parameter (n = 10)
+      real a(n)
+      common /g/ a
+      call fill(a, n)
+      write (6, *) a(7)
+      end
+
+      subroutine fill(x, k)
+      integer k
+      real x(k)
+      do i = 1, k
+         x(i) = 1.0 * i
+      end do
+      return
+      end
+"""
+
+
+class TestInline:
+    def test_whole_array_actual(self):
+        session = PedSession(BASE)
+        call = find_call(session.unit, "fill")
+        msg = session.apply("inline", call=call)
+        assert "embedded fill" in msg
+        assert "call fill" not in session.source.split("subroutine")[0]
+        run_equal(BASE, session)
+
+    def test_column_actual(self):
+        src = """      program t
+      integer n, m
+      parameter (n = 6, m = 4)
+      real a(n, m)
+      common /g/ a
+      do j = 1, m
+         call col(a(1, j), n)
+      end do
+      write (6, *) a(3, 2)
+      end
+
+      subroutine col(x, k)
+      integer k
+      real x(k)
+      do i = 1, k
+         x(i) = i + 0.5
+      end do
+      return
+      end
+"""
+        session = PedSession(src)
+        call = find_call(session.unit, "col")
+        session.apply("inline", call=call)
+        assert "a(i_in, j)" in session.source
+        run_equal(src, session)
+
+    def test_locals_renamed_no_capture(self):
+        src = """      program t
+      real a(5)
+      common /g/ a
+      i = 3
+      call zap(a)
+      write (6, *) a(2), i
+      end
+
+      subroutine zap(x)
+      real x(5)
+      do i = 1, 5
+         x(i) = 2.0
+      end do
+      return
+      end
+"""
+        session = PedSession(src)
+        call = find_call(session.unit, "zap")
+        session.apply("inline", call=call)
+        # The caller's i must survive the embedded loop.
+        run_equal(src, session)
+
+    def test_scalar_formal_substitution(self):
+        src = """      program t
+      real a(8)
+      common /g/ a
+      call setk(a, 3, 9.0)
+      write (6, *) a(3)
+      end
+
+      subroutine setk(x, k, v)
+      integer k
+      real x(8), v
+      x(k) = v
+      return
+      end
+"""
+        session = PedSession(src)
+        call = find_call(session.unit, "setk")
+        session.apply("inline", call=call)
+        run_equal(src, session)
+
+    def test_callee_parameter_folded(self):
+        src = """      program t
+      real a(8)
+      common /g/ a
+      call init(a)
+      write (6, *) a(8)
+      end
+
+      subroutine init(x)
+      integer kk
+      parameter (kk = 8)
+      real x(kk)
+      do i = 1, kk
+         x(i) = 1.0
+      end do
+      return
+      end
+"""
+        session = PedSession(src)
+        call = find_call(session.unit, "init")
+        session.apply("inline", call=call)
+        run_equal(src, session)
+
+    def test_common_conforming(self):
+        src = """      program t
+      real s
+      common /acc/ s
+      s = 1.0
+      call bump
+      write (6, *) s
+      end
+
+      subroutine bump
+      real s
+      common /acc/ s
+      s = s + 1.0
+      return
+      end
+"""
+        session = PedSession(src)
+        call = find_call(session.unit, "bump")
+        session.apply("inline", call=call)
+        run_equal(src, session)
+
+    def test_enables_interchange_across_boundary(self):
+        src = """      program t
+      integer n, m
+      parameter (n = 8, m = 6)
+      real a(n, m)
+      common /g/ a
+      call sweep(m)
+      write (6, *) a(2, 2)
+      end
+
+      subroutine sweep(mm)
+      integer mm
+      integer n, m
+      parameter (n = 8, m = 6)
+      real a(n, m)
+      common /g/ a
+      do j = 1, mm
+         call one(a(1, j), n)
+      end do
+      return
+      end
+
+      subroutine one(x, k)
+      integer k
+      real x(k)
+      do i = 1, k
+         x(i) = 3.0
+      end do
+      return
+      end
+"""
+        session = PedSession(src)
+        session.select_unit("sweep")
+        call = find_call(session.unit, "one")
+        session.apply("inline", call=call)
+        session.select_unit("sweep")
+        session.select_loop(0)
+        advice = session.diagnose("interchange")
+        assert advice.ok
+        session.apply("interchange")
+        run_equal(src, session)
+
+
+class TestInlineRejections:
+    def reject(self, src, callee):
+        session = PedSession(src)
+        call = find_call(session.unit, callee)
+        advice = session.diagnose("inline", call=call)
+        assert not advice.applicable
+        return advice
+
+    def test_early_return_rejected(self):
+        src = """      program t
+      call s(x)
+      end
+      subroutine s(y)
+      if (y .gt. 0.) return
+      y = 1.0
+      return
+      end
+"""
+        self.reject(src, "s")
+
+    def test_stop_rejected(self):
+        src = """      program t
+      call s(x)
+      end
+      subroutine s(y)
+      y = 1.0
+      stop
+      end
+"""
+        self.reject(src, "s")
+
+    def test_expression_actual_for_written_formal(self):
+        src = """      program t
+      call s(x + 1.0)
+      end
+      subroutine s(y)
+      y = 2.0
+      end
+"""
+        self.reject(src, "s")
+
+    def test_undeclared_common_rejected(self):
+        src = """      program t
+      call s
+      end
+      subroutine s
+      common /hidden/ h
+      h = 1.0
+      end
+"""
+        advice = self.reject(src, "s")
+        assert "common" in advice.reasons[0]
+
+    def test_unknown_callee_rejected(self):
+        src = "      program t\n      call nowhere(x)\n      end\n"
+        session = PedSession(src)
+        call = find_call(session.unit, "nowhere")
+        advice = session.diagnose("inline", call=call)
+        assert not advice.applicable
+
+
+class TestInlineViaCommands:
+    def test_line_argument(self):
+        session = PedSession(BASE)
+        ped = CommandInterpreter(session)
+        line = next(
+            i
+            for i, t in enumerate(session.source.splitlines(), 1)
+            if "call fill" in t
+        )
+        out = ped.execute(f"apply inline line={line}")
+        assert "embedded" in out
+
+    def test_bad_line(self):
+        session = PedSession(BASE)
+        ped = CommandInterpreter(session)
+        assert ped.execute("apply inline line=9999").startswith("error:")

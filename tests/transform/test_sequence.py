@@ -1,0 +1,88 @@
+"""Tests for compound recipes and session replay."""
+
+import pytest
+
+from repro.editor.scripts import replay, replay_all
+from repro.editor.session import PedSession
+from repro.fortran import parse_and_bind
+from repro.perf import Interpreter
+from repro.transform.sequence import (
+    Recipe,
+    RecipeStep,
+    embed_fuse_parallelize,
+    fuse_then_parallelize,
+    outer_parallel_recipe,
+)
+from repro.workloads import SUITE
+
+
+class TestRecipes:
+    def test_fuse_then_parallelize(self):
+        src = """      program t
+      integer n
+      parameter (n = 24)
+      real a(n), b(n)
+      common /r/ a, b
+      do i = 1, n
+         a(i) = 1.0 * i
+      end do
+      do i = 1, n
+         b(i) = a(i) * 2.0
+      end do
+      write (6, *) b(9)
+      end
+"""
+        ref = Interpreter(parse_and_bind(src)).run()
+        session = PedSession(src)
+        result = fuse_then_parallelize(0).apply(session)
+        assert result.complete, result.reason
+        assert len(result.applied) == 2
+        assert Interpreter(session.sf, doall_order="reversed").run() == ref
+
+    def test_recipe_stops_at_unsafe_step(self):
+        src = """      program t
+      real a(20)
+      do i = 2, 20
+         a(i) = a(i-1)
+      end do
+      end
+"""
+        session = PedSession(src)
+        result = outer_parallel_recipe(0).apply(session)
+        assert not result.complete
+        assert result.stopped_at in ("distribute", "parallelize")
+        assert result.reason
+
+    def test_embed_fuse_parallelize_on_ocean(self):
+        prog = SUITE["ocean"]
+        ref = Interpreter(parse_and_bind(prog.source)).run()
+        session = PedSession(prog.source)
+        session.select_unit("relax")
+        result = embed_fuse_parallelize(call_line=39, loop_index=0).apply(session)
+        assert result.complete, result.reason
+        assert Interpreter(session.sf, doall_order="shuffled").run() == ref
+
+    def test_missing_loop_index(self):
+        src = "      program t\n      x = 1.0\n      end\n"
+        session = PedSession(src)
+        result = outer_parallel_recipe(0).apply(session)
+        assert not result.complete
+        assert "no loop" in result.reason
+
+
+class TestReplay:
+    def test_replay_single(self):
+        session, transcript = replay("boast")
+        assert transcript.ok, transcript.errors
+        assert transcript.final_source
+        assert "ped>" in transcript.render()
+
+    def test_replay_extra_commands(self):
+        session, transcript = replay("boast", extra_commands=["summary"])
+        assert transcript.exchanges[-1][0] == "summary"
+
+    def test_replay_all_clean(self):
+        transcripts = replay_all()
+        assert len(transcripts) == len(SUITE)
+        for t in transcripts:
+            assert t.ok, (t.program, t.errors)

@@ -1,0 +1,420 @@
+"""Unit tests for each power-steered transformation.
+
+Every apply() is also checked for semantics preservation by running the
+reference interpreter before and after.
+"""
+
+import pytest
+
+from repro.dependence import analyze_unit
+from repro.fortran import DoLoop, number_statements, parse_and_bind, to_source
+from repro.perf import Interpreter
+from repro.transform import TransformContext, get_transformation
+from repro.transform.base import TransformError
+
+
+def session_for(src):
+    sf = parse_and_bind(src)
+    unit = sf.units[0]
+
+    def ctx():
+        number_statements(unit)
+        return TransformContext(unit, analyze_unit(unit))
+
+    return sf, unit, ctx
+
+
+def outputs_equal(src, sf):
+    before = Interpreter(parse_and_bind(src)).run()
+    after = Interpreter(parse_and_bind(to_source(sf))).run()
+    assert before == after, (before, after)
+
+
+PROGRAM_2NEST = """      program t
+      integer n
+      parameter (n = 8)
+      real a(n, n)
+      common /r/ a
+      do j = 1, n
+         do i = 1, n
+            a(i, j) = 0.1 * i + j
+         end do
+      end do
+      write (6, *) a(3, 4)
+      end
+"""
+
+
+class TestInterchange:
+    def test_apply_swaps_headers(self):
+        sf, u, ctx = session_for(PROGRAM_2NEST)
+        loop = u.body[0]
+        get_transformation("interchange").apply(ctx(), loop=loop)
+        assert loop.var == "i"
+        assert isinstance(loop.body[0], DoLoop) and loop.body[0].var == "j"
+        outputs_equal(PROGRAM_2NEST, sf)
+
+    def test_imperfect_nest_rejected(self):
+        src = (
+            "      program t\n      real a(5)\n      do i = 1, 5\n      x = 1.\n"
+            "      do j = 1, 5\n      a(j) = x\n      end do\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("interchange").diagnose(ctx(), loop=u.body[0])
+        assert not advice.applicable
+
+    def test_triangular_nest_rejected(self):
+        src = (
+            "      program t\n      real a(9, 9)\n      do i = 1, 9\n"
+            "      do j = 1, i\n      a(i, j) = 1.\n      end do\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("interchange").diagnose(ctx(), loop=u.body[0])
+        assert not advice.applicable
+        assert "triangular" in advice.reasons[0]
+
+    def test_reversing_dependence_rejected(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 8)\n"
+            "      real a(n, n)\n"
+            "      do i = 2, n\n      do j = 1, n - 1\n"
+            "      a(i, j) = a(i-1, j+1)\n      end do\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("interchange").diagnose(ctx(), loop=u.body[0])
+        assert advice.applicable and not advice.safe
+
+    def test_apply_unsafe_raises(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 8)\n"
+            "      real a(n, n)\n"
+            "      do i = 2, n\n      do j = 1, n - 1\n"
+            "      a(i, j) = a(i-1, j+1)\n      end do\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        with pytest.raises(TransformError):
+            get_transformation("interchange").apply(ctx(), loop=u.body[0])
+
+
+class TestDistribution:
+    SRC = """      program t
+      integer n
+      parameter (n = 10)
+      real a(n), b(n), s
+      common /r/ a, b, s
+      s = 0.0
+      do i = 2, n
+         a(i) = a(i-1) + 1.0
+         b(i) = 2.0 * i
+      end do
+      write (6, *) a(5), b(5)
+      end
+"""
+
+    def test_splits_recurrence_from_map(self):
+        sf, u, ctx = session_for(self.SRC)
+        loop = u.body[1]
+        summary = get_transformation("distribute").apply(ctx(), loop=loop)
+        assert "2 loops" in summary
+        loops = [st for st in u.body if isinstance(st, DoLoop)]
+        assert len(loops) == 2
+        outputs_equal(self.SRC, sf)
+        # After distribution the b loop parallelizes.
+        c = ctx()
+        infos = [c.analysis.info_for(lp) for lp in loops]
+        assert not infos[0].parallelizable
+        assert infos[1].parallelizable
+
+    def test_single_group_no_op_advice(self):
+        src = (
+            "      program t\n      real a(9)\n      do i = 2, 9\n"
+            "      a(i) = a(i-1)\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("distribute").diagnose(ctx(), loop=u.body[0])
+        assert not advice.profitable
+
+    def test_dependence_order_preserved(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 10)\n"
+            "      real a(n), b(n)\n      common /r/ a, b\n"
+            "      do i = 2, n\n      a(i) = a(i-1) + 1.0\n"
+            "      b(i) = a(i) * 2.0\n      end do\n      write (6, *) b(5)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("distribute").apply(ctx(), loop=u.body[0])
+        outputs_equal(src, sf)
+
+
+class TestFusion:
+    SRC = """      program t
+      integer n
+      parameter (n = 10)
+      real a(n), b(n)
+      common /r/ a, b
+      do i = 1, n
+         a(i) = 1.0 * i
+      end do
+      do i = 1, n
+         b(i) = a(i) * 2.0
+      end do
+      write (6, *) b(7)
+      end
+"""
+
+    def test_fuses_conformable_loops(self):
+        sf, u, ctx = session_for(self.SRC)
+        loop = u.body[0]
+        get_transformation("fuse").apply(ctx(), loop=loop)
+        loops = [st for st in u.body if isinstance(st, DoLoop)]
+        assert len(loops) == 1
+        assert len(loops[0].body) == 2
+        outputs_equal(self.SRC, sf)
+
+    def test_mismatched_headers_rejected(self):
+        src = self.SRC.replace("do i = 1, n\n         b", "do i = 2, n\n         b")
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("fuse").diagnose(ctx(), loop=u.body[0])
+        assert not advice.applicable
+
+    def test_fusion_preventing_dependence_rejected(self):
+        # Second loop reads a(i+1): after fusion iteration i would need
+        # a value the first body writes at iteration i+1.
+        src = """      program t
+      integer n
+      parameter (n = 10)
+      real a(n), b(n)
+      common /r/ a, b
+      do i = 1, n - 1
+         a(i) = 1.0 * i
+      end do
+      do i = 1, n - 1
+         b(i) = a(i+1) * 2.0
+      end do
+      write (6, *) b(3)
+      end
+"""
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("fuse").diagnose(ctx(), loop=u.body[0])
+        assert advice.applicable and not advice.safe
+
+    def test_different_loop_variables_renamed(self):
+        src = self.SRC.replace("do i = 1, n\n         b(i) = a(i)", "do k = 1, n\n         b(k) = a(k)")
+        sf, u, ctx = session_for(src)
+        get_transformation("fuse").apply(ctx(), loop=u.body[0])
+        outputs_equal(src, sf)
+
+
+class TestReversalSkewStripUnroll:
+    def test_reversal(self):
+        src = (
+            "      program t\n      real a(9)\n      common /r/ a\n"
+            "      do i = 1, 9\n      a(i) = 1.0 * i\n      end do\n"
+            "      write (6, *) a(4)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("reverse").apply(ctx(), loop=u.body[0])
+        outputs_equal(src, sf)
+
+    def test_reversal_rejected_with_carried_dep(self):
+        src = (
+            "      program t\n      real a(9)\n      do i = 2, 9\n"
+            "      a(i) = a(i-1)\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("reverse").diagnose(ctx(), loop=u.body[0])
+        assert not advice.safe
+
+    def test_skewing_preserves_semantics(self):
+        sf, u, ctx = session_for(PROGRAM_2NEST)
+        get_transformation("skew").apply(ctx(), loop=u.body[0], factor=1)
+        outputs_equal(PROGRAM_2NEST, sf)
+
+    def test_skewing_needs_nest(self):
+        src = "      program t\n      real a(9)\n      do i = 1, 9\n      a(i) = 0.\n      end do\n      end\n"
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("skew").diagnose(ctx(), loop=u.body[0])
+        assert not advice.applicable
+
+    def test_stripmine(self):
+        src = (
+            "      program t\n      real a(20)\n      common /r/ a\n"
+            "      do i = 1, 20\n      a(i) = 1.0 * i\n      end do\n"
+            "      write (6, *) a(17)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("stripmine").apply(ctx(), loop=u.body[0], size=8)
+        outer = u.body[0]
+        assert isinstance(outer.body[0], DoLoop)
+        outputs_equal(src, sf)
+
+    def test_stripmine_nonunit_step_rejected(self):
+        src = "      program t\n      real a(20)\n      do i = 1, 19, 2\n      a(i) = 0.\n      end do\n      end\n"
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("stripmine").diagnose(ctx(), loop=u.body[0], size=4)
+        assert not advice.applicable
+
+    def test_full_unroll(self):
+        src = (
+            "      program t\n      real a(4)\n      common /r/ a\n"
+            "      do i = 1, 4\n      a(i) = 1.0 * i\n      end do\n"
+            "      write (6, *) a(2)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("unroll").apply(ctx(), loop=u.body[0])
+        assert not any(isinstance(st, DoLoop) for st in u.body)
+        outputs_equal(src, sf)
+
+    def test_partial_unroll(self):
+        src = (
+            "      program t\n      real a(10)\n      common /r/ a\n"
+            "      do i = 1, 10\n      a(i) = 1.0 * i\n      end do\n"
+            "      write (6, *) a(9), a(10)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("unroll").apply(ctx(), loop=u.body[0], factor=4)
+        outputs_equal(src, sf)
+
+    def test_partial_unroll_uneven_trip(self):
+        src = (
+            "      program t\n      real a(11)\n      common /r/ a\n"
+            "      do i = 1, 11\n      a(i) = 1.0 * i\n      end do\n"
+            "      write (6, *) a(11)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("unroll").apply(ctx(), loop=u.body[0], factor=4)
+        outputs_equal(src, sf)
+
+    def test_unknown_trip_full_unroll_rejected(self):
+        src = (
+            "      subroutine s(a, n)\n      integer n\n      real a(n)\n"
+            "      do i = 1, n\n      a(i) = 0.\n      end do\n      end\n"
+        )
+        sf = parse_and_bind(src)
+        u = sf.units[0]
+        number_statements(u)
+        ctx = TransformContext(u, analyze_unit(u))
+        advice = get_transformation("unroll").diagnose(ctx, loop=u.body[0])
+        assert not advice.applicable
+
+
+class TestExpansionPrivatizeReduction:
+    def test_scalar_expansion(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 10)\n"
+            "      real a(n), b(n)\n      common /r/ a, b\n"
+            "      do i = 1, n\n      t = a(i) * 2.0\n      b(i) = t + 1.0\n"
+            "      end do\n      write (6, *) b(5)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        summary = get_transformation("expand").apply(ctx(), loop=u.body[0], var="t")
+        assert "expanded scalar t" in summary
+        assert "tx" in to_source(sf)
+        outputs_equal(src, sf)
+
+    def test_expansion_copy_out_when_live(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 10)\n"
+            "      real a(n), b(n)\n      common /r/ a, b\n"
+            "      do i = 1, n\n      t = a(i) * 2.0\n      b(i) = t\n      end do\n"
+            "      write (6, *) t\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        loop = next(st for st in u.body if isinstance(st, DoLoop))
+        summary = get_transformation("expand").apply(ctx(), loop=loop, var="t")
+        assert "copied out" in summary
+        outputs_equal(src, sf)
+
+    def test_expand_loop_var_rejected(self):
+        src = "      program t\n      real a(5)\n      do i = 1, 5\n      a(i) = 0.\n      end do\n      end\n"
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("expand").diagnose(ctx(), loop=u.body[0], var="i")
+        assert not advice.applicable
+
+    def test_privatize_killed_scalar(self):
+        src = (
+            "      program t\n      real a(9), b(9)\n      do i = 1, 9\n"
+            "      t = a(i)\n      b(i) = t\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        summary = get_transformation("privatize").apply(ctx(), loop=u.body[0], var="t")
+        assert "private" in summary
+        assert "t" in u.body[0].private
+
+    def test_privatize_exposed_scalar_rejected(self):
+        src = (
+            "      program t\n      real a(9), b(9)\n      do i = 1, 9\n"
+            "      b(i) = t\n      t = a(i)\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("privatize").diagnose(ctx(), loop=u.body[0], var="t")
+        assert not advice.safe
+
+    def test_reduction_marking(self):
+        src = (
+            "      program t\n      real a(9)\n      s = 0.\n      do i = 1, 9\n"
+            "      s = s + a(i)\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        summary = get_transformation("reduction").apply(ctx(), loop=u.body[1])
+        assert "+:s" in summary
+        assert ("+", "s") in u.body[1].reductions
+
+    def test_reduction_absent_rejected(self):
+        src = "      program t\n      real a(9)\n      do i = 1, 9\n      a(i) = 0.\n      end do\n      end\n"
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("reduction").diagnose(ctx(), loop=u.body[0])
+        assert not advice.applicable
+
+
+class TestStatementInterchange:
+    def test_independent_statements_swap(self):
+        src = (
+            "      program t\n      real a(5), b(5)\n      common /r/ a, b\n"
+            "      a(1) = 1.0\n      b(1) = 2.0\n      write (6, *) a(1), b(1)\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        get_transformation("swap").apply(ctx(), stmt=u.body[0])
+        outputs_equal(src, sf)
+
+    def test_dependent_statements_rejected(self):
+        src = (
+            "      program t\n      x = 1.0\n      y = x + 1.0\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("swap").diagnose(ctx(), stmt=u.body[0])
+        assert not advice.safe
+
+
+class TestParallelize:
+    def test_apply_marks_doall(self):
+        src = (
+            "      program t\n      integer n\n      parameter (n = 40)\n"
+            "      real a(n)\n      do i = 1, n\n      a(i) = 1.0\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        summary = get_transformation("parallelize").apply(ctx(), loop=u.body[0])
+        assert "DOALL" in summary
+        assert u.body[0].parallel
+
+    def test_unsafe_raises(self):
+        src = (
+            "      program t\n      real a(9)\n      do i = 2, 9\n"
+            "      a(i) = a(i-1)\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        with pytest.raises(TransformError):
+            get_transformation("parallelize").apply(ctx(), loop=u.body[0])
+
+    def test_small_trip_unprofitable(self):
+        src = (
+            "      program t\n      real a(3)\n      do i = 1, 3\n"
+            "      a(i) = 1.0\n      end do\n      end\n"
+        )
+        sf, u, ctx = session_for(src)
+        advice = get_transformation("parallelize").diagnose(ctx(), loop=u.body[0])
+        assert advice.safe and not advice.profitable
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_transformation("frobnicate")

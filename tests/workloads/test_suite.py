@@ -1,0 +1,156 @@
+"""Integration tests over the synthetic suite: every program parses,
+runs, and reproduces its paper story end to end."""
+
+import pytest
+
+from repro.editor import CommandInterpreter, PedSession
+from repro.fortran import parse_and_bind
+from repro.interproc import FeatureSet, analyze_program
+from repro.perf import Interpreter
+from repro.workloads import SUITE, get_program
+
+ALL = sorted(SUITE)
+
+
+class TestSuiteIntegrity:
+    def test_ten_programs(self):
+        assert len(SUITE) == 10
+
+    def test_get_program(self):
+        assert get_program("ARC3D").name == "arc3d"
+        with pytest.raises(KeyError):
+            get_program("nosuch")
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_parses_and_binds(self, name):
+        sf = parse_and_bind(SUITE[name].source)
+        assert sf.units
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_runs_deterministically(self, name):
+        src = SUITE[name].source
+        out1 = Interpreter(parse_and_bind(src)).run()
+        out2 = Interpreter(parse_and_bind(src)).run()
+        assert out1 == out2 and out1
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_metadata_counts(self, name):
+        prog = SUITE[name]
+        sf = parse_and_bind(prog.source)
+        assert prog.procedures == len(sf.units)
+        assert prog.lines > 20
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_has_script_and_targets(self, name):
+        prog = SUITE[name]
+        assert prog.script
+        assert prog.target_loops
+
+
+class TestPaperStories:
+    """Each program's key loops: serial under the features the paper says
+    are insufficient, parallel once the needed feature (or user action)
+    is present."""
+
+    def _verdicts(self, name, features):
+        prog = SUITE[name]
+        pa = analyze_program(parse_and_bind(prog.source), features)
+        out = {}
+        for unit, idx in prog.target_loops:
+            ua = pa.unit(unit)
+            info = ua.info_for(ua.loops[idx].loop)
+            out[(unit, idx)] = info.parallelizable
+        return out
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_minimal_analysis_insufficient(self, name):
+        # At least one key loop is serial under the naive baseline.
+        verdicts = self._verdicts(name, FeatureSet.minimal())
+        interesting = {
+            k: v for k, v in verdicts.items() if k != ("init", 0)
+        }
+        assert not all(interesting.values()), verdicts
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in ALL if not SUITE[n].needs.get("assertions")],
+    )
+    def test_full_analysis_sufficient(self, name):
+        verdicts = self._verdicts(name, FeatureSet())
+        assert all(verdicts.values()), verdicts
+
+    def test_onedim_needs_assertion(self):
+        verdicts = self._verdicts("onedim", FeatureSet())
+        assert not all(verdicts.values())
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_scripted_session_reaches_outcome(self, name):
+        prog = SUITE[name]
+        session = PedSession(prog.source)
+        ped = CommandInterpreter(session)
+        outputs = ped.run_script(prog.script)
+        errors = [o for o in outputs if o.startswith("error:")]
+        assert not errors, errors
+        for unit, idx in prog.target_loops:
+            ua = session.analysis.unit(unit)
+            loop = ua.loops[idx].loop
+            info = ua.info_for(loop)
+            assert info.parallelizable, (unit, idx, info.obstacles)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_session_preserves_semantics(self, name):
+        prog = SUITE[name]
+        reference = Interpreter(parse_and_bind(prog.source)).run()
+        session = PedSession(prog.source)
+        CommandInterpreter(session).run_script(prog.script)
+        for order in ("forward", "reversed", "shuffled"):
+            out = Interpreter(session.sf, doall_order=order).run()
+            assert out == reference, (order, out, reference)
+
+
+class TestFeatureLevers:
+    """Spot checks of the per-program Table 3 levers."""
+
+    def _parallel(self, name, features):
+        prog = SUITE[name]
+        pa = analyze_program(parse_and_bind(prog.source), features)
+        unit, idx = prog.target_loops[0]
+        ua = pa.unit(unit)
+        return ua.info_for(ua.loops[idx].loop).parallelizable
+
+    def test_spec77_sections_lever(self):
+        assert self._parallel("spec77", FeatureSet())
+        assert not self._parallel("spec77", FeatureSet(sections=False))
+
+    def test_nxsns_scalar_kill_lever(self):
+        assert self._parallel("nxsns", FeatureSet())
+        assert not self._parallel("nxsns", FeatureSet(scalar_kill=False))
+
+    def test_arc3d_array_kill_lever(self):
+        assert self._parallel("arc3d", FeatureSet())
+        assert not self._parallel("arc3d", FeatureSet(array_kill=False))
+
+    def test_shear_constants_lever(self):
+        assert self._parallel("shear", FeatureSet())
+        assert not self._parallel("shear", FeatureSet(ip_constants=False))
+
+    def test_interior_constants_or_assertion(self):
+        assert self._parallel("interior", FeatureSet())
+        assert not self._parallel("interior", FeatureSet(ip_constants=False))
+        # The assertion substitutes for the missing analysis.
+        session = PedSession(
+            SUITE["interior"].source, features=FeatureSet(ip_constants=False)
+        )
+        session.select_unit("step")
+        session.add_assertion("nn == 50")
+        ua = session.analysis.unit("step")
+        assert ua.info_for(ua.loops[0].loop).parallelizable
+
+    def test_boast_reductions_lever(self):
+        assert self._parallel("boast", FeatureSet())
+        assert not self._parallel("boast", FeatureSet(reductions=False))
+
+    def test_slab2d_combination(self):
+        assert self._parallel("slab2d", FeatureSet())
+        assert not self._parallel("slab2d", FeatureSet(array_kill=False))
+        assert not self._parallel("slab2d", FeatureSet(reductions=False))
