@@ -44,15 +44,19 @@ def cmd_ped(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(session.source)
         print(f"wrote {args.output}")
+    if args.profile:
+        print(session.engine.stats.render())
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     from .core import analyze
+    from .incremental import AnalysisEngine
     from .interproc import FeatureSet
 
     features = FeatureSet.minimal() if args.minimal else FeatureSet()
-    pa = analyze(_read(args.file), features)
+    engine = AnalysisEngine(features=features)
+    pa = analyze(_read(args.file), features, engine=engine)
     for name, ua in sorted(pa.units.items()):
         print(f"{name} ({ua.unit.kind}): {len(ua.loops)} loop(s)")
         for idx, nest in enumerate(ua.loops):
@@ -70,14 +74,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"\n{pa.parallel_loop_count()}/{pa.loop_count()} loops parallelizable "
         f"({'minimal' if args.minimal else 'full'} analysis)"
     )
+    if args.profile:
+        print()
+        print(engine.stats.render())
     return 0
 
 
 def cmd_auto(args: argparse.Namespace) -> int:
     from .core import parallelize_program
+    from .incremental import AnalysisEngine
 
+    engine = AnalysisEngine()
     result = parallelize_program(
-        _read(args.file), require_profitable=not args.eager
+        _read(args.file), require_profitable=not args.eager, engine=engine
     )
     for unit, idx in result.parallelized:
         print(f"parallelized: {unit} loop[{idx}]")
@@ -89,6 +98,8 @@ def cmd_auto(args: argparse.Namespace) -> int:
     else:
         print()
         print(result.source)
+    if args.profile:
+        print(engine.stats.render())
     return 0
 
 
@@ -122,21 +133,26 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    profile_help = "print incremental-engine stage timers and cache stats"
+
     p = sub.add_parser("ped", help="interactive Ped session over a file")
     p.add_argument("file")
     p.add_argument("-o", "--output", help="write the edited source on exit")
+    p.add_argument("--profile", action="store_true", help=profile_help)
     p.set_defaults(fn=cmd_ped)
 
     p = sub.add_parser("analyze", help="loop verdicts for a file")
     p.add_argument("file")
     p.add_argument("--minimal", action="store_true", help="baseline analysis")
     p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("--profile", action="store_true", help=profile_help)
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("auto", help="automatic best-effort parallelizer")
     p.add_argument("file")
     p.add_argument("-o", "--output")
     p.add_argument("--eager", action="store_true", help="ignore profitability")
+    p.add_argument("--profile", action="store_true", help=profile_help)
     p.set_defaults(fn=cmd_auto)
 
     p = sub.add_parser("tables", help="regenerate the evaluation tables")

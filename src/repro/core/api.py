@@ -21,7 +21,8 @@ from ..editor.session import PedSession
 from ..fortran.ast_nodes import SourceFile
 from ..fortran.printer import to_source
 from ..fortran.symbols import parse_and_bind
-from ..interproc.program import FeatureSet, ProgramAnalysis, analyze_program
+from ..incremental import AnalysisEngine
+from ..interproc.program import FeatureSet, ProgramAnalysis
 from ..transform.base import TransformContext
 from ..transform.parallelize import Parallelize
 
@@ -33,19 +34,31 @@ def parse(source: str) -> SourceFile:
 
 
 def analyze(
-    source: str, features: Optional[FeatureSet] = None
+    source: str,
+    features: Optional[FeatureSet] = None,
+    engine: Optional[AnalysisEngine] = None,
 ) -> ProgramAnalysis:
-    """Full whole-program analysis of Fortran source text."""
+    """Full whole-program analysis of Fortran source text.
 
-    return analyze_program(parse_and_bind(source), features or FeatureSet())
+    Passing an :class:`AnalysisEngine` reuses its caches across calls
+    (and its feature set wins); otherwise a fresh engine runs a cold
+    analysis equivalent to the classic ``analyze_program`` pipeline.
+    """
+
+    if engine is None:
+        engine = AnalysisEngine(features=features)
+    _, pa = engine.analyze(source)
+    return pa
 
 
 def open_session(
-    source: str, features: Optional[FeatureSet] = None
+    source: str,
+    features: Optional[FeatureSet] = None,
+    engine: Optional[AnalysisEngine] = None,
 ) -> PedSession:
     """Open an interactive Ped session over the source text."""
 
-    return PedSession(source, features=features)
+    return PedSession(source, features=features, engine=engine)
 
 
 @dataclass
@@ -65,12 +78,13 @@ def parallelize_program(
     source: str,
     features: Optional[FeatureSet] = None,
     require_profitable: bool = True,
+    engine: Optional[AnalysisEngine] = None,
 ) -> AutoResult:
     """Automatic mode: parallelize every loop the analysis alone proves
     safe (outermost-first; loops inside an already-parallel loop are left
     sequential, matching single-level parallel hardware)."""
 
-    session = PedSession(source, features=features)
+    session = PedSession(source, features=features, engine=engine)
     transform = Parallelize()
     result = AutoResult(source)
     for unit_name in sorted(session.analysis.units):
@@ -89,4 +103,8 @@ def parallelize_program(
             covered.add(id(nest.loop))
             result.parallelized.append((unit_name, idx))
     result.source = to_source(session.sf)
+    # The transforms above mutated the session's AST in place without
+    # going through session.apply, so a caller-supplied engine must not
+    # keep serving the now-stale cached units.
+    session.engine.invalidate()
     return result

@@ -157,6 +157,16 @@ class DependenceGraph:
                 return dep
         raise KeyError(dep_id)
 
+    def marking_snapshot(self) -> List[str]:
+        """Edge markings in edge order — the only per-edge state users
+        mutate, so this is all a cached graph needs saved for reuse."""
+
+        return [dep.marking for dep in self.edges]
+
+    def restore_markings(self, snapshot: List[str]) -> None:
+        for dep, marking in zip(self.edges, snapshot):
+            dep.marking = marking
+
     def data_edges(self) -> List[Dependence]:
         return [d for d in self.edges if d.kind != CONTROL]
 

@@ -28,6 +28,7 @@ interpreter so sessions can be scripted, replayed and tested:
 ``callgraph [dot]`` call-graph tree (or Graphviz DOT)
 ``check``           Composition Editor: cross-procedure consistency
 ``summary``         per-unit parallel loop counts
+``stats``           incremental-engine timers and cache hit rates
 ``undo`` ``redo``   session history
 =================  =====================================================
 """
@@ -229,6 +230,11 @@ class CommandInterpreter:
         for unit, par, total in self.session.parallel_summary():
             out.append(f"{unit:<12} {par}/{total} loops parallelizable")
         return "\n".join(out)
+
+    def _cmd_stats(self, rest: str) -> str:
+        """Incremental-engine observability: stage timers, cache hits."""
+
+        return self.session.engine.stats.render()
 
     def _cmd_callgraph(self, rest: str) -> str:
         """The program's call graph ('dot' argument emits Graphviz)."""

@@ -86,6 +86,23 @@ class MarkingStore:
                 hits += 1
         return hits
 
+    def shift_lines(self, after_line: int, delta: int) -> None:
+        """Renumber marking keys after an edit changed the line count.
+
+        Endpoint lines strictly beyond ``after_line`` move by ``delta``,
+        so markings on untouched statements keep matching their edges
+        when the program below an edit shifts up or down.
+        """
+
+        if not delta:
+            return
+        shifted: Dict[DepKey, str] = {}
+        for (kind, var, src, dst, vector), marking in self.marks.items():
+            src = src + delta if src > after_line else src
+            dst = dst + delta if dst > after_line else dst
+            shifted[(kind, var, src, dst, vector)] = marking
+        self.marks = shifted
+
     def clear(self) -> None:
         self.marks.clear()
 

@@ -8,28 +8,34 @@ selection and the pane filters — plus an undo stack of full snapshots.
 Every mutation (edit, transformation, assertion, reclassification) goes
 through :meth:`reanalyze`, mirroring Ped's behaviour of keeping analysis
 current with the program ("incremental parsing occurs in response to
-edits, and the user is immediately informed").  Our "incremental" unit is
-the procedure: the session re-analyzes the whole (small) program, which
-for these program sizes is well inside interactive latency — bench M2
-quantifies it.
+edits, and the user is immediately informed").  Reanalysis runs through
+the session's :class:`~repro.incremental.AnalysisEngine`: an edit
+confined to one procedure reparses and reanalyzes only that procedure,
+an assertion or reclassification change reanalyzes without any reparse,
+and undo/redo restore previously seen program states straight from the
+engine's content-keyed caches — bench M2 quantifies all of it, and the
+``stats`` command shows the per-stage numbers live.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..assertions.engine import AssertionDB
 from ..dependence.driver import LoopInfo, UnitAnalysis
 from ..dependence.graph import Dependence
 from ..fortran.ast_nodes import DoLoop, ProcedureUnit, SourceFile
 from ..fortran.printer import to_source
-from ..fortran.symbols import parse_and_bind
-from ..interproc.program import FeatureSet, ProgramAnalysis, analyze_program
+from ..incremental import AnalysisEngine
+from ..interproc.program import FeatureSet, ProgramAnalysis
 from ..transform.base import Advice, TransformContext
 from ..transform.registry import get_transformation
 from .filters import DependenceFilter, SourceFilter
 from .marking import MarkingStore
+
+#: Stable identity of a loop across edits that renumber loop indexes:
+#: (loop variable, occurrence of that variable among the unit's loops).
+LoopAnchor = Tuple[str, int]
 
 
 @dataclass
@@ -40,6 +46,7 @@ class _Snapshot:
     overrides: Dict
     unit: str
     loop_index: Optional[int]
+    anchors: Dict = field(default_factory=dict)
 
 
 class PedError(Exception):
@@ -53,14 +60,21 @@ class PedSession:
         self,
         source: str,
         features: Optional[FeatureSet] = None,
+        engine: Optional[AnalysisEngine] = None,
     ) -> None:
-        self.features = features or FeatureSet()
+        self.engine = engine or AnalysisEngine(features=features)
+        self.features = self.engine.features
         self.source = source
         self.assertion_texts: Dict[str, List[str]] = {}
         self.markings = MarkingStore()
         #: (unit, loop_line-independent) variable reclassifications:
         #: {unit: {loop_index: {var: class}}}
         self.overrides: Dict[str, Dict[int, Dict[str, str]]] = {}
+        #: Loop anchors for each override, so reclassifications follow
+        #: their loop when an edit renumbers the loop list.
+        self._override_anchors: Dict[str, Dict[int, LoopAnchor]] = {}
+        #: Non-fatal notices from the last reanalysis (dropped overrides…).
+        self.warnings: List[str] = []
         self.dep_filter = DependenceFilter()
         self.src_filter = SourceFilter()
         self.current_unit: str = ""
@@ -79,27 +93,88 @@ class PedSession:
     # ------------------------------------------------------------------
 
     def reanalyze(self) -> None:
-        """(Re)parse and (re)analyze; re-apply markings and overrides."""
+        """(Re)parse and (re)analyze; re-apply markings and overrides.
 
-        self.sf = parse_and_bind(self.source)
-        oracles = {}
-        for unit_name, texts in self.assertion_texts.items():
-            db = AssertionDB()
-            for t in texts:
-                db.add(t)
-            oracles[unit_name] = db
-        self.analysis = analyze_program(
-            self.sf, self.features, oracles_by_unit=oracles
+        Runs through the incremental engine: only units whose source
+        span, assertions or interprocedural inputs changed are actually
+        recomputed.
+        """
+
+        self.warnings = []
+        self.sf, self.analysis = self.engine.analyze(
+            self.source, assertions=self.assertion_texts
         )
+        self._remap_overrides()
         for ua in self.analysis.units.values():
             self.markings.apply(ua.graph)
             self._apply_overrides(ua)
             self._recompute_verdicts(ua)
 
+    def _loop_anchors(self, ua: UnitAnalysis) -> List[LoopAnchor]:
+        counts: Dict[str, int] = {}
+        anchors: List[LoopAnchor] = []
+        for nest in ua.loops:
+            var = nest.loop.var
+            occurrence = counts.get(var, 0)
+            counts[var] = occurrence + 1
+            anchors.append((var, occurrence))
+        return anchors
+
+    def _remap_overrides(self) -> None:
+        """Re-anchor reclassifications after reanalysis.
+
+        Loop indexes are positions in the unit's loop list, so an edit
+        that adds or removes a loop renumbers everything after it.  Each
+        override carries a (loop var, occurrence) anchor; overrides whose
+        anchor still exists follow their loop to its new index, the rest
+        are dropped *with a warning* rather than silently skipped.
+        """
+
+        new_overrides: Dict[str, Dict[int, Dict[str, str]]] = {}
+        new_anchors: Dict[str, Dict[int, LoopAnchor]] = {}
+        for unit_name, per_unit in self.overrides.items():
+            ua = self.analysis.units.get(unit_name)
+            if ua is None:
+                self.warnings.append(
+                    f"dropped reclassifications for {unit_name!r}: "
+                    "the unit no longer exists"
+                )
+                continue
+            anchors = self._loop_anchors(ua)
+            index_of = {anchor: i for i, anchor in enumerate(anchors)}
+            unit_anchors = self._override_anchors.get(unit_name, {})
+            for old_idx in sorted(per_unit):
+                classes = per_unit[old_idx]
+                if not classes:
+                    continue
+                anchor = unit_anchors.get(old_idx)
+                if anchor is None and old_idx < len(anchors):
+                    anchor = anchors[old_idx]
+                new_idx = index_of.get(anchor) if anchor is not None else None
+                if new_idx is None:
+                    names = ", ".join(sorted(classes))
+                    self.warnings.append(
+                        f"dropped reclassification of {names} on "
+                        f"{unit_name} loop[{old_idx}]: the loop no longer "
+                        "exists after the edit"
+                    )
+                    continue
+                slot = new_overrides.setdefault(unit_name, {}).setdefault(
+                    new_idx, {}
+                )
+                slot.update(classes)
+                new_anchors.setdefault(unit_name, {})[new_idx] = anchor
+        self.overrides = new_overrides
+        self._override_anchors = new_anchors
+
     def _apply_overrides(self, ua: UnitAnalysis) -> None:
         per_unit = self.overrides.get(ua.unit.name, {})
         for loop_idx, classes in per_unit.items():
             if loop_idx >= len(ua.loops):
+                self.warnings.append(
+                    f"reclassification on {ua.unit.name} loop[{loop_idx}] "
+                    "has no matching loop; ignored"
+                )
                 continue
             loop = ua.loops[loop_idx].loop
             for var, cls in classes.items():
@@ -217,6 +292,7 @@ class PedSession:
             },
             self.current_unit,
             self.loop_index,
+            {u: dict(a) for u, a in self._override_anchors.items()},
         )
 
     def _push_undo(self) -> None:
@@ -230,6 +306,9 @@ class PedSession:
         self.overrides = {
             u: {i: dict(c) for i, c in per.items()}
             for u, per in snap.overrides.items()
+        }
+        self._override_anchors = {
+            u: dict(a) for u, a in snap.anchors.items()
         }
         self.current_unit = snap.unit
         self.loop_index = snap.loop_index
@@ -287,6 +366,16 @@ class PedSession:
             classes.pop(var.lower(), None)
         else:
             classes[var.lower()] = classification
+        if classes:
+            anchors = self._loop_anchors(self.unit_analysis)
+            self._override_anchors.setdefault(self.current_unit, {})[
+                self.loop_index
+            ] = anchors[self.loop_index]
+        else:
+            per_unit.pop(self.loop_index, None)
+            self._override_anchors.get(self.current_unit, {}).pop(
+                self.loop_index, None
+            )
         self.reanalyze()
         return f"{var} reclassified as {classification}"
 
@@ -313,6 +402,10 @@ class PedSession:
             self._undo.pop()
             raise PedError(str(exc)) from exc
         self.source = to_source(self.sf)
+        # The transformation mutated the AST in place, and cached units
+        # alias it: the engine's content-keyed caches are no longer
+        # trustworthy, so drop them and reanalyze from the new source.
+        self.engine.invalidate()
         self.reanalyze()
         self.last_message = summary
         return summary
@@ -367,19 +460,29 @@ class PedSession:
             )
         self._push_undo()
         new_lines = new_text.splitlines() if new_text else []
+        delta = len(new_lines) - (end_line - start_line + 1)
+        saved_marks = self.markings.snapshot()
         lines[start_line - 1 : end_line] = new_lines
         old_source = self.source
         self.source = "\n".join(lines) + "\n"
+        if delta:
+            # Keep markings attached to their statements: everything past
+            # the replaced range moves by the edit's line delta.
+            self.markings.shift_lines(end_line, delta)
         from ..fortran.errors import FortranError
 
         try:
             self.reanalyze()
         except FortranError as exc:
             self.source = old_source
+            self.markings.restore(saved_marks)
             self._undo.pop()
             self.reanalyze()
             raise PedError(f"edit rejected: {exc}") from exc
-        return f"replaced lines {start_line}-{end_line}"
+        message = f"replaced lines {start_line}-{end_line}"
+        for warning in self.warnings:
+            message += f"\nwarning: {warning}"
+        return message
 
     # ------------------------------------------------------------------
     # reporting helpers

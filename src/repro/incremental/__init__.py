@@ -1,0 +1,20 @@
+"""Incremental analysis engine.
+
+Demand-driven, cached reanalysis across the parse → interprocedural →
+dependence pipeline; see :mod:`repro.incremental.engine` for the design.
+"""
+
+from .engine import AnalysisEngine
+from .fingerprint import program_fingerprint, unit_fingerprint
+from .splitter import UnitSpan, split_units
+from .stats import EngineStats, StageStat
+
+__all__ = [
+    "AnalysisEngine",
+    "EngineStats",
+    "StageStat",
+    "UnitSpan",
+    "program_fingerprint",
+    "split_units",
+    "unit_fingerprint",
+]

@@ -1,0 +1,558 @@
+"""The incremental analysis engine: demand-driven, cached reanalysis.
+
+Ped's defining property is *interactive* analysis — it reanalyzes after
+every edit, assertion and transformation.  :class:`AnalysisEngine` makes
+that cheap by owning the parse → interprocedural-summary → dependence
+pipeline as keyed, cached stages:
+
+* **Parse cache** — the source is split into per-unit spans
+  (:mod:`repro.incremental.splitter`); each span is parsed on its own,
+  padded with blank lines so statement numbering stays absolute, and the
+  resulting unit is cached under the span's content digest.  An edit
+  confined to one procedure reparses only that procedure.
+* **Summary caches** — MOD/REF, kill and section summaries are cached
+  per unit and invalidated transitively *up* the call graph (a change
+  propagates to callers); interprocedural constants are invalidated
+  *down* it (a change propagates to callees).  Dirty regions re-run the
+  original SCC fixpoints seeded from empty summaries, with clean units
+  contributing their cached values, so the result matches a from-scratch
+  computation.  A recomputation that reproduces the old value does not
+  bump the unit's summary revision, stopping invalidation cascades.
+* **Dependence cache** — each unit's :class:`UnitAnalysis` is keyed by
+  its parse revision, its assertion texts, its inherited constants and
+  the summary revisions of its direct callees.  Cache hits restore the
+  pristine edge markings and loop verdicts recorded at analysis time
+  (sessions mutate both in place), so a hit is indistinguishable from a
+  fresh analysis.
+
+Assertion and reclassification changes therefore reanalyze without any
+reparse; marking changes never touch the engine at all.  Safety valves:
+a change to the program's ``{unit: kind}`` map flushes everything (name
+resolution in *unchanged* units can legitimately differ when a function
+appears or disappears), and :meth:`AnalysisEngine.invalidate` must be
+called after in-place AST mutation (transformations), since cached units
+alias the session's AST.
+
+Known approximation: interprocedural constants iterate at most the same
+five Jacobi rounds as the from-scratch pass, so on call chains deeper
+than five the cached warm start can be *sharper* than a cold run; the
+workload suite is well inside the bound (verified by the parity tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..assertions.engine import AssertionDB
+from ..dependence.driver import UnitAnalysis, analyze_unit
+from ..fortran.ast_nodes import (
+    CallStmt,
+    FuncRef,
+    ProcedureUnit,
+    SourceFile,
+    Stmt,
+    statement_exprs,
+    walk_expr,
+    walk_statements,
+)
+from ..fortran.parser import parse_source
+from ..fortran.symbols import Binder
+from ..interproc.callgraph import CallGraph, CallSite
+from ..interproc.ipconst import gather_site_proposals, resolve_slot
+from ..interproc.ipkill import KillInfo, unit_kills
+from ..interproc.modref import ModRefInfo, local_summary
+from ..interproc.program import (
+    FeatureSet,
+    ProgramAnalysis,
+    build_providers,
+    kills_view,
+    unit_config,
+)
+from ..interproc.sections import SectionInfo, sections_differ, unit_sections
+from ..analysis.constants import propagate_constants
+from .splitter import UnitSpan, split_units
+from .stats import EngineStats
+
+_PHASES = ("modref", "kill", "sections", "ipconst")
+
+
+@dataclass(frozen=True)
+class _CallCandidate:
+    """A potential call site: resolved against the current unit set at
+    call-graph assembly time (the callee may not be a program unit)."""
+
+    callee: str
+    stmt: Stmt  # carrier statement (for the sid)
+    call: object  # CallStmt or FuncRef (for args and line)
+    is_function: bool
+
+
+@dataclass
+class _SpanEntry:
+    """Cached parse of one source span (usually exactly one unit)."""
+
+    digest: str
+    rev: int
+    units: List[ProcedureUnit]
+    candidates: Optional[List[List[_CallCandidate]]] = None
+
+
+@dataclass
+class _DepEntry:
+    """Cached per-unit dependence analysis plus its pristine mutable state."""
+
+    key: tuple
+    ua: UnitAnalysis
+    markings: List[str]
+    verdicts: Dict[int, Tuple[List[str], bool]]
+
+
+@dataclass
+class _ProgramState:
+    """What the previous analyze saw — the baseline for change detection."""
+
+    kinds: Dict[str, str]
+    revs: Dict[str, int]
+    callee_sets: Dict[str, tuple]
+    caller_sets: Dict[str, tuple]
+
+
+def _closure(seed: Set[str], edges: Dict[str, Set[str]]) -> Set[str]:
+    out = set(seed)
+    stack = list(seed)
+    while stack:
+        for nxt in edges.get(stack.pop(), ()):
+            if nxt not in out:
+                out.add(nxt)
+                stack.append(nxt)
+    return out
+
+
+class AnalysisEngine:
+    """Incremental replacement for ``analyze_program(parse_and_bind(...))``.
+
+    One engine serves one feature set; sessions hold one engine for their
+    whole lifetime and undo/redo simply re-present previously seen source,
+    which the content-keyed caches turn into near-free restores.
+    """
+
+    SPAN_CACHE_LIMIT = 1024
+
+    def __init__(
+        self,
+        features: Optional[FeatureSet] = None,
+        stats: Optional[EngineStats] = None,
+    ) -> None:
+        self.features = features or FeatureSet()
+        self.stats = stats or EngineStats()
+        self._rev_counter = itertools.count(1)
+        self._spans: Dict[str, _SpanEntry] = {}
+        self._summaries: Dict[str, Dict[str, object]] = {p: {} for p in _PHASES}
+        self._summary_revs: Dict[str, Dict[str, int]] = {p: {} for p in _PHASES}
+        self._deps: Dict[str, _DepEntry] = {}
+        self._last: Optional[_ProgramState] = None
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget every cached result (statistics are kept)."""
+
+        self._spans.clear()
+        for phase in _PHASES:
+            self._summaries[phase].clear()
+            self._summary_revs[phase].clear()
+        self._deps.clear()
+        self._last = None
+
+    def invalidate(self) -> None:
+        """Alias for :meth:`clear`; call after mutating cached ASTs in
+        place (transformations), which silently desynchronizes the
+        content-keyed caches."""
+
+        self.clear()
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        source: str,
+        assertions: Optional[Dict[str, Sequence[str]]] = None,
+    ) -> Tuple[SourceFile, ProgramAnalysis]:
+        """(Re)analyze ``source``, reusing every cache the edit allows.
+
+        ``assertions`` maps unit names to assertion texts (the session's
+        ``assertion_texts``); they enter the per-unit dependence cache key
+        so an assertion change reanalyzes only its unit — without any
+        reparse.  Returns the bound source file and the program analysis,
+        exactly as ``analyze_program(parse_and_bind(source), ...)`` would.
+        """
+
+        stats = self.stats
+        stats.begin_analysis()
+        with stats.timer("total"):
+            asserts = {
+                name.lower(): tuple(texts)
+                for name, texts in (assertions or {}).items()
+                if texts
+            }
+            with stats.timer("split"):
+                spans = split_units(source)
+            entries = self._parse_and_bind(spans)
+            sf = SourceFile([u for e in entries for u in e.units])
+            kinds = {u.name: u.kind for u in sf.units}
+            if self._last is not None and kinds != self._last.kinds:
+                # The unit set (or a unit's kind) changed: name resolution
+                # inside *unchanged* units can legitimately differ (array
+                # reference vs function call, intrinsic shadowing), so
+                # restart from a clean slate once.
+                self.clear()
+                entries = self._parse_and_bind(spans)
+                sf = SourceFile([u for e in entries for u in e.units])
+                kinds = {u.name: u.kind for u in sf.units}
+            for entry in entries:
+                self._spans[entry.digest] = entry
+            self._trim_span_cache(entries)
+
+            with stats.timer("callgraph"):
+                for entry in entries:
+                    if entry.candidates is None:
+                        entry.candidates = [
+                            _collect_candidates(u) for u in entry.units
+                        ]
+                cg = self._assemble_callgraph(entries)
+
+            revs = {u.name: e.rev for e in entries for u in e.units}
+            changed = self._detect_changes(cg, revs)
+
+            feats = self.features
+            if feats.needs_modref():
+                with stats.timer("modref"):
+                    self._update_bottom_up(
+                        "modref",
+                        cg,
+                        changed,
+                        local_summary,
+                        lambda a, b: a.mod == b.mod and a.ref == b.ref,
+                        ModRefInfo,
+                    )
+            if feats.needs_kills():
+                with stats.timer("kill"):
+                    self._update_bottom_up(
+                        "kill",
+                        cg,
+                        changed,
+                        unit_kills,
+                        lambda a, b: a.scalars == b.scalars
+                        and a.arrays == b.arrays,
+                        KillInfo,
+                    )
+            if feats.sections:
+                with stats.timer("sections"):
+                    self._update_bottom_up(
+                        "sections",
+                        cg,
+                        changed,
+                        unit_sections,
+                        lambda a, b: not sections_differ(a, b),
+                        SectionInfo,
+                        max_passes=10,
+                    )
+            if feats.ip_constants:
+                with stats.timer("ipconst"):
+                    self._update_ip_constants(cg, changed)
+
+            pa = self._run_dependence(sf, cg, asserts, revs)
+            self._last = _ProgramState(
+                kinds,
+                revs,
+                {n: tuple(sorted(cg.callees[n])) for n in cg.units},
+                {n: tuple(sorted(cg.callers[n])) for n in cg.units},
+            )
+        return sf, pa
+
+    # ------------------------------------------------------------------
+    # stage: parse + bind
+    # ------------------------------------------------------------------
+
+    def _parse_and_bind(self, spans: List[UnitSpan]) -> List[_SpanEntry]:
+        entries: List[_SpanEntry] = []
+        fresh: List[_SpanEntry] = []
+        with self.stats.timer("parse"):
+            for span in spans:
+                entry = self._spans.get(span.digest)
+                if entry is not None:
+                    self.stats.hit("parse")
+                    entries.append(entry)
+                    continue
+                self.stats.miss("parse")
+                padded = "\n" * (span.start_line - 1) + span.text
+                sub = parse_source(padded)
+                entry = _SpanEntry(
+                    span.digest, next(self._rev_counter), list(sub.units)
+                )
+                entries.append(entry)
+                fresh.append(entry)
+        if fresh:
+            sf = SourceFile([u for e in entries for u in e.units])
+            with self.stats.timer("bind"):
+                binder = Binder(sf)
+                for entry in fresh:
+                    for unit in entry.units:
+                        binder.bind_unit(unit)
+        # Fresh entries enter the span cache only in analyze(), after the
+        # whole parse+bind stage succeeded: a bind error mid-way must not
+        # leave half-bound units behind for the rollback reanalysis.
+        return entries
+
+    def _trim_span_cache(self, active: List[_SpanEntry]) -> None:
+        if len(self._spans) <= self.SPAN_CACHE_LIMIT:
+            return
+        keep = {e.digest for e in active}
+        for digest in list(self._spans):
+            if len(self._spans) <= self.SPAN_CACHE_LIMIT:
+                break
+            if digest not in keep:
+                del self._spans[digest]
+
+    # ------------------------------------------------------------------
+    # stage: call graph
+    # ------------------------------------------------------------------
+
+    def _assemble_callgraph(self, entries: List[_SpanEntry]) -> CallGraph:
+        cg = CallGraph()
+        for entry in entries:
+            for unit in entry.units:
+                cg.units[unit.name] = unit
+                cg.callees.setdefault(unit.name, set())
+                cg.callers.setdefault(unit.name, set())
+        for entry in entries:
+            for unit, cands in zip(entry.units, entry.candidates or ()):
+                for cand in cands:
+                    if cand.callee not in cg.units:
+                        continue
+                    cg.sites.append(
+                        CallSite(
+                            unit.name,
+                            cand.callee,
+                            cand.stmt.sid,
+                            list(cand.call.args),  # type: ignore[union-attr]
+                            cand.call.line,  # type: ignore[union-attr]
+                            is_function=cand.is_function,
+                        )
+                    )
+                    cg.callees[unit.name].add(cand.callee)
+                    cg.callers[cand.callee].add(unit.name)
+        return cg
+
+    def _detect_changes(self, cg: CallGraph, revs: Dict[str, int]) -> Set[str]:
+        prev = self._last
+        current = set(cg.units)
+        for phase in _PHASES:
+            for stale in [n for n in self._summaries[phase] if n not in current]:
+                del self._summaries[phase][stale]
+                self._summary_revs[phase].pop(stale, None)
+        for stale in [n for n in self._deps if n not in current]:
+            del self._deps[stale]
+        if prev is None:
+            return current
+        return {
+            n
+            for n in current
+            if prev.revs.get(n) != revs[n]
+            or prev.callee_sets.get(n) != tuple(sorted(cg.callees[n]))
+            or prev.caller_sets.get(n) != tuple(sorted(cg.callers[n]))
+        }
+
+    # ------------------------------------------------------------------
+    # stage: interprocedural summaries
+    # ------------------------------------------------------------------
+
+    def _update_bottom_up(
+        self,
+        phase: str,
+        cg: CallGraph,
+        changed: Set[str],
+        step,
+        equal,
+        default,
+        max_passes: Optional[int] = None,
+    ) -> None:
+        """Re-run one bottom-up summary fixpoint over the dirty region.
+
+        Dirty = changed units plus their transitive callers, so every SCC
+        is either entirely dirty or entirely clean; dirty units are
+        re-seeded with empty summaries (matching the from-scratch seeds)
+        while clean units contribute their cached values at the boundary.
+        """
+
+        cache = self._summaries[phase]
+        revs = self._summary_revs[phase]
+        dirty = _closure(changed, cg.callers)
+        work = {n: cache.get(n, default()) for n in cg.units}
+        for n in dirty:
+            work[n] = default()
+        for scc in cg.sccs_bottom_up():
+            live = [n for n in scc if n in dirty]
+            if not live:
+                continue
+            scc_changed = True
+            passes = 0
+            while scc_changed and (max_passes is None or passes < max_passes):
+                scc_changed = False
+                passes += 1
+                for n in live:
+                    new = step(cg.units[n], cg, work)
+                    if not equal(new, work[n]):
+                        work[n] = new
+                        scc_changed = True
+        for n in cg.units:
+            if n in dirty:
+                self.stats.miss(phase)
+                if n not in cache or not equal(work[n], cache[n]):
+                    revs[n] = revs.get(n, 0) + 1
+                cache[n] = work[n]
+            else:
+                self.stats.hit(phase)
+
+    def _update_ip_constants(self, cg: CallGraph, changed: Set[str]) -> None:
+        """Top-down counterpart: constants flow caller → callee, so the
+        dirty region closes over callees; clean callers contribute their
+        cached (already folded) environments."""
+
+        cache = self._summaries["ipconst"]
+        revs = self._summary_revs["ipconst"]
+        dirty = _closure(changed, cg.callees)
+        for n in cg.units:
+            if n in dirty:
+                self.stats.miss("ipconst")
+            else:
+                self.stats.hit("ipconst")
+        if not dirty:
+            return
+        inherited = {n: dict(cache.get(n, {})) for n in cg.units}
+        for n in dirty:
+            inherited[n] = {}
+        targets = {n for n in dirty if cg.callers.get(n)}  # roots inherit nothing
+        callers_needed = {s.caller for s in cg.sites if s.callee in targets}
+        for _ in range(5):  # same Jacobi bound as compute_ip_constants
+            round_changed = False
+            const_maps = {
+                c: propagate_constants(cg.units[c], inherited=inherited[c])
+                for c in callers_needed
+            }
+            proposals = gather_site_proposals(cg, const_maps, targets=targets)
+            for n in targets:
+                new = resolve_slot(proposals[n])
+                if new != inherited[n]:
+                    inherited[n] = new
+                    round_changed = True
+            if not round_changed:
+                break
+        for n in cg.units:
+            if n in dirty:
+                if n not in cache or inherited[n] != cache[n]:
+                    revs[n] = revs.get(n, 0) + 1
+                cache[n] = inherited[n]
+
+    # ------------------------------------------------------------------
+    # stage: per-unit dependence analysis
+    # ------------------------------------------------------------------
+
+    def _run_dependence(
+        self,
+        sf: SourceFile,
+        cg: CallGraph,
+        asserts: Dict[str, tuple],
+        revs: Dict[str, int],
+    ) -> ProgramAnalysis:
+        feats = self.features
+        stats = self.stats
+        kv = kills_view(self._summaries["kill"], feats)  # type: ignore[arg-type]
+        modref = dict(self._summaries["modref"])
+        sections = dict(self._summaries["sections"])
+        constants = {
+            n: dict(v) for n, v in self._summaries["ipconst"].items()
+        }
+        pa = ProgramAnalysis(
+            sf,
+            feats,
+            cg,
+            modref=modref,  # type: ignore[arg-type]
+            sections=sections,  # type: ignore[arg-type]
+            kills=kv,
+            ip_constants=constants,
+        )
+        providers = build_providers(cg, feats, modref, sections, kv)  # type: ignore[arg-type]
+        mr = self._summary_revs["modref"]
+        kr = self._summary_revs["kill"]
+        sr = self._summary_revs["sections"]
+        with stats.timer("dependence"):
+            for name, unit in cg.units.items():
+                key = (
+                    revs[name],
+                    asserts.get(name, ()),
+                    tuple(sorted(constants.get(name, {}).items())),
+                    tuple(
+                        sorted(
+                            (c, mr.get(c, 0), kr.get(c, 0), sr.get(c, 0))
+                            for c in cg.callees[name]
+                        )
+                    ),
+                )
+                cached = self._deps.get(name)
+                if cached is not None and cached.key == key:
+                    stats.hit("dependence")
+                    _restore_pristine(cached)
+                    pa.units[name] = cached.ua
+                    continue
+                stats.miss("dependence")
+                oracle = None
+                if asserts.get(name):
+                    oracle = AssertionDB()
+                    for text in asserts[name]:
+                        oracle.add(text)
+                config = unit_config(name, feats, providers, constants, oracle)
+                ua = analyze_unit(unit, config)
+                self._deps[name] = _DepEntry(
+                    key,
+                    ua,
+                    ua.graph.marking_snapshot(),
+                    {
+                        sid: (list(info.obstacles), info.parallelizable)
+                        for sid, info in ua.loop_info.items()
+                    },
+                )
+                pa.units[name] = ua
+        return pa
+
+
+def _restore_pristine(entry: _DepEntry) -> None:
+    """Undo session-side mutation (markings, verdicts) on a cached unit."""
+
+    entry.ua.graph.restore_markings(entry.markings)
+    for sid, (obstacles, parallelizable) in entry.verdicts.items():
+        info = entry.ua.loop_info[sid]
+        info.obstacles = list(obstacles)
+        info.parallelizable = parallelizable
+
+
+def _collect_candidates(unit: ProcedureUnit) -> List[_CallCandidate]:
+    """Every potential call site of ``unit``, in the exact order
+    ``build_callgraph`` discovers them (CALL before function refs within
+    a statement); resolution against the unit set happens at assembly."""
+
+    out: List[_CallCandidate] = []
+    for st in walk_statements(unit.body):
+        if isinstance(st, CallStmt):
+            out.append(_CallCandidate(st.name, st, st, False))
+        for top in statement_exprs(st):
+            for node in walk_expr(top):
+                if isinstance(node, FuncRef) and not node.intrinsic:
+                    out.append(_CallCandidate(node.name, st, node, True))
+    return out

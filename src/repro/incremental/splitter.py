@@ -1,0 +1,92 @@
+"""Split Fortran source into per-procedure-unit spans.
+
+The incremental engine caches parse and analysis results per procedure
+unit, keyed by a content hash of the unit's *source span*.  This module
+finds those spans with the lexer alone — no parsing — so splitting stays
+cheap enough to run on every keystroke-level edit.
+
+A program unit ends at a bare ``END`` statement (a statement whose token
+list is exactly the name ``end``; ``enddo``/``endif`` are single tokens
+and ``end do``/``end if`` carry a second token, so neither is mistaken
+for a unit terminator).  Trailing comment/blank lines attach to the
+preceding unit; statements after the last ``END`` form a final span so a
+chunk reparse reports the same "missing END" error a full parse would.
+
+Spans record their absolute start line; reparsing a span prepends
+``start_line - 1`` newlines so every token keeps its original line
+number (the lexer skips blank lines), which keeps statement lines —
+and therefore dependence endpoints and marking keys — identical to a
+whole-file parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+from ..fortran import lexer
+from ..fortran.lexer import tokenize
+
+
+@dataclass(frozen=True)
+class UnitSpan:
+    """One program unit's slice of the source text (lines are 1-based,
+    inclusive); ``digest`` keys the engine's parse cache."""
+
+    start_line: int
+    end_line: int
+    text: str
+    digest: str
+
+
+def _digest(start_line: int, text: str) -> str:
+    # The start line participates: moving a unit down shifts every
+    # statement's line number, which analysis results depend on.
+    return hashlib.sha1(f"{start_line}\n{text}".encode()).hexdigest()
+
+
+def _make_span(lines: List[str], start: int, stop: int) -> UnitSpan:
+    text = "\n".join(lines[start - 1 : stop]) + "\n"
+    return UnitSpan(start, stop, text, _digest(start, text))
+
+
+def split_units(source: str) -> List[UnitSpan]:
+    """Partition ``source`` into contiguous per-unit spans covering every
+    line.  A source with no ``END`` at all becomes a single span (the
+    parser will report whatever a full parse would)."""
+
+    lines = source.splitlines()
+    if not lines:
+        return []
+    ends: List[int] = []
+    last_stmt_line = 0
+    stmt: List[lexer.Token] = []
+    for tok in tokenize(source):
+        if tok.kind in (lexer.NEWLINE, lexer.EOF):
+            if stmt:
+                last_stmt_line = max(last_stmt_line, stmt[0].line)
+                if (
+                    len(stmt) == 1
+                    and stmt[0].kind == lexer.NAME
+                    and stmt[0].value == "end"
+                ):
+                    ends.append(stmt[0].line)
+            stmt = []
+        elif tok.kind != lexer.LABEL:
+            stmt.append(tok)
+
+    if not ends:
+        return [_make_span(lines, 1, len(lines))]
+
+    spans: List[UnitSpan] = []
+    start = 1
+    for i, end_line in enumerate(ends):
+        stop = end_line
+        if i == len(ends) - 1 and last_stmt_line <= end_line:
+            stop = len(lines)  # trailing comments belong to the last unit
+        spans.append(_make_span(lines, start, stop))
+        start = stop + 1
+    if last_stmt_line > ends[-1]:
+        spans.append(_make_span(lines, start, len(lines)))
+    return spans

@@ -24,6 +24,50 @@ from .callgraph import CallGraph
 _BOTTOM = object()
 
 
+def gather_site_proposals(
+    cg: CallGraph,
+    const_maps: Dict[str, ConstantMap],
+    targets=None,
+) -> Dict[str, Dict[str, object]]:
+    """Evaluate every call site's actuals into per-callee proposal slots.
+
+    A formal's slot holds a constant while all sites agree on it and
+    :data:`_BOTTOM` once any site disagrees (or passes a non-constant).
+    ``targets`` restricts the callees considered (the incremental engine
+    passes only the dirty region); ``const_maps`` must cover every caller
+    of a considered callee.
+    """
+
+    names = cg.units.keys() if targets is None else targets
+    proposals: Dict[str, Dict[str, object]] = {name: {} for name in names}
+    for site in cg.sites:
+        slot = proposals.get(site.callee)
+        if slot is None:
+            continue
+        callee_unit = cg.units[site.callee]
+        env = const_maps[site.caller].at(site.sid)
+        for idx, formal in enumerate(callee_unit.formals):
+            if idx >= len(site.args):
+                continue
+            fsym = callee_unit.symtab.get(formal)  # type: ignore[union-attr]
+            if fsym is not None and fsym.is_array:
+                continue
+            value = eval_const(site.args[idx], env)
+            if value is None:
+                slot[formal] = _BOTTOM
+            elif formal not in slot:
+                slot[formal] = value
+            elif slot[formal] != value:
+                slot[formal] = _BOTTOM
+    return proposals
+
+
+def resolve_slot(slot: Dict[str, object]) -> Dict[str, object]:
+    """Drop the disagreeing formals from a proposal slot."""
+
+    return {formal: value for formal, value in slot.items() if value is not _BOTTOM}
+
+
 def compute_ip_constants(
     cg: CallGraph,
     max_rounds: int = 5,
@@ -44,34 +88,11 @@ def compute_ip_constants(
             const_maps[name] = propagate_constants(
                 unit, inherited=inherited[name]
             )
-        proposals: Dict[str, Dict[str, object]] = {name: {} for name in cg.units}
-        seen_callee: Dict[str, set] = {name: set() for name in cg.units}
-        for site in cg.sites:
-            callee_unit = cg.units[site.callee]
-            env = const_maps[site.caller].at(site.sid)
-            seen_callee[site.callee].add(site.caller)
-            for idx, formal in enumerate(callee_unit.formals):
-                if idx >= len(site.args):
-                    continue
-                fsym = callee_unit.symtab.get(formal)  # type: ignore[union-attr]
-                if fsym is not None and fsym.is_array:
-                    continue
-                value = eval_const(site.args[idx], env)
-                slot = proposals[site.callee]
-                if value is None:
-                    slot[formal] = _BOTTOM
-                elif formal not in slot:
-                    slot[formal] = value
-                elif slot[formal] != value:
-                    slot[formal] = _BOTTOM
+        proposals = gather_site_proposals(cg, const_maps)
         for name in cg.units:
             if not cg.sites_of(name):
                 continue  # roots inherit nothing
-            new = {
-                formal: value
-                for formal, value in proposals[name].items()
-                if value is not _BOTTOM
-            }
+            new = resolve_slot(proposals[name])
             if new != inherited[name]:
                 inherited[name] = new
                 changed = True

@@ -273,3 +273,8 @@ def privatizable_arrays(
                     if isinstance(inner, Assign):
                         note_reads(inner.expr)
     return killed - read_first
+
+
+#: Public alias: one unit's kill transfer function, for incremental
+#: re-fixpointing by the engine.
+unit_kills = _unit_kills

@@ -213,3 +213,8 @@ class PreciseEffects(SideEffects):
             return set()
         locs = set(getattr(info, "scalars", ())) | set(getattr(info, "arrays", ()))
         return self._translate(locs, callee, args, table)
+
+
+#: Public alias: one unit's MOD/REF transfer function, for incremental
+#: re-fixpointing by the engine.
+local_summary = _local_summary

@@ -5,12 +5,18 @@
 providers wired in.  :class:`FeatureSet` exposes one boolean per analysis
 capability — the exact levers of the experiences paper's Table 3 — so the
 evaluation harness can measure which feature unlocks which program.
+
+The pipeline is decomposed into stage functions (:func:`compute_summaries`,
+:func:`kills_view`, :func:`build_providers`, :func:`unit_config`) that the
+incremental engine (:mod:`repro.incremental`) calls independently, keeping
+:func:`analyze_program` the from-scratch reference composition of the same
+stages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..dependence.driver import AnalysisConfig, UnitAnalysis, analyze_unit
 from ..dependence.tests import Oracle
@@ -59,6 +65,14 @@ class FeatureSet:
     def with_feature(self, name: str, value: bool) -> "FeatureSet":
         return replace(self, **{name: value})
 
+    def needs_modref(self) -> bool:
+        """MOD/REF summaries feed effects, sections and array kill."""
+
+        return self.modref or self.sections or self.array_kill
+
+    def needs_kills(self) -> bool:
+        return self.scalar_kill or self.array_kill
+
 
 @dataclass
 class ProgramAnalysis:
@@ -83,6 +97,115 @@ class ProgramAnalysis:
         return sum(len(ua.loops) for ua in self.units.values())
 
 
+@dataclass
+class ProgramSummaries:
+    """The four interprocedural summary families, one entry per unit.
+
+    ``kills`` holds the *full* kill summaries; feature gating (scalar vs
+    array kill) is applied by :func:`kills_view` at provider-construction
+    time so a cached full summary can serve any feature combination.
+    """
+
+    modref: Dict[str, ModRefInfo] = field(default_factory=dict)
+    kills: Dict[str, KillInfo] = field(default_factory=dict)
+    sections: Dict[str, SectionInfo] = field(default_factory=dict)
+    ip_constants: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+
+def compute_summaries(cg: CallGraph, features: FeatureSet) -> ProgramSummaries:
+    """Run every interprocedural summary phase the feature set demands."""
+
+    s = ProgramSummaries()
+    if features.needs_modref():
+        s.modref = compute_modref(cg)
+    if features.needs_kills():
+        s.kills = compute_kills(cg)
+    if features.sections:
+        s.sections = compute_sections(cg)
+    if features.ip_constants:
+        s.ip_constants = compute_ip_constants(cg)
+    return s
+
+
+def kills_view(
+    kills: Dict[str, KillInfo], features: FeatureSet
+) -> Dict[str, KillInfo]:
+    """Feature-restricted copy of the kill summaries: the scalar half is
+    dropped unless ``scalar_kill``, the array half unless ``array_kill``."""
+
+    return {
+        name: KillInfo(
+            set(info.scalars) if features.scalar_kill else set(),
+            set(info.arrays) if features.array_kill else set(),
+        )
+        for name, info in kills.items()
+    }
+
+
+@dataclass
+class UnitProviders:
+    """Callables handed to the per-unit dependence driver."""
+
+    effects: Optional[PreciseEffects] = None
+    section_provider: Optional[Callable] = None
+    arrays_fn: Optional[Callable] = None
+
+
+def build_providers(
+    cg: CallGraph,
+    features: FeatureSet,
+    modref: Dict[str, ModRefInfo],
+    sections: Dict[str, SectionInfo],
+    kills: Dict[str, KillInfo],
+) -> UnitProviders:
+    """Wire the summary dictionaries into the call-site translators the
+    dependence driver consumes.  ``kills`` must already be the
+    feature-restricted :func:`kills_view`."""
+
+    providers = UnitProviders()
+    if features.modref:
+        providers.effects = PreciseEffects(
+            cg, modref, kills if features.scalar_kill else None
+        )
+    if features.sections:
+        providers.section_provider = make_section_provider(
+            cg, sections, kills if features.array_kill else None
+        )
+
+    def arrays_fn(loop, unit):
+        return privatizable_arrays(
+            loop, unit, cg, kills if features.array_kill else None
+        )
+
+    providers.arrays_fn = arrays_fn
+    return providers
+
+
+def unit_config(
+    name: str,
+    features: FeatureSet,
+    providers: UnitProviders,
+    ip_constants: Dict[str, Dict[str, object]],
+    oracle: Optional[Oracle],
+) -> AnalysisConfig:
+    """The per-unit driver configuration for one procedure."""
+
+    return AnalysisConfig(
+        effects=providers.effects,
+        section_provider=providers.section_provider,
+        oracle=oracle,
+        inherited_constants=ip_constants.get(name),
+        use_constants=True,
+        use_kill=features.scalar_kill,
+        use_reductions=features.reductions,
+        use_inductions=features.inductions,
+        control_deps=features.control,
+        privatizable_arrays_fn=providers.arrays_fn
+        if features.array_kill
+        else None,
+    )
+
+
 def analyze_program(
     sf: SourceFile,
     features: Optional[FeatureSet] = None,
@@ -97,50 +220,20 @@ def analyze_program(
 
     features = features or FeatureSet()
     cg = build_callgraph(sf)
-    pa = ProgramAnalysis(sf, features, cg)
-
-    if features.modref or features.sections or features.array_kill:
-        pa.modref = compute_modref(cg)
-    if features.scalar_kill or features.array_kill:
-        pa.kills = compute_kills(cg)
-        if not features.scalar_kill:
-            for info in pa.kills.values():
-                info.scalars.clear()
-        if not features.array_kill:
-            for info in pa.kills.values():
-                info.arrays.clear()
-    if features.sections:
-        pa.sections = compute_sections(cg)
-    if features.ip_constants:
-        pa.ip_constants = compute_ip_constants(cg)
-
-    effects = None
-    if features.modref:
-        effects = PreciseEffects(cg, pa.modref, pa.kills if features.scalar_kill else None)
-    section_provider = None
-    if features.sections:
-        section_provider = make_section_provider(
-            cg, pa.sections, pa.kills if features.array_kill else None
-        )
-
-    def arrays_fn(loop, unit):
-        return privatizable_arrays(
-            loop, unit, cg, pa.kills if features.array_kill else None
-        )
-
+    summaries = compute_summaries(cg, features)
+    kv = kills_view(summaries.kills, features)
+    pa = ProgramAnalysis(
+        sf,
+        features,
+        cg,
+        modref=summaries.modref,
+        sections=summaries.sections,
+        kills=kv,
+        ip_constants=summaries.ip_constants,
+    )
+    providers = build_providers(cg, features, summaries.modref, summaries.sections, kv)
     for name, unit in cg.units.items():
         unit_oracle = (oracles_by_unit or {}).get(name, oracle)
-        config = AnalysisConfig(
-            effects=effects,
-            section_provider=section_provider,
-            oracle=unit_oracle,
-            inherited_constants=pa.ip_constants.get(name),
-            use_constants=True,
-            use_kill=features.scalar_kill,
-            use_reductions=features.reductions,
-            use_inductions=features.inductions,
-            control_deps=features.control,
-            privatizable_arrays_fn=arrays_fn if features.array_kill else None,
-        )
+        config = unit_config(name, features, providers, summaries.ip_constants, unit_oracle)
         pa.units[name] = analyze_unit(unit, config)
     return pa

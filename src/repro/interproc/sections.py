@@ -524,3 +524,9 @@ def make_section_provider(
         return out
 
     return provider
+
+
+#: Public aliases: one unit's section transfer function and the structural
+#: change test, for incremental re-fixpointing by the engine.
+unit_sections = _unit_sections
+sections_differ = _differs

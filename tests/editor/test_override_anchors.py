@@ -1,0 +1,121 @@
+"""Variable reclassifications must survive edits that renumber loops —
+and must be *reported*, not silently dropped, when their loop vanishes."""
+
+import pytest
+
+from repro.editor import PedSession
+from repro.interproc import FeatureSet
+
+SOURCE = (
+    "      subroutine work(a, b, n)\n"
+    "      real a(100), b(100)\n"
+    "      integer n\n"
+    "      do i = 1, n\n"
+    "         a(i) = a(i) + 1.0\n"
+    "      enddo\n"
+    "      do j = 1, n\n"
+    "         s = b(j)\n"
+    "         b(j) = s * 2.0\n"
+    "      enddo\n"
+    "      end\n"
+)
+
+FEATURES = FeatureSet(scalar_kill=False)
+
+
+def _session_with_override():
+    session = PedSession(SOURCE, features=FEATURES)
+    session.select_unit("work")
+    session.select_loop(1)
+    session.reclassify("s", "private")
+    assert session.selected_info.parallelizable
+    return session
+
+
+def test_override_follows_loop_when_earlier_loop_is_deleted():
+    session = _session_with_override()
+    # Delete the i-loop: the j-loop renumbers from index 1 to index 0.
+    session.edit(4, 6, "")
+    assert session.warnings == []
+    assert session.overrides == {"work": {0: {"s": "private"}}}
+    session.select_unit("work")
+    session.select_loop(0)
+    assert session.selected_loop.var == "j"
+    assert session.selected_info.parallelizable
+
+
+def test_override_follows_loop_when_lines_are_inserted_above():
+    session = _session_with_override()
+    session.edit(
+        4,
+        6,
+        "      do i = 1, n\n"
+        "         a(i) = a(i) + 1.0\n"
+        "      enddo\n"
+        "      do k = 1, n\n"
+        "         a(k) = a(k) * 0.5\n"
+        "      enddo",
+    )
+    assert session.warnings == []
+    # A new loop appeared above: the override moves from index 1 to 2.
+    assert session.overrides == {"work": {2: {"s": "private"}}}
+    session.select_unit("work")
+    session.select_loop(2)
+    assert session.selected_loop.var == "j"
+    assert session.selected_info.parallelizable
+
+
+def test_deleting_the_overridden_loop_reports_the_drop():
+    session = _session_with_override()
+    message = session.edit(7, 10, "")
+    assert session.overrides == {}
+    assert len(session.warnings) == 1
+    assert "dropped reclassification" in session.warnings[0]
+    assert "s" in session.warnings[0]
+    assert "warning:" in message
+
+
+def test_deleting_the_whole_unit_reports_the_drop():
+    two_units = SOURCE + (
+        "      subroutine other(x)\n"
+        "      x = 1.0\n"
+        "      end\n"
+    )
+    session = PedSession(two_units, features=FEATURES)
+    session.select_unit("work")
+    session.select_loop(1)
+    session.reclassify("s", "private")
+    session.edit(1, 11, "")
+    assert session.overrides == {}
+    assert any("no longer exists" in w for w in session.warnings)
+
+
+def test_stale_override_without_matching_loop_warns_not_skips():
+    session = PedSession(SOURCE, features=FEATURES)
+    # A legacy override pointing at a loop index that does not exist
+    # (e.g. restored from an old snapshot with no anchor) is reported by
+    # the remapping pass, not silently skipped.
+    session.overrides = {"work": {9: {"s": "private"}}}
+    session.reanalyze()
+    assert any(
+        "dropped reclassification" in w and "loop[9]" in w
+        for w in session.warnings
+    )
+    assert session.overrides == {}
+    # And the application-time backstop warns too, should a stale entry
+    # ever reach it directly.
+    session.warnings = []
+    session.overrides = {"work": {9: {"s": "private"}}}
+    session._apply_overrides(session.analysis.unit("work"))
+    assert any("has no matching loop" in w for w in session.warnings)
+
+
+def test_undo_restores_dropped_override():
+    session = _session_with_override()
+    session.edit(7, 10, "")
+    assert session.overrides == {}
+    session.undo()
+    assert session.overrides == {"work": {1: {"s": "private"}}}
+    session.select_unit("work")
+    session.select_loop(1)
+    assert session.selected_info.parallelizable

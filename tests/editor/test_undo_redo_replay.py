@@ -1,0 +1,143 @@
+"""Undo/redo across interleaved edits, assertions, markings and
+reclassifications.
+
+The bar (from the incremental-engine work): restoring a snapshot must
+reproduce *exactly* the state a fresh session reaches by replaying the
+same operation prefix — same ``parallel_summary()``, same dependence
+edges and markings, same verdicts — even though the restore runs through
+the warm engine caches and the replay runs cold.
+"""
+
+import pytest
+
+from repro.editor import PedSession
+from repro.incremental import unit_fingerprint
+from repro.interproc import FeatureSet
+
+SOURCE = (
+    "      program main\n"
+    "      real a(100), b(100)\n"
+    "      call work(a, b, 100)\n"
+    "      end\n"
+    "      subroutine work(a, b, n)\n"
+    "      real a(100), b(100)\n"
+    "      do i = 1, n\n"
+    "         a(i) = a(i) + 1.0\n"
+    "      enddo\n"
+    "      do j = 1, n\n"
+    "         s = b(j)\n"
+    "         b(j) = s * 2.0\n"
+    "      enddo\n"
+    "      end\n"
+)
+
+# Scalar kill off: the temporary ``s`` keeps its carried dependences
+# pending, so markings and reclassification have real work to do.
+FEATURES = FeatureSet(scalar_kill=False)
+
+
+def _op_edit(session):
+    session.edit(8, 8, "         a(i) = a(i) + 2.0")
+
+
+def _op_assert(session):
+    session.select_unit("work")
+    session.add_assertion("n >= 1")
+
+
+def _op_mark(session):
+    session.select_unit("work")
+    session.select_loop(1)
+    pending = sorted(
+        (d for d in session.dependences() if d.marking == "pending"),
+        key=lambda d: (d.var, d.kind, d.src_line, d.dst_line),
+    )
+    session.mark_dependence(pending[0].id, "rejected")
+
+
+def _op_reclassify(session):
+    session.select_unit("work")
+    session.select_loop(1)
+    session.reclassify("s", "private")
+
+
+OPS = [_op_edit, _op_assert, _op_mark, _op_reclassify]
+
+
+def _state(session):
+    return (
+        tuple(session.parallel_summary()),
+        tuple(
+            (name, unit_fingerprint(session.analysis.unit(name)))
+            for name in sorted(session.analysis.units)
+        ),
+    )
+
+
+def _replayed_state(prefix_len):
+    fresh = PedSession(SOURCE, features=FEATURES)
+    for op in OPS[:prefix_len]:
+        op(fresh)
+    return _state(fresh)
+
+
+def test_undo_redo_matches_fresh_session_replay():
+    session = PedSession(SOURCE, features=FEATURES)
+    states = [_state(session)]
+    for op in OPS:
+        op(session)
+        states.append(_state(session))
+
+    # The reclassification actually flipped the verdict on loop 1.
+    assert states[-1][0] != states[0][0]
+
+    # Walk all the way back: each undo lands exactly on the prior state.
+    for prefix_len in range(len(OPS) - 1, -1, -1):
+        session.undo()
+        assert _state(session) == states[prefix_len]
+        assert _state(session) == _replayed_state(prefix_len)
+
+    # And forward again: each redo lands exactly on the next state.
+    for prefix_len in range(1, len(OPS) + 1):
+        session.redo()
+        assert _state(session) == states[prefix_len]
+        assert _state(session) == _replayed_state(prefix_len)
+
+
+def test_undo_mid_history_then_new_op_drops_redo():
+    session = PedSession(SOURCE, features=FEATURES)
+    for op in OPS:
+        op(session)
+    session.undo()
+    session.undo()
+    # A new operation after undo forks history: redo is cleared.
+    _op_assert(session)
+    from repro.editor.session import PedError
+
+    with pytest.raises(PedError):
+        session.redo()
+    # The forked timeline still matches a fresh replay of its own ops.
+    fresh = PedSession(SOURCE, features=FEATURES)
+    _op_edit(fresh)
+    _op_assert(fresh)
+    _op_assert(fresh)
+    assert _state(session) == _state(fresh)
+
+
+def test_undo_restores_state_but_not_navigation():
+    session = PedSession(SOURCE, features=FEATURES)
+    session.select_unit("work")
+    session.select_loop(0)
+    _op_reclassify(session)  # navigates to loop 1, then reclassifies
+    assert session.loop_index == 1
+    overridden = _state(session)
+    session.undo()
+    # Navigation is not an undoable action: the snapshot is taken at the
+    # moment of the reclassify, so the selection stays on loop 1 — but
+    # the override itself is gone.
+    assert session.current_unit == "work"
+    assert session.loop_index == 1
+    assert session.overrides == {}
+    assert _state(session) != overridden
+    session.redo()
+    assert _state(session) == overridden
