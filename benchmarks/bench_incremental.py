@@ -12,10 +12,19 @@ the incremental cost of the individual interactions a user performs:
   below the full-program cost (the incremental engine's headline claim,
   asserted here and recorded to ``benchmarks/out/incremental.json``);
 * a dependence-marking interaction (no reanalysis, only verdict refresh)
-  must be far cheaper still — and must perform *no* reparse at all.
+  must be far cheaper still — and must perform *no* reparse at all;
+* reopening a previously analyzed program with ``--cache-dir`` must
+  start warm from the persistent store, far below the cold-open cost
+  (``benchmarks/out/warmstart.json``);
+* per-unit fan-out with ``--jobs`` must stay fingerprint-identical to
+  serial, with the wall-clock comparison recorded to
+  ``benchmarks/out/parallel.json`` (the speedup itself is only asserted
+  when the machine actually has multiple cores).
 """
 
 import json
+import os
+import tempfile
 import time
 
 import pytest
@@ -176,3 +185,125 @@ def test_edit_reanalysis(benchmark):
     benchmark.pedantic(
         edit_back_and_forth, rounds=3, iterations=1, warmup_rounds=0
     )
+
+
+def test_warm_start_reopen(benchmark):
+    """Reopening spec77 with a persistent cache starts warm: the whole
+    cache state loads from one content-addressed record and the analysis
+    is a pure cache walk — fingerprint-identical to cold, and far
+    faster.  Emits ``benchmarks/out/warmstart.json``."""
+
+    from repro.incremental import AnalysisEngine, program_fingerprint
+    from repro.service import build_engine
+
+    source = SUITE["spec77"].source
+    cold_fp = program_fingerprint(AnalysisEngine().analyze(source)[1])
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+
+        def cold_open():
+            engine = build_engine(cache_dir=cache_dir)
+            engine.analyze(source)
+            return engine
+
+        t0 = time.perf_counter()
+        cold_open()  # populates the store (first ever open)
+        cold_s = time.perf_counter() - t0
+
+        warm_engines = []
+
+        def warm_open():
+            engine = build_engine(cache_dir=cache_dir)
+            engine.analyze(source)
+            warm_engines.append(engine)
+
+        warm_s = _best_of(warm_open, rounds=3)
+        warm = warm_engines[-1]
+        _, pa = warm.analyze(source)
+        assert program_fingerprint(pa) == cold_fp
+        assert warm.stats.counter("disk.warm_start") >= 1
+        assert warm.stats.stage("parse").misses == 0
+        assert warm_s < cold_s, (
+            f"warm reopen ({warm_s:.4f}s) must beat the cold open "
+            f"({cold_s:.4f}s)"
+        )
+
+        save_artifact(
+            "warmstart.json",
+            json.dumps(
+                {
+                    "program": "spec77",
+                    "cold_open_s": cold_s,
+                    "warm_reopen_s": warm_s,
+                    "speedup": cold_s / warm_s,
+                    "fingerprint_identical": True,
+                    "engine_stats": warm.stats.snapshot(),
+                },
+                indent=2,
+            )
+            + "\n",
+        )
+        benchmark.pedantic(warm_open, rounds=3, iterations=1, warmup_rounds=0)
+
+
+def test_parallel_vs_serial_analysis(benchmark):
+    """Cold spec77 analysis, serial vs ``--jobs 2``: structurally
+    identical results, with the wall-clock numbers recorded to
+    ``benchmarks/out/parallel.json``.  The speedup is asserted only on
+    genuinely multi-core machines — on a single core the process pool
+    can only add overhead, which the artifact records honestly."""
+
+    from repro.incremental import AnalysisEngine, program_fingerprint
+    from repro.service import build_engine
+
+    source = SUITE["spec77"].source
+    serial = AnalysisEngine()
+
+    def cold_serial():
+        serial.clear()
+        serial.analyze(source)
+
+    serial_s = _best_of(cold_serial, rounds=3)
+    serial_fp = program_fingerprint(serial.analyze(source)[1])
+
+    parallel = build_engine(jobs=2)
+    try:
+        parallel.analyze(source)  # first use spawns the worker processes
+
+        def cold_parallel():
+            parallel.clear()
+            parallel.analyze(source)
+
+        parallel_s = _best_of(cold_parallel, rounds=3)
+        _, pa = parallel.analyze(source)
+        assert program_fingerprint(pa) == serial_fp
+        assert parallel.stats.counter("pool.tasks") > 0
+        utilization = parallel.stats.pool_utilization()
+    finally:
+        parallel.close()
+
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert parallel_s < serial_s, (
+            f"on {cores} cores, parallel cold analysis ({parallel_s:.4f}s) "
+            f"must beat serial ({serial_s:.4f}s)"
+        )
+
+    save_artifact(
+        "parallel.json",
+        json.dumps(
+            {
+                "program": "spec77",
+                "jobs": 2,
+                "cpu_cores": cores,
+                "serial_cold_s": serial_s,
+                "parallel_cold_s": parallel_s,
+                "speedup": serial_s / parallel_s,
+                "pool_utilization": utilization,
+                "fingerprint_identical": True,
+            },
+            indent=2,
+        )
+        + "\n",
+    )
+    benchmark.pedantic(cold_serial, rounds=1, iterations=1, warmup_rounds=0)

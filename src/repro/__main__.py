@@ -3,8 +3,14 @@
 ``python -m repro ped FILE.f``      — interactive Ped session (REPL)
 ``python -m repro analyze FILE.f``  — print loops + verdicts + deps
 ``python -m repro auto FILE.f``     — best-effort automatic parallelizer
+``python -m repro serve``           — Ped session server (stdio or TCP)
 ``python -m repro tables``          — regenerate the evaluation tables
 ``python -m repro suite NAME``      — dump a suite program's source
+
+``ped``, ``analyze`` and ``auto`` all take ``--jobs N`` (fan per-unit
+analysis out over N worker processes) and ``--cache-dir PATH`` (persist
+analysis results so reopening a file starts warm); both default off,
+reproducing the classic serial in-memory pipeline.
 """
 
 from __future__ import annotations
@@ -18,11 +24,23 @@ def _read(path: str) -> str:
     return Path(path).read_text()
 
 
+def _engine(args: argparse.Namespace, features=None):
+    """An engine honouring the shared ``--jobs``/``--cache-dir`` flags."""
+
+    from .service import build_engine
+
+    return build_engine(
+        features=features,
+        jobs=getattr(args, "jobs", 1) or 1,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
 def cmd_ped(args: argparse.Namespace) -> int:
     from .editor import CommandInterpreter, PedSession
 
     source = _read(args.file)
-    session = PedSession(source)
+    session = PedSession(source, engine=_engine(args))
     ped = CommandInterpreter(session)
     print(f"ParaScope Editor — {args.file}")
     print("type 'help' for commands, 'show' for the window, ctrl-D to quit")
@@ -46,16 +64,16 @@ def cmd_ped(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     if args.profile:
         print(session.engine.stats.render())
+    session.engine.close()
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     from .core import analyze
-    from .incremental import AnalysisEngine
     from .interproc import FeatureSet
 
     features = FeatureSet.minimal() if args.minimal else FeatureSet()
-    engine = AnalysisEngine(features=features)
+    engine = _engine(args, features=features)
     pa = analyze(_read(args.file), features, engine=engine)
     for name, ua in sorted(pa.units.items()):
         print(f"{name} ({ua.unit.kind}): {len(ua.loops)} loop(s)")
@@ -77,14 +95,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.profile:
         print()
         print(engine.stats.render())
+    engine.close()
     return 0
 
 
 def cmd_auto(args: argparse.Namespace) -> int:
     from .core import parallelize_program
-    from .incremental import AnalysisEngine
 
-    engine = AnalysisEngine()
+    engine = _engine(args)
     result = parallelize_program(
         _read(args.file), require_profitable=not args.eager, engine=engine
     )
@@ -100,6 +118,33 @@ def cmd_auto(args: argparse.Namespace) -> int:
         print(result.source)
     if args.profile:
         print(engine.stats.render())
+    engine.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import PedServer, serve_stdio, serve_tcp
+
+    server = PedServer(
+        jobs=args.jobs or 1,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+    )
+    try:
+        if args.stdio:
+            serve_stdio(server)
+        else:
+            tcp = serve_tcp(server, host=args.host, port=args.port)
+            host, port = tcp.server_address[:2]
+            print(f"ped server listening on {host}:{port}", file=sys.stderr)
+            try:
+                tcp.serve_forever(poll_interval=0.2)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                tcp.server_close()
+    finally:
+        server.close()
     return 0
 
 
@@ -135,10 +180,26 @@ def main(argv=None) -> int:
 
     profile_help = "print incremental-engine stage timers and cache stats"
 
+    def service_flags(p):
+        p.add_argument(
+            "-j",
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="analyze units on N worker processes (default: serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            metavar="PATH",
+            help="persist analysis results under PATH for warm starts",
+        )
+
     p = sub.add_parser("ped", help="interactive Ped session over a file")
     p.add_argument("file")
     p.add_argument("-o", "--output", help="write the edited source on exit")
     p.add_argument("--profile", action="store_true", help=profile_help)
+    service_flags(p)
     p.set_defaults(fn=cmd_ped)
 
     p = sub.add_parser("analyze", help="loop verdicts for a file")
@@ -146,6 +207,7 @@ def main(argv=None) -> int:
     p.add_argument("--minimal", action="store_true", help="baseline analysis")
     p.add_argument("-v", "--verbose", action="store_true")
     p.add_argument("--profile", action="store_true", help=profile_help)
+    service_flags(p)
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("auto", help="automatic best-effort parallelizer")
@@ -153,7 +215,27 @@ def main(argv=None) -> int:
     p.add_argument("-o", "--output")
     p.add_argument("--eager", action="store_true", help="ignore profitability")
     p.add_argument("--profile", action="store_true", help=profile_help)
+    service_flags(p)
     p.set_defaults(fn=cmd_auto)
+
+    p = sub.add_parser(
+        "serve", help="Ped session server (JSON-lines protocol)"
+    )
+    p.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one client on stdin/stdout instead of TCP",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7077)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="max concurrently handled requests (default 8)",
+    )
+    service_flags(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("tables", help="regenerate the evaluation tables")
     p.set_defaults(fn=cmd_tables)

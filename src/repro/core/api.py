@@ -33,20 +33,30 @@ def parse(source: str) -> SourceFile:
     return parse_and_bind(source)
 
 
+def _service_engine(features, jobs: int, cache_dir) -> AnalysisEngine:
+    from ..service import build_engine
+
+    return build_engine(features=features, jobs=jobs, cache_dir=cache_dir)
+
+
 def analyze(
     source: str,
     features: Optional[FeatureSet] = None,
     engine: Optional[AnalysisEngine] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> ProgramAnalysis:
     """Full whole-program analysis of Fortran source text.
 
     Passing an :class:`AnalysisEngine` reuses its caches across calls
     (and its feature set wins); otherwise a fresh engine runs a cold
     analysis equivalent to the classic ``analyze_program`` pipeline.
+    ``jobs``/``cache_dir`` configure that fresh engine with worker
+    processes and/or a persistent warm-start cache.
     """
 
     if engine is None:
-        engine = AnalysisEngine(features=features)
+        engine = _service_engine(features, jobs, cache_dir)
     _, pa = engine.analyze(source)
     return pa
 
@@ -55,9 +65,17 @@ def open_session(
     source: str,
     features: Optional[FeatureSet] = None,
     engine: Optional[AnalysisEngine] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> PedSession:
-    """Open an interactive Ped session over the source text."""
+    """Open an interactive Ped session over the source text.
 
+    ``jobs > 1`` analyzes procedures on worker processes; ``cache_dir``
+    makes reopening the same program start from the on-disk cache.
+    """
+
+    if engine is None and (jobs > 1 or cache_dir):
+        engine = _service_engine(features, jobs, cache_dir)
     return PedSession(source, features=features, engine=engine)
 
 
@@ -79,11 +97,15 @@ def parallelize_program(
     features: Optional[FeatureSet] = None,
     require_profitable: bool = True,
     engine: Optional[AnalysisEngine] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> AutoResult:
     """Automatic mode: parallelize every loop the analysis alone proves
     safe (outermost-first; loops inside an already-parallel loop are left
     sequential, matching single-level parallel hardware)."""
 
+    if engine is None and (jobs > 1 or cache_dir):
+        engine = _service_engine(features, jobs, cache_dir)
     session = PedSession(source, features=features, engine=engine)
     transform = Parallelize()
     result = AutoResult(source)

@@ -33,6 +33,26 @@ appears or disappears), and :meth:`AnalysisEngine.invalidate` must be
 called after in-place AST mutation (transformations), since cached units
 alias the session's AST.
 
+The service layer plugs in at two seams:
+
+* **Worker pool** — span parses, same-level summary steps and per-unit
+  dependence analyses are dispatched through a
+  :class:`~repro.service.pool.SerialPool` (inline, the default) or a
+  :class:`~repro.service.pool.WorkerPool` (processes).  Dispatch order
+  and merge order are fixed, and each task is a pure function of its
+  payload, so results are structurally identical either way.  A unit
+  analyzed in a worker comes back as a fresh object graph; the engine
+  *adopts* the worker's AST as canonical (swapping it into the span
+  entry and the call graph) so the invariant that cached analyses alias
+  the program's AST keeps holding.
+* **Persistent store** — with a :class:`~repro.service.persist.
+  PersistentStore` attached, a cold engine first tries a whole-program
+  warm start (every cache restored from one content-addressed record),
+  parse misses fall back to per-span disk records (validated against
+  the current unit-kind map before acceptance), and every analysis
+  spills its results back.  Any invalid or corrupt record degrades to
+  recomputation.
+
 Known approximation: interprocedural constants iterate at most the same
 five Jacobi rounds as the from-scratch pass, so on call chains deeper
 than five the cached warm start can be *sharper* than a cold run; the
@@ -41,12 +61,11 @@ workload suite is well inside the bound (verified by the parity tests).
 
 from __future__ import annotations
 
-import itertools
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..assertions.engine import AssertionDB
-from ..dependence.driver import UnitAnalysis, analyze_unit
+from ..dependence.driver import UnitAnalysis
 from ..fortran.ast_nodes import (
     CallStmt,
     FuncRef,
@@ -66,14 +85,15 @@ from ..interproc.modref import ModRefInfo, local_summary
 from ..interproc.program import (
     FeatureSet,
     ProgramAnalysis,
-    build_providers,
     kills_view,
-    unit_config,
 )
 from ..interproc.sections import SectionInfo, sections_differ, unit_sections
 from ..analysis.constants import propagate_constants
+from ..service.pool import SerialPool
 from .splitter import UnitSpan, split_units
 from .stats import EngineStats
+
+log = logging.getLogger(__name__)
 
 _PHASES = ("modref", "kill", "sections", "ipconst")
 
@@ -91,12 +111,20 @@ class _CallCandidate:
 
 @dataclass
 class _SpanEntry:
-    """Cached parse of one source span (usually exactly one unit)."""
+    """Cached parse of one source span (usually exactly one unit).
+
+    ``pending_kinds`` is set on entries restored from a disk span
+    record: the ``{unit: kind}`` map of the program the record was
+    bound under.  The entry is only admissible once the engine has
+    checked that map against the current program's (name resolution
+    depends on it); accepted entries have it cleared.
+    """
 
     digest: str
     rev: int
     units: List[ProcedureUnit]
     candidates: Optional[List[List[_CallCandidate]]] = None
+    pending_kinds: Optional[Dict[str, str]] = None
 
 
 @dataclass
@@ -130,6 +158,58 @@ def _closure(seed: Set[str], edges: Dict[str, Set[str]]) -> Set[str]:
     return out
 
 
+def _scc_schedule(cg: CallGraph) -> List[Tuple[List[str], bool]]:
+    """Bottom-up summary schedule: ``(group, recursive)`` batches.
+
+    Non-recursive SCCs (the overwhelmingly common case in Fortran 77)
+    at the same call-graph depth cannot read each other's summaries, so
+    they form one parallel batch; recursive SCCs keep their serial
+    fixpoint iteration.  Batches are emitted callees-first, so by the
+    time a group runs every summary it can read is final.
+    """
+
+    level_of: Dict[str, int] = {}
+    level_batches: Dict[int, List[str]] = {}
+    level_recursive: Dict[int, List[List[str]]] = {}
+    for scc in cg.sccs_bottom_up():
+        members = set(scc)
+        level = 0
+        for n in scc:
+            for callee in cg.callees.get(n, ()):
+                if callee not in members:
+                    level = max(level, level_of[callee] + 1)
+        for n in scc:
+            level_of[n] = level
+        recursive = len(scc) > 1 or scc[0] in cg.callees.get(scc[0], ())
+        if recursive:
+            level_recursive.setdefault(level, []).append(list(scc))
+        else:
+            level_batches.setdefault(level, []).append(scc[0])
+    schedule: List[Tuple[List[str], bool]] = []
+    for level in sorted(set(level_batches) | set(level_recursive)):
+        for scc in level_recursive.get(level, ()):
+            schedule.append((scc, True))
+        batch = level_batches.get(level)
+        if batch:
+            schedule.append((batch, False))
+    return schedule
+
+
+def _summary_payload(
+    phase: str, name: str, cg: CallGraph, work: Dict[str, object]
+) -> Dict[str, object]:
+    """Everything one summary step needs, cut loose from the engine."""
+
+    callees = sorted(cg.callees.get(name, ()))
+    return {
+        "phase": phase,
+        "unit": cg.units[name],
+        "callee_units": {c: cg.units[c] for c in callees},
+        "sites": cg.sites_in(name),
+        "summaries": {c: work[c] for c in callees if c in work},
+    }
+
+
 class AnalysisEngine:
     """Incremental replacement for ``analyze_program(parse_and_bind(...))``.
 
@@ -144,15 +224,33 @@ class AnalysisEngine:
         self,
         features: Optional[FeatureSet] = None,
         stats: Optional[EngineStats] = None,
+        pool=None,
+        store=None,
     ) -> None:
         self.features = features or FeatureSet()
         self.stats = stats or EngineStats()
-        self._rev_counter = itertools.count(1)
+        self._pool = pool if pool is not None else SerialPool(stats=self.stats)
+        self._store = store
+        self._rev_next = 1
         self._spans: Dict[str, _SpanEntry] = {}
         self._summaries: Dict[str, Dict[str, object]] = {p: {} for p in _PHASES}
         self._summary_revs: Dict[str, Dict[str, int]] = {p: {} for p in _PHASES}
         self._deps: Dict[str, _DepEntry] = {}
         self._last: Optional[_ProgramState] = None
+        self._spilled_spans: Set[str] = set()
+
+    @property
+    def pool(self):
+        return self._pool
+
+    @property
+    def store(self):
+        return self._store
+
+    def _new_rev(self) -> int:
+        rev = self._rev_next
+        self._rev_next += 1
+        return rev
 
     # ------------------------------------------------------------------
     # cache management
@@ -174,6 +272,11 @@ class AnalysisEngine:
         content-keyed caches."""
 
         self.clear()
+
+    def close(self) -> None:
+        """Release the worker pool (if this engine owns processes)."""
+
+        self._pool.close()
 
     # ------------------------------------------------------------------
     # the pipeline
@@ -203,18 +306,21 @@ class AnalysisEngine:
             }
             with stats.timer("split"):
                 spans = split_units(source)
-            entries = self._parse_and_bind(spans)
-            sf = SourceFile([u for e in entries for u in e.units])
-            kinds = {u.name: u.kind for u in sf.units}
+            prog_key = None
+            if self._store is not None:
+                prog_key = self._store.program_key(
+                    self.features, source, asserts
+                )
+                if self._last is None:
+                    self._load_program_state(prog_key)
+            entries, sf, kinds = self._assemble(spans)
             if self._last is not None and kinds != self._last.kinds:
                 # The unit set (or a unit's kind) changed: name resolution
                 # inside *unchanged* units can legitimately differ (array
                 # reference vs function call, intrinsic shadowing), so
                 # restart from a clean slate once.
                 self.clear()
-                entries = self._parse_and_bind(spans)
-                sf = SourceFile([u for e in entries for u in e.units])
-                kinds = {u.name: u.kind for u in sf.units}
+                entries, sf, kinds = self._assemble(spans)
             for entry in entries:
                 self._spans[entry.digest] = entry
             self._trim_span_cache(entries)
@@ -226,6 +332,14 @@ class AnalysisEngine:
                             _collect_candidates(u) for u in entry.units
                         ]
                 cg = self._assemble_callgraph(entries)
+
+            #: Which span entry (and slot) owns each unit — needed to
+            #: adopt ASTs analyzed in worker processes back as canonical.
+            owners = {
+                u.name: (entry, i)
+                for entry in entries
+                for i, u in enumerate(entry.units)
+            }
 
             revs = {u.name: e.rev for e in entries for u in e.units}
             changed = self._detect_changes(cg, revs)
@@ -267,13 +381,22 @@ class AnalysisEngine:
                 with stats.timer("ipconst"):
                     self._update_ip_constants(cg, changed)
 
-            pa = self._run_dependence(sf, cg, asserts, revs)
+            pa, adopted = self._run_dependence(sf, cg, asserts, revs, owners)
+            if adopted:
+                # Units analyzed in worker processes came back as fresh
+                # object graphs and were swapped into their span entries;
+                # rebuild the source file so sessions and cached analyses
+                # alias the same ASTs.
+                sf = SourceFile([u for e in entries for u in e.units])
+                pa.source = sf
             self._last = _ProgramState(
                 kinds,
                 revs,
                 {n: tuple(sorted(cg.callees[n])) for n in cg.units},
                 {n: tuple(sorted(cg.callers[n])) for n in cg.units},
             )
+            if self._store is not None:
+                self._spill_state(prog_key, entries, kinds)
         return sf, pa
 
     # ------------------------------------------------------------------
@@ -281,24 +404,48 @@ class AnalysisEngine:
     # ------------------------------------------------------------------
 
     def _parse_and_bind(self, spans: List[UnitSpan]) -> List[_SpanEntry]:
-        entries: List[_SpanEntry] = []
-        fresh: List[_SpanEntry] = []
+        entries: List[Optional[_SpanEntry]] = [None] * len(spans)
+        to_parse: List[int] = []
         with self.stats.timer("parse"):
-            for span in spans:
+            for i, span in enumerate(spans):
                 entry = self._spans.get(span.digest)
                 if entry is not None:
                     self.stats.hit("parse")
-                    entries.append(entry)
+                    entries[i] = entry
                     continue
                 self.stats.miss("parse")
-                padded = "\n" * (span.start_line - 1) + span.text
-                sub = parse_source(padded)
-                entry = _SpanEntry(
-                    span.digest, next(self._rev_counter), list(sub.units)
-                )
-                entries.append(entry)
-                fresh.append(entry)
-        if fresh:
+                if self._store is not None:
+                    record = self._store.load_span(span.digest)
+                    if record is not None:
+                        kinds, units = record
+                        entry = _SpanEntry(
+                            span.digest, self._new_rev(), list(units)
+                        )
+                        # Admissible only if the recorded unit-kind map
+                        # matches the current program's; checked by
+                        # _assemble once every span is in hand.
+                        entry.pending_kinds = dict(kinds)
+                        entries[i] = entry
+                        continue
+                to_parse.append(i)
+            if to_parse:
+                payloads = [
+                    {
+                        "start_line": spans[i].start_line,
+                        "text": spans[i].text,
+                    }
+                    for i in to_parse
+                ]
+                fresh: List[_SpanEntry] = []
+                for i, units in zip(
+                    to_parse, self._pool.map("parse", payloads)
+                ):
+                    entry = _SpanEntry(
+                        spans[i].digest, self._new_rev(), list(units)
+                    )
+                    entries[i] = entry
+                    fresh.append(entry)
+        if to_parse:
             sf = SourceFile([u for e in entries for u in e.units])
             with self.stats.timer("bind"):
                 binder = Binder(sf)
@@ -308,7 +455,49 @@ class AnalysisEngine:
         # Fresh entries enter the span cache only in analyze(), after the
         # whole parse+bind stage succeeded: a bind error mid-way must not
         # leave half-bound units behind for the rollback reanalysis.
-        return entries
+        return entries  # type: ignore[return-value]
+
+    def _assemble(
+        self, spans: List[UnitSpan]
+    ) -> Tuple[List[_SpanEntry], SourceFile, Dict[str, str]]:
+        """Parse/load every span, then vet disk-restored entries.
+
+        A span record is only valid under the unit-kind map it was bound
+        with; any restored entry whose recorded map disagrees with the
+        program we actually assembled is discarded and reparsed fresh.
+        """
+
+        entries = self._parse_and_bind(spans)
+        kinds = {u.name: u.kind for e in entries for u in e.units}
+        stale = [
+            i
+            for i, e in enumerate(entries)
+            if e.pending_kinds is not None and e.pending_kinds != kinds
+        ]
+        if stale:
+            log.warning(
+                "discarding %d disk span record(s) bound under a "
+                "different unit-kind map; reparsing",
+                len(stale),
+            )
+            self.stats.bump("disk.span_rejected", len(stale))
+            for i in stale:
+                span = spans[i]
+                padded = "\n" * (span.start_line - 1) + span.text
+                sub = parse_source(padded)
+                entries[i] = _SpanEntry(
+                    span.digest, self._new_rev(), list(sub.units)
+                )
+            sf = SourceFile([u for e in entries for u in e.units])
+            binder = Binder(sf)
+            for i in stale:
+                for unit in entries[i].units:
+                    binder.bind_unit(unit)
+            kinds = {u.name: u.kind for u in sf.units}
+        for entry in entries:
+            entry.pending_kinds = None
+        sf = SourceFile([u for e in entries for u in e.units])
+        return entries, sf, kinds
 
     def _trim_span_cache(self, active: List[_SpanEntry]) -> None:
         if len(self._spans) <= self.SPAN_CACHE_LIMIT:
@@ -397,9 +586,22 @@ class AnalysisEngine:
         work = {n: cache.get(n, default()) for n in cg.units}
         for n in dirty:
             work[n] = default()
-        for scc in cg.sccs_bottom_up():
-            live = [n for n in scc if n in dirty]
+        for group, recursive in _scc_schedule(cg):
+            live = [n for n in group if n in dirty]
             if not live:
+                continue
+            if not recursive:
+                # Same-level, non-recursive units: their callees are
+                # final and they cannot read each other's summaries, so
+                # one step call per unit *is* its fixpoint — and the
+                # whole batch fans out across the pool.
+                payloads = [
+                    _summary_payload(phase, n, cg, work) for n in live
+                ]
+                for n, new in zip(
+                    live, self._pool.map("summary", payloads)
+                ):
+                    work[n] = new
                 continue
             scc_changed = True
             passes = 0
@@ -470,7 +672,20 @@ class AnalysisEngine:
         cg: CallGraph,
         asserts: Dict[str, tuple],
         revs: Dict[str, int],
-    ) -> ProgramAnalysis:
+        owners: Dict[str, Tuple[_SpanEntry, int]],
+    ) -> Tuple[ProgramAnalysis, bool]:
+        """Per-unit dependence analysis: cache walk plus one pooled batch.
+
+        Misses are collected and dispatched through the pool in call-graph
+        order; each task payload is self-contained, so the per-unit result
+        is identical inline or in a worker.  Units that came back from a
+        worker process are *adopted*: the worker's AST copy replaces the
+        span entry's (and the call graph's) unit, preserving the invariant
+        that cached analyses alias the canonical program AST.  Returns the
+        program analysis and whether any adoption happened (the caller
+        then rebuilds the source file from the span entries).
+        """
+
         feats = self.features
         stats = self.stats
         kv = kills_view(self._summaries["kill"], feats)  # type: ignore[arg-type]
@@ -488,12 +703,13 @@ class AnalysisEngine:
             kills=kv,
             ip_constants=constants,
         )
-        providers = build_providers(cg, feats, modref, sections, kv)  # type: ignore[arg-type]
         mr = self._summary_revs["modref"]
         kr = self._summary_revs["kill"]
         sr = self._summary_revs["sections"]
+        adopted = False
         with stats.timer("dependence"):
-            for name, unit in cg.units.items():
+            misses: List[Tuple[str, tuple]] = []
+            for name in cg.units:
                 key = (
                     revs[name],
                     asserts.get(name, ()),
@@ -512,24 +728,126 @@ class AnalysisEngine:
                     pa.units[name] = cached.ua
                     continue
                 stats.miss("dependence")
-                oracle = None
-                if asserts.get(name):
-                    oracle = AssertionDB()
-                    for text in asserts[name]:
-                        oracle.add(text)
-                config = unit_config(name, feats, providers, constants, oracle)
-                ua = analyze_unit(unit, config)
-                self._deps[name] = _DepEntry(
-                    key,
-                    ua,
-                    ua.graph.marking_snapshot(),
-                    {
-                        sid: (list(info.obstacles), info.parallelizable)
-                        for sid, info in ua.loop_info.items()
-                    },
-                )
-                pa.units[name] = ua
-        return pa
+                misses.append((name, key))
+            if misses:
+                payloads = []
+                for name, _key in misses:
+                    callees = sorted(cg.callees.get(name, ()))
+                    payloads.append(
+                        {
+                            "unit": cg.units[name],
+                            "callee_units": {
+                                c: cg.units[c] for c in callees
+                            },
+                            "sites": cg.sites_in(name),
+                            "modref": {
+                                c: modref[c] for c in callees if c in modref
+                            },
+                            "sections": {
+                                c: sections[c]
+                                for c in callees
+                                if c in sections
+                            },
+                            "kills": {
+                                c: kv[c] for c in callees if c in kv
+                            },
+                            "constants": constants.get(name, {}),
+                            "asserts": asserts.get(name, ()),
+                            "features": feats,
+                        }
+                    )
+                for (name, key), ua in zip(
+                    misses, self._pool.map("dep", payloads)
+                ):
+                    if ua.unit is not cg.units[name]:
+                        # Worker-analyzed copy: make it the canonical AST.
+                        entry, slot = owners[name]
+                        entry.units[slot] = ua.unit
+                        entry.candidates = None
+                        cg.units[name] = ua.unit
+                        adopted = True
+                    self._deps[name] = _DepEntry(
+                        key,
+                        ua,
+                        ua.graph.marking_snapshot(),
+                        {
+                            sid: (list(info.obstacles), info.parallelizable)
+                            for sid, info in ua.loop_info.items()
+                        },
+                    )
+                    pa.units[name] = ua
+        return pa, adopted
+
+    # ------------------------------------------------------------------
+    # stage: persistence (warm starts)
+    # ------------------------------------------------------------------
+
+    def _load_program_state(self, key: str) -> bool:
+        """Try to restore the engine's entire cache state from disk.
+
+        Only attempted on a cold engine (``_last is None``); success makes
+        the following pipeline walk hit every cache.  The whole state was
+        pickled in one stream, so the restored spans, summaries and
+        dependence entries alias one another exactly as they did when
+        spilled.  Any failure leaves the engine cold.
+        """
+
+        state = self._store.load_program(key)
+        if state is None:
+            return False
+        try:
+            spans = state["spans"]
+            summaries = state["summaries"]
+            summary_revs = state["summary_revs"]
+            deps = state["deps"]
+            last = state["last"]
+            rev_next = state["rev_next"]
+            if not all(p in summaries and p in summary_revs for p in _PHASES):
+                raise ValueError("missing summary phase")
+        except Exception as exc:  # noqa: BLE001 — stay cold on bad record
+            log.warning("ignoring invalid program record (%s)", exc)
+            self.stats.bump("disk.error")
+            return False
+        self._spans = dict(spans)
+        self._summaries = {p: dict(summaries[p]) for p in _PHASES}
+        self._summary_revs = {p: dict(summary_revs[p]) for p in _PHASES}
+        self._deps = dict(deps)
+        self._last = last
+        self._rev_next = max(int(rev_next), self._rev_next)
+        self._spilled_spans.update(spans)
+        self.stats.bump("disk.warm_start")
+        return True
+
+    def _spill_state(
+        self,
+        prog_key: str,
+        entries: List[_SpanEntry],
+        kinds: Dict[str, str],
+    ) -> None:
+        """Persist this analysis: per-span records plus one program record.
+
+        Span records warm up *partial* overlaps (an edited file reuses
+        every untouched span); the program record warms up an exact reopen
+        (source, features and assertions all unchanged).
+        """
+
+        for entry in entries:
+            if entry.digest in self._spilled_spans:
+                continue
+            if self._store.save_span(entry.digest, kinds, entry.units):
+                self._spilled_spans.add(entry.digest)
+        if not self._store.has_program(prog_key):
+            self._store.save_program(
+                prog_key,
+                {
+                    "spans": {e.digest: e for e in entries},
+                    "summaries": self._summaries,
+                    "summary_revs": self._summary_revs,
+                    "deps": self._deps,
+                    "last": self._last,
+                    "rev_next": self._rev_next,
+                },
+            )
 
 
 def _restore_pristine(entry: _DepEntry) -> None:

@@ -7,6 +7,14 @@ wall-clock time plus cache hits and misses.  The M2/M3 benchmarks and the
 editor's ``stats`` command read this instead of re-deriving costs from
 the outside, so full-vs-incremental comparisons come from real
 instrumentation.
+
+The service layer reports through the same object via free-form
+``counters``: the worker pool contributes ``pool.tasks`` /
+``pool.batches`` / ``pool.busy_s`` / ``pool.wall_s`` (utilization is
+derived as busy ÷ wall at render time), the disk cache contributes
+``disk.hit`` / ``disk.miss`` / ``disk.write`` / ``disk.evict`` /
+``disk.error``, and the session server times every protocol request as
+a stage named ``req.<op>``.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ class EngineStats:
     stages: Dict[str, StageStat] = field(default_factory=dict)
     analyses: int = 0
     last_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def stage(self, name: str) -> StageStat:
         st = self.stages.get(name)
@@ -87,10 +96,27 @@ class EngineStats:
     def miss(self, name: str, n: int = 1) -> None:
         self.stage(name).misses += n
 
+    def bump(self, name: str, n: float = 1) -> None:
+        """Increment a free-form service counter (pool/disk/server)."""
+
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def pool_utilization(self) -> float:
+        """Worker busy time over main-process wait time (≈ effective
+        parallel speedup of the dispatched batches)."""
+
+        wall = self.counters.get("pool.wall_s", 0.0)
+        busy = self.counters.get("pool.busy_s", 0.0)
+        return busy / wall if wall else 0.0
+
     def reset(self) -> None:
         self.stages.clear()
         self.analyses = 0
         self.last_seconds = {}
+        self.counters.clear()
 
     def snapshot(self) -> Dict[str, object]:
         """Machine-readable view (for the benchmark JSON artifacts)."""
@@ -98,6 +124,7 @@ class EngineStats:
         return {
             "analyses": self.analyses,
             "last_seconds": dict(self.last_seconds),
+            "counters": dict(self.counters),
             "stages": {
                 name: {
                     "runs": st.runs,
@@ -130,4 +157,15 @@ class EngineStats:
                 f"{self.last_seconds.get(name, 0.0):>9.4f} "
                 f"{st.hits:>6} {st.misses:>6} {rate:>6}"
             )
+        if self.counters:
+            rows.append("")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                shown = f"{value:.4f}" if name.endswith("_s") else f"{value:g}"
+                rows.append(f"{name:<16} {shown:>12}")
+            if "pool.wall_s" in self.counters:
+                rows.append(
+                    f"{'pool.utilization':<16} "
+                    f"{self.pool_utilization():>11.2f}x"
+                )
         return "\n".join(rows)

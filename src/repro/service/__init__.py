@@ -1,0 +1,82 @@
+"""The analysis service layer: parallel workers, persistence, serving.
+
+Three cooperating subsystems on top of the incremental engine:
+
+* :mod:`repro.service.pool` / :mod:`repro.service.tasks` — fan
+  independent per-unit work (parse, summary steps, dependence) out
+  across worker processes, with a deterministic inline fallback;
+* :mod:`repro.service.diskcache` / :mod:`repro.service.persist` — a
+  content-addressed on-disk store that lets a reopened session start
+  warm;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  JSON-lines protocol server hosting many concurrent named Ped
+  sessions (``python -m repro serve``), plus a thin client.
+
+``build_engine`` is the one-stop factory the CLI and sessions use to
+turn ``--jobs`` / ``--cache-dir`` into a configured engine.
+
+The server/client pair is imported lazily: they depend on the editor
+package, which itself builds on the engine this package supplies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .diskcache import DiskCache, FORMAT_VERSION
+from .persist import PersistentStore
+from .pool import SerialPool, WorkerPool, make_pool
+
+__all__ = [
+    "DiskCache",
+    "FORMAT_VERSION",
+    "PersistentStore",
+    "SerialPool",
+    "WorkerPool",
+    "make_pool",
+    "build_engine",
+    "PedServer",
+    "PedClient",
+    "PedRequestError",
+    "serve_stdio",
+    "serve_tcp",
+]
+
+
+def build_engine(
+    features=None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    stats=None,
+    pool=None,
+    store=None,
+):
+    """An :class:`~repro.incremental.AnalysisEngine` wired for service.
+
+    ``jobs > 1`` attaches a process pool, ``cache_dir`` a persistent
+    store; the defaults reproduce the classic serial, in-memory engine.
+    Explicit ``pool`` / ``store`` arguments (e.g. the server's shared
+    instances) win over the convenience flags.
+    """
+
+    from ..incremental.engine import AnalysisEngine
+    from ..incremental.stats import EngineStats
+
+    stats = stats or EngineStats()
+    if pool is None:
+        pool = make_pool(jobs, stats=stats)
+    if store is None and cache_dir:
+        store = PersistentStore.at(cache_dir, stats=stats)
+    return AnalysisEngine(features=features, stats=stats, pool=pool, store=store)
+
+
+def __getattr__(name: str):
+    if name in ("PedServer", "serve_stdio", "serve_tcp"):
+        from . import server
+
+        return getattr(server, name)
+    if name in ("PedClient", "PedRequestError"):
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

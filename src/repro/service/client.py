@@ -1,0 +1,214 @@
+"""A thin Python client for the Ped session server.
+
+Speaks the JSON-lines protocol of :mod:`repro.service.server` over any
+line-oriented transport: a TCP connection (:meth:`PedClient.connect`), a
+spawned ``python -m repro serve --stdio`` subprocess
+(:meth:`PedClient.spawn`) or an in-process pipe pair (tests).  A reader
+thread matches replies to requests by id, so many requests may be in
+flight at once; :meth:`request` is the blocking convenience wrapper and
+:meth:`submit` the asynchronous one.
+
+>>> client = PedClient.connect(port=7077)
+>>> client.request("open", session="w", source=fortran_text)
+>>> client.request("loops", session="w", unit="main")
+>>> client.close()
+
+Failed requests raise :class:`PedRequestError`, carrying the server's
+structured error ``type`` (``ped-error``, ``timeout``, ``cancelled``…)
+and message.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import subprocess
+import sys
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional
+
+
+class PedRequestError(Exception):
+    """A structured error reply from the server."""
+
+    def __init__(self, etype: str, message: str) -> None:
+        super().__init__(f"{etype}: {message}")
+        self.type = etype
+        self.message = message
+
+
+class PedClient:
+    """One protocol connection; safe to use from multiple threads."""
+
+    def __init__(self, rfile, wfile, *, on_close=None) -> None:
+        self._rfile = rfile
+        self._wfile = wfile
+        self._on_close = on_close
+        self._write_lock = threading.Lock()
+        self._pending: Dict[object, Future] = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="ped-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "PedClient":
+        """Connect to a ``ped serve --port`` server."""
+
+        sock = socket.create_connection((host, port))
+        rfile = sock.makefile("r", encoding="utf-8")
+        wfile = sock.makefile("w", encoding="utf-8")
+
+        def _close():
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+        return cls(rfile, wfile, on_close=_close)
+
+    @classmethod
+    def spawn(cls, argv=None, **popen_kwargs) -> "PedClient":
+        """Spawn ``python -m repro serve --stdio`` and attach to it."""
+
+        argv = argv or [sys.executable, "-m", "repro", "serve", "--stdio"]
+        proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            **popen_kwargs,
+        )
+
+        def _close():
+            try:
+                proc.stdin.close()
+            except OSError:
+                pass
+            proc.wait(timeout=10)
+
+        client = cls(proc.stdout, proc.stdin, on_close=_close)
+        client.process = proc
+        return client
+
+    # ------------------------------------------------------------------
+    # the wire
+    # ------------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            for line in self._rfile:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    reply = json.loads(line)
+                except ValueError:
+                    continue
+                future = None
+                with self._pending_lock:
+                    future = self._pending.pop(reply.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if reply.get("ok"):
+                    future.set_result(reply.get("result"))
+                else:
+                    err = reply.get("error") or {}
+                    future.set_exception(
+                        PedRequestError(
+                            err.get("type", "unknown"),
+                            err.get("message", "unknown error"),
+                        )
+                    )
+        finally:
+            self._fail_pending("connection closed")
+
+    def _fail_pending(self, why: str) -> None:
+        with self._pending_lock:
+            pending, self._pending = dict(self._pending), {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(PedRequestError("connection", why))
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+
+    def submit(self, op: str, **params) -> "PendingReply":
+        """Send one request; returns a handle resolving to its result."""
+
+        rid = params.pop("id", None)
+        if rid is None:
+            rid = next(self._ids)
+        req = {"id": rid, "op": op, **params}
+        future: Future = Future()
+        with self._pending_lock:
+            self._pending[rid] = future
+        line = json.dumps(req)
+        try:
+            with self._write_lock:
+                self._wfile.write(line + "\n")
+                self._wfile.flush()
+        except (BrokenPipeError, ValueError, OSError) as exc:
+            with self._pending_lock:
+                self._pending.pop(rid, None)
+            raise PedRequestError("connection", f"send failed: {exc}")
+        return PendingReply(self, rid, future)
+
+    def request(self, op: str, *, wait: Optional[float] = 30.0, **params):
+        """Send one request and wait for its result (or raise)."""
+
+        return self.submit(op, **params).result(wait)
+
+    def cancel(self, target) -> None:
+        """Ask the server to cancel request ``target`` (fire and forget)."""
+
+        self.submit("cancel", target=target)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._write_lock:
+                self._wfile.close()
+        except (OSError, ValueError):
+            pass
+        if self._on_close is not None:
+            self._on_close()
+        self._fail_pending("client closed")
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PendingReply:
+    """Handle for one in-flight request."""
+
+    def __init__(self, client: PedClient, rid, future: Future) -> None:
+        self.client = client
+        self.id = rid
+        self._future = future
+
+    def result(self, timeout: Optional[float] = 30.0):
+        return self._future.result(timeout=timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> None:
+        """Request server-side cancellation of this call."""
+
+        self.client.cancel(self.id)

@@ -1,0 +1,195 @@
+"""Content-addressed on-disk cache with LRU eviction.
+
+The persistent half of the analysis service: engines spill their parse /
+summary / dependence caches here (via
+:class:`~repro.service.persist.PersistentStore`) so a reopened session
+starts warm.  Design points, each load-bearing:
+
+* **Content addressing** — keys are content digests (span digests,
+  program digests), so entries are valid forever: a stale entry can
+  never be *returned* for current content, only missed.
+* **Format-version stamp** — every record embeds
+  :data:`FORMAT_VERSION` plus its own kind and key; a version bump, a
+  truncated write or a record filed under the wrong digest all fail
+  validation and read as a miss.
+* **Atomic writes** — records are written to a temp file in the target
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written record even mid-crash.
+* **Graceful degradation** — *any* failure to read, validate or
+  unpickle logs a warning, deletes the offending file where possible,
+  and returns a miss; persistence problems degrade to a cold analysis,
+  never to a crash or a stale result.
+* **Size-bounded LRU** — after each write the store evicts
+  least-recently-used records (file mtime, refreshed on every hit)
+  until the total size fits ``max_bytes``.
+
+Counters (``disk.hit`` / ``disk.miss`` / ``disk.write`` / ``disk.evict``
+/ ``disk.error``) feed the attached engine stats.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+log = logging.getLogger(__name__)
+
+#: Bump when any pickled payload's schema changes; old records then
+#: read as misses instead of poisoning newer code.
+FORMAT_VERSION = 1
+
+_MAGIC = "repro-cache"
+
+
+class DiskCache:
+    """A directory of pickled records addressed by ``(kind, key)``."""
+
+    def __init__(
+        self,
+        root,
+        max_bytes: int = 256 * 1024 * 1024,
+        stats=None,
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.stats = stats
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def _bump(self, name: str, n: float = 1) -> None:
+        if self.stats is not None:
+            self.stats.bump(name, n)
+
+    # ------------------------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Optional[object]:
+        """The payload stored under ``(kind, key)``, or ``None``.
+
+        Every failure mode — missing file, truncation, unpickling error,
+        version or address mismatch — is a logged miss, never an
+        exception.
+        """
+
+        path = self._path(kind, key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self._bump("disk.miss")
+            return None
+        except OSError as exc:
+            self._bump("disk.error")
+            log.warning("cache read failed for %s: %s", path, exc)
+            return None
+        try:
+            record = pickle.loads(blob)
+            if not isinstance(record, dict) or record.get("magic") != _MAGIC:
+                raise ValueError("not a cache record")
+            if record.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"format version {record.get('format')!r}, "
+                    f"expected {FORMAT_VERSION}"
+                )
+            if record.get("kind") != kind or record.get("key") != key:
+                raise ValueError(
+                    f"record addressed {record.get('kind')!r}/"
+                    f"{record.get('key')!r}, expected {kind!r}/{key!r}"
+                )
+            payload = record["payload"]
+        except Exception as exc:  # noqa: BLE001 — corrupt entry = miss
+            self._bump("disk.error")
+            self._bump("disk.miss")
+            log.warning(
+                "discarding invalid cache entry %s (%s); analysis "
+                "falls back to cold",
+                path,
+                exc,
+            )
+            self._discard(path)
+            return None
+        self._bump("disk.hit")
+        self._touch(path)
+        return payload
+
+    def put(self, kind: str, key: str, payload: object) -> bool:
+        """Atomically store ``payload``; returns False on any failure."""
+
+        path = self._path(kind, key)
+        record = {
+            "magic": _MAGIC,
+            "format": FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        try:
+            blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".tmp-{key[:8]}-"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception as exc:  # noqa: BLE001 — persistence is optional
+            self._bump("disk.error")
+            log.warning("cache write failed for %s: %s", path, exc)
+            return False
+        self._bump("disk.write")
+        self._evict()
+        return True
+
+    def contains(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).exists()
+
+    # ------------------------------------------------------------------
+
+    def _touch(self, path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _records(self):
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".pkl"):
+                    path = Path(dirpath) / name
+                    try:
+                        st = path.stat()
+                    except OSError:
+                        continue
+                    yield path, st.st_size, st.st_mtime
+
+    def _evict(self) -> None:
+        entries = list(self._records())
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda e: e[2])  # oldest mtime first
+        for path, size, _mtime in entries:
+            if total <= self.max_bytes:
+                break
+            self._discard(path)
+            total -= size
+            self._bump("disk.evict")

@@ -1,0 +1,117 @@
+"""Warm-start persistence for the incremental analysis engine.
+
+Two record families, both content-addressed into a :class:`DiskCache`:
+
+* **Span records** (``span:<digest>``) — the bound units of one source
+  span, stored with the program's ``{unit: kind}`` map at bind time.
+  Name resolution inside a unit depends on which *other* names are
+  program units (array reference vs function call), so a span record is
+  only admissible when its recorded kinds map equals the current one;
+  the engine validates that after assembling the whole unit set and
+  reparses any span that fails.  Within that guard a span digest fully
+  determines the parse, so records survive across sessions and across
+  unrelated edits elsewhere in the file.
+* **Program records** (``prog:<digest of (features, source,
+  assertions)>``) — the engine's complete cache state for one analyzed
+  program: span entries, the four summary families with their revision
+  counters, the per-unit dependence entries with their pristine marking
+  snapshots, and the change-detection baseline.  Everything is pickled
+  in one stream, so the aliasing invariant (a cached ``UnitAnalysis``
+  references the same AST objects as the cached spans) survives the
+  round trip.  Loading one on a cold engine makes the next ``analyze``
+  a pure cache walk — the warm start the benchmarks measure.
+
+The digests mirror the engine's own content keys, so a record can never
+be served for content it was not computed from; anything else (format
+drift, truncation, corruption) is the :class:`DiskCache`'s problem and
+degrades to a cold analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict
+from typing import Dict, List, Optional, Tuple
+
+from .diskcache import DiskCache
+
+SPAN_KIND = "span"
+PROG_KIND = "prog"
+
+
+def features_digest(features) -> str:
+    payload = repr(sorted(asdict(features).items()))
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+class PersistentStore:
+    """The engine's view of the on-disk cache."""
+
+    def __init__(self, cache: DiskCache) -> None:
+        self.cache = cache
+
+    @classmethod
+    def at(cls, path, max_bytes: int = 256 * 1024 * 1024, stats=None):
+        return cls(DiskCache(path, max_bytes=max_bytes, stats=stats))
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    @stats.setter
+    def stats(self, value) -> None:
+        self.cache.stats = value
+
+    # -- span records ---------------------------------------------------
+
+    def load_span(
+        self, digest: str
+    ) -> Optional[Tuple[Dict[str, str], List[object]]]:
+        """``(recorded_kinds, bound_units)`` for one span, or ``None``."""
+
+        payload = self.cache.get(SPAN_KIND, digest)
+        if not isinstance(payload, dict):
+            return None
+        kinds = payload.get("kinds")
+        units = payload.get("units")
+        if not isinstance(kinds, dict) or not isinstance(units, list):
+            return None
+        return kinds, units
+
+    def save_span(
+        self, digest: str, kinds: Dict[str, str], units: List[object]
+    ) -> bool:
+        return self.cache.put(
+            SPAN_KIND, digest, {"kinds": dict(kinds), "units": units}
+        )
+
+    # -- program records ------------------------------------------------
+
+    def program_key(
+        self,
+        features,
+        source: str,
+        assertions: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ) -> str:
+        h = hashlib.sha1()
+        h.update(features_digest(features).encode())
+        h.update(b"\x00")
+        h.update(source.encode())
+        h.update(b"\x00")
+        for name in sorted(assertions or {}):
+            h.update(name.encode())
+            for text in assertions[name]:
+                h.update(b"\x01")
+                h.update(text.encode())
+            h.update(b"\x02")
+        return h.hexdigest()
+
+    def load_program(self, key: str) -> Optional[dict]:
+        payload = self.cache.get(PROG_KIND, key)
+        return payload if isinstance(payload, dict) else None
+
+    def save_program(self, key: str, state: dict) -> bool:
+        return self.cache.put(PROG_KIND, key, state)
+
+    def has_program(self, key: str) -> bool:
+        return self.cache.contains(PROG_KIND, key)

@@ -1,0 +1,156 @@
+"""Worker pools: fan per-unit analysis tasks out across processes.
+
+Two interchangeable backends execute :func:`repro.service.tasks.run_task`:
+
+* :class:`SerialPool` — the deterministic in-process fallback (``--jobs
+  1`` and most tests).  Tasks run inline, in submission order, on the
+  caller's objects (no pickling), so it is byte-for-byte the classic
+  serial pipeline.
+* :class:`WorkerPool` — a ``ProcessPoolExecutor`` that pickles payloads
+  out and results back.  Submission order is preserved (``executor.map``),
+  so merges on the main process are deterministic; a broken pool (killed
+  worker, unpicklable payload) degrades to inline execution with a
+  logged warning rather than failing the analysis.
+
+Both report utilization into :class:`~repro.incremental.stats.EngineStats`
+counters when attached: ``pool.tasks`` / ``pool.batches`` (work volume),
+``pool.busy_s`` (summed task seconds across workers) and ``pool.wall_s``
+(main-process wait), from which the stats renderer derives utilization.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from .tasks import run_task, run_task_timed
+
+log = logging.getLogger(__name__)
+
+
+class SerialPool:
+    """Inline task execution: the ``--jobs 1`` / test fallback."""
+
+    jobs = 1
+    parallel = False
+
+    def __init__(self, stats=None) -> None:
+        self.stats = stats
+
+    def map(self, kind: str, payloads: Sequence[Dict]) -> List:
+        t0 = time.perf_counter()
+        results = [run_task(kind, p) for p in payloads]
+        if self.stats is not None and payloads:
+            dt = time.perf_counter() - t0
+            self.stats.bump("pool.batches")
+            self.stats.bump("pool.tasks", len(payloads))
+            self.stats.bump("pool.busy_s", dt)
+            self.stats.bump("pool.wall_s", dt)
+        return results
+
+    def close(self) -> None:  # symmetry with WorkerPool
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class WorkerPool:
+    """Process-pool execution of analysis tasks, created lazily.
+
+    The executor starts on first use (so constructing an engine with
+    ``--jobs N`` costs nothing until a batch is actually dispatched) and
+    is shared for the pool's lifetime — across analyses, sessions and
+    server clients.  ``map`` may be called from multiple threads.
+    """
+
+    parallel = True
+
+    def __init__(self, jobs: int, stats=None) -> None:
+        if jobs < 2:
+            raise ValueError("WorkerPool needs jobs >= 2; use SerialPool")
+        self.jobs = jobs
+        self.stats = stats
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._inline = SerialPool(stats=None)
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def map(self, kind: str, payloads: Sequence[Dict]) -> List:
+        if len(payloads) < 2:
+            # A single task gains nothing from a round-trip; run inline.
+            return self._inline.map(kind, payloads)
+        t0 = time.perf_counter()
+        try:
+            executor = self._ensure_executor()
+            chunk = max(1, len(payloads) // (self.jobs * 4))
+            out: List = []
+            busy = 0.0
+            for result, seconds in executor.map(
+                run_task_timed,
+                [(kind, p) for p in payloads],
+                chunksize=chunk,
+            ):
+                out.append(result)
+                busy += seconds
+        except Exception as exc:  # noqa: BLE001 — degrade, never fail
+            if _is_analysis_error(exc):
+                raise
+            log.warning(
+                "worker pool failed (%s: %s); falling back to inline "
+                "execution for this batch",
+                type(exc).__name__,
+                exc,
+            )
+            if self.stats is not None:
+                self.stats.bump("pool.broken")
+            self._shutdown_executor()
+            return self._inline.map(kind, payloads)
+        if self.stats is not None:
+            self.stats.bump("pool.batches")
+            self.stats.bump("pool.tasks", len(payloads))
+            self.stats.bump("pool.busy_s", busy)
+            self.stats.bump("pool.wall_s", time.perf_counter() - t0)
+        return out
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001
+                pass
+            self._executor = None
+
+    def close(self) -> None:
+        self._shutdown_executor()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _is_analysis_error(exc: Exception) -> bool:
+    """Fortran front-end errors are results, not pool failures: the
+    session's edit-rollback path depends on seeing them."""
+
+    from ..fortran.errors import FortranError
+
+    return isinstance(exc, FortranError)
+
+
+def make_pool(jobs: int, stats=None):
+    """``--jobs N`` → the right pool backend."""
+
+    if jobs and jobs > 1:
+        return WorkerPool(jobs, stats=stats)
+    return SerialPool(stats=stats)

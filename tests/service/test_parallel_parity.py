@@ -1,0 +1,136 @@
+"""Parallel execution must be bit-identical to serial.
+
+The worker pool's contract: an engine with ``jobs >= 2`` produces the
+same structural fingerprint as the serial engine for every program and
+every edit sequence — parallelism is an implementation detail, never an
+approximation.  One process pool is shared across the whole module
+(spawning one per test would dominate runtime).
+"""
+
+import re
+
+import pytest
+
+from repro.incremental import AnalysisEngine, program_fingerprint
+from repro.incremental.stats import EngineStats
+from repro.service import WorkerPool, build_engine
+from repro.workloads import SUITE
+
+#: Programs spanning the interesting shapes: the biggest call graph
+#: (spec77), a recursive-free chain and a flat one.
+PROGRAMS = ("spec77", "onedim", "slab2d")
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    pool = WorkerPool(2, stats=EngineStats())
+    yield pool
+    pool.close()
+
+
+def _edit_steps(source):
+    lines = source.splitlines()
+    steps = []
+    for i, text in enumerate(lines):
+        if (
+            re.search(r"= .*[0-9]", text)
+            and "do " not in text
+            and "parameter" not in text
+        ):
+            tweaked = list(lines)
+            tweaked[i] = text + " + 0.0"
+            steps.append("\n".join(tweaked) + "\n")
+            break
+    mid = len(lines) // 2
+    commented = list(lines)
+    commented.insert(mid, "c service-layer probe")
+    steps.append("\n".join(commented) + "\n")
+    steps.append(source if source.endswith("\n") else source + "\n")
+    return steps
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_parallel_matches_serial_across_edits(name, shared_pool):
+    source = SUITE[name].source
+    serial = AnalysisEngine()
+    parallel = AnalysisEngine(pool=shared_pool)
+    for step in [source] + _edit_steps(source):
+        _, pa_serial = serial.analyze(step)
+        _, pa_parallel = parallel.analyze(step)
+        assert program_fingerprint(pa_serial) == program_fingerprint(
+            pa_parallel
+        )
+
+
+def test_parallel_matches_serial_with_assertions(shared_pool):
+    source = SUITE["onedim"].source
+    first_unit = "onedim"
+    serial = AnalysisEngine()
+    parallel = AnalysisEngine(pool=shared_pool)
+    asserts = {first_unit: ["n >= 1"]}
+    for a in (None, asserts, None):
+        _, pa_s = serial.analyze(source, assertions=a)
+        _, pa_p = parallel.analyze(source, assertions=a)
+        assert program_fingerprint(pa_s) == program_fingerprint(pa_p)
+
+
+def test_parallel_engine_reports_pool_counters(shared_pool):
+    engine = AnalysisEngine(pool=shared_pool)
+    engine.analyze(SUITE["onedim"].source)
+    stats = shared_pool.stats
+    assert stats.counter("pool.tasks") > 0
+    assert stats.counter("pool.batches") > 0
+    assert stats.counter("pool.wall_s") > 0
+    assert 0 < stats.pool_utilization()
+
+
+def test_parallel_session_edits_and_transforms(shared_pool):
+    """A full session over a parallel engine behaves like a serial one."""
+
+    from repro.editor.session import PedSession
+
+    source = SUITE["onedim"].source
+    serial = PedSession(source)
+    parallel = PedSession(
+        source, engine=AnalysisEngine(pool=shared_pool)
+    )
+    for s in (serial, parallel):
+        s.select_unit("build")
+        s.select_loop(0)
+    assert serial.selected_info.parallelizable == (
+        parallel.selected_info.parallelizable
+    )
+    msg_s = serial.edit(2, 2, "      integer i, n")
+    msg_p = parallel.edit(2, 2, "      integer i, n")
+    assert msg_s == msg_p
+    assert program_fingerprint(serial.analysis) == program_fingerprint(
+        parallel.analysis
+    )
+
+
+def test_parse_error_propagates_from_pool(shared_pool):
+    """FortranError must cross the process boundary: the session's
+    edit-rollback path depends on catching it."""
+
+    from repro.editor.session import PedError, PedSession
+
+    session = PedSession(
+        SUITE["onedim"].source, engine=AnalysisEngine(pool=shared_pool)
+    )
+    fingerprint = program_fingerprint(session.analysis)
+    with pytest.raises(PedError):
+        session.edit(4, 4, "      do 10 i = ")  # malformed DO
+    # Rolled back: analysis state identical to before the bad edit.
+    assert program_fingerprint(session.analysis) == fingerprint
+
+
+def test_build_engine_jobs_flag():
+    engine = build_engine(jobs=2)
+    try:
+        assert engine.pool.parallel
+        assert engine.pool.jobs == 2
+        _, pa = engine.analyze(SUITE["slab2d"].source)
+        ref = AnalysisEngine().analyze(SUITE["slab2d"].source)[1]
+        assert program_fingerprint(pa) == program_fingerprint(ref)
+    finally:
+        engine.close()
