@@ -5,17 +5,50 @@ real size).  This bench generates structurally spec77-like programs of
 increasing size and measures front-end and whole-program-analysis cost,
 asserting near-linear growth (the analyses are per-procedure plus a
 call-graph pass; nothing quadratic in program size should appear).
+
+It also measures the dependence engine's hot-path overhaul: pair
+pruning and test memoization must at least halve whole-program analysis
+time on the 40-routine workload while producing byte-identical
+dependence graphs, and the per-size pruning / memo hit rates are
+recorded to ``benchmarks/out/hotpath.json``.
 """
 
+import json
 import time
 
 import pytest
 
+from repro.dependence import driver
 from repro.fortran import parse_and_bind
+from repro.incremental import program_fingerprint
 from repro.interproc import FeatureSet, analyze_program
 from repro.workloads.generator import generate_program
 
 from conftest import save_artifact
+
+
+def _hotpath_totals(pa):
+    totals = {"pairs_pruned": 0, "memo_hits": 0, "memo_misses": 0}
+    pairs = 0
+    for ua in pa.units.values():
+        for key, value in ua.hotpath_stats().items():
+            totals[key] += value
+        pairs += sum(ua.tester.pair_resolution.values())
+    totals["pairs_total"] = pairs
+    totals["prune_rate"] = totals["pairs_pruned"] / pairs if pairs else 0.0
+    looked = totals["memo_hits"] + totals["memo_misses"]
+    totals["memo_hit_rate"] = totals["memo_hits"] / looked if looked else 0.0
+    return totals
+
+
+def _with_hot_path(prune, memo, fn):
+    saved = (driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs)
+    driver.HOT_PATH.prune_pairs = prune
+    driver.HOT_PATH.memoize_pairs = memo
+    try:
+        return fn()
+    finally:
+        driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs = saved
 
 
 @pytest.mark.parametrize("n_routines", [5, 20])
@@ -26,7 +59,7 @@ def test_frontend_scaling(benchmark, n_routines):
 
 
 def test_analysis_scaling_is_near_linear(benchmark):
-    sizes = [5, 10, 20, 40]
+    sizes = [5, 10, 20, 40, 80, 160]
     results = []
 
     def measure():
@@ -38,24 +71,47 @@ def test_analysis_scaling_is_near_linear(benchmark):
             t0 = time.perf_counter()
             pa = analyze_program(sf, FeatureSet())
             dt = time.perf_counter() - t0
-            driver = pa.unit("driver")
-            driver_ok = driver.info_for(driver.loops[0].loop).parallelizable
+            driver_ua = pa.unit("driver")
+            driver_ok = driver_ua.info_for(
+                driver_ua.loops[0].loop
+            ).parallelizable
             out.append(
-                (k, lines, dt, pa.parallel_loop_count(), pa.loop_count(), driver_ok)
+                (
+                    k,
+                    lines,
+                    dt,
+                    pa.parallel_loop_count(),
+                    pa.loop_count(),
+                    driver_ok,
+                    _hotpath_totals(pa),
+                )
             )
         return out
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
 
-    text_lines = ["routines  lines  seconds  parallel/total"]
-    for k, lines, dt, par, total, driver_ok in results:
-        text_lines.append(f"{k:>8} {lines:>6} {dt:>8.3f}  {par}/{total}")
+    text_lines = ["routines  lines  seconds  parallel/total  prune%  memo%"]
+    hotpath_rows = []
+    for k, lines, dt, par, total, driver_ok, hp in results:
+        text_lines.append(
+            f"{k:>8} {lines:>6} {dt:>8.3f}  {par}/{total}"
+            f"  {100.0 * hp['prune_rate']:5.1f}  {100.0 * hp['memo_hit_rate']:5.1f}"
+        )
+        hotpath_rows.append(dict(hp, routines=k, seconds=dt))
         # The gloop-style driver loop parallelizes at every size (sections
         # must keep working as the program grows); the in-place stencil
         # routines are genuinely serial, like their spec77 originals.
         assert driver_ok, k
         assert par >= 5
     save_artifact("scaling.txt", "\n".join(text_lines) + "\n")
+    save_artifact(
+        "hotpath.json", json.dumps({"sizes": hotpath_rows}, indent=2) + "\n"
+    )
+    # The hot path must actually fire at scale: most testable pairs
+    # repeat a known pattern, and a solid slice never reaches a test.
+    biggest = results[-1][-1]
+    assert biggest["prune_rate"] > 0.05
+    assert biggest["memo_hit_rate"] > 0.5
 
     # Near-linear: 8x the routines may cost at most ~16x the time
     # (allows constant overheads + mild superlinearity, rejects quadratic).
@@ -63,6 +119,49 @@ def test_analysis_scaling_is_near_linear(benchmark):
     t_large = results[-1][2]
     ratio = t_large / max(t_small, 1e-9)
     assert ratio < (sizes[-1] / sizes[0]) ** 1.6, ratio
+
+
+def test_hotpath_speedup_on_40_routines(benchmark):
+    """Pair pruning + memoization at least halve 40-routine analysis
+    time, with byte-identical dependence graphs (parity asserted here,
+    not assumed)."""
+
+    source = generate_program(n_routines=40)
+
+    def analyze():
+        return analyze_program(parse_and_bind(source), FeatureSet())
+
+    def timed(prune, memo):
+        t0 = time.perf_counter()
+        pa = _with_hot_path(prune, memo, analyze)
+        return time.perf_counter() - t0, pa
+
+    def measure():
+        t_ref, pa_ref = timed(False, False)
+        t_opt, pa_opt = timed(True, True)
+        return t_ref, pa_ref, t_opt, pa_opt
+
+    t_ref, pa_ref, t_opt, pa_opt = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=1
+    )
+    assert program_fingerprint(pa_opt) == program_fingerprint(pa_ref)
+    totals = _hotpath_totals(pa_opt)
+    speedup = t_ref / max(t_opt, 1e-9)
+    save_artifact(
+        "hotpath_speedup.json",
+        json.dumps(
+            dict(
+                totals,
+                routines=40,
+                seconds_reference=t_ref,
+                seconds_optimized=t_opt,
+                speedup=speedup,
+            ),
+            indent=2,
+        )
+        + "\n",
+    )
+    assert speedup >= 2.0, (t_ref, t_opt)
 
 
 def test_interactive_latency_on_spec77_sized_program(benchmark):

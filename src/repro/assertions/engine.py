@@ -43,6 +43,7 @@ class AssertionDB(Oracle):
         self._nonzero: List[Linear] = []
         self._injective: Set[str] = set()
         self._constants: Dict[str, int] = {}
+        self._version = 0
 
     # -- mutation -----------------------------------------------------------
 
@@ -54,6 +55,7 @@ class AssertionDB(Oracle):
             if isinstance(fact_or_text, str)
             else fact_or_text
         )
+        self._version += 1
         self.facts.append(fact)
         if isinstance(fact, RangeFact):
             self._constraints.append((fact.lin, fact.lo, fact.hi))
@@ -72,10 +74,12 @@ class AssertionDB(Oracle):
         return fact
 
     def remove(self, fact: Assertion) -> None:
+        self._version += 1
         self.facts.remove(fact)
         self._rebuild()
 
     def clear(self) -> None:
+        self._version += 1
         self.facts.clear()
         self._rebuild()
 
@@ -90,6 +94,9 @@ class AssertionDB(Oracle):
             self.add(f)
 
     # -- Oracle protocol -------------------------------------------------------
+
+    def version(self) -> int:
+        return self._version
 
     def injective(self, name: str) -> bool:
         return name.lower() in self._injective

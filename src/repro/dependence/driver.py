@@ -69,6 +69,72 @@ from .tests import EQ, GT, LT, LoopBound, Oracle
 
 
 @dataclass
+class HotPathConfig:
+    """Switches for the result-preserving hot-path optimizations.
+
+    Both default on; the parity suite and the scaling bench flip them to
+    compare the optimized pipeline against the reference pipeline —
+    graph fingerprints must be byte-identical either way.
+    """
+
+    prune_pairs: bool = True
+    memoize_pairs: bool = True
+
+
+#: Process-wide hot-path switches (monkeypatched by parity tests/benches).
+HOT_PATH = HotPathConfig()
+
+
+class UnitStatementIndex:
+    """Single-pass statement index of one procedure.
+
+    Built once per :func:`analyze_unit` and shared by every consumer that
+    previously re-walked the AST — scalar dependence collection, per-loop
+    verdicts, the GOTO-target check and the editor's loop-body queries.
+    ``loop_body[sid]`` lists the statements strictly inside that DO loop
+    in :func:`walk_statements` order; ``label_to_sid`` maps statement
+    labels to the first statement carrying them (lexical order, exactly
+    what the old per-GOTO walk returned).
+    """
+
+    def __init__(self, unit: ProcedureUnit) -> None:
+        self.label_to_sid: Dict[int, int] = {}
+        self.loop_body: Dict[int, List[Stmt]] = {}
+        self._body_sids: Dict[int, Set[int]] = {}
+        self._build(unit.body, [])
+
+    def _build(self, body: Sequence[Stmt], active: List[int]) -> None:
+        for st in body:
+            for sid in active:
+                self.loop_body[sid].append(st)
+            if st.label is not None and st.label not in self.label_to_sid:
+                self.label_to_sid[st.label] = st.sid
+            if isinstance(st, DoLoop):
+                self.loop_body[st.sid] = []
+                active.append(st.sid)
+                self._build(st.body, active)
+                active.pop()
+            else:
+                for blk in st.blocks():
+                    self._build(blk, active)
+
+    def body_statements(self, loop: DoLoop) -> List[Stmt]:
+        """Statements inside ``loop`` (header excluded), lexical order."""
+
+        stmts = self.loop_body.get(loop.sid)
+        if stmts is None:  # loop not part of the indexed unit
+            return list(walk_statements(loop.body))
+        return stmts
+
+    def body_sids(self, loop: DoLoop) -> Set[int]:
+        sids = self._body_sids.get(loop.sid)
+        if sids is None:
+            sids = {st.sid for st in self.body_statements(loop)}
+            self._body_sids[loop.sid] = sids
+        return sids
+
+
+@dataclass
 class AnalysisConfig:
     """Feature switches for the analysis engine (the Table 3 levers)."""
 
@@ -136,12 +202,37 @@ class UnitAnalysis:
     loop_info: Dict[int, LoopInfo]
     tester: DependenceTester
     pair_results: List[PairResult] = field(default_factory=list)
+    stmt_index: Optional[UnitStatementIndex] = None
 
     def info_for(self, loop: DoLoop) -> LoopInfo:
         return self.loop_info[loop.sid]
 
     def parallel_loops(self) -> List[LoopInfo]:
         return [li for li in self.loop_info.values() if li.parallelizable]
+
+    def body_sids(self, loop: DoLoop) -> Set[int]:
+        """Statement sids inside ``loop`` (cached via the unit index)."""
+
+        return self._index().body_sids(loop)
+
+    def body_statements(self, loop: DoLoop) -> List[Stmt]:
+        """Statements inside ``loop`` (cached via the unit index)."""
+
+        return self._index().body_statements(loop)
+
+    def _index(self) -> UnitStatementIndex:
+        if self.stmt_index is None:
+            self.stmt_index = UnitStatementIndex(self.unit)
+        return self.stmt_index
+
+    def hotpath_stats(self) -> Dict[str, int]:
+        """Pair-pruning and memoization counters of this unit's run."""
+
+        return {
+            "pairs_pruned": self.tester.pair_resolution.get("pruned", 0),
+            "memo_hits": self.tester.memo_hits,
+            "memo_misses": self.tester.memo_misses,
+        }
 
 
 def analyze_unit(
@@ -167,22 +258,73 @@ def analyze_unit(
     ) if config.use_constants else ConstantMap()
     loops = collect_loops(unit)
     table: SymbolTable = unit.symtab  # type: ignore[assignment]
+    stmt_index = UnitStatementIndex(unit)
+
+    # Idiom recognition once per loop, shared by the graph builder (edge
+    # annotation) and the per-loop verdicts (reporting).
+    reductions: Dict[int, List[Reduction]] = {}
+    inductions: Dict[int, List[InductionVar]] = {}
+    for nest in loops:
+        loop = nest.loop
+        reductions[loop.sid] = (
+            find_reductions(loop, table, effects)
+            if config.use_reductions
+            else []
+        )
+        inductions[loop.sid] = (
+            auxiliary_inductions(loop, table, effects)
+            if config.use_inductions
+            else []
+        )
 
     graph = DependenceGraph()
-    tester = DependenceTester(table, oracle)
+    tester = DependenceTester(
+        table, oracle, memoize=HOT_PATH.memoize_pairs
+    )
     builder = _GraphBuilder(
-        unit, cfg, defuse, constants, loops, graph, tester, config
+        unit,
+        cfg,
+        defuse,
+        constants,
+        loops,
+        graph,
+        tester,
+        config,
+        stmt_index,
+        reductions,
+        inductions,
     )
     pair_results = builder.build()
+    # The memo has done its job for this unit; drop it so cached/pickled
+    # UnitAnalysis objects stay lean (hit/miss counters survive).
+    tester.memo.clear()
 
     loop_info: Dict[int, LoopInfo] = {}
     for nest in loops:
         loop_info[nest.loop.sid] = _loop_verdict(
-            nest, unit, graph, defuse, config, effects, table
+            nest,
+            unit,
+            graph,
+            defuse,
+            config,
+            effects,
+            table,
+            stmt_index,
+            reductions[nest.loop.sid],
+            inductions[nest.loop.sid],
         )
 
     return UnitAnalysis(
-        unit, cfg, defuse, constants, loops, graph, loop_info, tester, pair_results
+        unit,
+        cfg,
+        defuse,
+        constants,
+        loops,
+        graph,
+        loop_info,
+        tester,
+        pair_results,
+        stmt_index,
     )
 
 
@@ -192,7 +334,20 @@ def analyze_unit(
 
 
 class _GraphBuilder:
-    def __init__(self, unit, cfg, defuse, constants, loops, graph, tester, config):
+    def __init__(
+        self,
+        unit,
+        cfg,
+        defuse,
+        constants,
+        loops,
+        graph,
+        tester,
+        config,
+        stmt_index: Optional[UnitStatementIndex] = None,
+        reductions: Optional[Dict[int, List[Reduction]]] = None,
+        inductions: Optional[Dict[int, List[InductionVar]]] = None,
+    ):
         self.unit = unit
         self.cfg = cfg
         self.defuse = defuse
@@ -204,19 +359,31 @@ class _GraphBuilder:
         self.table: SymbolTable = unit.symtab
         self.effects = config.resolved_effects()
         self.oracle = config.resolved_oracle()
+        self.stmt_index = stmt_index or UnitStatementIndex(unit)
         self._seen_scalar: Set[Tuple] = set()
-        # Idioms per loop, used to annotate (not suppress) edges.
+        # Idioms per loop, used to annotate (not suppress) edges.  The
+        # caller normally precomputes them (analyze_unit shares one
+        # recognition pass with the loop verdicts); recompute only when
+        # constructed standalone.
         self.reduction_vars: Dict[int, Set[str]] = {}
         self.induction_vars: Dict[int, Set[str]] = {}
         for nest in loops:
             loop = nest.loop
-            if config.use_reductions:
+            if reductions is not None:
+                self.reduction_vars[loop.sid] = {
+                    r.var for r in reductions.get(loop.sid, [])
+                }
+            elif config.use_reductions:
                 self.reduction_vars[loop.sid] = {
                     r.var for r in find_reductions(loop, self.table, self.effects)
                 }
             else:
                 self.reduction_vars[loop.sid] = set()
-            if config.use_inductions:
+            if inductions is not None:
+                self.induction_vars[loop.sid] = {
+                    iv.name for iv in inductions.get(loop.sid, [])
+                }
+            elif config.use_inductions:
                 self.induction_vars[loop.sid] = {
                     iv.name
                     for iv in auxiliary_inductions(loop, self.table, self.effects)
@@ -245,6 +412,7 @@ class _GraphBuilder:
         for r in refs:
             by_array.setdefault(r.array, []).append(r)
 
+        prune = HOT_PATH.prune_pairs
         results: List[PairResult] = []
         for array, accs in sorted(by_array.items()):
             for i in range(len(accs)):
@@ -258,6 +426,9 @@ class _GraphBuilder:
                         # it can recur across iterations (write in a loop).
                         if not a.nest or not a.is_write:
                             continue
+                    if prune and _prunable_pair(a, b):
+                        results.append(self.tester.count_pruned(a, b))
+                        continue
                     results.append(self._test_and_add(array, a, b))
         self._scalar_dependences()
         self._procedure_scalar_deps()
@@ -346,8 +517,7 @@ class _GraphBuilder:
 
         for nest in self.loops:
             loop = nest.loop
-            body_stmts = list(walk_statements(loop.body))
-            body_sids = {st.sid for st in body_stmts}
+            body_stmts = self.stmt_index.body_statements(loop)
             defs_by_var: Dict[str, List[Stmt]] = {}
             uses_by_var: Dict[str, List[Stmt]] = {}
             for st in body_stmts:
@@ -503,8 +673,12 @@ def _loop_verdict(
     config: AnalysisConfig,
     effects: SideEffects,
     table: SymbolTable,
+    stmt_index: Optional[UnitStatementIndex] = None,
+    reductions: Optional[List[Reduction]] = None,
+    inductions: Optional[List[InductionVar]] = None,
 ) -> LoopInfo:
     loop = nest.loop
+    index = stmt_index or UnitStatementIndex(unit)
     info = LoopInfo(nest)
     info.carried = graph.carried_by(loop)
     if config.use_kill:
@@ -518,7 +692,7 @@ def _loop_verdict(
         # the final contents.  Only discount arrays dead on the loop's
         # *exit edge* (array element defs never kill in liveness, so the
         # header's merged live-out would wrongly include body uses).
-        body_sids = {st.sid for st in walk_statements(loop.body)}
+        body_sids = index.body_sids(loop)
         live_after: Set[str] = set()
         for succ in defuse.cfg.succ.get(loop.sid, ()):
             if succ not in body_sids:
@@ -527,9 +701,17 @@ def _loop_verdict(
             v for v in candidates if v not in live_after
         }
     if config.use_reductions:
-        info.reductions = find_reductions(loop, table, effects)
+        info.reductions = (
+            reductions
+            if reductions is not None
+            else find_reductions(loop, table, effects)
+        )
     if config.use_inductions:
-        info.inductions = auxiliary_inductions(loop, table, effects)
+        info.inductions = (
+            inductions
+            if inductions is not None
+            else auxiliary_inductions(loop, table, effects)
+        )
 
     obstacles: List[str] = []
     blocking = [
@@ -545,18 +727,15 @@ def _loop_verdict(
             f"loop-carried {dep.kind} dependence on {dep.var} "
             f"{dep.vector_str()} [{status}]"
         )
-    discounted = [d for d in info.carried if d.reason and d.blocks_parallelization]
-    del discounted
 
-    for st in walk_statements(loop.body):
+    for st in index.body_statements(loop):
         if isinstance(st, IOStmt):
             obstacles.append(f"I/O statement at line {st.line}")
         elif isinstance(st, (ReturnStmt, StopStmt)):
             obstacles.append(f"premature exit at line {st.line}")
         elif isinstance(st, GotoStmt):
-            body_sids = {s.sid for s in walk_statements(loop.body)}
-            target_sid = _label_target(unit, st.target)
-            if target_sid is None or target_sid not in body_sids:
+            target_sid = index.label_to_sid.get(st.target)
+            if target_sid is None or target_sid not in index.body_sids(loop):
                 obstacles.append(f"branch out of loop at line {st.line}")
 
     info.obstacles = obstacles
@@ -569,6 +748,28 @@ def _label_target(unit: ProcedureUnit, label: int) -> Optional[int]:
         if st.label == label:
             return st.sid
     return None
+
+
+def _prunable_pair(a: ArrayAccess, b: ArrayAccess) -> bool:
+    """Can this pair be rejected without running any dependence test?
+
+    Two structurally-provable cases, both edge-free by construction:
+
+    * same statement with no enclosing loops — only carried vectors ever
+      become edges for a same-statement pair, and there are none;
+    * a subscript position where both sides are literal integer
+      constants (or constant section ranges) that do not overlap — the
+      ZIV / section-overlap tier would disprove every direction vector.
+    """
+
+    if a.sid == b.sid and not a.nest:
+        return True
+    for ra, rb in zip(a.const_dims(), b.const_dims()):
+        if ra is not None and rb is not None and (
+            ra[0] > rb[1] or rb[0] > ra[1]
+        ):
+            return True
+    return False
 
 
 # ---------------------------------------------------------------------------

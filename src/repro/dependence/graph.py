@@ -8,6 +8,16 @@ used by the editor: ``proven`` (established by an exact test), ``pending``
 ``rejected`` applied through the dependence pane.  Rejected edges are kept
 — Ped never forgets a user decision, it only filters — but they no longer
 inhibit parallelization.
+
+Query performance: :meth:`DependenceGraph.add` maintains secondary
+indices (by source sid, by destination sid, by carrier-loop sid, by
+variable, by id and by nest membership) so the hot queries the driver,
+the editor panes and the transformations issue — ``carried_by``,
+``edges_within``, ``find``, per-variable pane filters — cost O(results)
+instead of O(edges).  All indices hold the same :class:`Dependence`
+objects as ``edges`` (never copies), so marking mutations are visible
+everywhere and ``marking_snapshot`` / ``restore_markings`` keep working
+off the canonical insertion order.
 """
 
 from __future__ import annotations
@@ -31,6 +41,9 @@ REJECTED = "rejected"
 
 #: Vector element: an int distance, or one of '<', '=', '>', '*'.
 VecElem = object
+
+#: Carrier-index key for loop-independent edges (level 0).
+_NO_CARRIER = -1
 
 
 @dataclass
@@ -115,6 +128,15 @@ class DependenceGraph:
     _ids: count = field(default_factory=count)
     by_src: Dict[int, List[Dependence]] = field(default_factory=dict)
     by_dst: Dict[int, List[Dependence]] = field(default_factory=dict)
+    #: carrier-loop sid → carried data edges (``_NO_CARRIER`` bucket holds
+    #: loop-independent edges); control edges are excluded, matching the
+    #: ``carried_by`` contract.
+    by_carrier: Dict[int, List[Dependence]] = field(default_factory=dict)
+    #: variable name → edges through that variable (pane var= filters).
+    by_var: Dict[str, List[Dependence]] = field(default_factory=dict)
+    #: common-nest loop sid → edges whose nest_sids mention that loop.
+    by_nest: Dict[int, List[Dependence]] = field(default_factory=dict)
+    _by_id: Dict[int, Dependence] = field(default_factory=dict)
 
     def add(
         self,
@@ -149,13 +171,21 @@ class DependenceGraph:
         self.edges.append(dep)
         self.by_src.setdefault(src_sid, []).append(dep)
         self.by_dst.setdefault(dst_sid, []).append(dep)
+        self.by_var.setdefault(var, []).append(dep)
+        self._by_id[dep.id] = dep
+        if kind != CONTROL:
+            carrier = dep.carrier_sid()
+            key = _NO_CARRIER if carrier is None else carrier
+            self.by_carrier.setdefault(key, []).append(dep)
+        for sid in nest_sids:
+            self.by_nest.setdefault(sid, []).append(dep)
         return dep
 
     def find(self, dep_id: int) -> Dependence:
-        for dep in self.edges:
-            if dep.id == dep_id:
-                return dep
-        raise KeyError(dep_id)
+        try:
+            return self._by_id[dep_id]
+        except KeyError:
+            raise KeyError(dep_id) from None
 
     def marking_snapshot(self) -> List[str]:
         """Edge markings in edge order — the only per-edge state users
@@ -171,28 +201,64 @@ class DependenceGraph:
         return [d for d in self.edges if d.kind != CONTROL]
 
     def edges_within(self, sids: Iterable[int]) -> List[Dependence]:
-        """Edges with both endpoints inside the given statement set."""
+        """Edges with both endpoints inside the given statement set.
+
+        Walks the per-source index of each requested sid rather than the
+        whole edge list; result order matches insertion order.
+        """
 
         sid_set = set(sids)
-        return [
-            d for d in self.edges if d.src_sid in sid_set and d.dst_sid in sid_set
+        if len(sid_set) * 4 >= len(self.edges):
+            # Dense selection: a single scan preserves order for free.
+            return [
+                d
+                for d in self.edges
+                if d.src_sid in sid_set and d.dst_sid in sid_set
+            ]
+        out = [
+            d
+            for sid in sid_set
+            for d in self.by_src.get(sid, ())
+            if d.dst_sid in sid_set
         ]
+        out.sort(key=lambda d: d.id)
+        return out
+
+    def edges_between(
+        self, src_sids: Iterable[int], dst_sids: Iterable[int]
+    ) -> List[Dependence]:
+        """Edges from any sid in ``src_sids`` to any sid in ``dst_sids``."""
+
+        src_set = set(src_sids)
+        dst_set = set(dst_sids)
+        out = [
+            d
+            for sid in src_set
+            for d in self.by_src.get(sid, ())
+            if d.dst_sid in dst_set
+        ]
+        out.sort(key=lambda d: d.id)
+        return out
 
     def carried_by(self, loop: DoLoop) -> List[Dependence]:
         """Data dependences carried by ``loop`` (via ``nest_sids``)."""
 
-        return [
-            d
-            for d in self.edges
-            if d.kind != CONTROL and d.carrier_sid() == loop.sid
-        ]
+        return self.carried_by_sid(loop.sid)
+
+    def carried_by_sid(self, sid: int) -> List[Dependence]:
+        return list(self.by_carrier.get(sid, ()))
+
+    def in_nest(self, sid: int) -> List[Dependence]:
+        """Edges whose common nest includes the loop with ``sid``."""
+
+        return list(self.by_nest.get(sid, ()))
+
+    def with_var(self, var: str) -> List[Dependence]:
+        """Edges flowing through variable ``var``."""
+
+        return list(self.by_var.get(var, ()))
 
     def at_loop(self, loop: DoLoop, body_sids) -> List[Dependence]:
         """All edges whose endpoints both lie in ``loop``'s body."""
 
-        sid_set = set(body_sids)
-        return [
-            d
-            for d in self.edges
-            if d.src_sid in sid_set and d.dst_sid in sid_set
-        ]
+        return self.edges_within(body_sids)

@@ -16,6 +16,18 @@ The tester records which tier disposed of the pair (`resolved_by`) and how
 many individual tests ran per tier — the data behind the paper's claim
 that a hierarchical suite "starting with inexpensive tests" is the right
 engineering (bench M1).
+
+Hot path: real procedures repeat the same subscript pattern dozens of
+times (``A(I,J)`` vs ``A(I,J-1)`` at every statement of a stencil), so
+:meth:`DependenceTester.test_pair` memoizes verdicts keyed on a canonical
+form of the pair — the printed subscripts of both accesses, the common
+nest bounds, the slice of the constant environment the subscripts can
+see, and the oracle's assertion version.  A memo hit *replays* the
+recorded tier counters before returning, so tier statistics (bench M1)
+are bit-identical with and without the cache; the cache self-invalidates
+whenever the oracle reports a new version (assertion added/removed).
+The driver-level pair pruner reports structurally-impossible pairs here
+too (tier ``"pruned"``), keeping all per-pair accounting in one place.
 """
 
 from __future__ import annotations
@@ -56,7 +68,7 @@ from .tests import (
     ziv_test,
 )
 
-_TIER_ORDER = ["ziv", "siv", "gcd", "banerjee"]
+_TIER_ORDER = ["pruned", "ziv", "siv", "gcd", "banerjee"]
 
 
 @dataclass
@@ -79,6 +91,29 @@ class PairResult:
     vectors: List[VectorResult] = field(default_factory=list)
     resolved_by: str = "banerjee"
     tests_run: Dict[str, int] = field(default_factory=dict)
+    #: Classic element-reference pair (no call-site section dimensions).
+    classic: bool = True
+
+
+def _classic_pair(src: ArrayAccess, snk: ArrayAccess) -> bool:
+    """Would this pair classify without RANGE/FULL positions?
+
+    Mirrors :func:`pair_subscripts`: element references and all-point
+    sections pair as ordinary subscripts; a full or true-range dimension
+    (or a rank mismatch, which pads with FULL) makes the pair
+    non-classic.  Used by the pruner, which never runs the classifier.
+    """
+
+    def points(acc: ArrayAccess) -> Optional[int]:
+        if acc.subs is not None:
+            return len(acc.subs)
+        dims = acc.section or []
+        if all(not d.full and d.is_point for d in dims):
+            return len(dims)
+        return None
+
+    a, b = points(src), points(snk)
+    return a is not None and a == b
 
 
 class DependenceTester:
@@ -95,6 +130,7 @@ class DependenceTester:
         oracle: Optional[Oracle] = None,
         env: Optional[Env] = None,
         max_nest: int = 6,
+        memoize: bool = True,
     ) -> None:
         self.table = table
         self.oracle = oracle or Oracle()
@@ -106,6 +142,12 @@ class DependenceTester:
         #: call-site section dimensions) — the population the
         #: Goff–Kennedy–Tseng "cheap tests first" claim is about.
         self.pair_resolution_classic: Dict[str, int] = {}
+        self.memoize = memoize
+        #: canonical pair key → recorded verdict (see :meth:`_memo_value`).
+        self.memo: Dict[tuple, tuple] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._memo_oracle_version = self.oracle.version()
 
     # -- public API ---------------------------------------------------------
 
@@ -115,8 +157,104 @@ class DependenceTester:
         snk: ArrayAccess,
         bounds: Sequence[LoopBound],
     ) -> PairResult:
-        """Test an ordered access pair over its common nest bounds."""
+        """Test an ordered access pair over its common nest bounds.
 
+        Memoized on the canonical pair form when ``memoize`` is set; a
+        hit replays the recorded tier counters so statistics stay
+        identical to an uncached run.
+        """
+
+        if not self.memoize:
+            return self._test_pair_uncached(src, snk, bounds)
+        version = self.oracle.version()
+        if version != self._memo_oracle_version:
+            # Assertions changed under us: every cached verdict is suspect.
+            self.memo.clear()
+            self._memo_oracle_version = version
+        key = self._pair_key(src, snk, bounds)
+        hit = self.memo.get(key)
+        if hit is not None:
+            self.memo_hits += 1
+            return self._replay(src, snk, hit)
+        self.memo_misses += 1
+        result = self._test_pair_uncached(src, snk, bounds)
+        self.memo[key] = self._memo_value(result)
+        return result
+
+    def count_pruned(self, src: ArrayAccess, snk: ArrayAccess) -> PairResult:
+        """Record a pair the driver rejected before any test ran.
+
+        Pruned pairs are provably edge-free (same-statement with no
+        common loops, or disjoint constant subscripts/sections), so the
+        cheapest possible "test" disposed of them; they are counted as
+        their own tier in the hierarchy statistics.
+        """
+
+        classic = _classic_pair(src, snk)
+        self.tier_counts["pruned"] = self.tier_counts.get("pruned", 0) + 1
+        return self._finish(src, snk, True, [], "pruned", {}, classic)
+
+    def _pair_key(
+        self,
+        src: ArrayAccess,
+        snk: ArrayAccess,
+        bounds: Sequence[LoopBound],
+    ) -> tuple:
+        src_shape, src_names = src.signature()
+        snk_shape, snk_names = snk.signature()
+        env = self.env
+        if env:
+            names = src_names | snk_names
+            env_slice = tuple(
+                sorted((n, env[n]) for n in names if n in env)
+            )
+        else:
+            env_slice = ()
+        return (
+            src_shape,
+            snk_shape,
+            tuple((b.var, b.lo, b.hi) for b in bounds),
+            env_slice,
+        )
+
+    @staticmethod
+    def _memo_value(result: PairResult) -> tuple:
+        return (
+            result.independent,
+            tuple(
+                (vr.vector, vr.exists, vr.proven, vr.test)
+                for vr in result.vectors
+            ),
+            result.resolved_by,
+            tuple(sorted(result.tests_run.items())),
+            result.classic,
+        )
+
+    def _replay(
+        self, src: ArrayAccess, snk: ArrayAccess, value: tuple
+    ) -> PairResult:
+        """Rebuild a PairResult from the memo, re-bumping every counter
+        exactly as the recorded run did."""
+
+        independent, vectors, resolved_by, tests_run, classic = value
+        for tier, n in tests_run:
+            self.tier_counts[tier] = self.tier_counts.get(tier, 0) + n
+        return self._finish(
+            src,
+            snk,
+            independent,
+            [VectorResult(v, e, p, t) for (v, e, p, t) in vectors],
+            resolved_by,
+            dict(tests_run),
+            classic,
+        )
+
+    def _test_pair_uncached(
+        self,
+        src: ArrayAccess,
+        snk: ArrayAccess,
+        bounds: Sequence[LoopBound],
+    ) -> PairResult:
         nest_vars = [b.var for b in bounds]
         pairs = pair_subscripts(
             src, snk, nest_vars, self.table, self.env, self.oracle
@@ -175,7 +313,7 @@ class DependenceTester:
             self.pair_resolution_classic[tier] = (
                 self.pair_resolution_classic.get(tier, 0) + 1
             )
-        return PairResult(src, snk, independent, vectors, tier, tests_run)
+        return PairResult(src, snk, independent, vectors, tier, tests_run, classic)
 
     def _test_vector(
         self,

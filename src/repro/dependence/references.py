@@ -10,7 +10,7 @@ loop stack so the tester can determine the common nest of a pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..fortran.ast_nodes import (
@@ -21,6 +21,7 @@ from ..fortran.ast_nodes import (
     Expr,
     If,
     IOStmt,
+    Num,
     ProcedureUnit,
     Stmt,
     VarRef,
@@ -64,6 +65,14 @@ class ArrayAccess:
     subs: Optional[List[Expr]] = None
     section: Optional[List[SectionDim]] = None
     line: int = 0
+    #: Lazily computed canonical signature / constant-dimension caches
+    #: (see :meth:`signature` and :meth:`const_dims`).  Never compared.
+    _sig: Optional[Tuple[tuple, frozenset]] = field(
+        default=None, repr=False, compare=False
+    )
+    _const_dims: Optional[Tuple[Optional[Tuple[int, int]], ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_section(self) -> bool:
@@ -77,6 +86,83 @@ class ArrayAccess:
             else:
                 break
         return tuple(common)
+
+    def signature(self) -> Tuple[tuple, frozenset]:
+        """Canonical, hashable shape of this access plus the variable
+        names it mentions.
+
+        The shape spells out every subscript (or section bound) as
+        printed source text, so two accesses with the same signature put
+        *identical inputs* in front of the dependence tester; the name
+        set over-approximates which constant-environment entries can
+        influence the affine extraction.  Computed once per access.
+        """
+
+        if self._sig is None:
+            names: List[str] = []
+
+            def scan(expr: Expr) -> str:
+                from ..fortran.printer import expr_to_str
+
+                for node in walk_expr(expr):
+                    if isinstance(node, VarRef):
+                        names.append(node.name)
+                    elif isinstance(node, ArrayRef):
+                        names.append(node.name)
+                return expr_to_str(expr)
+
+            if self.subs is not None:
+                shape: tuple = ("subs", tuple(scan(e) for e in self.subs))
+            else:
+                dims = []
+                for d in self.section or []:
+                    if d.full:
+                        dims.append(("full",))
+                    else:
+                        dims.append(
+                            (
+                                "range",
+                                scan(d.lo) if d.lo is not None else None,
+                                scan(d.hi)
+                                if d.hi is not None and d.hi is not d.lo
+                                else "=lo",
+                                d.is_point,
+                            )
+                        )
+                shape = ("section", tuple(dims))
+            self._sig = (shape, frozenset(names))
+        return self._sig
+
+    def const_dims(self) -> Tuple[Optional[Tuple[int, int]], ...]:
+        """Per-dimension constant ranges, for cheap disjointness pruning.
+
+        Each entry is an inclusive integer ``(lo, hi)`` interval when the
+        dimension is a literal integer subscript (or a section dimension
+        with literal integer bounds), else ``None``.  Computed once.
+        """
+
+        if self._const_dims is None:
+            out: List[Optional[Tuple[int, int]]] = []
+            if self.subs is not None:
+                for e in self.subs:
+                    if isinstance(e, Num) and isinstance(e.value, int):
+                        out.append((e.value, e.value))
+                    else:
+                        out.append(None)
+            else:
+                for d in self.section or []:
+                    lo = hi = None
+                    if not d.full:
+                        if isinstance(d.lo, Num) and isinstance(d.lo.value, int):
+                            lo = d.lo.value
+                        if isinstance(d.hi, Num) and isinstance(d.hi.value, int):
+                            hi = d.hi.value
+                    if lo is not None and hi is not None and lo <= hi:
+                        out.append((lo, hi))
+                    else:
+                        out.append(None)
+            self._const_dims = tuple(out)
+        return self._const_dims
 
 
 #: Provider turning a call statement into summary accesses.  Returns None

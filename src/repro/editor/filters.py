@@ -45,6 +45,19 @@ class DependenceFilter:
             return False
         return True
 
+    def candidates(self, graph) -> list:
+        """Narrowest candidate list the graph's indices can provide.
+
+        A variable filter starts from the per-variable index instead of
+        every edge; callers still apply :meth:`matches` to each
+        candidate (index order is insertion order, so results match a
+        full scan exactly).
+        """
+
+        if self.var is not None:
+            return graph.with_var(self.var.lower())
+        return graph.edges
+
     def describe(self) -> str:
         parts = []
         if self.kinds:

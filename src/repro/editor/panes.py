@@ -30,9 +30,7 @@ def source_pane(session: PedSession, context: int = 0) -> List[SourceRow]:
     sel_range: Optional[Tuple[int, int]] = None
     if loop is not None:
         last = loop.line
-        from ..fortran.ast_nodes import walk_statements
-
-        for st in walk_statements([loop]):
+        for st in session.unit_analysis.body_statements(loop):
             last = max(last, st.line)
         sel_range = (loop.line, last)
     rows: List[SourceRow] = []

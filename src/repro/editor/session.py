@@ -266,16 +266,14 @@ class PedSession:
         ua = self.unit_analysis
         loop = self.selected_loop
         if loop is None:
-            edges = ua.graph.edges
+            edges = (
+                ua.graph.edges
+                if unfiltered
+                else self.dep_filter.candidates(ua.graph)
+            )
         else:
-            from ..fortran.ast_nodes import walk_statements
-
-            sids = {st.sid for st in walk_statements(loop.body)} | {loop.sid}
-            edges = [
-                d
-                for d in ua.graph.edges
-                if d.src_sid in sids and d.dst_sid in sids
-            ]
+            sids = ua.body_sids(loop) | {loop.sid}
+            edges = ua.graph.edges_within(sids)
         if unfiltered:
             return list(edges)
         return [d for d in edges if self.dep_filter.matches(d)]

@@ -35,14 +35,18 @@ class HierarchyStats:
 
     def cheap_fraction(self) -> float:
         """Fraction of *classic element-reference pairs* settled by the
-        cheap tiers (ZIV + exact SIV) — the paper's engineering claim.
-        Call-site section pairs are excluded: they always need the
-        range-overlap (Banerjee-machinery) tier by construction."""
+        cheap tiers (structural pruning, ZIV and exact SIV) — the paper's
+        engineering claim.  Call-site section pairs are excluded: they
+        always need the range-overlap (Banerjee-machinery) tier by
+        construction.  Pairs the driver pruned before any test ran are
+        the cheapest disposal of all, so they count toward the claim."""
 
         if not self.total_classic:
             return 0.0
-        cheap = self.classic_resolved.get("ziv", 0) + self.classic_resolved.get(
-            "siv", 0
+        cheap = (
+            self.classic_resolved.get("pruned", 0)
+            + self.classic_resolved.get("ziv", 0)
+            + self.classic_resolved.get("siv", 0)
         )
         return cheap / self.total_classic
 

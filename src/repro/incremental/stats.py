@@ -101,6 +101,15 @@ class EngineStats:
 
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set a free-form gauge to its current value, tracking the high
+        watermark in ``<name>.peak`` (e.g. worker-pool queue depth)."""
+
+        self.counters[name] = value
+        peak = name + ".peak"
+        if value > self.counters.get(peak, 0):
+            self.counters[peak] = value
+
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
 

@@ -40,7 +40,9 @@ log = logging.getLogger(__name__)
 
 #: Bump when any pickled payload's schema changes; old records then
 #: read as misses instead of poisoning newer code.
-FORMAT_VERSION = 1
+#: v2: hot-path overhaul — UnitAnalysis gained stmt_index, the tester
+#: gained memo counters, the graph gained secondary indices.
+FORMAT_VERSION = 2
 
 _MAGIC = "repro-cache"
 

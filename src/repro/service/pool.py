@@ -16,6 +16,8 @@ Both report utilization into :class:`~repro.incremental.stats.EngineStats`
 counters when attached: ``pool.tasks`` / ``pool.batches`` (work volume),
 ``pool.busy_s`` (summed task seconds across workers) and ``pool.wall_s``
 (main-process wait), from which the stats renderer derives utilization.
+The process pool additionally publishes a ``pool.queue_depth`` gauge
+(with a ``pool.queue_depth.peak`` high watermark) as each batch drains.
 """
 
 from __future__ import annotations
@@ -89,6 +91,9 @@ class WorkerPool:
             # A single task gains nothing from a round-trip; run inline.
             return self._inline.map(kind, payloads)
         t0 = time.perf_counter()
+        if self.stats is not None:
+            # Queue-depth gauge: how much of the batch is still in flight.
+            self.stats.gauge("pool.queue_depth", len(payloads))
         try:
             executor = self._ensure_executor()
             chunk = max(1, len(payloads) // (self.jobs * 4))
@@ -101,6 +106,10 @@ class WorkerPool:
             ):
                 out.append(result)
                 busy += seconds
+                if self.stats is not None:
+                    self.stats.gauge(
+                        "pool.queue_depth", len(payloads) - len(out)
+                    )
         except Exception as exc:  # noqa: BLE001 — degrade, never fail
             if _is_analysis_error(exc):
                 raise
@@ -112,6 +121,7 @@ class WorkerPool:
             )
             if self.stats is not None:
                 self.stats.bump("pool.broken")
+                self.stats.gauge("pool.queue_depth", 0)
             self._shutdown_executor()
             return self._inline.map(kind, payloads)
         if self.stats is not None:

@@ -50,7 +50,9 @@ class LoopDistribution(Transformation):
         n = len(top)
         table = ctx.unit.symtab
         succ: Dict[int, Set[int]] = {i: set() for i in range(n)}
-        for dep in ctx.analysis.graph.edges:
+        # Only edges with both endpoints inside the body can constrain the
+        # partition; the endpoint indices deliver exactly those.
+        for dep in ctx.analysis.graph.edges_within(owner):
             a = owner.get(dep.src_sid)
             b = owner.get(dep.dst_sid)
             if a is None or b is None or a == b:

@@ -69,17 +69,18 @@ class LoopInterchange(Transformation):
     ) -> List[str]:
         bad: List[str] = []
         table = ctx.unit.symtab
-        for dep in ctx.analysis.graph.edges:
-            if dep.kind == "control" or not dep.blocks_parallelization:
+        graph = ctx.analysis.graph
+        # The carrier index delivers exactly the carried data edges of the
+        # two loops being swapped (control / loop-independent edges never
+        # appear in it).
+        for dep in graph.carried_by_sid(outer.sid) + graph.carried_by_sid(
+            inner.sid
+        ):
+            if not dep.blocks_parallelization:
                 continue
             if dep.reason:
                 continue  # reduction/induction recurrences: reorderable
             sids = dep.nest_sids
-            if not dep.loop_carried:
-                continue
-            carrier = dep.carrier_sid()
-            if carrier not in (outer.sid, inner.sid):
-                continue
             # A carried recurrence through a *scalar* folds over the
             # traversal order itself; interchanging reorders the traversal
             # and changes which value each iteration observes.  Killed

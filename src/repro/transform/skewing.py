@@ -44,7 +44,9 @@ class LoopSkewing(Transformation):
         )
 
     def _enables_interchange(self, ctx, outer, inner) -> bool:
-        for dep in ctx.analysis.graph.edges:
+        # Only edges whose common nest mentions the outer loop can mention
+        # both loops; the nest index narrows the scan to exactly those.
+        for dep in ctx.analysis.graph.in_nest(outer.sid):
             sids = dep.nest_sids
             if outer.sid in sids and inner.sid in sids:
                 ko = sids.index(outer.sid) + 1

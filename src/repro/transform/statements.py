@@ -28,12 +28,14 @@ class StatementInterchange(Transformation):
         nxt = body[idx + 1]
         a_sids = {s.sid for s in walk_statements([stmt])}
         b_sids = {s.sid for s in walk_statements([nxt])}
-        for dep in ctx.analysis.graph.edges:
+        graph = ctx.analysis.graph
+        connecting = graph.edges_between(a_sids, b_sids) + graph.edges_between(
+            b_sids, a_sids
+        )
+        for dep in connecting:
             if not dep.blocks_parallelization:
                 continue
-            forward = dep.src_sid in a_sids and dep.dst_sid in b_sids
-            backward = dep.src_sid in b_sids and dep.dst_sid in a_sids
-            if (forward or backward) and dep.loop_independent:
+            if dep.loop_independent:
                 return Advice.unsafe(
                     f"{dep.kind} dependence on {dep.var} connects the two "
                     "statements"

@@ -1,0 +1,219 @@
+"""Hot-path parity: the optimized dependence pipeline changes nothing.
+
+Pair pruning, test memoization and the indexed graph queries are pure
+performance work; this suite proves it by running every workload program
+through the reference pipeline (both hot-path switches off) and the
+optimized pipeline (switches on, individually and together) and
+requiring byte-identical structural fingerprints — including under user
+assertions and variable overrides, the paths that mutate the oracle
+mid-session.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.dependence import driver
+from repro.fortran import parse_and_bind
+from repro.incremental import program_fingerprint
+from repro.interproc import FeatureSet, analyze_program
+from repro.workloads import SUITE
+
+
+@contextmanager
+def hot_path(prune: bool, memo: bool):
+    saved = (driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs)
+    driver.HOT_PATH.prune_pairs = prune
+    driver.HOT_PATH.memoize_pairs = memo
+    try:
+        yield
+    finally:
+        driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs = saved
+
+
+def fingerprint_of(source: str, prune: bool, memo: bool, features=None):
+    with hot_path(prune, memo):
+        sf = parse_and_bind(source)
+        pa = analyze_program(sf, features or FeatureSet())
+    return program_fingerprint(pa)
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_suite_parity_fully_optimized(name):
+    source = SUITE[name].source
+    reference = fingerprint_of(source, prune=False, memo=False)
+    optimized = fingerprint_of(source, prune=True, memo=True)
+    assert optimized == reference
+
+
+@pytest.mark.parametrize("prune,memo", [(True, False), (False, True)])
+def test_each_switch_alone_preserves_results(prune, memo):
+    # The switches must be independently sound, not only in combination.
+    for name in ("spec77", "onedim", "interior"):
+        source = SUITE[name].source
+        reference = fingerprint_of(source, prune=False, memo=False)
+        assert fingerprint_of(source, prune, memo) == reference, name
+
+
+def test_parity_under_assertions_and_overrides():
+    """Sessions mutate the oracle (assertions) and the variable
+    classification (overrides); the optimized pipeline must track both
+    exactly — this is where a stale memo would show."""
+
+    from repro.editor.session import PedSession
+
+    source = SUITE["onedim"].source
+
+    def run_session(prune: bool, memo: bool):
+        with hot_path(prune, memo):
+            session = PedSession(source)
+            session.select_unit("build")
+            session.select_loop(0)
+            prints = [program_fingerprint(session.analysis)]
+            session.add_assertion("n >= 1")
+            prints.append(program_fingerprint(session.analysis))
+            session.reclassify("t", "private")
+            prints.append(program_fingerprint(session.analysis))
+            session.undo()
+            prints.append(program_fingerprint(session.analysis))
+        return prints
+
+    assert run_session(True, True) == run_session(False, False)
+
+
+def test_memo_invalidates_when_assertions_change():
+    """A long-lived tester must drop its memo the moment the oracle's
+    assertion set changes — a stale hit would freeze the old verdict."""
+
+    from repro.assertions.engine import AssertionDB
+    from repro.dependence.hierarchy import DependenceTester
+    from repro.dependence.references import collect_refs
+    from repro.dependence.tests import LoopBound
+
+    source = (
+        "      subroutine s(a, n)\n"
+        "      integer n, i\n"
+        "      real a(400)\n"
+        "      do 10 i = 1, 100\n"
+        "         a(i) = a(i+n) * 2.0\n"
+        " 10   continue\n"
+        "      end\n"
+    )
+    unit = parse_and_bind(source).units[0]
+    refs = [r for r in collect_refs(unit) if r.array == "a"]
+    write = next(r for r in refs if r.is_write)
+    read = next(r for r in refs if not r.is_write)
+    bounds = [LoopBound("i", 1.0, 100.0)]
+
+    db = AssertionDB()
+    tester = DependenceTester(unit.symtab, db)
+    first = tester.test_pair(write, read, bounds)
+    again = tester.test_pair(write, read, bounds)
+    assert tester.memo_hits == 1
+    assert not first.independent  # nothing known about n: assumed dep
+    assert again.independent == first.independent
+
+    # n > 100 puts a(i+n) beyond every a(i): provably independent now.
+    db.add("n > 100")
+    after = tester.test_pair(write, read, bounds)
+    assert after.independent
+    assert tester.memo_hits == 1  # the stale entry was dropped, not hit
+
+    fresh = DependenceTester(unit.symtab, db, memoize=False)
+    unmemoized = fresh.test_pair(write, read, bounds)
+    assert after.independent == unmemoized.independent
+    assert after.resolved_by == unmemoized.resolved_by
+
+
+def test_memo_replay_preserves_tier_statistics():
+    """A memo hit must bump the tier counters exactly as a real run —
+    the M1 hierarchy statistics may not depend on cache behaviour."""
+
+    source = SUITE["spec77"].source
+    with hot_path(False, True):
+        sf = parse_and_bind(source)
+        pa_memo = analyze_program(sf, FeatureSet())
+    with hot_path(False, False):
+        sf = parse_and_bind(source)
+        pa_ref = analyze_program(sf, FeatureSet())
+    for name, ua in pa_ref.units.items():
+        memo_tester = pa_memo.units[name].tester
+        assert memo_tester.tier_counts == ua.tester.tier_counts, name
+        assert memo_tester.pair_resolution == ua.tester.pair_resolution, name
+        assert (
+            memo_tester.pair_resolution_classic
+            == ua.tester.pair_resolution_classic
+        ), name
+
+
+def test_hotpath_counters_fire_on_real_workloads():
+    from repro.workloads.generator import generate_program
+
+    source = generate_program(n_routines=10)
+    sf = parse_and_bind(source)
+    pa = analyze_program(sf, FeatureSet())
+    totals = {"pairs_pruned": 0, "memo_hits": 0, "memo_misses": 0}
+    for ua in pa.units.values():
+        for key, value in ua.hotpath_stats().items():
+            totals[key] += value
+    assert totals["pairs_pruned"] > 0
+    assert totals["memo_hits"] > 0
+    # The memo also proved its keep: hits dominate misses on generated
+    # programs, whose routines repeat the same access patterns.
+    assert totals["memo_hits"] > totals["memo_misses"]
+
+
+def test_indexed_queries_match_full_scans():
+    """Every secondary index answers exactly like a scan of ``edges``."""
+
+    sf = parse_and_bind(SUITE["spec77"].source)
+    pa = analyze_program(sf, FeatureSet())
+    for ua in pa.units.values():
+        g = ua.graph
+        for dep in g.edges:
+            assert g.find(dep.id) is dep
+        for var in {d.var for d in g.edges}:
+            assert g.with_var(var) == [d for d in g.edges if d.var == var]
+        for nest in ua.loops:
+            loop = nest.loop
+            assert g.carried_by(loop) == [
+                d
+                for d in g.edges
+                if d.kind != "control" and d.carrier_sid() == loop.sid
+            ]
+            assert g.in_nest(loop.sid) == [
+                d for d in g.edges if loop.sid in d.nest_sids
+            ]
+            sids = ua.body_sids(loop) | {loop.sid}
+            assert g.edges_within(sids) == [
+                d
+                for d in g.edges
+                if d.src_sid in sids and d.dst_sid in sids
+            ]
+            # The sparse path must agree with the dense path regardless
+            # of the selectivity heuristic's choice.
+            small = set(list(sids)[:2])
+            assert g.edges_within(small) == [
+                d
+                for d in g.edges
+                if d.src_sid in small and d.dst_sid in small
+            ]
+
+
+def test_statement_index_matches_walks():
+    from repro.fortran.ast_nodes import walk_statements
+
+    for name in ("spec77", "arc3d", "boast"):
+        sf = parse_and_bind(SUITE[name].source)
+        for unit in sf.units:
+            index = driver.UnitStatementIndex(unit)
+            for st in walk_statements(unit.body):
+                if st.label is not None:
+                    assert index.label_to_sid[st.label] == driver._label_target(
+                        unit, st.label
+                    )
+            for nest in driver.collect_loops(unit):
+                loop = nest.loop
+                walked = list(walk_statements(loop.body))
+                assert index.body_statements(loop) == walked
+                assert index.body_sids(loop) == {s.sid for s in walked}
