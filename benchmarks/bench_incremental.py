@@ -19,7 +19,12 @@ the incremental cost of the individual interactions a user performs:
 * per-unit fan-out with ``--jobs`` must stay fingerprint-identical to
   serial, with the wall-clock comparison recorded to
   ``benchmarks/out/parallel.json`` (the speedup itself is only asserted
-  when the machine actually has multiple cores).
+  when the machine actually has multiple cores);
+* the shared pair-test memo and per-span warm starts must pay off
+  across sessions *and* across programs: a warm-memo reopen beats the
+  cold open by 1.5x or more, and a cold open of a *sibling* program
+  (never seen, but sharing half its routines) gets nonzero span-reuse
+  and shared-memo hit rates (``benchmarks/out/crossreuse.json``).
 """
 
 import json
@@ -307,3 +312,100 @@ def test_parallel_vs_serial_analysis(benchmark):
         + "\n",
     )
     benchmark.pedantic(cold_serial, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_cross_program_warm_reuse(benchmark):
+    """Cross-session and cross-program reuse on a 40-routine workload:
+
+    * warm-memo reopen of the same program is >= 1.5x faster than the
+      cold open that populated the store;
+    * a cold open of a *sibling* program — never analyzed, but sharing
+      half its routines with the base — reuses spans, unit summaries
+      and shared-memo verdicts on a cold program key, with fingerprints
+      identical to a from-scratch analysis.
+
+    Emits ``benchmarks/out/crossreuse.json``.
+    """
+
+    from repro.incremental import AnalysisEngine, program_fingerprint
+    from repro.service import build_engine
+    from repro.workloads.generator import generate_program
+
+    base = generate_program(n_routines=40)
+    # The sibling keeps the first half of the routines byte-identical
+    # (same spans, same line layout) and widens the stencil in the rest.
+    marker = "(x(i+1) - x(i-1))"
+    parts = base.split("      subroutine upd")
+    out = [parts[0]]
+    for p in parts[1:]:
+        if int(p.split("(")[0]) >= 20:
+            p = p.replace(marker, "(x(i+2) - x(i-2))")
+        out.append(p)
+    sibling = "      subroutine upd".join(out)
+    assert sibling != base
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+
+        def cold_open():
+            engine = build_engine(cache_dir=cache_dir)
+            engine.analyze(base)
+            return engine
+
+        t0 = time.perf_counter()
+        first = cold_open()  # populates spans, summaries and the memo
+        cold_s = time.perf_counter() - t0
+        assert first.stats.counter("memo.persisted_entries") > 0
+
+        warm_engines = []
+
+        def warm_open():
+            engine = build_engine(cache_dir=cache_dir)
+            engine.analyze(base)
+            warm_engines.append(engine)
+
+        warm_s = _best_of(warm_open, rounds=3)
+        assert warm_engines[-1].stats.counter("disk.warm_start") >= 1
+        assert warm_s * 1.5 <= cold_s, (
+            f"warm-memo reopen ({warm_s:.4f}s) must be >= 1.5x faster "
+            f"than the cold open ({cold_s:.4f}s)"
+        )
+
+        t0 = time.perf_counter()
+        second = build_engine(cache_dir=cache_dir)
+        _, pa = second.analyze(sibling)
+        sibling_s = time.perf_counter() - t0
+        _, pa_scratch = AnalysisEngine().analyze(sibling)
+        assert program_fingerprint(pa) == program_fingerprint(pa_scratch)
+        counters = second.stats.counters
+        # Cold program key — yet spans, summaries and memo entries warm.
+        assert "disk.warm_start" not in counters
+        assert counters["disk.span_warm"] > 0
+        assert counters["disk.usum_hit"] > 0
+        assert counters["memo.shared_hits"] > 0
+        assert second.stats.shared_memo_hit_rate() > 0
+
+        save_artifact(
+            "crossreuse.json",
+            json.dumps(
+                {
+                    "routines": 40,
+                    "cold_open_s": cold_s,
+                    "warm_memo_reopen_s": warm_s,
+                    "warm_speedup": cold_s / warm_s,
+                    "sibling_cold_key_open_s": sibling_s,
+                    "sibling_span_warm": counters["disk.span_warm"],
+                    "sibling_usum_hits": counters["disk.usum_hit"],
+                    "sibling_shared_memo_hits": counters[
+                        "memo.shared_hits"
+                    ],
+                    "sibling_shared_memo_hit_rate": (
+                        second.stats.shared_memo_hit_rate()
+                    ),
+                    "fingerprint_identical": True,
+                    "engine_stats": second.stats.snapshot(),
+                },
+                indent=2,
+            )
+            + "\n",
+        )
+        benchmark.pedantic(warm_open, rounds=3, iterations=1, warmup_rounds=0)

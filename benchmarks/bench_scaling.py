@@ -32,7 +32,7 @@ def _hotpath_totals(pa):
     pairs = 0
     for ua in pa.units.values():
         for key, value in ua.hotpath_stats().items():
-            totals[key] += value
+            totals[key] = totals.get(key, 0) + value
         pairs += sum(ua.tester.pair_resolution.values())
     totals["pairs_total"] = pairs
     totals["prune_rate"] = totals["pairs_pruned"] / pairs if pairs else 0.0

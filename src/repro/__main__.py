@@ -8,9 +8,10 @@
 ``python -m repro suite NAME``      — dump a suite program's source
 
 ``ped``, ``analyze`` and ``auto`` all take ``--jobs N`` (fan per-unit
-analysis out over N worker processes) and ``--cache-dir PATH`` (persist
-analysis results so reopening a file starts warm); both default off,
-reproducing the classic serial in-memory pipeline.
+analysis out over N worker processes; ``--jobs auto`` sizes the pool to
+the observed batch width) and ``--cache-dir PATH`` (persist analysis
+results so reopening a file starts warm); both default off, reproducing
+the classic serial in-memory pipeline.
 """
 
 from __future__ import annotations
@@ -180,14 +181,27 @@ def main(argv=None) -> int:
 
     profile_help = "print incremental-engine stage timers and cache stats"
 
+    def jobs_value(text):
+        if text == "auto":
+            return "auto"
+        try:
+            return int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer or 'auto', got {text!r}"
+            )
+
     def service_flags(p):
         p.add_argument(
             "-j",
             "--jobs",
-            type=int,
+            type=jobs_value,
             default=1,
             metavar="N",
-            help="analyze units on N worker processes (default: serial)",
+            help=(
+                "analyze units on N worker processes, or 'auto' to size "
+                "the pool to the observed batch width (default: serial)"
+            ),
         )
         p.add_argument(
             "--cache-dir",

@@ -98,6 +98,17 @@ class AssertionDB(Oracle):
     def version(self) -> int:
         return self._version
 
+    def digest(self):
+        """Content digest for shared-memo keying: the ordered fact texts.
+
+        Order matters — a later ``ConstantFact`` for the same variable
+        overwrites an earlier one — so the digest preserves insertion
+        order rather than sorting.  Two databases with the same fact
+        spellings answer every oracle query identically.
+        """
+
+        return ("asserts", tuple(f.text for f in self.facts))
+
     def injective(self, name: str) -> bool:
         return name.lower() in self._injective
 

@@ -33,17 +33,23 @@ def parse(source: str) -> SourceFile:
     return parse_and_bind(source)
 
 
-def _service_engine(features, jobs: int, cache_dir) -> AnalysisEngine:
+def _service_engine(features, jobs, cache_dir) -> AnalysisEngine:
     from ..service import build_engine
 
     return build_engine(features=features, jobs=jobs, cache_dir=cache_dir)
+
+
+def _wants_pool(jobs) -> bool:
+    """Does a ``jobs`` value (int or ``"auto"``) call for worker processes?"""
+
+    return jobs == "auto" or (isinstance(jobs, int) and jobs > 1)
 
 
 def analyze(
     source: str,
     features: Optional[FeatureSet] = None,
     engine: Optional[AnalysisEngine] = None,
-    jobs: int = 1,
+    jobs=1,
     cache_dir=None,
 ) -> ProgramAnalysis:
     """Full whole-program analysis of Fortran source text.
@@ -65,16 +71,17 @@ def open_session(
     source: str,
     features: Optional[FeatureSet] = None,
     engine: Optional[AnalysisEngine] = None,
-    jobs: int = 1,
+    jobs=1,
     cache_dir=None,
 ) -> PedSession:
     """Open an interactive Ped session over the source text.
 
-    ``jobs > 1`` analyzes procedures on worker processes; ``cache_dir``
-    makes reopening the same program start from the on-disk cache.
+    ``jobs > 1`` (or ``"auto"``) analyzes procedures on worker
+    processes; ``cache_dir`` makes reopening the same program start from
+    the on-disk cache.
     """
 
-    if engine is None and (jobs > 1 or cache_dir):
+    if engine is None and (_wants_pool(jobs) or cache_dir):
         engine = _service_engine(features, jobs, cache_dir)
     return PedSession(source, features=features, engine=engine)
 
@@ -97,14 +104,14 @@ def parallelize_program(
     features: Optional[FeatureSet] = None,
     require_profitable: bool = True,
     engine: Optional[AnalysisEngine] = None,
-    jobs: int = 1,
+    jobs=1,
     cache_dir=None,
 ) -> AutoResult:
     """Automatic mode: parallelize every loop the analysis alone proves
     safe (outermost-first; loops inside an already-parallel loop are left
     sequential, matching single-level parallel hardware)."""
 
-    if engine is None and (jobs > 1 or cache_dir):
+    if engine is None and (_wants_pool(jobs) or cache_dir):
         engine = _service_engine(features, jobs, cache_dir)
     session = PedSession(source, features=features, engine=engine)
     transform = Parallelize()

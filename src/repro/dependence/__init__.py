@@ -15,7 +15,7 @@ from .tests import (  # noqa: F401
     weak_zero_siv_test,
     ziv_test,
 )
-from .hierarchy import DependenceTester, PairResult  # noqa: F401
+from .hierarchy import DependenceTester, PairResult, SharedPairMemo  # noqa: F401
 from .graph import (  # noqa: F401
     ANTI,
     CONTROL,

@@ -79,6 +79,9 @@ class HotPathConfig:
 
     prune_pairs: bool = True
     memoize_pairs: bool = True
+    #: Consult/populate the program-scoped shared pair memo (requires
+    #: ``memoize_pairs``; a config must still supply one).
+    share_pairs: bool = True
 
 
 #: Process-wide hot-path switches (monkeypatched by parity tests/benches).
@@ -152,6 +155,9 @@ class AnalysisConfig:
     #: set of array names privatizable in that loop (fully overwritten
     #: before any read, every iteration).
     privatizable_arrays_fn: Optional[object] = None
+    #: Program-scoped :class:`SharedPairMemo`; verdicts proved in one
+    #: unit replay in every other unit keyed on the same canonical form.
+    shared_memo: Optional[object] = None
 
     def resolved_effects(self) -> SideEffects:
         return self.effects or ConservativeEffects()
@@ -203,6 +209,9 @@ class UnitAnalysis:
     tester: DependenceTester
     pair_results: List[PairResult] = field(default_factory=list)
     stmt_index: Optional[UnitStatementIndex] = None
+    #: Shared-memo export (fresh entries + counter deltas) recorded by
+    #: worker tasks for merge-back; nulled once the engine absorbs it.
+    memo_export: Optional[Dict[str, object]] = None
 
     def info_for(self, loop: DoLoop) -> LoopInfo:
         return self.loop_info[loop.sid]
@@ -232,6 +241,8 @@ class UnitAnalysis:
             "pairs_pruned": self.tester.pair_resolution.get("pruned", 0),
             "memo_hits": self.tester.memo_hits,
             "memo_misses": self.tester.memo_misses,
+            "shared_hits": self.tester.shared_hits,
+            "shared_misses": self.tester.shared_misses,
         }
 
 
@@ -278,8 +289,13 @@ def analyze_unit(
         )
 
     graph = DependenceGraph()
+    shared = (
+        config.shared_memo
+        if HOT_PATH.share_pairs and HOT_PATH.memoize_pairs
+        else None
+    )
     tester = DependenceTester(
-        table, oracle, memoize=HOT_PATH.memoize_pairs
+        table, oracle, memoize=HOT_PATH.memoize_pairs, shared=shared
     )
     builder = _GraphBuilder(
         unit,
@@ -295,9 +311,11 @@ def analyze_unit(
         inductions,
     )
     pair_results = builder.build()
-    # The memo has done its job for this unit; drop it so cached/pickled
-    # UnitAnalysis objects stay lean (hit/miss counters survive).
+    # The memos have done their job for this unit; drop the local one and
+    # detach the shared one so cached/pickled UnitAnalysis objects stay
+    # lean (hit/miss counters survive).
     tester.memo.clear()
+    tester.shared = None
 
     loop_info: Dict[int, LoopInfo] = {}
     for nest in loops:

@@ -37,7 +37,7 @@ from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.symbolic import Env, Linear
-from ..fortran.symbols import SymbolTable
+from ..fortran.symbols import SymbolTable, int_const
 from .references import ArrayAccess
 from .subscript import (
     FULL,
@@ -95,6 +95,91 @@ class PairResult:
     classic: bool = True
 
 
+#: Sentinel for names whose PARAMETER value is not an integer constant —
+#: such pairs opt out of cross-unit sharing (the printed subscript text
+#: cannot distinguish two units binding the name differently).
+_UNSHAREABLE = object()
+
+
+class SharedPairMemo:
+    """Program-scoped (and disk-persisted) pair-test memo.
+
+    One instance is shared by every :class:`DependenceTester` a session
+    creates, so a verdict proved in one unit replays in every other unit
+    whose pair has the same *shared key* — the tester's canonical local
+    key widened with the oracle digest, nest depth and PARAMETER slice
+    (everything unit-local the local key left implicit).
+
+    Worker-pool protocol: the memo is pickled into each worker payload;
+    workers record fresh entries and counter deltas, :meth:`export` them
+    with the task result, and the engine :meth:`absorb`\\ s the export
+    into the live memo.  The pending/absorbed counter split makes this
+    exactly-once in both the serial path (export and absorb touch the
+    *same* object) and the worker path (a pickled copy exports).
+    """
+
+    #: Deterministic capacity cap — entries beyond this are computed but
+    #: not stored, so long sessions stay bounded and parity stays exact.
+    MAX_ENTRIES = 65536
+    #: Above this entry count, engines ship workers an *empty* memo
+    #: instead of pickling the full table into every payload; workers
+    #: still export fresh entries for merge-back.
+    MAX_SHIP = 4096
+
+    def __init__(self, entries: Optional[Dict[tuple, tuple]] = None) -> None:
+        self.entries: Dict[tuple, tuple] = dict(entries or {})
+        self._fresh: Dict[tuple, tuple] = {}
+        self._absorbed_hits = 0
+        self._absorbed_misses = 0
+        self._pending_hits = 0
+        self._pending_misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self._absorbed_hits + self._pending_hits
+
+    @property
+    def misses(self) -> int:
+        return self._absorbed_misses + self._pending_misses
+
+    def lookup(self, key: tuple) -> Optional[tuple]:
+        value = self.entries.get(key)
+        if value is not None:
+            self._pending_hits += 1
+        else:
+            self._pending_misses += 1
+        return value
+
+    def store(self, key: tuple, value: tuple) -> None:
+        if key in self.entries or len(self.entries) >= self.MAX_ENTRIES:
+            return
+        self.entries[key] = value
+        self._fresh[key] = value
+
+    def export(self) -> Dict[str, object]:
+        """Drain fresh entries and pending counters for merge-back."""
+
+        fresh, self._fresh = self._fresh, {}
+        hits, self._pending_hits = self._pending_hits, 0
+        misses, self._pending_misses = self._pending_misses, 0
+        return {"entries": fresh, "hits": hits, "misses": misses}
+
+    def absorb(self, export: Optional[Dict[str, object]]) -> None:
+        """Merge an :meth:`export` (possibly from a pickled copy)."""
+
+        if not export:
+            return
+        for key, value in export.get("entries", {}).items():
+            if len(self.entries) >= self.MAX_ENTRIES:
+                break
+            # Already present in the serial (same-object) path; new in
+            # the worker path.  Either way, not re-marked fresh: the
+            # engine owns persistence of absorbed entries directly.
+            self.entries.setdefault(key, value)
+        self._absorbed_hits += export.get("hits", 0)
+        self._absorbed_misses += export.get("misses", 0)
+
+
 def _classic_pair(src: ArrayAccess, snk: ArrayAccess) -> bool:
     """Would this pair classify without RANGE/FULL positions?
 
@@ -131,6 +216,7 @@ class DependenceTester:
         env: Optional[Env] = None,
         max_nest: int = 6,
         memoize: bool = True,
+        shared: Optional[SharedPairMemo] = None,
     ) -> None:
         self.table = table
         self.oracle = oracle or Oracle()
@@ -147,7 +233,15 @@ class DependenceTester:
         self.memo: Dict[tuple, tuple] = {}
         self.memo_hits = 0
         self.memo_misses = 0
+        #: Program-scoped memo, consulted after the local memo misses.
+        self.shared = shared
+        self.shared_hits = 0
+        self.shared_misses = 0
+        #: name → integer PARAMETER value / None / _UNSHAREABLE, cached
+        #: per tester (one symbol table per tester).
+        self._param_values: Dict[str, object] = {}
         self._memo_oracle_version = self.oracle.version()
+        self._shared_ctx = self._compute_shared_ctx()
 
     # -- public API ---------------------------------------------------------
 
@@ -171,14 +265,29 @@ class DependenceTester:
             # Assertions changed under us: every cached verdict is suspect.
             self.memo.clear()
             self._memo_oracle_version = version
+            # The shared memo keys on the oracle *digest*, so stale
+            # entries become unreachable rather than dropped; recompute
+            # the context so new lookups land in the new fact-space.
+            self._shared_ctx = self._compute_shared_ctx()
         key = self._pair_key(src, snk, bounds)
         hit = self.memo.get(key)
         if hit is not None:
             self.memo_hits += 1
             return self._replay(src, snk, hit)
+        shared_key = self._shared_key(key, src, snk)
+        if shared_key is not None:
+            hit = self.shared.lookup(shared_key)
+            if hit is not None:
+                self.shared_hits += 1
+                self.memo[key] = hit
+                return self._replay(src, snk, hit)
+            self.shared_misses += 1
         self.memo_misses += 1
         result = self._test_pair_uncached(src, snk, bounds)
-        self.memo[key] = self._memo_value(result)
+        value = self._memo_value(result)
+        self.memo[key] = value
+        if shared_key is not None:
+            self.shared.store(shared_key, value)
         return result
 
     def count_pruned(self, src: ArrayAccess, snk: ArrayAccess) -> PairResult:
@@ -216,6 +325,62 @@ class DependenceTester:
             tuple((b.var, b.lo, b.hi) for b in bounds),
             env_slice,
         )
+
+    def _compute_shared_ctx(self) -> Optional[tuple]:
+        """The cross-unit part of the shared key, or None to opt out.
+
+        Sharing requires an oracle whose full fact content digests to a
+        hashable summary; ``max_nest`` joins the key because it bounds
+        the direction-vector enumeration.
+        """
+
+        if self.shared is None:
+            return None
+        digest = self.oracle.digest()
+        if digest is None:
+            return None
+        return (digest, self.max_nest)
+
+    def _shared_key(
+        self, key: tuple, src: ArrayAccess, snk: ArrayAccess
+    ) -> Optional[tuple]:
+        """Widen the local key with everything the symbol table adds.
+
+        Subscript extraction consults the table only to resolve integer
+        PARAMETER constants, so the local key plus a slice of those
+        values over the pair's referenced names is a complete canonical
+        form across units.  A name bound to a non-integer PARAMETER opts
+        the pair out (returns None) — its printed text underdetermines
+        the extraction.
+        """
+
+        ctx = self._shared_ctx
+        if ctx is None:
+            return None
+        _, src_names = src.signature()
+        _, snk_names = snk.signature()
+        params = []
+        for name in sorted(src_names | snk_names):
+            value = self._param_value(name)
+            if value is _UNSHAREABLE:
+                return None
+            if value is not None:
+                params.append((name, value))
+        return (ctx, key, tuple(params))
+
+    def _param_value(self, name: str):
+        try:
+            return self._param_values[name]
+        except KeyError:
+            pass
+        value = None
+        if self.table is not None:
+            expr = self.table.parameter_value(name)
+            if expr is not None:
+                const = int_const(expr, self.table)
+                value = const if const is not None else _UNSHAREABLE
+        self._param_values[name] = value
+        return value
 
     @staticmethod
     def _memo_value(result: PairResult) -> tuple:

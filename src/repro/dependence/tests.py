@@ -81,6 +81,22 @@ class Oracle:
 
         return 0
 
+    def digest(self) -> Optional[tuple]:
+        """Hashable summary of every fact this oracle can contribute.
+
+        Two oracles with equal digests must answer every ``nonzero`` /
+        ``range_of`` / ``injective`` query identically — that is the
+        contract the program-scoped shared pair memo keys on, so that
+        verdicts proved in one unit (or session) can be replayed in
+        another.  ``None`` opts out of sharing entirely; the base class
+        returns a digest only for exact :class:`Oracle` instances, since
+        an unknown subclass may answer queries we cannot summarize.
+        """
+
+        if type(self) is Oracle:
+            return ("oracle",)
+        return None
+
 
 _DEFAULT_ORACLE = Oracle()
 

@@ -61,11 +61,13 @@ workload suite is well inside the bound (verified by the parity tests).
 
 from __future__ import annotations
 
+import hashlib
 import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..dependence.driver import UnitAnalysis
+from ..dependence.driver import HOT_PATH, UnitAnalysis
+from ..dependence.hierarchy import SharedPairMemo
 from ..fortran.ast_nodes import (
     CallStmt,
     FuncRef,
@@ -90,6 +92,7 @@ from ..interproc.program import (
 from ..interproc.sections import SectionInfo, sections_differ, unit_sections
 from ..analysis.constants import propagate_constants
 from ..service.pool import SerialPool
+from ..service.persist import features_digest
 from .splitter import UnitSpan, split_units
 from .stats import EngineStats
 
@@ -113,18 +116,20 @@ class _CallCandidate:
 class _SpanEntry:
     """Cached parse of one source span (usually exactly one unit).
 
-    ``pending_kinds`` is set on entries restored from a disk span
-    record: the ``{unit: kind}`` map of the program the record was
-    bound under.  The entry is only admissible once the engine has
-    checked that map against the current program's (name resolution
-    depends on it); accepted entries have it cleared.
+    ``pending_guard`` is set on entries restored from a disk span
+    record: ``(referenced_names, function_names)`` of the program the
+    record was bound under.  Name resolution consults the global unit
+    set only to ask "is this name a function unit?", so the entry is
+    admissible in any program — including one never seen before — that
+    answers identically for every recorded name; the engine checks that
+    once every span is in hand, and accepted entries have it cleared.
     """
 
     digest: str
     rev: int
     units: List[ProcedureUnit]
     candidates: Optional[List[List[_CallCandidate]]] = None
-    pending_kinds: Optional[Dict[str, str]] = None
+    pending_guard: Optional[Tuple[frozenset, frozenset]] = None
 
 
 @dataclass
@@ -226,6 +231,7 @@ class AnalysisEngine:
         stats: Optional[EngineStats] = None,
         pool=None,
         store=None,
+        shared_memo: Optional[SharedPairMemo] = None,
     ) -> None:
         self.features = features or FeatureSet()
         self.stats = stats or EngineStats()
@@ -238,6 +244,14 @@ class AnalysisEngine:
         self._deps: Dict[str, _DepEntry] = {}
         self._last: Optional[_ProgramState] = None
         self._spilled_spans: Set[str] = set()
+        #: Program-scoped pair-test memo: one per engine by default, or
+        #: injected (the Ped server shares one across session engines).
+        self._shared_memo = (
+            shared_memo if shared_memo is not None else SharedPairMemo()
+        )
+        self._memo_loaded = False
+        self._memo_saved_len = 0
+        self._spilled_usums: Set[str] = set()
 
     @property
     def pool(self):
@@ -313,6 +327,8 @@ class AnalysisEngine:
                 )
                 if self._last is None:
                     self._load_program_state(prog_key)
+                if not self._memo_loaded:
+                    self._load_shared_memo()
             entries, sf, kinds = self._assemble(spans)
             if self._last is not None and kinds != self._last.kinds:
                 # The unit set (or a unit's kind) changed: name resolution
@@ -344,6 +360,25 @@ class AnalysisEngine:
             revs = {u.name: e.rev for e in entries for u in e.units}
             changed = self._detect_changes(cg, revs)
 
+            #: Content keys for per-unit summary records: a cold open of
+            #: a never-seen program warm-starts any unit whose key (span
+            #: digest + callee subtree) matches a prior session's.
+            ukeys: Dict[str, Optional[str]] = {}
+            warm: Dict[str, Dict[str, object]] = {}
+            if self._store is not None:
+                ukeys = self._unit_summary_keys(cg, owners)
+                if changed:
+                    warm = self._load_unit_summaries(
+                        ukeys, _closure(changed, cg.callers)
+                    )
+
+            def warm_for(phase: str) -> Dict[str, object]:
+                return {
+                    n: vals[phase]
+                    for n, vals in warm.items()
+                    if phase in vals
+                }
+
             feats = self.features
             if feats.needs_modref():
                 with stats.timer("modref"):
@@ -354,6 +389,7 @@ class AnalysisEngine:
                         local_summary,
                         lambda a, b: a.mod == b.mod and a.ref == b.ref,
                         ModRefInfo,
+                        warm=warm_for("modref"),
                     )
             if feats.needs_kills():
                 with stats.timer("kill"):
@@ -365,6 +401,7 @@ class AnalysisEngine:
                         lambda a, b: a.scalars == b.scalars
                         and a.arrays == b.arrays,
                         KillInfo,
+                        warm=warm_for("kill"),
                     )
             if feats.sections:
                 with stats.timer("sections"):
@@ -376,6 +413,7 @@ class AnalysisEngine:
                         lambda a, b: not sections_differ(a, b),
                         SectionInfo,
                         max_passes=10,
+                        warm=warm_for("sections"),
                     )
             if feats.ip_constants:
                 with stats.timer("ipconst"):
@@ -395,8 +433,13 @@ class AnalysisEngine:
                 {n: tuple(sorted(cg.callees[n])) for n in cg.units},
                 {n: tuple(sorted(cg.callers[n])) for n in cg.units},
             )
+            memo = self._shared_memo
+            stats.counters["memo.shared_hits"] = memo.hits
+            stats.counters["memo.shared_misses"] = memo.misses
             if self._store is not None:
                 self._spill_state(prog_key, entries, kinds)
+                self._spill_unit_summaries(ukeys)
+                self._spill_shared_memo()
         return sf, pa
 
     # ------------------------------------------------------------------
@@ -417,14 +460,16 @@ class AnalysisEngine:
                 if self._store is not None:
                     record = self._store.load_span(span.digest)
                     if record is not None:
-                        kinds, units = record
+                        guard, units = record
                         entry = _SpanEntry(
                             span.digest, self._new_rev(), list(units)
                         )
-                        # Admissible only if the recorded unit-kind map
-                        # matches the current program's; checked by
+                        # Admissible only if the current program agrees
+                        # with the recorded binding guard on which
+                        # referenced names are functions; checked by
                         # _assemble once every span is in hand.
-                        entry.pending_kinds = dict(kinds)
+                        entry.pending_guard = guard
+                        self.stats.bump("disk.span_warm")
                         entries[i] = entry
                         continue
                 to_parse.append(i)
@@ -462,9 +507,11 @@ class AnalysisEngine:
     ) -> Tuple[List[_SpanEntry], SourceFile, Dict[str, str]]:
         """Parse/load every span, then vet disk-restored entries.
 
-        A span record is only valid under the unit-kind map it was bound
-        with; any restored entry whose recorded map disagrees with the
-        program we actually assembled is discarded and reparsed fresh.
+        A span record is only valid when the program it joins resolves
+        the same referenced names to function units as the program it
+        was bound under; any restored entry whose recorded guard
+        disagrees with the program we actually assembled is discarded
+        and reparsed fresh.
         """
 
         entries = self._parse_and_bind(spans)
@@ -472,7 +519,8 @@ class AnalysisEngine:
         stale = [
             i
             for i, e in enumerate(entries)
-            if e.pending_kinds is not None and e.pending_kinds != kinds
+            if e.pending_guard is not None
+            and not _guard_ok(e.pending_guard, kinds)
         ]
         if stale:
             log.warning(
@@ -495,7 +543,7 @@ class AnalysisEngine:
                     binder.bind_unit(unit)
             kinds = {u.name: u.kind for u in sf.units}
         for entry in entries:
-            entry.pending_kinds = None
+            entry.pending_guard = None
         sf = SourceFile([u for e in entries for u in e.units])
         return entries, sf, kinds
 
@@ -571,6 +619,7 @@ class AnalysisEngine:
         equal,
         default,
         max_passes: Optional[int] = None,
+        warm: Optional[Dict[str, object]] = None,
     ) -> None:
         """Re-run one bottom-up summary fixpoint over the dirty region.
 
@@ -578,6 +627,12 @@ class AnalysisEngine:
         is either entirely dirty or entirely clean; dirty units are
         re-seeded with empty summaries (matching the from-scratch seeds)
         while clean units contribute their cached values at the boundary.
+
+        ``warm`` maps unit names to disk-restored summary values for this
+        phase: content-addressed on the unit's span plus its callee
+        subtree, such a value *is* what the step function would compute,
+        so warm units skip computation while keeping the dirty-unit
+        rev-bump and miss accounting (cache updates stay identical).
         """
 
         cache = self._summaries[phase]
@@ -586,8 +641,13 @@ class AnalysisEngine:
         work = {n: cache.get(n, default()) for n in cg.units}
         for n in dirty:
             work[n] = default()
+        warmed = set()
+        for n, value in (warm or {}).items():
+            if n in dirty:
+                work[n] = value
+                warmed.add(n)
         for group, recursive in _scc_schedule(cg):
-            live = [n for n in group if n in dirty]
+            live = [n for n in group if n in dirty and n not in warmed]
             if not live:
                 continue
             if not recursive:
@@ -730,6 +790,7 @@ class AnalysisEngine:
                 stats.miss("dependence")
                 misses.append((name, key))
             if misses:
+                memo = self._dep_memo()
                 payloads = []
                 for name, _key in misses:
                     callees = sorted(cg.callees.get(name, ()))
@@ -754,11 +815,18 @@ class AnalysisEngine:
                             "constants": constants.get(name, {}),
                             "asserts": asserts.get(name, ()),
                             "features": feats,
+                            "memo": memo,
                         }
                     )
                 for (name, key), ua in zip(
                     misses, self._pool.map("dep", payloads)
                 ):
+                    export, ua.memo_export = ua.memo_export, None
+                    if export is not None:
+                        # Merge worker-proved entries (or, with the
+                        # serial pool, the live memo's drained pending
+                        # state) into the program-scoped memo.
+                        self._shared_memo.absorb(export)
                     if ua.unit is not cg.units[name]:
                         # Worker-analyzed copy: make it the canonical AST.
                         entry, slot = owners[name]
@@ -777,6 +845,25 @@ class AnalysisEngine:
                     )
                     pa.units[name] = ua
         return pa, adopted
+
+    def _dep_memo(self) -> Optional[SharedPairMemo]:
+        """The memo to ship with dependence payloads, or ``None``.
+
+        Worker pools pickle the payload per task; once the memo grows
+        past :data:`SharedPairMemo.MAX_SHIP` entries the engine ships a
+        fresh empty memo instead (workers still export their fresh
+        entries, so merge-back keeps working) rather than serializing
+        the full table into every payload.
+        """
+
+        if not (HOT_PATH.share_pairs and HOT_PATH.memoize_pairs):
+            return None
+        memo = self._shared_memo
+        if getattr(self._pool, "parallel", False) and (
+            len(memo.entries) > SharedPairMemo.MAX_SHIP
+        ):
+            return SharedPairMemo()
+        return memo
 
     # ------------------------------------------------------------------
     # stage: persistence (warm starts)
@@ -834,7 +921,8 @@ class AnalysisEngine:
         for entry in entries:
             if entry.digest in self._spilled_spans:
                 continue
-            if self._store.save_span(entry.digest, kinds, entry.units):
+            guard = _span_guard(entry, kinds)
+            if self._store.save_span(entry.digest, guard, entry.units):
                 self._spilled_spans.add(entry.digest)
         if not self._store.has_program(prog_key):
             self._store.save_program(
@@ -848,6 +936,164 @@ class AnalysisEngine:
                     "rev_next": self._rev_next,
                 },
             )
+
+    # -- shared pair-test memo ------------------------------------------
+
+    def _load_shared_memo(self) -> None:
+        """Absorb the persisted shared memo once per engine lifetime."""
+
+        self._memo_loaded = True
+        if not (HOT_PATH.share_pairs and HOT_PATH.memoize_pairs):
+            return
+        entries = self._store.load_memo()
+        if entries:
+            self._shared_memo.absorb({"entries": entries})
+            self.stats.bump("disk.memo_warm")
+        self._memo_saved_len = len(self._shared_memo.entries)
+        self.stats.counters["memo.persisted_entries"] = len(entries or {})
+
+    def _spill_shared_memo(self) -> None:
+        """Persist the shared memo when this analysis grew it.
+
+        The disk record is re-read and merged first so concurrent
+        engines (or server processes) sharing one store extend rather
+        than overwrite each other's entries.
+        """
+
+        memo = self._shared_memo
+        if len(memo.entries) <= self._memo_saved_len:
+            return
+        merged = dict(self._store.load_memo() or {})
+        merged.update(memo.entries)
+        if len(merged) > SharedPairMemo.MAX_ENTRIES:
+            merged = dict(
+                list(merged.items())[: SharedPairMemo.MAX_ENTRIES]
+            )
+        if self._store.save_memo(merged):
+            self._memo_saved_len = len(memo.entries)
+            self.stats.counters["memo.persisted_entries"] = len(merged)
+
+    # -- per-unit summary records ---------------------------------------
+
+    def _unit_summary_keys(
+        self, cg: CallGraph, owners: Dict[str, Tuple[_SpanEntry, int]]
+    ) -> Dict[str, Optional[str]]:
+        """Recursive content key per unit, callees-first.
+
+        A unit's key digests the feature set, its name, its span digest
+        and its (sorted) callees' keys — everything its bottom-up
+        summaries are a function of.  Members of recursive SCCs get
+        ``None`` (their summaries are fixpoints over the whole cycle,
+        not per-unit content), and ``None`` poisons every caller above.
+        """
+
+        feats = features_digest(self.features)
+        keys: Dict[str, Optional[str]] = {}
+        for group, recursive in _scc_schedule(cg):
+            if recursive:
+                for n in group:
+                    keys[n] = None
+                continue
+            for n in group:
+                parts = [feats, n, owners[n][0].digest]
+                poisoned = False
+                for callee in sorted(cg.callees.get(n, ())):
+                    ck = keys.get(callee)
+                    if ck is None:
+                        poisoned = True
+                        break
+                    parts.append(callee)
+                    parts.append(ck)
+                if poisoned:
+                    keys[n] = None
+                    continue
+                keys[n] = hashlib.sha1(
+                    "\x00".join(parts).encode()
+                ).hexdigest()
+        return keys
+
+    def _load_unit_summaries(
+        self,
+        ukeys: Dict[str, Optional[str]],
+        dirty: Set[str],
+    ) -> Dict[str, Dict[str, object]]:
+        """Disk-restored ``{unit: {phase: value}}`` for dirty units.
+
+        Only units about to be recomputed are looked up; in-memory
+        caches already cover the clean ones.
+        """
+
+        warm: Dict[str, Dict[str, object]] = {}
+        for n in sorted(dirty):
+            key = ukeys.get(n)
+            if key is None:
+                continue
+            values = self._store.load_unit_summary(key)
+            if values:
+                warm[n] = values
+                self.stats.bump("disk.usum_hit")
+            else:
+                self.stats.bump("disk.usum_miss")
+        return warm
+
+    def _spill_unit_summaries(
+        self, ukeys: Dict[str, Optional[str]]
+    ) -> None:
+        feats = self.features
+        phases = []
+        if feats.needs_modref():
+            phases.append("modref")
+        if feats.needs_kills():
+            phases.append("kill")
+        if feats.sections:
+            phases.append("sections")
+        if not phases:
+            return
+        for n, key in ukeys.items():
+            if key is None or key in self._spilled_usums:
+                continue
+            values = {
+                p: self._summaries[p][n]
+                for p in phases
+                if n in self._summaries[p]
+            }
+            if len(values) != len(phases):
+                continue
+            self._store.save_unit_summary(key, values)
+            self._spilled_usums.add(key)
+
+
+def _guard_ok(
+    guard: Tuple[frozenset, frozenset], kinds: Dict[str, str]
+) -> bool:
+    """Is a disk span record admissible under the current unit set?
+
+    Binding consults the global program only to decide whether a
+    referenced name is a function unit, so agreement on that question
+    over every recorded name makes the recorded binding valid here.
+    """
+
+    names, funcs = guard
+    return all(
+        (kinds.get(n) == "function") == (n in funcs) for n in names
+    )
+
+
+def _span_guard(
+    entry: _SpanEntry, kinds: Dict[str, str]
+) -> Tuple[frozenset, frozenset]:
+    """The binding guard recorded with a span: every name the span's
+    units reference (symbol tables cover them all) plus the subset that
+    are function units in the current program."""
+
+    names = set()
+    for unit in entry.units:
+        names.add(unit.name)
+        table = getattr(unit, "symtab", None)
+        if table is not None:
+            names.update(table.symbols)
+    funcs = frozenset(n for n in names if kinds.get(n) == "function")
+    return (frozenset(names), funcs)
 
 
 def _restore_pristine(entry: _DepEntry) -> None:

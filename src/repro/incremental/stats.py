@@ -11,10 +11,17 @@ instrumentation.
 The service layer reports through the same object via free-form
 ``counters``: the worker pool contributes ``pool.tasks`` /
 ``pool.batches`` / ``pool.busy_s`` / ``pool.wall_s`` (utilization is
-derived as busy ÷ wall at render time), the disk cache contributes
-``disk.hit`` / ``disk.miss`` / ``disk.write`` / ``disk.evict`` /
-``disk.error``, and the session server times every protocol request as
-a stage named ``req.<op>``.
+derived as busy ÷ wall at render time) plus the ``pool.queue_depth``
+and ``pool.workers`` gauges, the disk cache contributes ``disk.hit`` /
+``disk.miss`` / ``disk.write`` / ``disk.evict`` / ``disk.error``, the
+engine's warm-reuse machinery contributes ``memo.shared_hits`` /
+``memo.shared_misses`` / ``memo.persisted_entries`` (shared pair-test
+memo) and ``disk.span_warm`` / ``disk.usum_hit`` / ``disk.usum_miss``
+(per-span and per-unit-summary warm starts), and the session server
+times every protocol request as a stage named ``req.<op>``.  All
+counters surface automatically in :meth:`EngineStats.snapshot` (server
+metrics replies) and :meth:`EngineStats.render` (the ``stats`` CLI
+command).
 """
 
 from __future__ import annotations
@@ -112,6 +119,15 @@ class EngineStats:
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
+
+    def shared_memo_hit_rate(self) -> float:
+        """Fraction of shared-memo lookups that replayed a prior
+        verdict (cross-unit or cross-session reuse)."""
+
+        hits = self.counters.get("memo.shared_hits", 0)
+        misses = self.counters.get("memo.shared_misses", 0)
+        looked = hits + misses
+        return hits / looked if looked else 0.0
 
     def pool_utilization(self) -> float:
         """Worker busy time over main-process wait time (≈ effective

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
-from ..dependence.driver import AnalysisConfig, UnitAnalysis, analyze_unit
+from ..dependence.driver import HOT_PATH, AnalysisConfig, UnitAnalysis, analyze_unit
+from ..dependence.hierarchy import SharedPairMemo
 from ..dependence.tests import Oracle
 from ..fortran.ast_nodes import SourceFile
 from .callgraph import CallGraph, build_callgraph
@@ -187,6 +188,7 @@ def unit_config(
     providers: UnitProviders,
     ip_constants: Dict[str, Dict[str, object]],
     oracle: Optional[Oracle],
+    shared_memo=None,
 ) -> AnalysisConfig:
     """The per-unit driver configuration for one procedure."""
 
@@ -203,6 +205,7 @@ def unit_config(
         privatizable_arrays_fn=providers.arrays_fn
         if features.array_kill
         else None,
+        shared_memo=shared_memo,
     )
 
 
@@ -232,8 +235,19 @@ def analyze_program(
         ip_constants=summaries.ip_constants,
     )
     providers = build_providers(cg, features, summaries.modref, summaries.sections, kv)
+    # One program-scoped memo: units repeating a subscript shape (with
+    # the same oracle facts and PARAMETER slice) replay each other's
+    # verdicts instead of re-running the test hierarchy.
+    shared = (
+        SharedPairMemo()
+        if HOT_PATH.share_pairs and HOT_PATH.memoize_pairs
+        else None
+    )
     for name, unit in cg.units.items():
         unit_oracle = (oracles_by_unit or {}).get(name, oracle)
-        config = unit_config(name, features, providers, summaries.ip_constants, unit_oracle)
+        config = unit_config(
+            name, features, providers, summaries.ip_constants, unit_oracle,
+            shared_memo=shared,
+        )
         pa.units[name] = analyze_unit(unit, config)
     return pa

@@ -25,7 +25,7 @@ from typing import Optional
 
 from .diskcache import DiskCache, FORMAT_VERSION
 from .persist import PersistentStore
-from .pool import SerialPool, WorkerPool, make_pool
+from .pool import ElasticWorkerPool, SerialPool, WorkerPool, make_pool
 
 __all__ = [
     "DiskCache",
@@ -33,6 +33,7 @@ __all__ = [
     "PersistentStore",
     "SerialPool",
     "WorkerPool",
+    "ElasticWorkerPool",
     "make_pool",
     "build_engine",
     "PedServer",
@@ -45,18 +46,20 @@ __all__ = [
 
 def build_engine(
     features=None,
-    jobs: int = 1,
+    jobs=1,
     cache_dir: Optional[str] = None,
     stats=None,
     pool=None,
     store=None,
+    shared_memo=None,
 ):
     """An :class:`~repro.incremental.AnalysisEngine` wired for service.
 
-    ``jobs > 1`` attaches a process pool, ``cache_dir`` a persistent
-    store; the defaults reproduce the classic serial, in-memory engine.
-    Explicit ``pool`` / ``store`` arguments (e.g. the server's shared
-    instances) win over the convenience flags.
+    ``jobs > 1`` attaches a process pool (``"auto"`` an elastic one),
+    ``cache_dir`` a persistent store; the defaults reproduce the classic
+    serial, in-memory engine.  Explicit ``pool`` / ``store`` /
+    ``shared_memo`` arguments (e.g. the server's shared instances) win
+    over the convenience flags.
     """
 
     from ..incremental.engine import AnalysisEngine
@@ -67,7 +70,13 @@ def build_engine(
         pool = make_pool(jobs, stats=stats)
     if store is None and cache_dir:
         store = PersistentStore.at(cache_dir, stats=stats)
-    return AnalysisEngine(features=features, stats=stats, pool=pool, store=store)
+    return AnalysisEngine(
+        features=features,
+        stats=stats,
+        pool=pool,
+        store=store,
+        shared_memo=shared_memo,
+    )
 
 
 def __getattr__(name: str):

@@ -42,7 +42,11 @@ log = logging.getLogger(__name__)
 #: read as misses instead of poisoning newer code.
 #: v2: hot-path overhaul — UnitAnalysis gained stmt_index, the tester
 #: gained memo counters, the graph gained secondary indices.
-FORMAT_VERSION = 2
+#: v3: warm-reuse overhaul — span records carry a binding guard instead
+#: of a whole-program kinds map, new ``usum`` (per-unit summary) and
+#: ``memo`` (shared pair-test memo) record kinds, UnitAnalysis gained
+#: memo_export and the tester gained shared-memo counters.
+FORMAT_VERSION = 3
 
 _MAGIC = "repro-cache"
 

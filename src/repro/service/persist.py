@@ -3,14 +3,27 @@
 Two record families, both content-addressed into a :class:`DiskCache`:
 
 * **Span records** (``span:<digest>``) — the bound units of one source
-  span, stored with the program's ``{unit: kind}`` map at bind time.
-  Name resolution inside a unit depends on which *other* names are
-  program units (array reference vs function call), so a span record is
-  only admissible when its recorded kinds map equals the current one;
-  the engine validates that after assembling the whole unit set and
-  reparses any span that fails.  Within that guard a span digest fully
-  determines the parse, so records survive across sessions and across
-  unrelated edits elsewhere in the file.
+  span, stored with a *binding guard*: the set of names the span's
+  units reference plus the subset of those that were program-level
+  functions at bind time.  Name resolution consults the global unit set
+  only to ask "is this name a function unit?", so a record is
+  admissible in *any* program that answers that question identically
+  for every recorded name — including programs never seen before that
+  merely share the procedure body.  The engine validates the guard
+  after assembling the whole unit set and reparses any span that
+  fails.  Within that guard a span digest fully determines the parse,
+  so records survive across sessions, across unrelated edits elsewhere
+  in the file, and across sibling programs.
+* **Unit-summary records** (``usum:<digest of (features, name, span,
+  callee keys)>``) — one unit's bottom-up summary values (MOD/REF,
+  kill, sections), keyed recursively on the unit's span digest and its
+  callees' keys, so a cold open of a never-seen program still reuses
+  summaries for any call subtree it shares with a prior session.
+* **Shared-memo record** (``memo:shared-pair-memo``) — the program-
+  scoped pair-test memo (:class:`~repro.dependence.hierarchy.
+  SharedPairMemo` entries).  Keys embed the oracle digest, nest depth
+  and PARAMETER slice, so one global record safely warms *different*
+  programs that repeat the same canonical subscript shapes.
 * **Program records** (``prog:<digest of (features, source,
   assertions)>``) — the engine's complete cache state for one analyzed
   program: span entries, the four summary families with their revision
@@ -37,6 +50,12 @@ from .diskcache import DiskCache
 
 SPAN_KIND = "span"
 PROG_KIND = "prog"
+USUM_KIND = "usum"
+MEMO_KIND = "memo"
+#: The shared pair-test memo is one global record: its keys are fully
+#: content-addressed (oracle digest + canonical pair form + PARAMETER
+#: slice), so every program reads and extends the same table.
+MEMO_KEY = "shared-pair-memo"
 
 
 def features_digest(features) -> str:
@@ -66,24 +85,69 @@ class PersistentStore:
 
     def load_span(
         self, digest: str
-    ) -> Optional[Tuple[Dict[str, str], List[object]]]:
-        """``(recorded_kinds, bound_units)`` for one span, or ``None``."""
+    ) -> Optional[Tuple[Tuple[frozenset, frozenset], List[object]]]:
+        """``(binding_guard, bound_units)`` for one span, or ``None``.
+
+        The guard is ``(referenced_names, function_names)``: the record
+        is admissible in any program where exactly the names in
+        ``function_names`` (and no other referenced name) are function
+        units.
+        """
 
         payload = self.cache.get(SPAN_KIND, digest)
         if not isinstance(payload, dict):
             return None
-        kinds = payload.get("kinds")
+        names = payload.get("names")
+        funcs = payload.get("functions")
         units = payload.get("units")
-        if not isinstance(kinds, dict) or not isinstance(units, list):
+        if (
+            not isinstance(names, frozenset)
+            or not isinstance(funcs, frozenset)
+            or not isinstance(units, list)
+        ):
             return None
-        return kinds, units
+        return (names, funcs), units
 
     def save_span(
-        self, digest: str, kinds: Dict[str, str], units: List[object]
+        self,
+        digest: str,
+        guard: Tuple[frozenset, frozenset],
+        units: List[object],
     ) -> bool:
+        names, funcs = guard
         return self.cache.put(
-            SPAN_KIND, digest, {"kinds": dict(kinds), "units": units}
+            SPAN_KIND,
+            digest,
+            {
+                "names": frozenset(names),
+                "functions": frozenset(funcs),
+                "units": units,
+            },
         )
+
+    # -- per-unit summary records ---------------------------------------
+
+    def load_unit_summary(self, key: str) -> Optional[Dict[str, object]]:
+        """``{phase: summary}`` for one content-keyed unit, or ``None``."""
+
+        payload = self.cache.get(USUM_KIND, key)
+        return payload if isinstance(payload, dict) else None
+
+    def save_unit_summary(self, key: str, values: Dict[str, object]) -> bool:
+        if self.cache.contains(USUM_KIND, key):
+            return False
+        return self.cache.put(USUM_KIND, key, dict(values))
+
+    # -- shared pair-test memo ------------------------------------------
+
+    def load_memo(self) -> Optional[Dict[tuple, tuple]]:
+        """The persisted shared-memo entries, or ``None``."""
+
+        payload = self.cache.get(MEMO_KIND, MEMO_KEY)
+        return payload if isinstance(payload, dict) else None
+
+    def save_memo(self, entries: Dict[tuple, tuple]) -> bool:
+        return self.cache.put(MEMO_KIND, MEMO_KEY, dict(entries))
 
     # -- program records ------------------------------------------------
 

@@ -12,17 +12,25 @@ Two interchangeable backends execute :func:`repro.service.tasks.run_task`:
   worker, unpicklable payload) degrades to inline execution with a
   logged warning rather than failing the analysis.
 
-Both report utilization into :class:`~repro.incremental.stats.EngineStats`
-counters when attached: ``pool.tasks`` / ``pool.batches`` (work volume),
-``pool.busy_s`` (summed task seconds across workers) and ``pool.wall_s``
-(main-process wait), from which the stats renderer derives utilization.
-The process pool additionally publishes a ``pool.queue_depth`` gauge
-(with a ``pool.queue_depth.peak`` high watermark) as each batch drains.
+:class:`ElasticWorkerPool` (``--jobs auto``) extends the process pool
+with batch-width-driven sizing: it grows to the observed batch width
+immediately (capped deterministically) and shrinks only after several
+consecutive narrow batches, so steady workloads keep their workers.
+
+All pools report utilization into
+:class:`~repro.incremental.stats.EngineStats` counters when attached:
+``pool.tasks`` / ``pool.batches`` (work volume), ``pool.busy_s`` (summed
+task seconds across workers) and ``pool.wall_s`` (main-process wait),
+from which the stats renderer derives utilization.  The process pool
+additionally publishes a ``pool.queue_depth`` gauge (with a
+``pool.queue_depth.peak`` high watermark) as each batch drains, and a
+``pool.workers`` gauge whenever an executor is (re)created.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence
@@ -84,6 +92,8 @@ class WorkerPool:
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            if self.stats is not None:
+                self.stats.gauge("pool.workers", self.jobs)
         return self._executor
 
     def map(self, kind: str, payloads: Sequence[Dict]) -> List:
@@ -149,6 +159,56 @@ class WorkerPool:
         self.close()
 
 
+class ElasticWorkerPool(WorkerPool):
+    """A worker pool that sizes itself to the observed batch width.
+
+    ``--jobs auto``: starts small (2 workers), grows immediately to the
+    width of any wider batch (bounded by a deterministic ``cap``), and
+    shrinks only after :data:`SHRINK_PATIENCE` consecutive batches at
+    half the current size or less — one narrow batch between wide ones
+    (a summary level with few dirty units, say) keeps the workers warm.
+    Sizing depends only on the batch-width sequence, never on timing, so
+    parity tests see the same pool shape on every run; each resize
+    recreates the executor lazily and republishes the ``pool.workers``
+    gauge.
+    """
+
+    #: Upper bound when the machine offers more cores; keeps ``auto``
+    #: deterministic across similarly-sized CI machines.
+    DEFAULT_CAP = 8
+    #: Consecutive narrow batches tolerated before shrinking.
+    SHRINK_PATIENCE = 3
+
+    def __init__(self, cap: Optional[int] = None, stats=None) -> None:
+        if cap is None:
+            cap = min(os.cpu_count() or 1, self.DEFAULT_CAP)
+        super().__init__(2, stats=stats)
+        self.cap = max(2, cap)
+        self._narrow_batches = 0
+
+    def map(self, kind: str, payloads: Sequence[Dict]) -> List:
+        if len(payloads) >= 2:
+            # Singletons run inline in the base class; they say nothing
+            # about the width the pool should hold.
+            self._resize(len(payloads))
+        return super().map(kind, payloads)
+
+    def _resize(self, width: int) -> None:
+        target = max(2, min(self.cap, width))
+        if target > self.jobs:
+            self._shutdown_executor()
+            self.jobs = target
+            self._narrow_batches = 0
+        elif target <= self.jobs // 2:
+            self._narrow_batches += 1
+            if self._narrow_batches >= self.SHRINK_PATIENCE:
+                self._shutdown_executor()
+                self.jobs = target
+                self._narrow_batches = 0
+        else:
+            self._narrow_batches = 0
+
+
 def _is_analysis_error(exc: Exception) -> bool:
     """Fortran front-end errors are results, not pool failures: the
     session's edit-rollback path depends on seeing them."""
@@ -158,9 +218,11 @@ def _is_analysis_error(exc: Exception) -> bool:
     return isinstance(exc, FortranError)
 
 
-def make_pool(jobs: int, stats=None):
-    """``--jobs N`` → the right pool backend."""
+def make_pool(jobs, stats=None):
+    """``--jobs N`` / ``--jobs auto`` → the right pool backend."""
 
+    if jobs == "auto":
+        return ElasticWorkerPool(stats=stats)
     if jobs and jobs > 1:
         return WorkerPool(jobs, stats=stats)
     return SerialPool(stats=stats)

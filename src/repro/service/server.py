@@ -43,6 +43,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
+from ..dependence.hierarchy import SharedPairMemo
 from ..editor.session import PedError, PedSession
 from ..incremental.stats import EngineStats
 from ..interproc.program import FeatureSet
@@ -86,6 +87,9 @@ class PedServer:
             if cache_dir
             else None
         )
+        #: One pair-test memo for the whole server: every session's
+        #: engine reads and extends it, so sessions warm each other.
+        self.shared_memo = SharedPairMemo()
         self.sessions: Dict[str, _Managed] = {}
         self._sessions_lock = threading.Lock()
         self._work = ThreadPoolExecutor(
@@ -160,6 +164,7 @@ class PedServer:
             stats=EngineStats(),
             pool=self.pool,
             store=self.store,
+            shared_memo=self.shared_memo,
         )
 
     # ------------------------------------------------------------------
@@ -452,6 +457,11 @@ class PedServer:
         if req.get("session"):
             managed = self._managed(req)
             return managed.session.engine.stats.snapshot()
+        # Server-wide memo totals live on the shared memo itself (each
+        # session engine publishes only into its own stats).
+        self.stats.counters["memo.shared_hits"] = self.shared_memo.hits
+        self.stats.counters["memo.shared_misses"] = self.shared_memo.misses
+        self.stats.counters["memo.entries"] = len(self.shared_memo.entries)
         return self.stats.snapshot()
 
     def _op_sleep(self, req: Dict) -> Dict:

@@ -105,14 +105,23 @@ def task_dependence(payload: Dict) -> UnitAnalysis:
         oracle = AssertionDB()
         for text in payload["asserts"]:
             oracle.add(text)
+    memo = payload.get("memo")
     config = unit_config(
         unit.name,
         features,
         providers,
         {unit.name: payload["constants"]},
         oracle,
+        shared_memo=memo,
     )
-    return analyze_unit(unit, config)
+    ua = analyze_unit(unit, config)
+    if memo is not None:
+        # Ship fresh entries and counter deltas back with the result;
+        # the engine absorbs them into the live program-scoped memo.
+        # (With SerialPool ``memo`` is the live object itself — export
+        # drains its pending state, so absorb still counts once.)
+        ua.memo_export = memo.export()
+    return ua
 
 
 _TASKS = {

@@ -92,3 +92,103 @@ class TestAssertedLoopBounds:
         assert not first_parallel(blocked)
         ua, _ = analysis_with(body, asserts=["n >= 1", "n <= 8"])
         assert first_parallel(ua)
+
+
+class TestSharedMemoInvalidation:
+    """The program-scoped shared memo keys on the oracle's fact digest,
+    so a verdict proved under one unit's assertions must never replay in
+    a unit holding different facts — and oracle mutation must reroute
+    lookups rather than serve stale entries."""
+
+    BODY = "do i = 1, 50\na(i + m) = a(i) + 1.0\nend do"
+
+    def _analyze(self, shared, asserts=()):
+        src = "      program t\n      real a(200), b(200)\n"
+        for line in self.BODY.splitlines():
+            src += f"      {line}\n"
+        src += "      end\n"
+        unit = parse_and_bind(src).units[0]
+        db = AssertionDB()
+        for text in asserts:
+            db.add(text)
+        config = AnalysisConfig(oracle=db, shared_memo=shared)
+        return analyze_unit(unit, config)
+
+    def test_asserted_verdict_does_not_leak_to_unasserted_unit(self):
+        from repro.dependence import SharedPairMemo
+
+        shared = SharedPairMemo()
+        sharp = self._analyze(shared, asserts=["m >= 50", "m <= 150"])
+        assert first_parallel(sharp)
+        assert shared.entries  # the asserted unit populated the memo
+        blunt = self._analyze(shared)
+        # Same canonical pair, different fact space: no replay allowed.
+        assert not first_parallel(blunt)
+        assert blunt.tester.shared_hits == 0
+
+    def test_unasserted_verdict_does_not_leak_to_asserted_unit(self):
+        from repro.dependence import SharedPairMemo
+
+        shared = SharedPairMemo()
+        blunt = self._analyze(shared)
+        assert not first_parallel(blunt)
+        sharp = self._analyze(shared, asserts=["m >= 50", "m <= 150"])
+        assert first_parallel(sharp)
+        assert sharp.tester.shared_hits == 0
+
+    def test_identical_fact_spaces_do_share(self):
+        from repro.dependence import SharedPairMemo
+
+        shared = SharedPairMemo()
+        first = self._analyze(shared, asserts=["m >= 50", "m <= 150"])
+        second = self._analyze(shared, asserts=["m >= 50", "m <= 150"])
+        assert first_parallel(second)
+        assert second.tester.shared_hits > 0
+        assert first_parallel(second) == first_parallel(first)
+
+    def test_oracle_mutation_reroutes_shared_lookups(self):
+        from repro.dependence import SharedPairMemo
+        from repro.dependence.hierarchy import DependenceTester
+        from repro.dependence.references import collect_refs
+        from repro.dependence.tests import LoopBound
+
+        source = (
+            "      subroutine s(a, n)\n"
+            "      integer n, i\n"
+            "      real a(400)\n"
+            "      do 10 i = 1, 100\n"
+            "         a(i) = a(i+n) * 2.0\n"
+            " 10   continue\n"
+            "      end\n"
+        )
+        unit = parse_and_bind(source).units[0]
+        refs = [r for r in collect_refs(unit) if r.array == "a"]
+        write = next(r for r in refs if r.is_write)
+        read = next(r for r in refs if not r.is_write)
+        bounds = [LoopBound("i", 1.0, 100.0)]
+
+        shared = SharedPairMemo()
+        db = AssertionDB()
+        tester = DependenceTester(unit.symtab, db, shared=shared)
+        before = tester.test_pair(write, read, bounds)
+        assert not before.independent
+
+        # The fact changes the verdict; the old shared entry now lives
+        # under an unreachable digest, not in the new lookup path.
+        db.add("n > 100")
+        after = tester.test_pair(write, read, bounds)
+        assert after.independent
+        assert tester.shared_hits == 0
+
+        # A second tester over the same mutated oracle replays the *new*
+        # verdict from the shared memo.
+        other = DependenceTester(unit.symtab, db, shared=shared)
+        replayed = other.test_pair(write, read, bounds)
+        assert replayed.independent
+        assert other.shared_hits == 1
+
+        # And a tester over an empty fact space still sees the original
+        # conservative verdict, not the sharpened one.
+        fresh = DependenceTester(unit.symtab, AssertionDB(), shared=shared)
+        conservative = fresh.test_pair(write, read, bounds)
+        assert not conservative.independent

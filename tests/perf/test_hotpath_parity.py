@@ -21,18 +21,29 @@ from repro.workloads import SUITE
 
 
 @contextmanager
-def hot_path(prune: bool, memo: bool):
-    saved = (driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs)
+def hot_path(prune: bool, memo: bool, share: bool = False):
+    saved = (
+        driver.HOT_PATH.prune_pairs,
+        driver.HOT_PATH.memoize_pairs,
+        driver.HOT_PATH.share_pairs,
+    )
     driver.HOT_PATH.prune_pairs = prune
     driver.HOT_PATH.memoize_pairs = memo
+    driver.HOT_PATH.share_pairs = share
     try:
         yield
     finally:
-        driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs = saved
+        (
+            driver.HOT_PATH.prune_pairs,
+            driver.HOT_PATH.memoize_pairs,
+            driver.HOT_PATH.share_pairs,
+        ) = saved
 
 
-def fingerprint_of(source: str, prune: bool, memo: bool, features=None):
-    with hot_path(prune, memo):
+def fingerprint_of(
+    source: str, prune: bool, memo: bool, share: bool = False, features=None
+):
+    with hot_path(prune, memo, share):
         sf = parse_and_bind(source)
         pa = analyze_program(sf, features or FeatureSet())
     return program_fingerprint(pa)
@@ -42,17 +53,20 @@ def fingerprint_of(source: str, prune: bool, memo: bool, features=None):
 def test_suite_parity_fully_optimized(name):
     source = SUITE[name].source
     reference = fingerprint_of(source, prune=False, memo=False)
-    optimized = fingerprint_of(source, prune=True, memo=True)
+    optimized = fingerprint_of(source, prune=True, memo=True, share=True)
     assert optimized == reference
 
 
-@pytest.mark.parametrize("prune,memo", [(True, False), (False, True)])
-def test_each_switch_alone_preserves_results(prune, memo):
+@pytest.mark.parametrize(
+    "prune,memo,share",
+    [(True, False, False), (False, True, False), (False, True, True)],
+)
+def test_each_switch_alone_preserves_results(prune, memo, share):
     # The switches must be independently sound, not only in combination.
     for name in ("spec77", "onedim", "interior"):
         source = SUITE[name].source
         reference = fingerprint_of(source, prune=False, memo=False)
-        assert fingerprint_of(source, prune, memo) == reference, name
+        assert fingerprint_of(source, prune, memo, share) == reference, name
 
 
 def test_parity_under_assertions_and_overrides():
@@ -64,8 +78,8 @@ def test_parity_under_assertions_and_overrides():
 
     source = SUITE["onedim"].source
 
-    def run_session(prune: bool, memo: bool):
-        with hot_path(prune, memo):
+    def run_session(prune: bool, memo: bool, share: bool):
+        with hot_path(prune, memo, share):
             session = PedSession(source)
             session.select_unit("build")
             session.select_loop(0)
@@ -78,7 +92,7 @@ def test_parity_under_assertions_and_overrides():
             prints.append(program_fingerprint(session.analysis))
         return prints
 
-    assert run_session(True, True) == run_session(False, False)
+    assert run_session(True, True, True) == run_session(False, False, False)
 
 
 def test_memo_invalidates_when_assertions_change():
@@ -125,12 +139,14 @@ def test_memo_invalidates_when_assertions_change():
     assert after.resolved_by == unmemoized.resolved_by
 
 
-def test_memo_replay_preserves_tier_statistics():
-    """A memo hit must bump the tier counters exactly as a real run —
-    the M1 hierarchy statistics may not depend on cache behaviour."""
+@pytest.mark.parametrize("share", [False, True])
+def test_memo_replay_preserves_tier_statistics(share):
+    """A memo hit — local or shared — must bump the tier counters
+    exactly as a real run; the M1 hierarchy statistics may not depend on
+    cache behaviour."""
 
     source = SUITE["spec77"].source
-    with hot_path(False, True):
+    with hot_path(False, True, share):
         sf = parse_and_bind(source)
         pa_memo = analyze_program(sf, FeatureSet())
     with hot_path(False, False):
@@ -152,15 +168,89 @@ def test_hotpath_counters_fire_on_real_workloads():
     source = generate_program(n_routines=10)
     sf = parse_and_bind(source)
     pa = analyze_program(sf, FeatureSet())
-    totals = {"pairs_pruned": 0, "memo_hits": 0, "memo_misses": 0}
+    totals = {}
     for ua in pa.units.values():
         for key, value in ua.hotpath_stats().items():
-            totals[key] += value
+            totals[key] = totals.get(key, 0) + value
     assert totals["pairs_pruned"] > 0
     assert totals["memo_hits"] > 0
     # The memo also proved its keep: hits dominate misses on generated
     # programs, whose routines repeat the same access patterns.
     assert totals["memo_hits"] > totals["memo_misses"]
+    # And the program-scoped memo fires across units: the generated
+    # routines repeat the same stencil shape under different names.
+    assert totals["shared_hits"] > 0
+
+
+def test_shared_memo_export_absorb_counts_once():
+    """The export/absorb protocol must be exactly-once for both entries
+    and counters, whether export is called on the live object (serial
+    path) or a copy (worker path)."""
+
+    import pickle
+
+    from repro.dependence.hierarchy import SharedPairMemo
+
+    live = SharedPairMemo()
+    live.lookup(("k1",))  # miss
+    live.store(("k1",), ("v1",))
+    live.lookup(("k1",))  # hit
+    assert (live.hits, live.misses) == (1, 1)
+
+    # Serial path: export drains the live object's pending state, absorb
+    # puts the same numbers back — totals unchanged, not doubled.
+    live.absorb(live.export())
+    assert (live.hits, live.misses) == (1, 1)
+    assert live.entries == {("k1",): ("v1",)}
+
+    # Worker path: a pickled copy works and exports independently.
+    copy = pickle.loads(pickle.dumps(live))
+    copy.lookup(("k1",))  # hit in the copy
+    copy.lookup(("k2",))  # miss in the copy
+    copy.store(("k2",), ("v2",))
+    live.absorb(copy.export())
+    assert (live.hits, live.misses) == (2, 2)
+    assert live.entries[("k2",)] == ("v2",)
+
+
+def test_persisted_memo_warms_a_sibling_program(tmp_path):
+    """A fresh engine over a *different* program sharing subscript
+    shapes must hit the disk-persisted shared memo — with fingerprints
+    identical to a from-scratch analysis."""
+
+    from repro.incremental import AnalysisEngine
+    from repro.service import build_engine
+    from repro.workloads.generator import generate_program
+
+    base = generate_program(n_routines=8)
+    # A sibling: half the routines keep their exact spans, the rest get
+    # a wider stencil (content change, same program shape).
+    marker = "(x(i+1) - x(i-1))"
+    parts = base.split("      subroutine upd")
+    out = [parts[0]]
+    for p in parts[1:]:
+        if int(p.split("(")[0]) >= 4:
+            p = p.replace(marker, "(x(i+2) - x(i-2))")
+        out.append(p)
+    sibling = "      subroutine upd".join(out)
+    assert sibling != base
+
+    cache = tmp_path / "cache"
+    first = build_engine(cache_dir=cache)
+    first.analyze(base)
+    assert first.stats.counters["memo.persisted_entries"] > 0
+
+    second = build_engine(cache_dir=cache)
+    _, pa = second.analyze(sibling)
+    _, pa_scratch = AnalysisEngine().analyze(sibling)
+    assert program_fingerprint(pa) == program_fingerprint(pa_scratch)
+    counters = second.stats.counters
+    # Cold program key (never seen), warm everything else: spans and
+    # unit summaries for the unchanged routines, memo entries for all.
+    assert "disk.warm_start" not in counters
+    assert counters["disk.span_warm"] > 0
+    assert counters["disk.usum_hit"] > 0
+    assert counters["memo.shared_hits"] > 0
 
 
 def test_indexed_queries_match_full_scans():

@@ -134,3 +134,81 @@ def test_build_engine_jobs_flag():
         assert program_fingerprint(pa) == program_fingerprint(ref)
     finally:
         engine.close()
+
+
+def test_make_pool_selects_backend():
+    from repro.service.pool import (
+        ElasticWorkerPool,
+        SerialPool,
+        make_pool,
+    )
+
+    assert isinstance(make_pool(1), SerialPool)
+    assert isinstance(make_pool(None), SerialPool)
+    four = make_pool(4)
+    assert type(four) is WorkerPool and four.jobs == 4
+    auto = make_pool("auto")
+    assert isinstance(auto, ElasticWorkerPool)
+    assert auto.jobs == 2  # starts small, grows on demand
+    assert 2 <= auto.cap <= ElasticWorkerPool.DEFAULT_CAP
+    for p in (four, auto):
+        p.close()
+
+
+def test_elastic_resize_policy_is_deterministic():
+    """Sizing depends only on the batch-width sequence: grow at once,
+    shrink only after SHRINK_PATIENCE consecutive narrow batches."""
+
+    from repro.service.pool import ElasticWorkerPool
+
+    pool = ElasticWorkerPool(cap=6)
+    assert (pool.jobs, pool.cap) == (2, 6)
+
+    pool._resize(5)  # wide batch: grow immediately
+    assert pool.jobs == 5
+    pool._resize(40)  # the cap bounds growth deterministically
+    assert pool.jobs == 6
+
+    # Narrow batches (width <= jobs // 2) only shrink after patience.
+    for _ in range(ElasticWorkerPool.SHRINK_PATIENCE - 1):
+        pool._resize(2)
+        assert pool.jobs == 6
+    pool._resize(4)  # mid-width batch resets the narrow streak
+    assert pool.jobs == 6 and pool._narrow_batches == 0
+    for _ in range(ElasticWorkerPool.SHRINK_PATIENCE):
+        pool._resize(2)
+    assert pool.jobs == 2  # patience exhausted: shrink to target
+
+    pool._resize(3)  # and it can grow right back
+    assert pool.jobs == 3
+    pool.close()
+
+
+def test_elastic_pool_parity_and_workers_gauge():
+    """``--jobs auto`` is still bit-identical to serial, and the engine
+    can watch the pool's width through the ``pool.workers`` gauge."""
+
+    from repro.service.pool import ElasticWorkerPool
+
+    stats = EngineStats()
+    pool = ElasticWorkerPool(cap=2, stats=stats)
+    engine = AnalysisEngine(pool=pool, stats=stats)
+    try:
+        source = SUITE["slab2d"].source
+        _, pa = engine.analyze(source)
+        ref = AnalysisEngine().analyze(source)[1]
+        assert program_fingerprint(pa) == program_fingerprint(ref)
+        assert stats.counter("pool.workers") == pool.jobs
+        assert stats.counter("pool.workers.peak") >= 2
+    finally:
+        pool.close()
+
+
+def test_build_engine_jobs_auto():
+    from repro.service.pool import ElasticWorkerPool
+
+    engine = build_engine(jobs="auto")
+    try:
+        assert isinstance(engine.pool, ElasticWorkerPool)
+    finally:
+        engine.close()
