@@ -124,12 +124,18 @@ def cmd_auto(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .service import PedServer, serve_stdio, serve_tcp
+    from .service import (
+        MAX_REQUEST_BYTES,
+        PedServer,
+        serve_stdio,
+        serve_tcp,
+    )
 
     server = PedServer(
         jobs=args.jobs or 1,
         cache_dir=args.cache_dir,
         max_workers=args.workers,
+        max_request_bytes=args.max_request_bytes or MAX_REQUEST_BYTES,
     )
     try:
         if args.stdio:
@@ -247,6 +253,16 @@ def main(argv=None) -> int:
         type=int,
         default=8,
         help="max concurrently handled requests (default 8)",
+    )
+    p.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "reject request lines over N bytes with a structured "
+            "payload-too-large error (default 4 MiB)"
+        ),
     )
     service_flags(p)
     p.set_defaults(fn=cmd_serve)

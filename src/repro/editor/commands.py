@@ -232,9 +232,17 @@ class CommandInterpreter:
         return "\n".join(out)
 
     def _cmd_stats(self, rest: str) -> str:
-        """Incremental-engine observability: stage timers, cache hits."""
+        """Incremental-engine observability: stage timers, cache hits,
+        plus the merged service metrics (same keys as the server's
+        ``metrics`` op)."""
 
-        return self.session.engine.stats.render()
+        from ..service.metrics import merged_metrics, render_metrics
+
+        engine = self.session.engine
+        metrics = merged_metrics(
+            engine.stats, pool=engine.pool, memo=engine.shared_memo
+        )
+        return engine.stats.render() + "\n\n" + render_metrics(metrics)
 
     def _cmd_callgraph(self, rest: str) -> str:
         """The program's call graph ('dot' argument emits Graphviz)."""

@@ -250,8 +250,17 @@ class AnalysisEngine:
             shared_memo if shared_memo is not None else SharedPairMemo()
         )
         self._memo_loaded = False
-        self._memo_saved_len = 0
+        #: Watermark for memo-delta exchange: the keys known to be in
+        #: the store's singleton record.  Local entries outside this set
+        #: are the delta the next export ships.
+        self._memo_disk_keys: Set[tuple] = set()
         self._spilled_usums: Set[str] = set()
+        #: Optional progress listener, ``callable(phase: str, detail:
+        #: dict)``, invoked at every pipeline stage boundary (and once
+        #: per unit in the dependence stage).  The session server routes
+        #: this to ``analysis.progress`` events for streaming clients;
+        #: emission is observation-only and never alters results.
+        self.progress = None
 
     @property
     def pool(self):
@@ -260,6 +269,27 @@ class AnalysisEngine:
     @property
     def store(self):
         return self._store
+
+    @property
+    def shared_memo(self) -> SharedPairMemo:
+        return self._shared_memo
+
+    def _emit_progress(self, phase: str, **detail) -> None:
+        cb = self.progress
+        if cb is None:
+            return
+        try:
+            cb(phase, detail)
+        except Exception:  # noqa: BLE001 — listeners never break analysis
+            log.warning("progress listener failed for %r", phase, exc_info=True)
+
+    def _store_stats(self) -> EngineStats:
+        """Where shared-store counters (memo deltas, leases) accumulate:
+        the store's stats when attached (the server-wide object in a
+        multi-session server), else this engine's own."""
+
+        store_stats = getattr(self._store, "stats", None)
+        return store_stats if store_stats is not None else self.stats
 
     def _new_rev(self) -> int:
         rev = self._rev_next
@@ -292,6 +322,26 @@ class AnalysisEngine:
 
         self._pool.close()
 
+    def changed_units(self, old_source: str, new_source: str) -> Set[str]:
+        """Names of units whose span content differs between two
+        sources — the invalidation hook the session host broadcasts
+        from after a mutating operation.
+
+        Purely a span-digest diff resolved through the parse cache, so
+        it costs one lexer pass per source and never parses anything;
+        digests the cache no longer holds (trimmed, never seen) are
+        simply not attributable and contribute no names.
+        """
+
+        old = {s.digest for s in split_units(old_source)}
+        new = {s.digest for s in split_units(new_source)}
+        changed: Set[str] = set()
+        for digest in old.symmetric_difference(new):
+            entry = self._spans.get(digest)
+            if entry is not None:
+                changed.update(u.name for u in entry.units)
+        return changed
+
     # ------------------------------------------------------------------
     # the pipeline
     # ------------------------------------------------------------------
@@ -320,6 +370,7 @@ class AnalysisEngine:
             }
             with stats.timer("split"):
                 spans = split_units(source)
+            self._emit_progress("split", spans=len(spans))
             prog_key = None
             if self._store is not None:
                 prog_key = self._store.program_key(
@@ -327,14 +378,16 @@ class AnalysisEngine:
                 )
                 if self._last is None:
                     self._load_program_state(prog_key)
-                if not self._memo_loaded:
-                    self._load_shared_memo()
+                self._absorb_memo_deltas()
             entries, sf, kinds = self._assemble(spans)
             if self._last is not None and kinds != self._last.kinds:
                 # The unit set (or a unit's kind) changed: name resolution
                 # inside *unchanged* units can legitimately differ (array
                 # reference vs function call, intrinsic shadowing), so
                 # restart from a clean slate once.
+                self._emit_progress(
+                    "invalidated", reason="unit-kind-map-changed"
+                )
                 self.clear()
                 entries, sf, kinds = self._assemble(spans)
             for entry in entries:
@@ -348,6 +401,9 @@ class AnalysisEngine:
                             _collect_candidates(u) for u in entry.units
                         ]
                 cg = self._assemble_callgraph(entries)
+            self._emit_progress(
+                "callgraph", units=len(cg.units), sites=len(cg.sites)
+            )
 
             #: Which span entry (and slot) owns each unit — needed to
             #: adopt ASTs analyzed in worker processes back as canonical.
@@ -439,7 +495,7 @@ class AnalysisEngine:
             if self._store is not None:
                 self._spill_state(prog_key, entries, kinds)
                 self._spill_unit_summaries(ukeys)
-                self._spill_shared_memo()
+                self._export_memo_deltas()
         return sf, pa
 
     # ------------------------------------------------------------------
@@ -490,6 +546,11 @@ class AnalysisEngine:
                     )
                     entries[i] = entry
                     fresh.append(entry)
+        self._emit_progress(
+            "parse",
+            parsed=len(to_parse),
+            reused=len(spans) - len(to_parse),
+        )
         if to_parse:
             sf = SourceFile([u for e in entries for u in e.units])
             with self.stats.timer("bind"):
@@ -681,6 +742,7 @@ class AnalysisEngine:
                 cache[n] = work[n]
             else:
                 self.stats.hit(phase)
+        self._emit_progress(phase, dirty=len(dirty), units=len(cg.units))
 
     def _update_ip_constants(self, cg: CallGraph, changed: Set[str]) -> None:
         """Top-down counterpart: constants flow caller → callee, so the
@@ -695,6 +757,9 @@ class AnalysisEngine:
                 self.stats.miss("ipconst")
             else:
                 self.stats.hit("ipconst")
+        self._emit_progress(
+            "ipconst", dirty=len(dirty), units=len(cg.units)
+        )
         if not dirty:
             return
         inherited = {n: dict(cache.get(n, {})) for n in cg.units}
@@ -821,6 +886,7 @@ class AnalysisEngine:
                 for (name, key), ua in zip(
                     misses, self._pool.map("dep", payloads)
                 ):
+                    self._emit_progress("dependence", unit=name)
                     export, ua.memo_export = ua.memo_export, None
                     if export is not None:
                         # Merge worker-proved entries (or, with the
@@ -937,41 +1003,88 @@ class AnalysisEngine:
                 },
             )
 
-    # -- shared pair-test memo ------------------------------------------
+    # -- shared pair-test memo: cross-process delta exchange ------------
 
-    def _load_shared_memo(self) -> None:
-        """Absorb the persisted shared memo once per engine lifetime."""
+    def _absorb_memo_deltas(self) -> None:
+        """Pull memo entries sibling processes persisted since we last
+        looked — the inbound half of the delta exchange.
 
+        Runs at the top of every analysis (record reads are atomic, so
+        no lease is needed): entries in the store's singleton record but
+        not yet in the live memo are absorbed through the same
+        exactly-once :meth:`SharedPairMemo.absorb` path the worker-pool
+        merge uses, counted as ``memo.delta_absorbed``.  Absorbing more
+        verdicts can never change results — every entry is fully
+        content-addressed — it only replays work a sibling already did.
+        """
+
+        first = not self._memo_loaded
         self._memo_loaded = True
         if not (HOT_PATH.share_pairs and HOT_PATH.memoize_pairs):
             return
-        entries = self._store.load_memo()
-        if entries:
-            self._shared_memo.absorb({"entries": entries})
-            self.stats.bump("disk.memo_warm")
-        self._memo_saved_len = len(self._shared_memo.entries)
-        self.stats.counters["memo.persisted_entries"] = len(entries or {})
+        disk = self._store.load_memo() or {}
+        memo = self._shared_memo
+        fresh = {k: v for k, v in disk.items() if k not in memo.entries}
+        if fresh:
+            memo.absorb({"entries": fresh})
+            self._store_stats().bump("memo.delta_absorbed", len(fresh))
+            if first:
+                self.stats.bump("disk.memo_warm")
+        self._memo_disk_keys = set(disk)
+        self.stats.counters["memo.persisted_entries"] = len(disk)
 
-    def _spill_shared_memo(self) -> None:
-        """Persist the shared memo when this analysis grew it.
+    def _export_memo_deltas(self) -> None:
+        """Ship locally proved entries to the store — the outbound half.
 
-        The disk record is re-read and merged first so concurrent
-        engines (or server processes) sharing one store extend rather
-        than overwrite each other's entries.
+        Export-since-watermark: only entries not already known to be on
+        disk (:attr:`_memo_disk_keys`) are shipped.  The read-merge-
+        write runs under the store's memo lease so N processes extend
+        rather than overwrite each other's records; entries the
+        authoritative re-read reveals are absorbed for free.  A lease
+        timeout skips the export (``memo.delta_skipped``) — the delta
+        stays local and ships on the next analysis.
         """
 
-        memo = self._shared_memo
-        if len(memo.entries) <= self._memo_saved_len:
+        if not (HOT_PATH.share_pairs and HOT_PATH.memoize_pairs):
             return
-        merged = dict(self._store.load_memo() or {})
-        merged.update(memo.entries)
-        if len(merged) > SharedPairMemo.MAX_ENTRIES:
-            merged = dict(
-                list(merged.items())[: SharedPairMemo.MAX_ENTRIES]
-            )
-        if self._store.save_memo(merged):
-            self._memo_saved_len = len(memo.entries)
+        memo = self._shared_memo
+        snapshot = dict(memo.entries)
+        delta = {
+            k: v
+            for k, v in snapshot.items()
+            if k not in self._memo_disk_keys
+        }
+        if not delta:
+            return
+        st = self._store_stats()
+        lease = self._store.memo_lease()
+        if not lease.acquire(timeout=5.0):
+            st.bump("memo.delta_skipped")
+            return
+        try:
+            # Authoritative under the lease: siblings may have written
+            # since our absorb pass.
+            disk = self._store.load_memo() or {}
+            sibling_fresh = {
+                k: v for k, v in disk.items() if k not in memo.entries
+            }
+            if sibling_fresh:
+                memo.absorb({"entries": sibling_fresh})
+                st.bump("memo.delta_absorbed", len(sibling_fresh))
+            merged = dict(disk)
+            exported = 0
+            for k, v in delta.items():
+                if k not in merged:
+                    if len(merged) >= SharedPairMemo.MAX_ENTRIES:
+                        break
+                    merged[k] = v
+                    exported += 1
+            if (exported or not disk) and self._store.save_memo(merged):
+                st.bump("memo.delta_exported", exported)
+            self._memo_disk_keys = set(merged)
             self.stats.counters["memo.persisted_entries"] = len(merged)
+        finally:
+            lease.release()
 
     # -- per-unit summary records ---------------------------------------
 

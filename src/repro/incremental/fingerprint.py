@@ -12,6 +12,7 @@ with these.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Tuple
 
 from ..dependence.driver import UnitAnalysis
@@ -73,3 +74,15 @@ def program_fingerprint(pa: ProgramAnalysis) -> Tuple[tuple, tuple]:
         for name, consts in sorted(pa.ip_constants.items())
     )
     return (units, constants)
+
+
+def fingerprint_digest(pa: ProgramAnalysis) -> str:
+    """Wire-friendly digest of :func:`program_fingerprint`.
+
+    The service's ``fingerprint`` op ships this instead of the nested
+    tuple, so the multi-mode parity suite (serial vs streamed vs
+    multi-process) can compare analyses across process boundaries with
+    one short string.
+    """
+
+    return hashlib.sha1(repr(program_fingerprint(pa)).encode()).hexdigest()

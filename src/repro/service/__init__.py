@@ -8,9 +8,18 @@ Three cooperating subsystems on top of the incremental engine:
 * :mod:`repro.service.diskcache` / :mod:`repro.service.persist` — a
   content-addressed on-disk store that lets a reopened session start
   warm;
-* :mod:`repro.service.server` / :mod:`repro.service.client` — a
-  JSON-lines protocol server hosting many concurrent named Ped
-  sessions (``python -m repro serve``), plus a thin client.
+* :mod:`repro.service.protocol` / :mod:`repro.service.session_host` /
+  :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  JSON-lines envelope protocol (requests, replies, server-push events
+  with per-connection sequence ids), the transport-agnostic session
+  host, the stdio/TCP transports (``python -m repro serve``) and a thin
+  client with a streaming iterator/callback API;
+* :mod:`repro.service.storelock` — lease-based coordination so N server
+  processes can share one ``--cache-dir`` (and exchange pair-test memo
+  deltas through it);
+* :mod:`repro.service.metrics` — the one merged service-metrics
+  snapshot the server's ``metrics`` op and the ``stats`` CLI both
+  report.
 
 ``build_engine`` is the one-stop factory the CLI and sessions use to
 turn ``--jobs`` / ``--cache-dir`` into a configured engine.
@@ -24,21 +33,30 @@ from __future__ import annotations
 from typing import Optional
 
 from .diskcache import DiskCache, FORMAT_VERSION
+from .metrics import merged_metrics, render_metrics
 from .persist import PersistentStore
 from .pool import ElasticWorkerPool, SerialPool, WorkerPool, make_pool
+from .protocol import MAX_REQUEST_BYTES, PROTOCOL_VERSION
+from .storelock import StoreLease
 
 __all__ = [
     "DiskCache",
     "FORMAT_VERSION",
     "PersistentStore",
+    "StoreLease",
     "SerialPool",
     "WorkerPool",
     "ElasticWorkerPool",
     "make_pool",
+    "merged_metrics",
+    "render_metrics",
     "build_engine",
+    "MAX_REQUEST_BYTES",
+    "PROTOCOL_VERSION",
     "PedServer",
     "PedClient",
     "PedRequestError",
+    "ServerEvent",
     "serve_stdio",
     "serve_tcp",
 ]
@@ -84,7 +102,7 @@ def __getattr__(name: str):
         from . import server
 
         return getattr(server, name)
-    if name in ("PedClient", "PedRequestError"):
+    if name in ("PedClient", "PedRequestError", "ServerEvent"):
         from . import client
 
         return getattr(client, name)

@@ -1,17 +1,38 @@
 """A thin Python client for the Ped session server.
 
-Speaks the JSON-lines protocol of :mod:`repro.service.server` over any
-line-oriented transport: a TCP connection (:meth:`PedClient.connect`), a
-spawned ``python -m repro serve --stdio`` subprocess
-(:meth:`PedClient.spawn`) or an in-process pipe pair (tests).  A reader
-thread matches replies to requests by id, so many requests may be in
-flight at once; :meth:`request` is the blocking convenience wrapper and
-:meth:`submit` the asynchronous one.
+Speaks the JSON-lines envelope protocol of
+:mod:`repro.service.protocol` over any line-oriented transport: a TCP
+connection (:meth:`PedClient.connect`), a spawned ``python -m repro
+serve --stdio`` subprocess (:meth:`PedClient.spawn`) or an in-process
+pipe pair (tests).  A reader thread matches replies to requests by id,
+so many requests may be in flight at once; :meth:`request` is the
+blocking convenience wrapper and :meth:`submit` the asynchronous one.
 
 >>> client = PedClient.connect(port=7077)
 >>> client.request("open", session="w", source=fortran_text)
 >>> client.request("loops", session="w", unit="main")
 >>> client.close()
+
+**Streaming.**  A request sent with ``stream=True`` receives typed
+server-push events before its terminal reply.  Two consumption styles:
+
+* *Iterator* — :meth:`stream` yields each :class:`ServerEvent` as it
+  arrives and finally a synthetic ``result`` event carrying the terminal
+  reply (and its ``seq``), so ordering is assertable end to end::
+
+      for ev in client.stream("open", session="w", source=src):
+          if ev.kind == "analysis.progress":
+              print(ev.data["phase"], ev.seq)
+          elif ev.kind == "result":
+              units = ev.data["units"]
+
+* *Callback* — ``submit(..., stream=True, on_event=fn)`` invokes ``fn``
+  with each event on the reader thread while the returned handle
+  resolves as usual.
+
+Connection-wide broadcasts (``invalidation`` events with a ``null``
+id — another session's edit dirtied units this client may hold) go to
+listeners registered with :meth:`add_event_listener`.
 
 Failed requests raise :class:`PedRequestError`, carrying the server's
 structured error ``type`` (``ped-error``, ``timeout``, ``cancelled``…)
@@ -22,12 +43,14 @@ from __future__ import annotations
 
 import itertools
 import json
+import queue
 import socket
 import subprocess
 import sys
 import threading
 from concurrent.futures import Future
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
 
 
 class PedRequestError(Exception):
@@ -37,6 +60,20 @@ class PedRequestError(Exception):
         super().__init__(f"{etype}: {message}")
         self.type = etype
         self.message = message
+
+
+@dataclass
+class ServerEvent:
+    """One server-push event (or the synthetic terminal ``result``)."""
+
+    kind: str
+    data: Dict = field(default_factory=dict)
+    seq: Optional[int] = None
+    request_id: object = None
+
+
+#: Sentinel pushed into a stream queue when the terminal reply lands.
+_DONE = object()
 
 
 class PedClient:
@@ -49,6 +86,10 @@ class PedClient:
         self._write_lock = threading.Lock()
         self._pending: Dict[object, Future] = {}
         self._pending_lock = threading.Lock()
+        self._event_sinks: Dict[object, Callable[[ServerEvent], None]] = {}
+        self._reply_seq: Dict[object, Optional[int]] = {}
+        self._listeners: Dict[int, Callable[[ServerEvent], None]] = {}
+        self._listener_ids = itertools.count(1)
         self._ids = itertools.count(1)
         self._closed = False
         self._reader = threading.Thread(
@@ -101,6 +142,26 @@ class PedClient:
         return client
 
     # ------------------------------------------------------------------
+    # broadcast listeners
+    # ------------------------------------------------------------------
+
+    def add_event_listener(
+        self, fn: Callable[[ServerEvent], None]
+    ) -> int:
+        """Register ``fn`` for connection-wide broadcast events
+        (``invalidation``); returns a token for
+        :meth:`remove_event_listener`.  Called on the reader thread."""
+
+        token = next(self._listener_ids)
+        with self._pending_lock:
+            self._listeners[token] = fn
+        return token
+
+    def remove_event_listener(self, token: int) -> None:
+        with self._pending_lock:
+            self._listeners.pop(token, None)
+
+    # ------------------------------------------------------------------
     # the wire
     # ------------------------------------------------------------------
 
@@ -111,30 +172,68 @@ class PedClient:
                 if not line:
                     continue
                 try:
-                    reply = json.loads(line)
+                    env = json.loads(line)
                 except ValueError:
                     continue
-                future = None
-                with self._pending_lock:
-                    future = self._pending.pop(reply.get("id"), None)
-                if future is None or future.done():
+                if not isinstance(env, dict):
                     continue
-                if reply.get("ok"):
-                    future.set_result(reply.get("result"))
-                else:
-                    err = reply.get("error") or {}
-                    future.set_exception(
-                        PedRequestError(
-                            err.get("type", "unknown"),
-                            err.get("message", "unknown error"),
-                        )
-                    )
+                if "event" in env:
+                    self._handle_event(env)
+                    continue
+                self._handle_reply(env)
         finally:
             self._fail_pending("connection closed")
+
+    def _handle_event(self, env: Dict) -> None:
+        ev = ServerEvent(
+            kind=env.get("event", ""),
+            data=env.get("data") or {},
+            seq=env.get("seq"),
+            request_id=env.get("id"),
+        )
+        if ev.request_id is None:
+            with self._pending_lock:
+                sinks = list(self._listeners.values())
+            for fn in sinks:
+                try:
+                    fn(ev)
+                except Exception:  # noqa: BLE001 — listener bug ≠ reader death
+                    pass
+            return
+        with self._pending_lock:
+            sink = self._event_sinks.get(ev.request_id)
+        if sink is not None:
+            try:
+                sink(ev)
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _handle_reply(self, reply: Dict) -> None:
+        rid = reply.get("id")
+        with self._pending_lock:
+            future = self._pending.pop(rid, None)
+            had_sink = self._event_sinks.pop(rid, None) is not None
+            if had_sink:
+                # Only streaming requests read the terminal seq back;
+                # recording it for every reply would leak the map.
+                self._reply_seq[rid] = reply.get("seq")
+        if future is None or future.done():
+            return
+        if reply.get("ok"):
+            future.set_result(reply.get("result"))
+        else:
+            err = reply.get("error") or {}
+            future.set_exception(
+                PedRequestError(
+                    err.get("type", "unknown"),
+                    err.get("message", "unknown error"),
+                )
+            )
 
     def _fail_pending(self, why: str) -> None:
         with self._pending_lock:
             pending, self._pending = dict(self._pending), {}
+            self._event_sinks.clear()
         for future in pending.values():
             if not future.done():
                 future.set_exception(PedRequestError("connection", why))
@@ -143,16 +242,34 @@ class PedClient:
     # requests
     # ------------------------------------------------------------------
 
-    def submit(self, op: str, **params) -> "PendingReply":
-        """Send one request; returns a handle resolving to its result."""
+    def submit(
+        self,
+        op: str,
+        *,
+        stream: bool = False,
+        on_event: Optional[Callable[[ServerEvent], None]] = None,
+        **params,
+    ) -> "PendingReply":
+        """Send one request; returns a handle resolving to its result.
+
+        ``stream=True`` (implied by ``on_event``) opts the request into
+        server-push events; ``on_event`` receives each
+        :class:`ServerEvent` on the reader thread.
+        """
 
         rid = params.pop("id", None)
         if rid is None:
             rid = next(self._ids)
+        if on_event is not None:
+            stream = True
         req = {"id": rid, "op": op, **params}
+        if stream:
+            req["stream"] = True
         future: Future = Future()
         with self._pending_lock:
             self._pending[rid] = future
+            if on_event is not None:
+                self._event_sinks[rid] = on_event
         line = json.dumps(req)
         try:
             with self._write_lock:
@@ -161,6 +278,7 @@ class PedClient:
         except (BrokenPipeError, ValueError, OSError) as exc:
             with self._pending_lock:
                 self._pending.pop(rid, None)
+                self._event_sinks.pop(rid, None)
             raise PedRequestError("connection", f"send failed: {exc}")
         return PendingReply(self, rid, future)
 
@@ -168,6 +286,46 @@ class PedClient:
         """Send one request and wait for its result (or raise)."""
 
         return self.submit(op, **params).result(wait)
+
+    def stream(
+        self, op: str, *, wait: Optional[float] = 60.0, **params
+    ) -> Iterator[ServerEvent]:
+        """Send a streaming request; yield its events as they arrive.
+
+        The final yielded item is a synthetic ``result`` event whose
+        ``data`` is the terminal reply's result and whose ``seq`` is the
+        reply's sequence id (always greater than every event's — the
+        protocol guarantee).  A structured error reply raises
+        :class:`PedRequestError` instead of yielding ``result``.
+        """
+
+        events: "queue.Queue" = queue.Queue()
+        pending = self.submit(
+            op, stream=True, on_event=events.put, **params
+        )
+        pending._future.add_done_callback(lambda _f: events.put(_DONE))
+        while True:
+            item = events.get(timeout=wait)
+            if item is _DONE:
+                # Drain events that raced the terminal reply.
+                while True:
+                    try:
+                        late = events.get_nowait()
+                    except queue.Empty:
+                        break
+                    if late is not _DONE:
+                        yield late
+                result = pending.result(0)
+                with self._pending_lock:
+                    seq = self._reply_seq.pop(pending.id, None)
+                yield ServerEvent(
+                    kind="result",
+                    data=result,
+                    seq=seq,
+                    request_id=pending.id,
+                )
+                return
+            yield item
 
     def cancel(self, target) -> None:
         """Ask the server to cancel request ``target`` (fire and forget)."""

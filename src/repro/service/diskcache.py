@@ -36,6 +36,8 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from .storelock import StoreLease
+
 log = logging.getLogger(__name__)
 
 #: Bump when any pickled payload's schema changes; old records then
@@ -161,6 +163,23 @@ class DiskCache:
 
     def contains(self, kind: str, key: str) -> bool:
         return self._path(kind, key).exists()
+
+    def lease(
+        self, name: str, holder: Optional[str] = None, ttl: float = 10.0
+    ) -> StoreLease:
+        """A named :class:`StoreLease` scoped to this store.
+
+        Lease files live under ``<root>/locks/`` (outside the ``.pkl``
+        namespace the LRU eviction walks) so N server processes sharing
+        one ``--cache-dir`` coordinate through the store itself.
+        """
+
+        return StoreLease(
+            self.root / "locks" / f"{name}.lease",
+            holder=holder,
+            ttl=ttl,
+            stats=self.stats,
+        )
 
     # ------------------------------------------------------------------
 

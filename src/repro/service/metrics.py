@@ -1,0 +1,96 @@
+"""One merged service-metrics snapshot, shared by server and CLI.
+
+The satellite rule this module enforces: the server's ``metrics`` op and
+the editor's ``stats`` command must report the *same keys with the same
+meanings*, so a dashboard scraping the server and a user eyeballing the
+CLI never argue about names.  :func:`merged_metrics` is the single
+producer — both callers hand it their stats object, worker pool and
+shared memo and get one flat ``{key: number}`` dict:
+
+* ``pool.workers`` / ``pool.queue_depth`` (+ ``.peak``) — live gauges
+  re-read from the pool itself, so the snapshot reflects *now*, not the
+  last time a batch happened to publish.
+* ``pool.tasks`` / ``pool.batches`` / ``pool.busy_s`` / ``pool.wall_s``
+  / ``pool.utilization`` — cumulative work volume and the derived
+  busy-over-wall speedup.
+* ``memo.shared_hits`` / ``memo.shared_misses`` / ``memo.shared_hit_rate``
+  / ``memo.entries`` — shared pair-test memo totals, read from the memo
+  object (the authoritative source) rather than whichever engine last
+  copied them.
+* ``memo.delta_absorbed`` / ``memo.delta_exported`` /
+  ``memo.delta_skipped`` / ``memo.persisted_entries`` — cross-process
+  memo-delta exchange counters.
+* ``disk.*`` and ``lease.*`` — persistent-store and store-lease
+  counters, passed through from the stats counters verbatim.
+* ``analyses`` — how many engine analysis cycles fed these numbers.
+
+Keys with a zero value are still present (a dashboard wants stable
+columns); keys for absent subsystems (no pool, no memo, no store) are
+simply whatever the counters already recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+#: Counter keys always present in a merged snapshot, even at zero —
+#: scrapers get a stable schema regardless of which subsystems ran.
+STABLE_KEYS = (
+    "pool.workers",
+    "pool.queue_depth",
+    "pool.tasks",
+    "pool.batches",
+    "memo.shared_hits",
+    "memo.shared_misses",
+    "memo.entries",
+    "memo.delta_absorbed",
+    "memo.delta_exported",
+    "memo.delta_skipped",
+    "memo.persisted_entries",
+)
+
+
+def merged_metrics(stats, pool=None, memo=None) -> Dict[str, float]:
+    """The one service-metrics dict (see module docstring for keys)."""
+
+    out: Dict[str, float] = {}
+    for key in STABLE_KEYS:
+        out[key] = 0
+    # Pass through every recorded counter: disk.*, lease.*, pool.*,
+    # memo.delta_*, plus anything a future subsystem adds.
+    for key, value in stats.counters.items():
+        out[key] = value
+    out["analyses"] = stats.analyses
+    if pool is not None:
+        # Live gauges beat the last-published counter values.
+        out["pool.workers"] = getattr(pool, "jobs", 1)
+    if memo is not None:
+        out["memo.shared_hits"] = memo.hits
+        out["memo.shared_misses"] = memo.misses
+        out["memo.entries"] = len(memo.entries)
+    hits = out.get("memo.shared_hits", 0)
+    misses = out.get("memo.shared_misses", 0)
+    looked = hits + misses
+    out["memo.shared_hit_rate"] = hits / looked if looked else 0.0
+    wall = out.get("pool.wall_s", 0.0)
+    busy = out.get("pool.busy_s", 0.0)
+    out["pool.utilization"] = busy / wall if wall else 0.0
+    return out
+
+
+def render_metrics(metrics: Dict[str, float]) -> str:
+    """Human-readable table of a merged snapshot (the ``stats`` CLI's
+    service-metrics section — same keys the server's ``metrics`` op
+    returns)."""
+
+    rows = ["service metrics"]
+    rows.append("-" * 30)
+    for key in sorted(metrics):
+        value = metrics[key]
+        if key.endswith(("_s", "_rate", "utilization")):
+            shown = f"{value:.4f}"
+        else:
+            shown = f"{value:g}"
+        rows.append(f"{key:<24} {shown:>12}")
+    return "\n".join(rows)

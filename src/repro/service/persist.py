@@ -149,6 +149,13 @@ class PersistentStore:
     def save_memo(self, entries: Dict[tuple, tuple]) -> bool:
         return self.cache.put(MEMO_KIND, MEMO_KEY, dict(entries))
 
+    def memo_lease(self, holder=None, ttl: float = 10.0):
+        """The lease guarding read-merge-write on the singleton memo
+        record — the one mutable object N processes sharing this store
+        all update (see :mod:`repro.service.storelock`)."""
+
+        return self.cache.lease("memo", holder=holder, ttl=ttl)
+
     # -- program records ------------------------------------------------
 
     def program_key(

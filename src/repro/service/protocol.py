@@ -1,0 +1,173 @@
+"""The Ped wire protocol: framing, envelopes, sequence ids.
+
+Transport-agnostic half of the session server.  Everything that crosses
+a connection is one JSON object per line — an *envelope* — in one of
+three shapes:
+
+* **Request** (client → server)::
+
+      {"id": ..., "op": ..., "session": ..., "stream": true?, ...params}
+
+  ``id`` is the client's correlation key (any JSON scalar).  A request
+  carrying ``"stream": true`` opts into server-push events before its
+  terminal reply.
+
+* **Reply** (server → client, terminal — exactly one per request)::
+
+      {"id": ..., "ok": true,  "seq": N, "result": {...}}
+      {"id": ..., "ok": false, "seq": N, "error": {"type": ..., "message": ...}}
+
+* **Event** (server → client, zero or more, only for streaming requests
+  and broadcasts)::
+
+      {"id": ..., "event": "analysis.progress", "seq": N, "data": {...}}
+
+  ``id`` names the originating request, or is ``null`` for connection-
+  wide broadcasts (``invalidation``).  Event kinds: ``analysis.progress``
+  (one per pipeline phase / per analyzed unit) and ``invalidation`` (an
+  edit in one session dirtied records another session holds).
+
+**Ordering.**  Every outbound envelope carries ``seq``, a per-connection
+monotonic sequence id assigned at write time: within one connection,
+``seq`` strictly increases in wire order, and all events of a request
+precede its terminal reply (events are written synchronously by the
+request's handler; the reply is written after the handler returns).
+Replies to *different* requests may interleave freely — ``id`` is the
+correlation key, ``seq`` the total order.
+
+**Framing errors.**  :func:`parse_request` turns a raw line into a
+request dict or raises :class:`ProtocolError` with a structured error
+type the transport can answer with directly: ``bad-request`` (malformed
+JSON, non-object payload) or ``payload-too-large`` (line over the
+server's byte limit; the request id is recovered when possible so the
+error still correlates).  Error types emitted across the protocol:
+``bad-request``, ``payload-too-large``, ``unknown-op``,
+``unknown-session``, ``session-exists``, ``ped-error``, ``timeout``,
+``cancelled``, ``shutting-down`` and ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Optional
+
+#: Protocol/feature revision, echoed by ``ping``.  v2: streaming events,
+#: ``seq`` stamps, ``metrics``/``fingerprint`` ops, structured framing
+#: errors (``payload-too-large``).
+PROTOCOL_VERSION = 2
+
+#: Default cap on one request line; oversized requests get a structured
+#: ``payload-too-large`` error instead of an ad-hoc disconnect.
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+# Error types (the closed set the protocol may emit).
+BAD_REQUEST = "bad-request"
+PAYLOAD_TOO_LARGE = "payload-too-large"
+UNKNOWN_OP = "unknown-op"
+UNKNOWN_SESSION = "unknown-session"
+SESSION_EXISTS = "session-exists"
+PED_ERROR = "ped-error"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+SHUTTING_DOWN = "shutting-down"
+INTERNAL = "internal"
+
+# Event kinds.
+EV_PROGRESS = "analysis.progress"
+EV_INVALIDATION = "invalidation"
+
+
+class ProtocolError(Exception):
+    """A framing-level error with a structured ``type`` and, when it
+    could be recovered from the offending line, the request ``id``."""
+
+    def __init__(self, etype: str, message: str, request_id=None) -> None:
+        super().__init__(message)
+        self.type = etype
+        self.request_id = request_id
+
+
+class Sequencer:
+    """Thread-safe monotonic counter: one per connection, stamping every
+    outbound envelope so clients can assert total wire order."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            self._n += 1
+            return self._n
+
+
+def parse_request(line: str, max_bytes: int = MAX_REQUEST_BYTES) -> Dict:
+    """One raw line → a request dict, or :class:`ProtocolError`.
+
+    Oversized lines are rejected *after* a best-effort id recovery so
+    the structured error still correlates with the client's request.
+    """
+
+    if len(line.encode("utf-8", errors="replace")) > max_bytes:
+        raise ProtocolError(
+            PAYLOAD_TOO_LARGE,
+            f"request over the {max_bytes}-byte limit",
+            request_id=_recover_id(line),
+        )
+    try:
+        req = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(BAD_REQUEST, f"bad JSON: {exc}")
+    if not isinstance(req, dict):
+        raise ProtocolError(BAD_REQUEST, "request must be a JSON object")
+    return req
+
+
+def _recover_id(line: str):
+    """The ``id`` of a request we are about to reject, if parseable."""
+
+    try:
+        req = json.loads(line)
+        if isinstance(req, dict):
+            rid = req.get("id")
+            if isinstance(rid, (str, int, float)) or rid is None:
+                return rid
+    except ValueError:
+        pass
+    return None
+
+
+# ----------------------------------------------------------------------
+# envelope builders (the transport stamps ``seq`` at write time)
+# ----------------------------------------------------------------------
+
+
+def reply_ok(rid, result) -> Dict:
+    return {"id": rid, "ok": True, "result": result}
+
+
+def reply_error(rid, etype: str, message: str) -> Dict:
+    return {
+        "id": rid,
+        "ok": False,
+        "error": {"type": etype, "message": message},
+    }
+
+
+def event_envelope(rid, kind: str, data: Optional[Dict] = None) -> Dict:
+    return {"id": rid, "event": kind, "data": data or {}}
+
+
+def encode(envelope: Dict) -> str:
+    """One envelope → its wire line (no trailing newline)."""
+
+    return json.dumps(envelope, sort_keys=True)
+
+
+def is_event(envelope: Dict) -> bool:
+    return "event" in envelope
+
+
+def is_reply(envelope: Dict) -> bool:
+    return "ok" in envelope and "event" not in envelope

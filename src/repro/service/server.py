@@ -1,517 +1,69 @@
-"""The Ped session server: many named sessions over one protocol.
+"""Service transports: stdio and TCP front ends for the session host.
 
-A :class:`PedServer` hosts any number of concurrent, named
-:class:`~repro.editor.session.PedSession` instances and exposes the full
-editor surface — open/edit/assert/mark/reclassify/transform/query — over
-a JSON-lines protocol carried on stdio (``python -m repro serve
---stdio``) or TCP (``--port``).  All sessions share the server's worker
-pool and persistent store, so a server with ``--jobs``/``--cache-dir``
-gives every client parallel analysis and warm starts for free.
+The service stack is split in three (see the ISSUE-5 refactor):
 
-**Protocol.**  One JSON object per line, both directions.  Requests are
-``{"id": ..., "op": ..., "session": ..., ...params}``; replies are
-``{"id": ..., "ok": true, "result": ...}`` or ``{"id": ..., "ok": false,
-"error": {"type": ..., "message": ...}}``.  Replies may arrive out of
-request order (requests run concurrently); the ``id`` is the client's
-correlation key.  Error types: ``bad-request``, ``unknown-op``,
-``unknown-session``, ``session-exists``, ``ped-error`` (a user-level
-editor error — the session is intact), ``timeout``, ``cancelled``,
-``shutting-down`` and ``internal``.
+* :mod:`repro.service.protocol` — the wire grammar: request framing,
+  reply/event envelopes, sequence ids, error types.
+* :mod:`repro.service.session_host` — :class:`PedServer`, the
+  transport-agnostic core hosting the named sessions.
+* this module — the byte-moving edge: a :class:`_Connection` per client
+  that reads request lines, hands them to the host's worker pool and
+  writes back whatever envelopes result.
 
-**Concurrency.**  Each request runs on a bounded worker-thread pool;
-per-session locks serialize operations on the same session while
-different sessions proceed in parallel.  A request may carry ``timeout``
-(seconds): if the deadline passes the client gets a ``timeout`` error
-immediately and the late result is discarded.  ``{"op": "cancel",
-"target": <id>}`` cancels a queued request outright and flags a running
-one; lock waits and the ``sleep`` test op poll the flag cooperatively.
+Per connection, a :class:`~repro.service.protocol.Sequencer` stamps
+every outgoing envelope with a monotonic ``seq`` *at write time, under
+the write lock*, so the client can assert a total order over the
+interleaved stream regardless of which worker thread produced each
+line.  A streaming request's events are emitted synchronously by its
+handler thread and its terminal reply written after the handler
+returns, so events always carry smaller ``seq`` values than the reply.
 
-Every request is timed into the server's stats as a ``req.<op>`` stage,
-next to the shared pool/disk counters — ``{"op": "stats"}`` returns the
-server-wide snapshot, ``{"op": "stats", "session": s}`` one session's.
+Each connection also registers itself as a broadcast listener with the
+host: ``invalidation`` events (an edit in one session dirtied units
+another session holds) are fanned out to every connected client as
+events with ``"id": null``.
+
+Framing errors — unparsable JSON, a non-object request, a line over the
+request size limit — are answered through the same structured error
+envelope as handler errors (``bad-request`` / ``payload-too-large``),
+never by dropping the line or the connection.
+
+For back compatibility this module re-exports the host's public names
+(``PedServer``, ``PROTOCOL_VERSION``), so pre-split imports keep
+working.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 import socketserver
 import sys
 import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict
 
-from ..dependence.hierarchy import SharedPairMemo
-from ..editor.session import PedError, PedSession
-from ..incremental.stats import EngineStats
-from ..interproc.program import FeatureSet
-from .persist import PersistentStore
-from .pool import make_pool
+from . import protocol
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .session_host import PedServer
+
+__all__ = [
+    "PedServer",
+    "PROTOCOL_VERSION",
+    "serve_stdio",
+    "serve_tcp",
+]
 
 log = logging.getLogger(__name__)
 
-#: Protocol/feature revision, echoed by ``ping``.
-PROTOCOL_VERSION = 1
-
-
-class _Cancelled(Exception):
-    """Raised inside a request body when its cancel flag is set."""
-
-
-@dataclass
-class _Managed:
-    """One hosted session plus the lock serializing its operations."""
-
-    session: PedSession
-    lock: threading.Lock
-
-
-class PedServer:
-    """The protocol-independent core: sessions, dispatch, cancellation."""
-
-    def __init__(
-        self,
-        features: Optional[FeatureSet] = None,
-        jobs: int = 1,
-        cache_dir=None,
-        max_workers: int = 8,
-        stats: Optional[EngineStats] = None,
-    ) -> None:
-        self.features = features
-        self.stats = stats or EngineStats()
-        self.pool = make_pool(jobs, stats=self.stats)
-        self.store = (
-            PersistentStore.at(cache_dir, stats=self.stats)
-            if cache_dir
-            else None
-        )
-        #: One pair-test memo for the whole server: every session's
-        #: engine reads and extends it, so sessions warm each other.
-        self.shared_memo = SharedPairMemo()
-        self.sessions: Dict[str, _Managed] = {}
-        self._sessions_lock = threading.Lock()
-        self._work = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="ped-req"
-        )
-        self._cancelled: Set[object] = set()
-        self._cancel_lock = threading.Lock()
-        self.shutdown_event = threading.Event()
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-
-    def close(self) -> None:
-        self.shutdown_event.set()
-        self._work.shutdown(wait=False, cancel_futures=True)
-        self.pool.close()
-
-    # ------------------------------------------------------------------
-    # cancellation registry
-    # ------------------------------------------------------------------
-
-    def request_cancel(self, target) -> None:
-        with self._cancel_lock:
-            self._cancelled.add(target)
-
-    def _check_cancel(self, rid) -> None:
-        if rid is None:
-            return
-        with self._cancel_lock:
-            if rid in self._cancelled:
-                self._cancelled.discard(rid)
-                raise _Cancelled()
-
-    def _clear_cancel(self, rid) -> None:
-        with self._cancel_lock:
-            self._cancelled.discard(rid)
-
-    # ------------------------------------------------------------------
-    # session helpers
-    # ------------------------------------------------------------------
-
-    def _managed(self, req: Dict) -> _Managed:
-        name = req.get("session")
-        if not isinstance(name, str) or not name:
-            raise _BadRequest("request needs a 'session' name")
-        with self._sessions_lock:
-            managed = self.sessions.get(name)
-        if managed is None:
-            raise _UnknownSession(f"no session named {name!r}")
-        return managed
-
-    def _locked(self, managed: _Managed, rid):
-        """Acquire the session lock, polling the cancel flag meanwhile."""
-
-        while not managed.lock.acquire(timeout=0.05):
-            self._check_cancel(rid)
-        return managed
-
-    def _session_engine(self):
-        """A per-session engine sharing the server's pool and store.
-
-        Each session gets its own :class:`EngineStats` (so per-session
-        stage numbers stay meaningful) while pool and disk counters
-        accumulate on the shared server stats they were created with.
-        """
-
-        from ..incremental.engine import AnalysisEngine
-
-        return AnalysisEngine(
-            features=self.features,
-            stats=EngineStats(),
-            pool=self.pool,
-            store=self.store,
-            shared_memo=self.shared_memo,
-        )
-
-    # ------------------------------------------------------------------
-    # dispatch
-    # ------------------------------------------------------------------
-
-    def execute(self, req: Dict) -> Dict:
-        """Run one request to a reply dict (the transport writes it)."""
-
-        rid = req.get("id")
-        op = req.get("op")
-        try:
-            if not isinstance(op, str):
-                raise _BadRequest("request needs an 'op' string")
-            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
-            if handler is None:
-                return _error(rid, "unknown-op", f"unknown op {op!r}")
-            self._check_cancel(rid)
-            with self.stats.timer(f"req.{op}"):
-                result = handler(req)
-            return {"id": rid, "ok": True, "result": result}
-        except _BadRequest as exc:
-            return _error(rid, "bad-request", str(exc))
-        except _UnknownSession as exc:
-            return _error(rid, "unknown-session", str(exc))
-        except _SessionExists as exc:
-            return _error(rid, "session-exists", str(exc))
-        except _Cancelled:
-            return _error(rid, "cancelled", "request cancelled")
-        except PedError as exc:
-            return _error(rid, "ped-error", str(exc))
-        except Exception as exc:  # noqa: BLE001 — must answer the client
-            log.exception("internal error handling %r", op)
-            return _error(rid, "internal", f"{type(exc).__name__}: {exc}")
-        finally:
-            self._clear_cancel(rid)
-
-    # ------------------------------------------------------------------
-    # operations
-    # ------------------------------------------------------------------
-
-    def _op_ping(self, req: Dict) -> Dict:
-        return {
-            "pong": True,
-            "protocol": PROTOCOL_VERSION,
-            "sessions": len(self.sessions),
-        }
-
-    def _op_open(self, req: Dict) -> Dict:
-        name = req.get("session")
-        source = req.get("source")
-        if not isinstance(name, str) or not name:
-            raise _BadRequest("open needs a 'session' name")
-        if not isinstance(source, str):
-            raise _BadRequest("open needs 'source' text")
-        with self._sessions_lock:
-            if name in self.sessions and not req.get("replace"):
-                raise _SessionExists(f"session {name!r} already open")
-        # Building the session (a full analysis) happens outside the
-        # registry lock so other sessions keep serving.
-        session = PedSession(source, engine=self._session_engine())
-        with self._sessions_lock:
-            self.sessions[name] = _Managed(session, threading.Lock())
-        return {
-            "session": name,
-            "units": [u.name for u in session.sf.units],
-        }
-
-    def _op_close(self, req: Dict) -> Dict:
-        name = req.get("session")
-        with self._sessions_lock:
-            managed = self.sessions.pop(name, None)
-        if managed is None:
-            raise _UnknownSession(f"no session named {name!r}")
-        # The engine shares the server's pool/store: nothing to release.
-        return {"closed": name}
-
-    def _op_list(self, req: Dict) -> Dict:
-        with self._sessions_lock:
-            names = sorted(self.sessions)
-        return {"sessions": names}
-
-    def _op_edit(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        rid = req.get("id")
-        self._locked(managed, rid)
-        try:
-            self._check_cancel(rid)
-            message = managed.session.edit(
-                int(req["start"]), int(req["end"]), req.get("text", "")
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"edit needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {"message": message}
-
-    def _op_assert(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        text = req.get("text")
-        if not isinstance(text, str):
-            raise _BadRequest("assert needs assertion 'text'")
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            message = managed.session.add_assertion(text)
-        finally:
-            managed.lock.release()
-        return {"message": message}
-
-    def _op_mark(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            message = managed.session.mark_dependence(
-                int(req["dep"]), req["marking"]
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"mark needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {"message": message}
-
-    def _op_reclassify(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-            message = managed.session.reclassify(
-                req["var"], req["as"]
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"reclassify needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {"message": message}
-
-    def _op_select(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-        finally:
-            managed.lock.release()
-        return {
-            "unit": managed.session.current_unit,
-            "loop": managed.session.loop_index,
-        }
-
-    def _op_loops(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            ua = managed.session.unit_analysis
-            loops = []
-            for idx, nest in enumerate(ua.loops):
-                info = ua.info_for(nest.loop)
-                loops.append(
-                    {
-                        "index": idx,
-                        "var": nest.loop.var,
-                        "line": nest.loop.line,
-                        "depth": nest.depth,
-                        "parallelizable": info.parallelizable,
-                        "obstacles": list(info.obstacles),
-                    }
-                )
-        finally:
-            managed.lock.release()
-        return {"unit": managed.session.current_unit, "loops": loops}
-
-    def _op_deps(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-            deps = [
-                {
-                    "id": d.id,
-                    "kind": d.kind,
-                    "var": d.var,
-                    "vector": d.vector_str(),
-                    "level": d.level,
-                    "marking": d.marking,
-                    "src_line": d.src_line,
-                    "dst_line": d.dst_line,
-                }
-                for d in managed.session.dependences(
-                    unfiltered=bool(req.get("unfiltered"))
-                )
-            ]
-        finally:
-            managed.lock.release()
-        return {"unit": managed.session.current_unit, "deps": deps}
-
-    def _op_source(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            return {"source": managed.session.source}
-        finally:
-            managed.lock.release()
-
-    def _op_diagnose(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-            advice = managed.session.diagnose(
-                req["transform"], **(req.get("args") or {})
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"diagnose needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {
-            "applicable": advice.applicable,
-            "safe": advice.safe,
-            "profitable": advice.profitable,
-            "reasons": list(advice.reasons),
-        }
-
-    def _op_apply(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-            message = managed.session.apply(
-                req["transform"], **(req.get("args") or {})
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"apply needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {"message": message}
-
-    def _op_undo(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            managed.session.undo()
-        finally:
-            managed.lock.release()
-        return {"message": "undone"}
-
-    def _op_redo(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            managed.session.redo()
-        finally:
-            managed.lock.release()
-        return {"message": "redone"}
-
-    def _op_parallel_summary(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            rows = managed.session.parallel_summary()
-        finally:
-            managed.lock.release()
-        return {
-            "units": [
-                {"unit": name, "parallel": par, "loops": total}
-                for name, par, total in rows
-            ]
-        }
-
-    def _op_stats(self, req: Dict) -> Dict:
-        if req.get("session"):
-            managed = self._managed(req)
-            return managed.session.engine.stats.snapshot()
-        # Server-wide memo totals live on the shared memo itself (each
-        # session engine publishes only into its own stats).
-        self.stats.counters["memo.shared_hits"] = self.shared_memo.hits
-        self.stats.counters["memo.shared_misses"] = self.shared_memo.misses
-        self.stats.counters["memo.entries"] = len(self.shared_memo.entries)
-        return self.stats.snapshot()
-
-    def _op_sleep(self, req: Dict) -> Dict:
-        """Test/diagnostic op: a long, cooperatively-cancellable wait."""
-
-        deadline = time.monotonic() + float(req.get("seconds", 1.0))
-        rid = req.get("id")
-        while time.monotonic() < deadline:
-            self._check_cancel(rid)
-            time.sleep(0.02)
-        return {"slept": float(req.get("seconds", 1.0))}
-
-    def _op_shutdown(self, req: Dict) -> Dict:
-        self.shutdown_event.set()
-        return {"shutting_down": True}
-
-
-# ----------------------------------------------------------------------
-# protocol plumbing
-# ----------------------------------------------------------------------
-
-
-class _BadRequest(Exception):
-    pass
-
-
-class _UnknownSession(Exception):
-    pass
-
-
-class _SessionExists(Exception):
-    pass
-
-
-def _error(rid, etype: str, message: str) -> Dict:
-    return {
-        "id": rid,
-        "ok": False,
-        "error": {"type": etype, "message": message},
-    }
-
 
 class _Connection:
-    """One client: reads request lines, writes replies as they finish.
+    """One client: reads request lines, writes envelopes as they come.
 
     Requests are handed to the server's worker pool so one slow request
     (or one slow *session* — sessions serialize internally) never blocks
     the rest of the stream; a per-connection write lock keeps the
-    interleaved reply lines whole.  ``cancel`` is handled inline on the
-    reader thread — it must work precisely when the workers are busy.
+    interleaved envelope lines whole and orders the ``seq`` stamps.
+    ``cancel`` is handled inline on the reader thread — it must work
+    precisely when the workers are busy.
     """
 
     def __init__(self, server: PedServer, rfile, wfile) -> None:
@@ -519,15 +71,34 @@ class _Connection:
         self.rfile = rfile
         self.wfile = wfile
         self._write_lock = threading.Lock()
+        self._seq = protocol.Sequencer()
+        self._listener_token = None
 
-    def _write(self, reply: Dict) -> None:
-        line = json.dumps(reply, sort_keys=True)
+    # -- writing -------------------------------------------------------
+
+    def _write(self, envelope: Dict) -> None:
+        """Stamp ``seq`` and write one envelope line.
+
+        The stamp happens under the write lock, so ``seq`` order and
+        wire order are the same thing — the guarantee the client's
+        stream API asserts on.
+        """
+
         with self._write_lock:
+            envelope["seq"] = self._seq.next()
+            line = protocol.encode(envelope)
             try:
                 self.wfile.write(line + "\n")
                 self.wfile.flush()
             except (BrokenPipeError, ValueError, OSError):
                 pass  # client went away; nothing to tell it
+
+    def _broadcast(self, kind: str, data: Dict) -> None:
+        """Host-originated event (no owning request): ``"id": null``."""
+
+        self._write(protocol.event_envelope(None, kind, data))
+
+    # -- request execution ---------------------------------------------
 
     def _finish(self, rid, reply: Dict, timed_out: threading.Event) -> None:
         if not timed_out.is_set():
@@ -536,12 +107,23 @@ class _Connection:
     def _run_request(self, req: Dict) -> None:
         rid = req.get("id")
         timed_out = threading.Event()
-        future = self.server._work.submit(self.server.execute, req)
+
+        def emit(kind: str, data: Dict) -> None:
+            # Streamed events die with the request's deadline too: a
+            # timed-out client has already been answered.
+            if not timed_out.is_set():
+                self._write(protocol.event_envelope(rid, kind, data))
+
+        future = self.server._work.submit(self.server.execute, req, emit)
         future.add_done_callback(
             lambda f: self._finish(
-                rid, f.result() if not f.cancelled() else _error(
-                    rid, "cancelled", "request cancelled"
-                ), timed_out
+                rid,
+                f.result()
+                if not f.cancelled()
+                else protocol.reply_error(
+                    rid, protocol.CANCELLED, "request cancelled"
+                ),
+                timed_out,
             )
         )
         timeout = req.get("timeout")
@@ -556,41 +138,46 @@ class _Connection:
                         timed_out.set()
                         self.server.request_cancel(rid)
                         self._write(
-                            _error(
+                            protocol.reply_error(
                                 rid,
-                                "timeout",
+                                protocol.TIMEOUT,
                                 f"no result within {timeout}s",
                             )
                         )
 
             threading.Thread(target=_watchdog, daemon=True).start()
 
+    # -- the read loop -------------------------------------------------
+
     def handle_line(self, line: str) -> bool:
         """Process one request line; False once the stream should end."""
 
-        line = line.strip()
-        if not line:
+        if not line.strip():
             return True
         try:
-            req = json.loads(line)
-            if not isinstance(req, dict):
-                raise ValueError("request must be a JSON object")
-        except ValueError as exc:
-            self._write(_error(None, "bad-request", f"bad JSON: {exc}"))
+            req = protocol.parse_request(
+                line, max_bytes=self.server.max_request_bytes
+            )
+        except ProtocolError as exc:
+            self._write(
+                protocol.reply_error(exc.request_id, exc.type, str(exc))
+            )
             return True
         if self.server.shutdown_event.is_set():
             self._write(
-                _error(req.get("id"), "shutting-down", "server stopping")
+                protocol.reply_error(
+                    req.get("id"),
+                    protocol.SHUTTING_DOWN,
+                    "server stopping",
+                )
             )
             return False
         if req.get("op") == "cancel":
             self.server.request_cancel(req.get("target"))
             self._write(
-                {
-                    "id": req.get("id"),
-                    "ok": True,
-                    "result": {"cancelled": req.get("target")},
-                }
+                protocol.reply_ok(
+                    req.get("id"), {"cancelled": req.get("target")}
+                )
             )
             return True
         if req.get("op") == "shutdown":
@@ -602,11 +189,15 @@ class _Connection:
         return True
 
     def run(self) -> None:
-        for line in self.rfile:
-            if not self.handle_line(line):
-                break
-            if self.server.shutdown_event.is_set():
-                break
+        self._listener_token = self.server.add_listener(self._broadcast)
+        try:
+            for line in self.rfile:
+                if not self.handle_line(line):
+                    break
+                if self.server.shutdown_event.is_set():
+                    break
+        finally:
+            self.server.remove_listener(self._listener_token)
 
 
 def serve_stdio(server: PedServer, rfile=None, wfile=None) -> None:

@@ -1,0 +1,697 @@
+"""The Ped session host: many named sessions behind one event core.
+
+:class:`PedServer` is the transport-agnostic heart of the service — it
+hosts any number of concurrent, named
+:class:`~repro.editor.session.PedSession` instances and executes
+protocol requests (see :mod:`repro.service.protocol` for the envelope
+grammar) against them.  Transports (stdio, TCP — see
+:mod:`repro.service.server`) feed it one request dict at a time and
+write back whatever envelopes it produces.
+
+**Event core.**  :meth:`PedServer.execute` takes an optional ``emit``
+callback; a request carrying ``"stream": true`` has its analysis
+progress routed there as ``analysis.progress`` events (one per engine
+pipeline phase, one per unit in the dependence stage) before the
+terminal reply.  Transports additionally register broadcast listeners
+(:meth:`add_listener`): after a mutating operation (edit / transform /
+undo / redo) the host diffs the session's unit spans and, when the
+change dirties units that *other* sessions also hold, broadcasts an
+``invalidation`` event naming the editing session, the changed units
+and the sessions holding them — thin front ends re-query instead of
+rendering stale analysis.
+
+**Concurrency.**  Each request runs on a bounded worker-thread pool;
+per-session locks serialize operations on the same session while
+different sessions proceed in parallel.  A request may carry ``timeout``
+(seconds); ``{"op": "cancel", "target": <id>}`` cancels a queued request
+outright and flags a running one.  Every request is timed into the
+server's stats as a ``req.<op>`` stage; ``{"op": "stats"}`` returns the
+raw server snapshot and ``{"op": "metrics"}`` the merged service
+metrics (same key names as the ``stats`` CLI command).
+
+All sessions share the server's worker pool, persistent store and
+shared pair-test memo, so a server with ``--jobs``/``--cache-dir``
+gives every client parallel analysis and warm starts for free — and N
+server *processes* pointed at one ``--cache-dir`` exchange memo deltas
+and warm records through the store's lease-coordinated singleton
+records (:mod:`repro.service.storelock`).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from ..dependence.hierarchy import SharedPairMemo
+from ..editor.session import PedError, PedSession
+from ..incremental.stats import EngineStats
+from ..interproc.program import FeatureSet
+from . import protocol
+from .metrics import merged_metrics
+from .persist import PersistentStore
+from .pool import make_pool
+
+log = logging.getLogger(__name__)
+
+
+class _Cancelled(Exception):
+    """Raised inside a request body when its cancel flag is set."""
+
+
+class _BadRequest(Exception):
+    pass
+
+
+class _UnknownSession(Exception):
+    pass
+
+
+class _SessionExists(Exception):
+    pass
+
+
+@dataclass
+class _Managed:
+    """One hosted session plus the lock serializing its operations."""
+
+    session: PedSession
+    lock: threading.Lock
+
+
+class PedServer:
+    """The protocol-independent core: sessions, dispatch, events."""
+
+    def __init__(
+        self,
+        features: Optional[FeatureSet] = None,
+        jobs: int = 1,
+        cache_dir=None,
+        max_workers: int = 8,
+        stats: Optional[EngineStats] = None,
+        max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
+    ) -> None:
+        self.features = features
+        self.stats = stats or EngineStats()
+        self.pool = make_pool(jobs, stats=self.stats)
+        self.store = (
+            PersistentStore.at(cache_dir, stats=self.stats)
+            if cache_dir
+            else None
+        )
+        #: One pair-test memo for the whole server: every session's
+        #: engine reads and extends it, so sessions warm each other
+        #: (and, through the store's singleton record, sibling server
+        #: processes warm this one).
+        self.shared_memo = SharedPairMemo()
+        self.max_request_bytes = max_request_bytes
+        self.sessions: Dict[str, _Managed] = {}
+        self._sessions_lock = threading.Lock()
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._work = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="ped-req"
+        )
+        self._cancelled: Set[object] = set()
+        self._cancel_lock = threading.Lock()
+        self._listeners: Dict[int, Callable[[str, Dict], None]] = {}
+        self._listeners_lock = threading.Lock()
+        self._listener_ids = 0
+        self._tls = threading.local()
+        self.shutdown_event = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.shutdown_event.set()
+        self._work.shutdown(wait=False, cancel_futures=True)
+        self.pool.close()
+
+    # ------------------------------------------------------------------
+    # cancellation registry
+    # ------------------------------------------------------------------
+
+    def request_cancel(self, target) -> None:
+        with self._cancel_lock:
+            self._cancelled.add(target)
+
+    def _check_cancel(self, rid) -> None:
+        if rid is None:
+            return
+        with self._cancel_lock:
+            if rid in self._cancelled:
+                self._cancelled.discard(rid)
+                raise _Cancelled()
+
+    def _clear_cancel(self, rid) -> None:
+        with self._cancel_lock:
+            self._cancelled.discard(rid)
+
+    # ------------------------------------------------------------------
+    # broadcast listeners (transports register one sink per connection)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, sink: Callable[[str, Dict], None]) -> int:
+        """Register a broadcast sink ``sink(event_kind, data)``; returns
+        a token for :meth:`remove_listener`."""
+
+        with self._listeners_lock:
+            self._listener_ids += 1
+            token = self._listener_ids
+            self._listeners[token] = sink
+        return token
+
+    def remove_listener(self, token: int) -> None:
+        with self._listeners_lock:
+            self._listeners.pop(token, None)
+
+    def _notify(self, kind: str, data: Dict) -> None:
+        with self._listeners_lock:
+            sinks = list(self._listeners.values())
+        for sink in sinks:
+            try:
+                sink(kind, data)
+            except Exception:  # noqa: BLE001 — one dead sink ≠ all
+                log.warning("broadcast sink failed", exc_info=True)
+
+    # ------------------------------------------------------------------
+    # session helpers
+    # ------------------------------------------------------------------
+
+    def _managed(self, req: Dict) -> _Managed:
+        name = req.get("session")
+        if not isinstance(name, str) or not name:
+            raise _BadRequest("request needs a 'session' name")
+        with self._sessions_lock:
+            managed = self.sessions.get(name)
+        if managed is None:
+            raise _UnknownSession(f"no session named {name!r}")
+        return managed
+
+    def _locked(self, managed: _Managed, rid):
+        """Acquire the session lock, polling the cancel flag meanwhile."""
+
+        while not managed.lock.acquire(timeout=0.05):
+            self._check_cancel(rid)
+        return managed
+
+    def _session_engine(self):
+        """A per-session engine sharing the server's pool and store.
+
+        Each session gets its own :class:`EngineStats` (so per-session
+        stage numbers stay meaningful) while pool and disk counters
+        accumulate on the shared server stats they were created with.
+        """
+
+        from ..incremental.engine import AnalysisEngine
+
+        return AnalysisEngine(
+            features=self.features,
+            stats=EngineStats(),
+            pool=self.pool,
+            store=self.store,
+            shared_memo=self.shared_memo,
+        )
+
+    # ------------------------------------------------------------------
+    # streaming plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(self) -> Optional[Callable[[str, Dict], None]]:
+        """The current request's event sink (set only for streaming
+        requests executing on this worker thread)."""
+
+        return getattr(self._tls, "emit", None)
+
+    @contextmanager
+    def _progress_stream(self, engine):
+        """Route ``engine`` progress to the current request's stream.
+
+        The caller holds the session lock for the hook's whole lifetime,
+        so no other request can observe (or overwrite) the listener.
+        """
+
+        emit = self._emit()
+        if emit is None:
+            yield
+            return
+
+        def hook(phase: str, detail: Dict) -> None:
+            emit(protocol.EV_PROGRESS, {"phase": phase, **detail})
+
+        engine.progress = hook
+        try:
+            yield
+        finally:
+            engine.progress = None
+
+    def _invalidation_for(
+        self, name: str, managed: _Managed, old_source: str, op: str
+    ) -> Optional[Dict]:
+        """The ``invalidation`` broadcast for a mutation, or ``None``.
+
+        Emitted only when the changed units are also held by *other*
+        sessions — the "an edit in one session dirties records another
+        session holds" condition.  Must be called while still holding
+        the editing session's lock (the source must be stable).
+        """
+
+        new_source = managed.session.source
+        if new_source == old_source:
+            return None
+        changed = managed.session.engine.changed_units(
+            old_source, new_source
+        )
+        if not changed:
+            return None
+        holders: List[str] = []
+        with self._sessions_lock:
+            others = [
+                (n, m) for n, m in self.sessions.items() if n != name
+            ]
+        for other_name, other in others:
+            held = {u.name for u in other.session.sf.units}
+            if held & changed:
+                holders.append(other_name)
+        if not holders:
+            return None
+        return {
+            "session": name,
+            "op": op,
+            "units": sorted(changed),
+            "holders": sorted(holders),
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        req: Dict,
+        emit: Optional[Callable[[str, Dict], None]] = None,
+    ) -> Dict:
+        """Run one request to a terminal reply envelope.
+
+        ``emit(kind, data)``, when given and the request opted in with
+        ``"stream": true``, receives typed events *before* this method
+        returns — the transport writes them interleaved with other
+        replies, and the terminal reply after.
+        """
+
+        rid = req.get("id")
+        op = req.get("op")
+        self._tls.emit = emit if (emit is not None and req.get("stream")) else None
+        try:
+            if not isinstance(op, str):
+                raise _BadRequest("request needs an 'op' string")
+            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+            if handler is None:
+                return protocol.reply_error(
+                    rid, protocol.UNKNOWN_OP, f"unknown op {op!r}"
+                )
+            self._check_cancel(rid)
+            with self.stats.timer(f"req.{op}"):
+                result = handler(req)
+            return protocol.reply_ok(rid, result)
+        except _BadRequest as exc:
+            return protocol.reply_error(rid, protocol.BAD_REQUEST, str(exc))
+        except _UnknownSession as exc:
+            return protocol.reply_error(
+                rid, protocol.UNKNOWN_SESSION, str(exc)
+            )
+        except _SessionExists as exc:
+            return protocol.reply_error(
+                rid, protocol.SESSION_EXISTS, str(exc)
+            )
+        except _Cancelled:
+            return protocol.reply_error(
+                rid, protocol.CANCELLED, "request cancelled"
+            )
+        except PedError as exc:
+            return protocol.reply_error(rid, protocol.PED_ERROR, str(exc))
+        except Exception as exc:  # noqa: BLE001 — must answer the client
+            log.exception("internal error handling %r", op)
+            return protocol.reply_error(
+                rid, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._tls.emit = None
+            self._clear_cancel(rid)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def _op_ping(self, req: Dict) -> Dict:
+        return {
+            "pong": True,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "sessions": len(self.sessions),
+        }
+
+    def _op_open(self, req: Dict) -> Dict:
+        name = req.get("session")
+        source = req.get("source")
+        if not isinstance(name, str) or not name:
+            raise _BadRequest("open needs a 'session' name")
+        if not isinstance(source, str):
+            raise _BadRequest("open needs 'source' text")
+        with self._sessions_lock:
+            if name in self.sessions and not req.get("replace"):
+                raise _SessionExists(f"session {name!r} already open")
+        # Building the session (a full analysis) happens outside the
+        # registry lock so other sessions keep serving; the engine is
+        # not yet shared, so streaming its progress needs no lock.
+        engine = self._session_engine()
+        with self._progress_stream(engine):
+            session = PedSession(source, engine=engine)
+        with self._sessions_lock:
+            self.sessions[name] = _Managed(session, threading.Lock())
+        return {
+            "session": name,
+            "units": [u.name for u in session.sf.units],
+        }
+
+    def _op_close(self, req: Dict) -> Dict:
+        name = req.get("session")
+        with self._sessions_lock:
+            managed = self.sessions.pop(name, None)
+        if managed is None:
+            raise _UnknownSession(f"no session named {name!r}")
+        # The engine shares the server's pool/store: nothing to release.
+        return {"closed": name}
+
+    def _op_list(self, req: Dict) -> Dict:
+        with self._sessions_lock:
+            names = sorted(self.sessions)
+        return {"sessions": names}
+
+    def _op_edit(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        rid = req.get("id")
+        name = req["session"]
+        invalidation = None
+        self._locked(managed, rid)
+        try:
+            self._check_cancel(rid)
+            old_source = managed.session.source
+            with self._progress_stream(managed.session.engine):
+                message = managed.session.edit(
+                    int(req["start"]), int(req["end"]), req.get("text", "")
+                )
+            invalidation = self._invalidation_for(
+                name, managed, old_source, "edit"
+            )
+        except KeyError as exc:
+            raise _BadRequest(f"edit needs {exc.args[0]!r}")
+        finally:
+            managed.lock.release()
+        if invalidation:
+            self._notify(protocol.EV_INVALIDATION, invalidation)
+        return {"message": message}
+
+    def _op_assert(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        text = req.get("text")
+        if not isinstance(text, str):
+            raise _BadRequest("assert needs assertion 'text'")
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            with self._progress_stream(managed.session.engine):
+                message = managed.session.add_assertion(text)
+        finally:
+            managed.lock.release()
+        return {"message": message}
+
+    def _op_mark(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            message = managed.session.mark_dependence(
+                int(req["dep"]), req["marking"]
+            )
+        except KeyError as exc:
+            raise _BadRequest(f"mark needs {exc.args[0]!r}")
+        finally:
+            managed.lock.release()
+        return {"message": message}
+
+    def _op_reclassify(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            if req.get("loop") is not None:
+                managed.session.select_loop(int(req["loop"]))
+            with self._progress_stream(managed.session.engine):
+                message = managed.session.reclassify(
+                    req["var"], req["as"]
+                )
+        except KeyError as exc:
+            raise _BadRequest(f"reclassify needs {exc.args[0]!r}")
+        finally:
+            managed.lock.release()
+        return {"message": message}
+
+    def _op_select(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            if req.get("loop") is not None:
+                managed.session.select_loop(int(req["loop"]))
+        finally:
+            managed.lock.release()
+        return {
+            "unit": managed.session.current_unit,
+            "loop": managed.session.loop_index,
+        }
+
+    def _op_loops(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            ua = managed.session.unit_analysis
+            loops = []
+            for idx, nest in enumerate(ua.loops):
+                info = ua.info_for(nest.loop)
+                loops.append(
+                    {
+                        "index": idx,
+                        "var": nest.loop.var,
+                        "line": nest.loop.line,
+                        "depth": nest.depth,
+                        "parallelizable": info.parallelizable,
+                        "obstacles": list(info.obstacles),
+                    }
+                )
+        finally:
+            managed.lock.release()
+        return {"unit": managed.session.current_unit, "loops": loops}
+
+    def _op_deps(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            if req.get("loop") is not None:
+                managed.session.select_loop(int(req["loop"]))
+            deps = [
+                {
+                    "id": d.id,
+                    "kind": d.kind,
+                    "var": d.var,
+                    "vector": d.vector_str(),
+                    "level": d.level,
+                    "marking": d.marking,
+                    "src_line": d.src_line,
+                    "dst_line": d.dst_line,
+                }
+                for d in managed.session.dependences(
+                    unfiltered=bool(req.get("unfiltered"))
+                )
+            ]
+        finally:
+            managed.lock.release()
+        return {"unit": managed.session.current_unit, "deps": deps}
+
+    def _op_source(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            return {"source": managed.session.source}
+        finally:
+            managed.lock.release()
+
+    def _op_fingerprint(self, req: Dict) -> Dict:
+        """Digest of the session's current analysis fingerprint — the
+        parity suite's cross-mode (serial / streamed / multi-process)
+        comparison key."""
+
+        from ..incremental.fingerprint import fingerprint_digest
+
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            digest = fingerprint_digest(managed.session.analysis)
+        finally:
+            managed.lock.release()
+        return {"fingerprint": digest}
+
+    def _op_diagnose(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            if req.get("loop") is not None:
+                managed.session.select_loop(int(req["loop"]))
+            advice = managed.session.diagnose(
+                req["transform"], **(req.get("args") or {})
+            )
+        except KeyError as exc:
+            raise _BadRequest(f"diagnose needs {exc.args[0]!r}")
+        finally:
+            managed.lock.release()
+        return {
+            "applicable": advice.applicable,
+            "safe": advice.safe,
+            "profitable": advice.profitable,
+            "reasons": list(advice.reasons),
+        }
+
+    def _op_apply(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        name = req["session"]
+        invalidation = None
+        self._locked(managed, req.get("id"))
+        try:
+            if req.get("unit"):
+                managed.session.select_unit(req["unit"])
+            if req.get("loop") is not None:
+                managed.session.select_loop(int(req["loop"]))
+            old_source = managed.session.source
+            with self._progress_stream(managed.session.engine):
+                message = managed.session.apply(
+                    req["transform"], **(req.get("args") or {})
+                )
+            invalidation = self._invalidation_for(
+                name, managed, old_source, "apply"
+            )
+        except KeyError as exc:
+            raise _BadRequest(f"apply needs {exc.args[0]!r}")
+        finally:
+            managed.lock.release()
+        if invalidation:
+            self._notify(protocol.EV_INVALIDATION, invalidation)
+        return {"message": message}
+
+    def _op_undo(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        name = req.get("session")
+        invalidation = None
+        self._locked(managed, req.get("id"))
+        try:
+            old_source = managed.session.source
+            with self._progress_stream(managed.session.engine):
+                managed.session.undo()
+            invalidation = self._invalidation_for(
+                name, managed, old_source, "undo"
+            )
+        finally:
+            managed.lock.release()
+        if invalidation:
+            self._notify(protocol.EV_INVALIDATION, invalidation)
+        return {"message": "undone"}
+
+    def _op_redo(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        name = req.get("session")
+        invalidation = None
+        self._locked(managed, req.get("id"))
+        try:
+            old_source = managed.session.source
+            with self._progress_stream(managed.session.engine):
+                managed.session.redo()
+            invalidation = self._invalidation_for(
+                name, managed, old_source, "redo"
+            )
+        finally:
+            managed.lock.release()
+        if invalidation:
+            self._notify(protocol.EV_INVALIDATION, invalidation)
+        return {"message": "redone"}
+
+    def _op_parallel_summary(self, req: Dict) -> Dict:
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            rows = managed.session.parallel_summary()
+        finally:
+            managed.lock.release()
+        return {
+            "units": [
+                {"unit": name, "parallel": par, "loops": total}
+                for name, par, total in rows
+            ]
+        }
+
+    def _op_stats(self, req: Dict) -> Dict:
+        if req.get("session"):
+            managed = self._managed(req)
+            return managed.session.engine.stats.snapshot()
+        # Server-wide memo totals live on the shared memo itself (each
+        # session engine publishes only into its own stats).
+        self.stats.counters["memo.shared_hits"] = self.shared_memo.hits
+        self.stats.counters["memo.shared_misses"] = self.shared_memo.misses
+        self.stats.counters["memo.entries"] = len(self.shared_memo.entries)
+        return self.stats.snapshot()
+
+    def _op_metrics(self, req: Dict) -> Dict:
+        """One merged service-metrics snapshot: pool gauges, disk and
+        lease counters, shared-memo totals and delta-exchange counts —
+        the same key set (and values) the ``stats`` CLI command renders.
+        """
+
+        if req.get("session"):
+            managed = self._managed(req)
+            engine = managed.session.engine
+            return {
+                "metrics": merged_metrics(
+                    engine.stats, pool=self.pool, memo=self.shared_memo
+                )
+            }
+        return {
+            "metrics": merged_metrics(
+                self.stats, pool=self.pool, memo=self.shared_memo
+            )
+        }
+
+    def _op_sleep(self, req: Dict) -> Dict:
+        """Test/diagnostic op: a long, cooperatively-cancellable wait."""
+
+        deadline = time.monotonic() + float(req.get("seconds", 1.0))
+        rid = req.get("id")
+        while time.monotonic() < deadline:
+            self._check_cancel(rid)
+            time.sleep(0.02)
+        return {"slept": float(req.get("seconds", 1.0))}
+
+    def _op_shutdown(self, req: Dict) -> Dict:
+        self.shutdown_event.set()
+        return {"shutting_down": True}

@@ -1,0 +1,176 @@
+"""Store leases: mutual exclusion, stale takeover, crash recovery.
+
+Exercises the full lease state machine of
+:mod:`repro.service.storelock` — free → held → stale — including the
+crashed-holder path (an expired lease is taken over with a logged
+warning, never a crash) and corrupt-record handling.
+"""
+
+import json
+import threading
+import time
+
+from repro.incremental.stats import EngineStats
+from repro.service import DiskCache, StoreLease
+
+
+def test_acquire_release_roundtrip(tmp_path):
+    lease = StoreLease(tmp_path / "x.lease", holder="a")
+    assert lease.acquire(timeout=1.0)
+    assert lease.held
+    assert (tmp_path / "x.lease").exists()
+    lease.release()
+    assert not lease.held
+    assert not (tmp_path / "x.lease").exists()
+
+
+def test_second_holder_waits_then_wins(tmp_path):
+    path = tmp_path / "x.lease"
+    first = StoreLease(path, holder="first")
+    second = StoreLease(path, holder="second")
+    assert first.acquire(timeout=1.0)
+    won = []
+
+    def contender():
+        won.append(second.acquire(timeout=5.0))
+
+    t = threading.Thread(target=contender)
+    t.start()
+    time.sleep(0.1)
+    assert not won  # still blocked on the held lease
+    first.release()
+    t.join(timeout=5.0)
+    assert won == [True]
+    second.release()
+
+
+def test_timeout_returns_false_and_counts(tmp_path):
+    stats = EngineStats()
+    path = tmp_path / "x.lease"
+    first = StoreLease(path, holder="first", stats=stats)
+    second = StoreLease(path, holder="second", stats=stats)
+    assert first.acquire(timeout=1.0)
+    assert second.acquire(timeout=0.1) is False
+    assert stats.counter("lease.timeout") == 1
+    assert stats.counter("lease.acquired") == 1
+    first.release()
+
+
+def test_stale_lease_is_taken_over(tmp_path, caplog):
+    """A holder that died past its TTL is recovered from, with a logged
+    warning — the crashed-holder requirement."""
+
+    stats = EngineStats()
+    path = tmp_path / "x.lease"
+    # Simulate a crashed holder: a lease record whose expiry passed.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(
+        json.dumps(
+            {"holder": "dead", "pid": 99999, "expires": time.time() - 5}
+        ).encode()
+    )
+    lease = StoreLease(path, holder="alive", ttl=0.5, stats=stats)
+    with caplog.at_level("WARNING"):
+        assert lease.acquire(timeout=2.0)
+    assert stats.counter("lease.takeover") == 1
+    assert any("stale lease" in r.message for r in caplog.records)
+    lease.release()
+
+
+def test_corrupt_record_treated_as_stale(tmp_path):
+    path = tmp_path / "x.lease"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"\x00garbage not json\xff")
+    lease = StoreLease(path, holder="alive", stats=EngineStats())
+    assert lease.acquire(timeout=2.0)
+    lease.release()
+
+
+def test_renew_extends_only_unexpired_holder(tmp_path):
+    path = tmp_path / "x.lease"
+    lease = StoreLease(path, holder="a", ttl=5.0)
+    assert lease.acquire(timeout=1.0)
+    assert lease.renew()
+    lease.release()
+    # Not held: renew must refuse.
+    assert lease.renew() is False
+
+
+def test_expired_lease_cannot_renew(tmp_path):
+    path = tmp_path / "x.lease"
+    lease = StoreLease(path, holder="a", ttl=0.05)
+    assert lease.acquire(timeout=1.0)
+    time.sleep(0.1)  # let the TTL lapse
+    assert lease.renew() is False
+    assert not lease.held
+
+
+def test_release_respects_takeover(tmp_path):
+    """A holder whose lease was taken over must not unlink the new
+    holder's record on release."""
+
+    path = tmp_path / "x.lease"
+    old = StoreLease(path, holder="old", ttl=0.05)
+    assert old.acquire(timeout=1.0)
+    time.sleep(0.1)
+    new = StoreLease(path, holder="new", ttl=5.0)
+    assert new.acquire(timeout=2.0)
+    old.release()  # too late: the record belongs to "new" now
+    assert path.exists()
+    rec = json.loads(path.read_bytes())
+    assert rec["holder"] == "new"
+    new.release()
+
+
+def test_context_manager(tmp_path):
+    path = tmp_path / "x.lease"
+    with StoreLease(path, holder="a") as lease:
+        assert lease.held
+    assert not path.exists()
+
+
+def test_diskcache_lease_lives_outside_pkl_namespace(tmp_path):
+    """Lease files sit under <root>/locks/ where the LRU eviction
+    (which only walks .pkl files) can never reap them."""
+
+    stats = EngineStats()
+    cache = DiskCache(tmp_path, stats=stats)
+    lease = cache.lease("memo", holder="h")
+    assert lease.acquire(timeout=1.0)
+    assert (tmp_path / "locks" / "memo.lease").exists()
+    assert stats.counter("lease.acquired") == 1
+    lease.release()
+
+
+def test_threaded_mutual_exclusion(tmp_path):
+    """N threads hammering one lease: the guarded counter never tears."""
+
+    path = tmp_path / "x.lease"
+    state = {"inside": 0, "max_inside": 0, "done": 0}
+    guard = threading.Lock()
+
+    def worker(i):
+        lease = StoreLease(path, holder=f"w{i}", ttl=5.0)
+        for _ in range(5):
+            assert lease.acquire(timeout=30.0)
+            with guard:
+                state["inside"] += 1
+                state["max_inside"] = max(
+                    state["max_inside"], state["inside"]
+                )
+            time.sleep(0.002)
+            with guard:
+                state["inside"] -= 1
+            lease.release()
+        with guard:
+            state["done"] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert state["done"] == 4
+    assert state["max_inside"] == 1
