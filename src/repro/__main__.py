@@ -4,6 +4,10 @@
 ``python -m repro analyze FILE.f``  — print loops + verdicts + deps
 ``python -m repro auto FILE.f``     — best-effort automatic parallelizer
 ``python -m repro serve``           — Ped session server (stdio or TCP)
+``python -m repro corpus analyze``  — batch-analyze many files, rollups
+``python -m repro corpus submit``   — submit a corpus batch to a server
+``python -m repro corpus status``   — poll a server-side corpus job
+``python -m repro corpus query``    — fleet-wide aggregate from a server
 ``python -m repro tables``          — regenerate the evaluation tables
 ``python -m repro suite NAME``      — dump a suite program's source
 
@@ -155,6 +159,140 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_programs(args: argparse.Namespace):
+    """``(name, source)`` pairs from ``FILES`` and/or ``--generate N``."""
+
+    programs = []
+    for path in args.files or ():
+        programs.append((Path(path).stem, _read(path)))
+    if getattr(args, "generate", 0):
+        from .workloads.generator import generate_program
+
+        for i in range(args.generate):
+            programs.append(
+                (
+                    f"gen{i:03d}",
+                    generate_program(
+                        n_routines=2 + i % 3,
+                        n_fields=2 + i % 2,
+                        grid=8 + 4 * (i % 3),
+                        steps=2 + i % 4,
+                    ),
+                )
+            )
+    if not programs:
+        raise SystemExit("corpus: no programs (give FILES or --generate N)")
+    return programs
+
+
+def _print_rollups(query) -> None:
+    """Render the standard rollups; ``query(name) -> value dict``."""
+
+    summary = query("summary")
+    print(
+        f"{summary['programs']} program(s), {summary['errors']} error(s), "
+        f"{summary['units']} unit(s), "
+        f"{summary['parallel_loops']}/{summary['loops']} loops "
+        f"parallelizable ({summary['parallel_fraction']:.0%})"
+    )
+    obstacles = query("obstacles")
+    if obstacles["ranked"]:
+        print("\ntop obstacles (loops blocked, fleet-wide):")
+        for row in obstacles["ranked"][:8]:
+            print(f"  {row['loops']:>5}  {row['obstacle']}")
+    tiers = query("tiers")
+    if tiers["tiers"]:
+        print(f"\ndependence-test tiers ({tiers['pairs']} pairs):")
+        for tier, n in sorted(tiers["tiers"].items(), key=lambda kv: -kv[1]):
+            print(f"  {n:>5}  {tier}")
+    transforms = query("transforms")
+    if transforms["ranked"]:
+        print("\ntransformation applicability (loops):")
+        for row in transforms["ranked"]:
+            print(f"  {row['loops']:>5}  {row['transform']}")
+
+
+def cmd_corpus_analyze(args: argparse.Namespace) -> int:
+    """Local corpus batch: analyze every program, print the rollups."""
+
+    import json
+
+    from .incremental.stats import EngineStats
+    from .interproc import FeatureSet
+    from .pipeline import CorpusRunner
+    from .service import make_pool
+
+    programs = _corpus_programs(args)
+    features = FeatureSet.minimal() if args.minimal else FeatureSet()
+    stats = EngineStats()
+    pool = make_pool(args.jobs or 1, stats=stats)
+    runner = CorpusRunner(pool=pool, features=features, stats=stats)
+    try:
+        job = runner.submit(programs)
+
+        def progress(record):
+            if args.verbose:
+                print(
+                    f"[{record['done']}/{record['total']}] "
+                    f"{record['program']}: {record['status']}"
+                )
+
+        runner.run(job, progress=progress)
+        _print_rollups(lambda name: runner.query(job, name)[0])
+        if args.json:
+            payload = {
+                "programs": job.result_records(),
+                "aggregates": {
+                    name: runner.query(job, name)[0]
+                    for name in ("summary", "obstacles", "tiers", "transforms")
+                },
+            }
+            Path(args.json).write_text(json.dumps(payload, indent=2))
+            print(f"\nwrote {args.json}")
+    finally:
+        pool.close()
+    return 0
+
+
+def _corpus_client(args: argparse.Namespace):
+    from .service import PedClient
+
+    return PedClient.connect(host=args.host, port=args.port)
+
+
+def cmd_corpus_submit(args: argparse.Namespace) -> int:
+    import json
+
+    programs = _corpus_programs(args)
+    with _corpus_client(args) as client:
+        result = client.corpus_submit(
+            programs, job=args.job, wait=args.wait
+        )
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_corpus_status(args: argparse.Namespace) -> int:
+    import json
+
+    with _corpus_client(args) as client:
+        print(
+            json.dumps(
+                client.corpus_status(args.job), indent=2, sort_keys=True
+            )
+        )
+    return 0
+
+
+def cmd_corpus_query(args: argparse.Namespace) -> int:
+    import json
+
+    with _corpus_client(args) as client:
+        result = client.corpus_query(args.job, args.aggregate)
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from .evaluation.tables import render_table1, render_table2, render_table3
 
@@ -266,6 +404,62 @@ def main(argv=None) -> int:
     )
     service_flags(p)
     p.set_defaults(fn=cmd_serve)
+
+    corpus = sub.add_parser(
+        "corpus", help="corpus-scale batch analysis and rollups"
+    )
+    csub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def remote_flags(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7077)
+
+    p = csub.add_parser(
+        "analyze", help="batch-analyze files locally, print rollups"
+    )
+    p.add_argument("files", nargs="*", metavar="FILE")
+    p.add_argument(
+        "--generate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add N synthetic workload programs to the corpus",
+    )
+    p.add_argument("--minimal", action="store_true", help="baseline analysis")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument(
+        "--json", metavar="PATH", help="write records + rollups as JSON"
+    )
+    service_flags(p)
+    p.set_defaults(fn=cmd_corpus_analyze)
+
+    p = csub.add_parser(
+        "submit", help="submit a corpus batch to a running server"
+    )
+    p.add_argument("files", nargs="*", metavar="FILE")
+    p.add_argument("--generate", type=int, default=0, metavar="N")
+    p.add_argument("--job", help="extend an existing job instead")
+    p.add_argument(
+        "--wait", action="store_true", help="block until the batch finishes"
+    )
+    remote_flags(p)
+    p.set_defaults(fn=cmd_corpus_submit)
+
+    p = csub.add_parser("status", help="poll a server-side corpus job")
+    p.add_argument("job")
+    remote_flags(p)
+    p.set_defaults(fn=cmd_corpus_status)
+
+    p = csub.add_parser(
+        "query", help="fleet-wide aggregate rollup from a server"
+    )
+    p.add_argument("job")
+    p.add_argument(
+        "aggregate",
+        choices=("summary", "obstacles", "tiers", "transforms"),
+    )
+    remote_flags(p)
+    p.set_defaults(fn=cmd_corpus_query)
 
     p = sub.add_parser("tables", help="regenerate the evaluation tables")
     p.set_defaults(fn=cmd_tables)

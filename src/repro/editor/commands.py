@@ -29,6 +29,7 @@ interpreter so sessions can be scripted, replayed and tested:
 ``check``           Composition Editor: cross-procedure consistency
 ``summary``         per-unit parallel loop counts
 ``stats``           incremental-engine timers and cache hit rates
+``graph [plan ..]`` pipeline-node outcomes / what-if invalidation
 ``undo`` ``redo``   session history
 =================  =====================================================
 """
@@ -243,6 +244,33 @@ class CommandInterpreter:
             engine.stats, pool=engine.pool, memo=engine.shared_memo
         )
         return engine.stats.render() + "\n\n" + render_metrics(metrics)
+
+    def _cmd_graph(self, rest: str) -> str:
+        """The pipeline-node graph: last analysis's per-node outcomes
+        (entry node, hit/recomputed/skipped states), or with ``plan
+        INPUT...`` what a change to the named inputs would re-run."""
+
+        engine = self.session.engine
+        parts = rest.split()
+        if parts and parts[0] == "plan":
+            if len(parts) < 2:
+                return "error: graph plan needs input names (e.g. 'assertions')"
+            from ..pipeline.graph import GraphError
+
+            try:
+                plan = engine.plan(parts[1:])
+            except GraphError as exc:
+                return f"error: {exc}"
+            would = ", ".join(plan["invalidated"]) or "(nothing)"
+            return (
+                f"entry: {plan['entry'] or '(nothing)'}\n"
+                f"would re-run: {would}"
+            )
+        report = engine.node_report()
+        rows = [f"entry: {report['entry'] or '(pure replay)'}"]
+        for row in report["nodes"]:
+            rows.append(f"  {row['node']:<12} {row['state']}")
+        return "\n".join(rows)
 
     def _cmd_callgraph(self, rest: str) -> str:
         """The program's call graph ('dot' argument emits Graphviz)."""

@@ -91,8 +91,12 @@ from ..interproc.program import (
 )
 from ..interproc.sections import SectionInfo, sections_differ, unit_sections
 from ..analysis.constants import propagate_constants
+from ..pipeline.graph import PipelineGraph
+from ..pipeline.nodes import NodeResult
+from ..pipeline.program import build_program_graph
 from ..service.pool import SerialPool
 from ..service.persist import features_digest
+from .fingerprint import content_key
 from .splitter import UnitSpan, split_units
 from .stats import EngineStats
 
@@ -150,6 +154,34 @@ class _ProgramState:
     revs: Dict[str, int]
     callee_sets: Dict[str, tuple]
     caller_sets: Dict[str, tuple]
+
+
+@dataclass
+class _Run:
+    """Mutable state of one pipeline walk, threaded through the node
+    runners in graph-schedule order (each runner reads what upstream
+    runners produced — the in-memory mirror of the declared edges)."""
+
+    source: str
+    asserts: Dict[str, tuple]
+    spans: List[UnitSpan] = field(default_factory=list)
+    entries: List[_SpanEntry] = field(default_factory=list)
+    sf: Optional[SourceFile] = None
+    kinds: Dict[str, str] = field(default_factory=dict)
+    cg: Optional[CallGraph] = None
+    owners: Dict[str, Tuple[_SpanEntry, int]] = field(default_factory=dict)
+    revs: Dict[str, int] = field(default_factory=dict)
+    changed: Set[str] = field(default_factory=set)
+    ukeys: Dict[str, Optional[str]] = field(default_factory=dict)
+    warm: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    pa: Optional[ProgramAnalysis] = None
+
+    def warm_for(self, phase: str) -> Dict[str, object]:
+        return {
+            n: vals[phase]
+            for n, vals in self.warm.items()
+            if phase in vals
+        }
 
 
 def _closure(seed: Set[str], edges: Dict[str, Set[str]]) -> Set[str]:
@@ -261,6 +293,16 @@ class AnalysisEngine:
         #: this to ``analysis.progress`` events for streaming clients;
         #: emission is observation-only and never alters results.
         self.progress = None
+        #: The pipeline-node graph this engine executes: stage order
+        #: comes from the declared edges (topological schedule), not a
+        #: hard-wired chain, and every node carries a content key.
+        self.graph: PipelineGraph = build_program_graph()
+        #: Node content keys of the previous analysis — the baseline
+        #: for node-level hit/miss accounting and entry detection.
+        self._node_keys: Dict[str, str] = {}
+        #: Per-node outcome of the last :meth:`analyze` (see
+        #: :meth:`node_report`).
+        self._last_report: List[NodeResult] = []
 
     @property
     def pool(self):
@@ -309,6 +351,7 @@ class AnalysisEngine:
             self._summary_revs[phase].clear()
         self._deps.clear()
         self._last = None
+        self._node_keys = {}
 
     def invalidate(self) -> None:
         """Alias for :meth:`clear`; call after mutating cached ASTs in
@@ -358,6 +401,13 @@ class AnalysisEngine:
         so an assertion change reanalyzes only its unit — without any
         reparse.  Returns the bound source file and the program analysis,
         exactly as ``analyze_program(parse_and_bind(source), ...)`` would.
+
+        Execution walks :attr:`graph` in schedule order: each node's
+        content key (node name over its declared inputs' keys) is
+        compared with the previous analysis to decide hit vs recomputed,
+        and the first recomputed node is the run's *entry* — for an
+        assertion-only change that is ``dependence``, with every upstream
+        node a hit (counters ``node.<name>.hit``, ``graph.entry.<node>``).
         """
 
         stats = self.stats
@@ -368,9 +418,6 @@ class AnalysisEngine:
                 for name, texts in (assertions or {}).items()
                 if texts
             }
-            with stats.timer("split"):
-                spans = split_units(source)
-            self._emit_progress("split", spans=len(spans))
             prog_key = None
             if self._store is not None:
                 prog_key = self._store.program_key(
@@ -379,113 +426,12 @@ class AnalysisEngine:
                 if self._last is None:
                     self._load_program_state(prog_key)
                 self._absorb_memo_deltas()
-            entries, sf, kinds = self._assemble(spans)
-            if self._last is not None and kinds != self._last.kinds:
-                # The unit set (or a unit's kind) changed: name resolution
-                # inside *unchanged* units can legitimately differ (array
-                # reference vs function call, intrinsic shadowing), so
-                # restart from a clean slate once.
-                self._emit_progress(
-                    "invalidated", reason="unit-kind-map-changed"
-                )
-                self.clear()
-                entries, sf, kinds = self._assemble(spans)
-            for entry in entries:
-                self._spans[entry.digest] = entry
-            self._trim_span_cache(entries)
-
-            with stats.timer("callgraph"):
-                for entry in entries:
-                    if entry.candidates is None:
-                        entry.candidates = [
-                            _collect_candidates(u) for u in entry.units
-                        ]
-                cg = self._assemble_callgraph(entries)
-            self._emit_progress(
-                "callgraph", units=len(cg.units), sites=len(cg.sites)
-            )
-
-            #: Which span entry (and slot) owns each unit — needed to
-            #: adopt ASTs analyzed in worker processes back as canonical.
-            owners = {
-                u.name: (entry, i)
-                for entry in entries
-                for i, u in enumerate(entry.units)
-            }
-
-            revs = {u.name: e.rev for e in entries for u in e.units}
-            changed = self._detect_changes(cg, revs)
-
-            #: Content keys for per-unit summary records: a cold open of
-            #: a never-seen program warm-starts any unit whose key (span
-            #: digest + callee subtree) matches a prior session's.
-            ukeys: Dict[str, Optional[str]] = {}
-            warm: Dict[str, Dict[str, object]] = {}
-            if self._store is not None:
-                ukeys = self._unit_summary_keys(cg, owners)
-                if changed:
-                    warm = self._load_unit_summaries(
-                        ukeys, _closure(changed, cg.callers)
-                    )
-
-            def warm_for(phase: str) -> Dict[str, object]:
-                return {
-                    n: vals[phase]
-                    for n, vals in warm.items()
-                    if phase in vals
-                }
-
-            feats = self.features
-            if feats.needs_modref():
-                with stats.timer("modref"):
-                    self._update_bottom_up(
-                        "modref",
-                        cg,
-                        changed,
-                        local_summary,
-                        lambda a, b: a.mod == b.mod and a.ref == b.ref,
-                        ModRefInfo,
-                        warm=warm_for("modref"),
-                    )
-            if feats.needs_kills():
-                with stats.timer("kill"):
-                    self._update_bottom_up(
-                        "kill",
-                        cg,
-                        changed,
-                        unit_kills,
-                        lambda a, b: a.scalars == b.scalars
-                        and a.arrays == b.arrays,
-                        KillInfo,
-                        warm=warm_for("kill"),
-                    )
-            if feats.sections:
-                with stats.timer("sections"):
-                    self._update_bottom_up(
-                        "sections",
-                        cg,
-                        changed,
-                        unit_sections,
-                        lambda a, b: not sections_differ(a, b),
-                        SectionInfo,
-                        max_passes=10,
-                        warm=warm_for("sections"),
-                    )
-            if feats.ip_constants:
-                with stats.timer("ipconst"):
-                    self._update_ip_constants(cg, changed)
-
-            pa, adopted = self._run_dependence(sf, cg, asserts, revs, owners)
-            if adopted:
-                # Units analyzed in worker processes came back as fresh
-                # object graphs and were swapped into their span entries;
-                # rebuild the source file so sessions and cached analyses
-                # alias the same ASTs.
-                sf = SourceFile([u for e in entries for u in e.units])
-                pa.source = sf
+            run = _Run(source=source, asserts=asserts)
+            self._walk_graph(run)
+            cg = run.cg
             self._last = _ProgramState(
-                kinds,
-                revs,
+                run.kinds,
+                run.revs,
                 {n: tuple(sorted(cg.callees[n])) for n in cg.units},
                 {n: tuple(sorted(cg.callers[n])) for n in cg.units},
             )
@@ -493,10 +439,222 @@ class AnalysisEngine:
             stats.counters["memo.shared_hits"] = memo.hits
             stats.counters["memo.shared_misses"] = memo.misses
             if self._store is not None:
-                self._spill_state(prog_key, entries, kinds)
-                self._spill_unit_summaries(ukeys)
+                self._spill_state(prog_key, run.entries, run.kinds)
+                self._spill_unit_summaries(run.ukeys)
                 self._export_memo_deltas()
-        return sf, pa
+        return run.sf, run.pa
+
+    def _walk_graph(self, run: _Run) -> None:
+        """Execute the analysis graph in schedule order.
+
+        Every node's key digests its declared inputs' keys, so hit/miss
+        falls out of pure key comparison against the previous walk; the
+        runners themselves always execute — their internal fine-grained
+        caches (per-span parse, per-unit summaries and dependence
+        entries) make a node-level hit near-free, and running them
+        unconditionally keeps results byte-identical to the classic
+        chain.  Disabled nodes are skipped with a sentinel key, so a
+        feature toggle shows up as a key change downstream.
+        """
+
+        stats = self.stats
+        keys: Dict[str, str] = {
+            "source": content_key("source", run.source),
+            "assertions": content_key(
+                "assertions", tuple(sorted(run.asserts.items()))
+            ),
+            "features": content_key(
+                "features", features_digest(self.features)
+            ),
+        }
+        runners = {
+            "split": self._node_split,
+            "parse": self._node_parse,
+            "callgraph": self._node_callgraph,
+            "modref": self._node_modref,
+            "kill": self._node_kill,
+            "sections": self._node_sections,
+            "ipconst": self._node_ipconst,
+            "dependence": self._node_dependence,
+        }
+        report: List[NodeResult] = []
+        for name in self.graph.schedule():
+            node = self.graph.nodes[name]
+            if not node.is_enabled(self.features):
+                keys[name] = content_key(name, "disabled")
+                report.append(
+                    NodeResult(name, keys[name], state="skipped")
+                )
+                continue
+            key = node.key(tuple(keys[i] for i in node.inputs))
+            # Decide hit/miss *before* running: the parse runner may
+            # clear() on a unit-kind-map change, which honestly demotes
+            # every later node of this walk to recomputed.
+            state = (
+                "hit" if self._node_keys.get(name) == key else "recomputed"
+            )
+            stats.bump(
+                f"node.{name}.{'hit' if state == 'hit' else 'miss'}"
+            )
+            runners[name](run)
+            keys[name] = key
+            report.append(NodeResult(name, key, state=state))
+        self._node_keys = {r.node: r.key for r in report}
+        self._last_report = report
+        entry = next(
+            (r.node for r in report if r.state == "recomputed"), None
+        )
+        stats.bump(f"graph.entry.{entry or 'none'}")
+        self._emit_progress(
+            "graph",
+            entry=entry,
+            hits=sum(1 for r in report if r.state == "hit"),
+            recomputed=sum(1 for r in report if r.state == "recomputed"),
+        )
+
+    def node_report(self) -> Dict:
+        """The last analysis as node outcomes (the ``graph.last`` op):
+        ``entry`` (first recomputed node, ``None`` for a pure replay)
+        plus one ``{node, key, state}`` row per scheduled node."""
+
+        entry = next(
+            (
+                r.node
+                for r in self._last_report
+                if r.state == "recomputed"
+            ),
+            None,
+        )
+        return {
+            "entry": entry,
+            "nodes": [r.describe() for r in self._last_report],
+        }
+
+    def plan(self, changed_inputs: Sequence[str]) -> Dict:
+        """What *would* re-run if the named external inputs (or node
+        outputs) changed — pure topology, no execution."""
+
+        return {
+            "entry": self.graph.entry_for(changed_inputs, self.features),
+            "invalidated": sorted(
+                self.graph.invalidated_by(changed_inputs, self.features)
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # node runners (one per graph node, in declaration order)
+    # ------------------------------------------------------------------
+
+    def _node_split(self, run: _Run) -> None:
+        with self.stats.timer("split"):
+            run.spans = split_units(run.source)
+        self._emit_progress("split", spans=len(run.spans))
+
+    def _node_parse(self, run: _Run) -> None:
+        entries, sf, kinds = self._assemble(run.spans)
+        if self._last is not None and kinds != self._last.kinds:
+            # The unit set (or a unit's kind) changed: name resolution
+            # inside *unchanged* units can legitimately differ (array
+            # reference vs function call, intrinsic shadowing), so
+            # restart from a clean slate once.
+            self._emit_progress(
+                "invalidated", reason="unit-kind-map-changed"
+            )
+            self.clear()
+            entries, sf, kinds = self._assemble(run.spans)
+        for entry in entries:
+            self._spans[entry.digest] = entry
+        self._trim_span_cache(entries)
+        run.entries, run.sf, run.kinds = entries, sf, kinds
+
+    def _node_callgraph(self, run: _Run) -> None:
+        with self.stats.timer("callgraph"):
+            for entry in run.entries:
+                if entry.candidates is None:
+                    entry.candidates = [
+                        _collect_candidates(u) for u in entry.units
+                    ]
+            run.cg = self._assemble_callgraph(run.entries)
+        self._emit_progress(
+            "callgraph", units=len(run.cg.units), sites=len(run.cg.sites)
+        )
+        # Which span entry (and slot) owns each unit — needed to adopt
+        # ASTs analyzed in worker processes back as canonical.
+        run.owners = {
+            u.name: (entry, i)
+            for entry in run.entries
+            for i, u in enumerate(entry.units)
+        }
+        run.revs = {
+            u.name: e.rev for e in run.entries for u in e.units
+        }
+        run.changed = self._detect_changes(run.cg, run.revs)
+        # Content keys for per-unit summary records: a cold open of a
+        # never-seen program warm-starts any unit whose key (span digest
+        # + callee subtree) matches a prior session's.
+        if self._store is not None:
+            run.ukeys = self._unit_summary_keys(run.cg, run.owners)
+            if run.changed:
+                run.warm = self._load_unit_summaries(
+                    run.ukeys, _closure(run.changed, run.cg.callers)
+                )
+
+    def _node_modref(self, run: _Run) -> None:
+        with self.stats.timer("modref"):
+            self._update_bottom_up(
+                "modref",
+                run.cg,
+                run.changed,
+                local_summary,
+                lambda a, b: a.mod == b.mod and a.ref == b.ref,
+                ModRefInfo,
+                warm=run.warm_for("modref"),
+            )
+
+    def _node_kill(self, run: _Run) -> None:
+        with self.stats.timer("kill"):
+            self._update_bottom_up(
+                "kill",
+                run.cg,
+                run.changed,
+                unit_kills,
+                lambda a, b: a.scalars == b.scalars
+                and a.arrays == b.arrays,
+                KillInfo,
+                warm=run.warm_for("kill"),
+            )
+
+    def _node_sections(self, run: _Run) -> None:
+        with self.stats.timer("sections"):
+            self._update_bottom_up(
+                "sections",
+                run.cg,
+                run.changed,
+                unit_sections,
+                lambda a, b: not sections_differ(a, b),
+                SectionInfo,
+                max_passes=10,
+                warm=run.warm_for("sections"),
+            )
+
+    def _node_ipconst(self, run: _Run) -> None:
+        with self.stats.timer("ipconst"):
+            self._update_ip_constants(run.cg, run.changed)
+
+    def _node_dependence(self, run: _Run) -> None:
+        pa, adopted = self._run_dependence(
+            run.sf, run.cg, run.asserts, run.revs, run.owners
+        )
+        if adopted:
+            # Units analyzed in worker processes came back as fresh
+            # object graphs and were swapped into their span entries;
+            # rebuild the source file so sessions and cached analyses
+            # alias the same ASTs.
+            run.sf = SourceFile(
+                [u for e in run.entries for u in e.units]
+            )
+            pa.source = run.sf
+        run.pa = pa
 
     # ------------------------------------------------------------------
     # stage: parse + bind

@@ -1,0 +1,153 @@
+"""Aggregate nodes: fleet-wide rollups downstream of per-program results.
+
+The paper's Tables 2 and 3 summarize *one suite*; at corpus scale the
+same questions become standing queries — which obstacle blocks the most
+loops fleet-wide, how far down the dependence-test hierarchy the corpus
+actually drives the tester, which transformations apply where.  Each
+rollup is a :class:`~repro.pipeline.nodes.Node` whose single input is
+the ``results`` collection (per-program result records produced by
+:mod:`repro.pipeline.corpus`), keyed on the content digests of those
+results — so an aggregate is cached and invalidated exactly like any
+other node: resubmitting a program with changed source changes its
+result digest, which changes the aggregate's key, which recomputes the
+rollup; a repeated query replays the cache.
+
+Every rollup function is pure and order-insensitive (results are
+processed in sorted program order), so corpus aggregates equal the
+serial sum of per-program results by construction — the satellite
+parity test asserts it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .nodes import Node, content_key
+
+__all__ = [
+    "AGGREGATE_NODES",
+    "AGGREGATES",
+    "aggregate_key",
+    "run_aggregate",
+    "rollup_obstacles",
+    "rollup_tiers",
+    "rollup_transforms",
+    "rollup_summary",
+]
+
+
+def _merge_counts(
+    results: Sequence[Dict], field: str
+) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for res in sorted(results, key=lambda r: r.get("program", "")):
+        for key, n in (res.get(field) or {}).items():
+            out[key] = out.get(key, 0) + int(n)
+    return out
+
+
+def _ranked(counts: Dict[str, int]) -> List[Tuple[str, int]]:
+    """Counts as (name, n) rows, most frequent first, name tie-break."""
+
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def rollup_obstacles(results: Sequence[Dict]) -> Dict:
+    """Which obstacle blocks the most loops fleet-wide."""
+
+    counts = _merge_counts(results, "obstacles")
+    ranked = _ranked(counts)
+    return {
+        "obstacles": counts,
+        "ranked": [{"obstacle": o, "loops": n} for o, n in ranked],
+        "top": ranked[0][0] if ranked else None,
+        "blocked_loops": sum(counts.values()),
+    }
+
+
+def rollup_tiers(results: Sequence[Dict]) -> Dict:
+    """Dependence-test tier histogram (pairs resolved per tier)."""
+
+    counts = _merge_counts(results, "tiers")
+    return {
+        "tiers": counts,
+        "pairs": sum(counts.values()),
+    }
+
+
+def rollup_transforms(results: Sequence[Dict]) -> Dict:
+    """Transformation-applicability counts (Table 2 at corpus scale)."""
+
+    counts = _merge_counts(results, "transforms")
+    return {
+        "transforms": counts,
+        "ranked": [
+            {"transform": t, "loops": n} for t, n in _ranked(counts)
+        ],
+    }
+
+
+def rollup_summary(results: Sequence[Dict]) -> Dict:
+    """Corpus-wide totals: programs, units, loops, parallelizability."""
+
+    ok = [r for r in results if not r.get("error")]
+    loops = sum(r.get("loops", 0) for r in ok)
+    parallel = sum(r.get("parallel_loops", 0) for r in ok)
+    return {
+        "programs": len(results),
+        "errors": sum(1 for r in results if r.get("error")),
+        "units": sum(r.get("units", 0) for r in ok),
+        "loops": loops,
+        "parallel_loops": parallel,
+        "parallel_fraction": (parallel / loops) if loops else 0.0,
+    }
+
+
+_ROLLUPS: Dict[str, Callable[[Sequence[Dict]], Dict]] = {
+    "obstacles": rollup_obstacles,
+    "tiers": rollup_tiers,
+    "transforms": rollup_transforms,
+    "summary": rollup_summary,
+}
+
+#: The aggregate nodes, all siblings downstream of ``results``.
+AGGREGATE_NODES = tuple(
+    Node(
+        f"agg.{name}",
+        inputs=("results",),
+        doc=fn.__doc__.splitlines()[0] if fn.__doc__ else "",
+    )
+    for name, fn in _ROLLUPS.items()
+)
+
+#: Aggregate name -> (node, rollup function).
+AGGREGATES: Dict[str, Tuple[Node, Callable]] = {
+    name: (node, _ROLLUPS[name])
+    for node, name in zip(AGGREGATE_NODES, _ROLLUPS)
+}
+
+
+def aggregate_key(name: str, results: Sequence[Dict]) -> str:
+    """The aggregate node's content key: its name over the sorted
+    per-program result digests (order-insensitive by construction)."""
+
+    node, _fn = AGGREGATES[name]
+    digests = tuple(
+        sorted(
+            (r.get("program", ""), r.get("digest", "")) for r in results
+        )
+    )
+    return node.key((content_key(digests),))
+
+
+def run_aggregate(name: str, results: Sequence[Dict]) -> Dict:
+    """Compute one rollup (no caching — executors own their caches)."""
+
+    try:
+        _node, fn = AGGREGATES[name]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATES))
+        raise KeyError(
+            f"unknown aggregate {name!r}; known: {known}"
+        ) from None
+    return fn(results)

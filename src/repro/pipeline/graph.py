@@ -1,0 +1,222 @@
+"""The pipeline-node graph: topology, scheduling, invalidation.
+
+:class:`PipelineGraph` owns a set of :class:`~repro.pipeline.nodes.Node`
+instances and the edges their declared inputs imply.  It answers the
+three questions the incremental engine, the corpus runner and the
+service ops all need:
+
+* **Schedule** — a deterministic topological order (declaration order
+  breaks ties) of the nodes enabled under a feature set; the engine
+  replaces its hard-wired stage chain with this.
+* **Invalidation** — given a set of changed external inputs (``source``
+  changed, ``assertions`` changed, one node's output overridden), which
+  nodes must re-run?  The closure propagates *downstream* along declared
+  edges, never along the old linear chain.
+* **Entry** — the first invalidated node in schedule order: where a
+  re-analysis actually enters the graph.  Everything before it is a
+  cache hit by construction.
+
+The graph is pure topology — it holds no values and runs nothing.
+Executors (the engine, the corpus runner) walk the schedule and do the
+work; the graph tells them what is stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .nodes import Node
+
+__all__ = ["PipelineGraph", "GraphError"]
+
+
+class GraphError(Exception):
+    """Malformed topology: cycles, duplicate nodes, unknown entries."""
+
+
+class PipelineGraph:
+    """A DAG of analysis nodes with declared external inputs."""
+
+    def __init__(self, external_inputs: Sequence[str] = ()) -> None:
+        self.nodes: Dict[str, Node] = {}
+        self.external_inputs: Set[str] = set(external_inputs)
+        #: producing node name -> consuming node names (declared edges).
+        self._downstream: Dict[str, Set[str]] = {}
+        #: external input name -> consuming node names.
+        self._input_consumers: Dict[str, Set[str]] = {}
+        self._order: List[str] = []  # declaration order (tie-break)
+        self._schedule_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise GraphError(f"duplicate node {node.name!r}")
+        if node.name in self.external_inputs:
+            raise GraphError(
+                f"node {node.name!r} shadows an external input"
+            )
+        self.nodes[node.name] = node
+        self._order.append(node.name)
+        self._schedule_cache = None
+        return node
+
+    def external(self, *names: str) -> None:
+        """Declare external inputs (caller-supplied values)."""
+
+        self.external_inputs.update(names)
+
+    def finalize(self) -> "PipelineGraph":
+        """Resolve declared inputs to edges and validate the topology."""
+
+        self._downstream = {n: set() for n in self.nodes}
+        self._input_consumers = {i: set() for i in self.external_inputs}
+        for node in self.nodes.values():
+            for inp in node.inputs:
+                if inp in self.nodes:
+                    self._downstream[inp].add(node.name)
+                elif inp in self.external_inputs:
+                    self._input_consumers[inp].add(node.name)
+                else:
+                    raise GraphError(
+                        f"node {node.name!r} consumes {inp!r}, which is "
+                        "neither a node nor a declared external input"
+                    )
+        self.schedule()  # raises on cycles
+        return self
+
+    # ------------------------------------------------------------------
+    # topology queries
+    # ------------------------------------------------------------------
+
+    def schedule(self, features=None) -> List[str]:
+        """Topological order of (enabled) nodes, declaration-order ties.
+
+        With ``features`` given, disabled nodes are dropped — their
+        consumers keep their position (the executor treats a disabled
+        producer as an absent, empty input, exactly like the old
+        feature-gated stage chain did).
+        """
+
+        if self._schedule_cache is None:
+            indeg = {n: 0 for n in self.nodes}
+            for node in self.nodes.values():
+                for inp in node.inputs:
+                    if inp in self.nodes:
+                        indeg[node.name] += 1
+            ready = [n for n in self._order if indeg[n] == 0]
+            out: List[str] = []
+            while ready:
+                name = ready.pop(0)
+                out.append(name)
+                opened = [
+                    m
+                    for m in self._order
+                    if m in self._downstream.get(name, ())
+                ]
+                for m in opened:
+                    indeg[m] -= 1
+                    if indeg[m] == 0:
+                        ready.append(m)
+                ready.sort(key=self._order.index)
+            if len(out) != len(self.nodes):
+                cyclic = sorted(set(self.nodes) - set(out))
+                raise GraphError(f"cycle through nodes {cyclic}")
+            self._schedule_cache = out
+        if features is None:
+            return list(self._schedule_cache)
+        return [
+            n
+            for n in self._schedule_cache
+            if self.nodes[n].is_enabled(features)
+        ]
+
+    def upstream(self, name: str) -> Set[str]:
+        """Transitive producers of ``name`` (not including it)."""
+
+        node = self._node(name)
+        out: Set[str] = set()
+        stack = [i for i in node.inputs if i in self.nodes]
+        while stack:
+            n = stack.pop()
+            if n in out:
+                continue
+            out.add(n)
+            stack.extend(
+                i for i in self.nodes[n].inputs if i in self.nodes
+            )
+        return out
+
+    def downstream(self, names: Iterable[str]) -> Set[str]:
+        """Transitive consumers of ``names`` (not including them)."""
+
+        seeds = list(names)
+        for n in seeds:
+            self._node(n)
+        out: Set[str] = set()
+        stack = [m for n in seeds for m in self._downstream.get(n, ())]
+        while stack:
+            n = stack.pop()
+            if n in out:
+                continue
+            out.add(n)
+            stack.extend(self._downstream.get(n, ()))
+        return out
+
+    def invalidated_by(
+        self, changed_inputs: Iterable[str], features=None
+    ) -> Set[str]:
+        """Nodes that must re-run after the named external inputs (or
+        node outputs — an override counts as a change *at* that node's
+        consumers) changed; closure strictly along declared edges."""
+
+        direct: Set[str] = set()
+        for change in changed_inputs:
+            if change in self.external_inputs:
+                direct.update(self._input_consumers.get(change, ()))
+            elif change in self.nodes:
+                direct.update(self._downstream.get(change, ()))
+            else:
+                raise GraphError(
+                    f"{change!r} is neither an external input nor a node"
+                )
+        out = set(direct)
+        stack = list(direct)
+        while stack:
+            for m in self._downstream.get(stack.pop(), ()):
+                if m not in out:
+                    out.add(m)
+                    stack.append(m)
+        if features is not None:
+            out = {n for n in out if self.nodes[n].is_enabled(features)}
+        return out
+
+    def entry_for(
+        self, changed_inputs: Iterable[str], features=None
+    ) -> Optional[str]:
+        """The first invalidated node in schedule order — where a
+        re-analysis enters the graph — or ``None`` for a pure replay."""
+
+        invalid = self.invalidated_by(changed_inputs, features=features)
+        for name in self.schedule(features):
+            if name in invalid:
+                return name
+        return None
+
+    def describe(self, features=None) -> dict:
+        """JSON-able topology (the ``graph.describe`` op's payload)."""
+
+        order = self.schedule(features)
+        return {
+            "external_inputs": sorted(self.external_inputs),
+            "schedule": order,
+            "nodes": [self.nodes[n].describe() for n in order],
+        }
+
+    def _node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise GraphError(f"no node named {name!r}") from None

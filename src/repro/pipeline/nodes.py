@@ -1,0 +1,92 @@
+"""First-class pipeline nodes: declared inputs/outputs, content keys.
+
+A :class:`Node` names one analysis step and *declares* what it consumes
+and produces instead of hard-coding its position in a chain.  Inputs
+come in two flavours:
+
+* **external inputs** (``source``, ``assertions``, ``features``,
+  ``results`` …) — values the caller supplies; written as plain names.
+* **node inputs** — outputs of upstream nodes; written as the producing
+  node's name.  The graph resolves them to edges at registration time.
+
+Each run of a node yields a :class:`NodeResult` carrying the node's
+**content key** — a digest of the node name, every input key and the
+node's parameter digest (see
+:func:`repro.incremental.fingerprint.content_key`).  Two runs with equal
+keys are guaranteed to produce structurally identical values, which is
+what lets a caller *enter* the graph at any node: every upstream node
+whose key is unchanged is a cache hit by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..incremental.fingerprint import content_key
+
+__all__ = ["Node", "NodeResult", "content_key"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One addressable analysis step.
+
+    ``inputs`` mixes external input names and upstream node names (the
+    graph tells them apart by what is registered); ``outputs`` names the
+    values the node contributes (defaults to the node's own name).
+    ``enabled`` gates the node on the active feature set — a disabled
+    node drops out of the schedule and of every downstream key.
+    """
+
+    name: str
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    doc: str = ""
+    #: Feature gate: ``enabled(features)`` — ``None`` means always on.
+    enabled: Optional[Callable[[object], bool]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a node needs a name")
+        if not self.outputs:
+            object.__setattr__(self, "outputs", (self.name,))
+
+    def is_enabled(self, features) -> bool:
+        if self.enabled is None:
+            return True
+        return bool(self.enabled(features))
+
+    def key(self, input_keys: Tuple[str, ...], params: str = "") -> str:
+        """This node's content key for one run (see module docstring)."""
+
+        return content_key(self.name, input_keys, params)
+
+    def describe(self) -> dict:
+        """JSON-able summary (the ``graph.describe`` op's row)."""
+
+        return {
+            "name": self.name,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "doc": self.doc,
+        }
+
+
+@dataclass
+class NodeResult:
+    """One run (or cache replay) of a node."""
+
+    node: str
+    key: str
+    #: ``"hit"`` (key unchanged, cached value replayed), ``"recomputed"``
+    #: (key changed, node ran) or ``"skipped"`` (disabled by features).
+    state: str = "recomputed"
+    #: Optional value payload; graph-level accounting never needs it,
+    #: aggregate nodes carry their rollup here.
+    value: object = None
+
+    def describe(self) -> dict:
+        return {"node": self.node, "key": self.key, "state": self.state}

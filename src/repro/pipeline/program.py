@@ -1,0 +1,101 @@
+"""The per-program analysis graph: Ped's stage chain as declared nodes.
+
+:func:`build_program_graph` expresses the incremental engine's pipeline
+(parse → interprocedural summaries → ipconst → dependence) as a
+:class:`~repro.pipeline.graph.PipelineGraph`:
+
+* the three bottom-up summary phases (``modref``, ``kill``,
+  ``sections``) all consume ``callgraph`` and nothing else — they are
+  *siblings*, not links of a chain, and any of them can be entered
+  independently;
+* ``ipconst`` likewise hangs off ``callgraph`` (the top-down phase);
+* ``dependence`` is the only node that consumes the summaries, plus the
+  ``assertions`` external input — which is exactly why an assertion
+  change enters the graph *at* ``dependence`` with every upstream node
+  a cache hit.
+
+Feature gates reproduce the engine's conditional stages: a disabled
+node (say ``sections`` under a minimal feature set) drops out of the
+schedule and of downstream keys, so toggling a feature invalidates
+``dependence`` through its key rather than through ad-hoc flags.
+
+The same module defines the schedule the engine executes
+(:data:`ANALYSIS_NODES` in declaration order) — the engine no longer
+hard-codes stage order anywhere.
+"""
+
+from __future__ import annotations
+
+from .graph import PipelineGraph
+from .nodes import Node
+
+__all__ = ["build_program_graph", "ANALYSIS_NODES", "EXTERNAL_INPUTS"]
+
+#: Caller-supplied values of one program analysis.
+EXTERNAL_INPUTS = ("source", "assertions", "features")
+
+#: The per-program analysis nodes, in declaration order (the schedule's
+#: tie-break, chosen to match the classic chain for parity).
+ANALYSIS_NODES = (
+    Node(
+        "split",
+        inputs=("source",),
+        doc="split the source into per-unit spans (content-digested)",
+    ),
+    Node(
+        "parse",
+        inputs=("split",),
+        doc="parse + bind each span; per-span parse cache",
+    ),
+    Node(
+        "callgraph",
+        inputs=("parse",),
+        doc="assemble the call graph from per-unit call candidates",
+    ),
+    Node(
+        "modref",
+        inputs=("callgraph", "features"),
+        doc="bottom-up MOD/REF summaries (callers invalidate upward)",
+        enabled=lambda f: f.needs_modref(),
+    ),
+    Node(
+        "kill",
+        inputs=("callgraph", "features"),
+        doc="bottom-up kill summaries",
+        enabled=lambda f: f.needs_kills(),
+    ),
+    Node(
+        "sections",
+        inputs=("callgraph", "features"),
+        doc="bottom-up array-section summaries",
+        enabled=lambda f: f.sections,
+    ),
+    Node(
+        "ipconst",
+        inputs=("callgraph", "features"),
+        doc="top-down interprocedural constants (callees invalidate downward)",
+        enabled=lambda f: f.ip_constants,
+    ),
+    Node(
+        "dependence",
+        inputs=(
+            "parse",
+            "modref",
+            "kill",
+            "sections",
+            "ipconst",
+            "assertions",
+            "features",
+        ),
+        doc="per-unit dependence analysis, verdicts and idiom recognition",
+    ),
+)
+
+
+def build_program_graph() -> PipelineGraph:
+    """The per-program analysis graph (finalized, ready to schedule)."""
+
+    graph = PipelineGraph(external_inputs=EXTERNAL_INPUTS)
+    for node in ANALYSIS_NODES:
+        graph.add(node)
+    return graph.finalize()

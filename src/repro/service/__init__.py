@@ -56,6 +56,7 @@ __all__ = [
     "PedServer",
     "PedClient",
     "PedRequestError",
+    "UnsupportedOpError",
     "ServerEvent",
     "serve_stdio",
     "serve_tcp",
@@ -102,7 +103,12 @@ def __getattr__(name: str):
         from . import server
 
         return getattr(server, name)
-    if name in ("PedClient", "PedRequestError", "ServerEvent"):
+    if name in (
+        "PedClient",
+        "PedRequestError",
+        "UnsupportedOpError",
+        "ServerEvent",
+    ):
         from . import client
 
         return getattr(client, name)

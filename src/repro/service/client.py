@@ -36,7 +36,10 @@ listeners registered with :meth:`add_event_listener`.
 
 Failed requests raise :class:`PedRequestError`, carrying the server's
 structured error ``type`` (``ped-error``, ``timeout``, ``cancelled``…)
-and message.
+and message.  An ``unknown-op`` reply raises the sharper
+:class:`UnsupportedOpError`, whose ``op`` attribute names the operation
+the server does not speak — feature-detection against older servers
+catches that one type instead of string-matching messages.
 """
 
 from __future__ import annotations
@@ -62,6 +65,26 @@ class PedRequestError(Exception):
         self.message = message
 
 
+class UnsupportedOpError(PedRequestError):
+    """The server answered ``unknown-op``: it does not speak this
+    operation (an older server, or a typo).  ``op`` names the operation
+    the client asked for, so feature-detection code can branch on it."""
+
+    def __init__(self, op: str, message: str) -> None:
+        super().__init__("unknown-op", message)
+        self.op = op
+
+
+def _error_from(op: Optional[str], err: Dict) -> PedRequestError:
+    """The typed exception for one structured error reply."""
+
+    etype = err.get("type", "unknown")
+    message = err.get("message", "unknown error")
+    if etype == "unknown-op":
+        return UnsupportedOpError(op or "", message)
+    return PedRequestError(etype, message)
+
+
 @dataclass
 class ServerEvent:
     """One server-push event (or the synthetic terminal ``result``)."""
@@ -85,6 +108,7 @@ class PedClient:
         self._on_close = on_close
         self._write_lock = threading.Lock()
         self._pending: Dict[object, Future] = {}
+        self._ops: Dict[object, str] = {}
         self._pending_lock = threading.Lock()
         self._event_sinks: Dict[object, Callable[[ServerEvent], None]] = {}
         self._reply_seq: Dict[object, Optional[int]] = {}
@@ -212,6 +236,7 @@ class PedClient:
         rid = reply.get("id")
         with self._pending_lock:
             future = self._pending.pop(rid, None)
+            op = self._ops.pop(rid, None)
             had_sink = self._event_sinks.pop(rid, None) is not None
             if had_sink:
                 # Only streaming requests read the terminal seq back;
@@ -222,17 +247,14 @@ class PedClient:
         if reply.get("ok"):
             future.set_result(reply.get("result"))
         else:
-            err = reply.get("error") or {}
             future.set_exception(
-                PedRequestError(
-                    err.get("type", "unknown"),
-                    err.get("message", "unknown error"),
-                )
+                _error_from(op, reply.get("error") or {})
             )
 
     def _fail_pending(self, why: str) -> None:
         with self._pending_lock:
             pending, self._pending = dict(self._pending), {}
+            self._ops.clear()
             self._event_sinks.clear()
         for future in pending.values():
             if not future.done():
@@ -268,6 +290,7 @@ class PedClient:
         future: Future = Future()
         with self._pending_lock:
             self._pending[rid] = future
+            self._ops[rid] = op
             if on_event is not None:
                 self._event_sinks[rid] = on_event
         line = json.dumps(req)
@@ -278,6 +301,7 @@ class PedClient:
         except (BrokenPipeError, ValueError, OSError) as exc:
             with self._pending_lock:
                 self._pending.pop(rid, None)
+                self._ops.pop(rid, None)
                 self._event_sinks.pop(rid, None)
             raise PedRequestError("connection", f"send failed: {exc}")
         return PendingReply(self, rid, future)
@@ -326,6 +350,45 @@ class PedClient:
                 )
                 return
             yield item
+
+    # ------------------------------------------------------------------
+    # corpus batch convenience wrappers
+    # ------------------------------------------------------------------
+
+    def corpus_submit(
+        self,
+        programs,
+        *,
+        job: Optional[str] = None,
+        wait: bool = False,
+        timeout: Optional[float] = 300.0,
+        **params,
+    ):
+        """Submit ``{name: source}`` (or ``[(name, source), ...]``)
+        programs as one corpus batch; ``wait=True`` blocks until the
+        whole batch is analyzed."""
+
+        if isinstance(programs, dict):
+            programs = sorted(programs.items())
+        payload = [
+            {"name": name, "source": source} for name, source in programs
+        ]
+        if job is not None:
+            params["job"] = job
+        if wait:
+            params["wait"] = True
+        return self.submit(
+            "corpus.submit", programs=payload, **params
+        ).result(timeout)
+
+    def corpus_status(self, job: str):
+        return self.request("corpus.status", job=job)
+
+    def corpus_query(self, job: str, aggregate: str):
+        """One fleet-wide rollup (``summary``, ``obstacles``, ``tiers``
+        or ``transforms``) over a corpus job's finished results."""
+
+        return self.request("corpus.query", job=job, aggregate=aggregate)
 
     def cancel(self, target) -> None:
         """Ask the server to cancel request ``target`` (fire and forget)."""

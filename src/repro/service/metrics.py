@@ -48,6 +48,9 @@ STABLE_KEYS = (
     "memo.delta_exported",
     "memo.delta_skipped",
     "memo.persisted_entries",
+    "corpus.jobs",
+    "corpus.programs",
+    "corpus.errors",
 )
 
 

@@ -24,8 +24,10 @@ three shapes:
 
   ``id`` names the originating request, or is ``null`` for connection-
   wide broadcasts (``invalidation``).  Event kinds: ``analysis.progress``
-  (one per pipeline phase / per analyzed unit) and ``invalidation`` (an
-  edit in one session dirtied records another session holds).
+  (one per pipeline phase / per analyzed unit, and — for a streaming
+  ``corpus.submit`` — one ``corpus.program`` record per finished corpus
+  program) and ``invalidation`` (an edit in one session dirtied records
+  another session holds).
 
 **Ordering.**  Every outbound envelope carries ``seq``, a per-connection
 monotonic sequence id assigned at write time: within one connection,
@@ -54,8 +56,11 @@ from typing import Dict, Optional
 
 #: Protocol/feature revision, echoed by ``ping``.  v2: streaming events,
 #: ``seq`` stamps, ``metrics``/``fingerprint`` ops, structured framing
-#: errors (``payload-too-large``).
-PROTOCOL_VERSION = 2
+#: errors (``payload-too-large``).  v3: pipeline-graph ops
+#: (``graph.describe``, ``graph.last``, ``graph.plan``) and corpus batch
+#: ops (``corpus.submit``, ``corpus.status``, ``corpus.query``) with
+#: per-program ``analysis.progress`` events.
+PROTOCOL_VERSION = 3
 
 #: Default cap on one request line; oversized requests get a structured
 #: ``payload-too-large`` error instead of an ad-hoc disconnect.

@@ -20,6 +20,18 @@ change dirties units that *other* sessions also hold, broadcasts an
 and the sessions holding them — thin front ends re-query instead of
 rendering stale analysis.
 
+**Corpus batch.**  Besides per-session editing, the host runs
+corpus-scale batch analysis: ``corpus.submit`` registers named programs
+with a :class:`~repro.pipeline.corpus.CorpusRunner` that fans their
+end-to-end analyses over the server's worker pool (streaming requests
+get one ``analysis.progress`` event per finished program),
+``corpus.status`` polls a background batch and ``corpus.query`` answers
+fleet-wide aggregate rollups (obstacle ranking, dependence-test tiers,
+transformation applicability) cached under content keys.  The
+``graph.describe`` / ``graph.last`` / ``graph.plan`` ops expose the
+pipeline-node graph itself: topology, last-analysis node outcomes
+(entry node, per-node hit/recomputed states) and what-if invalidation.
+
 **Concurrency.**  Each request runs on a bounded worker-thread pool;
 per-session locks serialize operations on the same session while
 different sessions proceed in parallel.  A request may carry ``timeout``
@@ -50,6 +62,9 @@ from ..dependence.hierarchy import SharedPairMemo
 from ..editor.session import PedError, PedSession
 from ..incremental.stats import EngineStats
 from ..interproc.program import FeatureSet
+from ..pipeline.aggregate import AGGREGATES
+from ..pipeline.corpus import CorpusError, CorpusRunner
+from ..pipeline.program import build_program_graph
 from . import protocol
 from .metrics import merged_metrics
 from .persist import PersistentStore
@@ -107,6 +122,12 @@ class PedServer:
         #: (and, through the store's singleton record, sibling server
         #: processes warm this one).
         self.shared_memo = SharedPairMemo()
+        #: Corpus-batch executor: jobs fan their per-program analyses
+        #: over the same worker pool the sessions use, and aggregate
+        #: queries cache under content keys on the server stats.
+        self.corpus = CorpusRunner(
+            pool=self.pool, features=self.features, stats=self.stats
+        )
         self.max_request_bytes = max_request_bytes
         self.sessions: Dict[str, _Managed] = {}
         self._sessions_lock = threading.Lock()
@@ -310,7 +331,11 @@ class PedServer:
         try:
             if not isinstance(op, str):
                 raise _BadRequest("request needs an 'op' string")
-            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+            handler = getattr(
+                self,
+                f"_op_{op.replace('-', '_').replace('.', '_')}",
+                None,
+            )
             if handler is None:
                 return protocol.reply_error(
                     rid, protocol.UNKNOWN_OP, f"unknown op {op!r}"
@@ -333,6 +358,8 @@ class PedServer:
             return protocol.reply_error(
                 rid, protocol.CANCELLED, "request cancelled"
             )
+        except CorpusError as exc:
+            return protocol.reply_error(rid, protocol.BAD_REQUEST, str(exc))
         except PedError as exc:
             return protocol.reply_error(rid, protocol.PED_ERROR, str(exc))
         except Exception as exc:  # noqa: BLE001 — must answer the client
@@ -680,6 +707,129 @@ class PedServer:
             "metrics": merged_metrics(
                 self.stats, pool=self.pool, memo=self.shared_memo
             )
+        }
+
+    # ------------------------------------------------------------------
+    # pipeline-graph ops
+    # ------------------------------------------------------------------
+
+    def _op_graph_describe(self, req: Dict) -> Dict:
+        """The analysis graph's topology (+ the aggregate node set)."""
+
+        graph = build_program_graph()
+        return {
+            "graph": graph.describe(self.features),
+            "aggregates": [
+                node.describe() for node, _fn in AGGREGATES.values()
+            ],
+        }
+
+    def _op_graph_last(self, req: Dict) -> Dict:
+        """Node outcomes of the session's last analysis: entry node plus
+        one ``{node, key, state}`` row per scheduled node."""
+
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            return managed.session.engine.node_report()
+        finally:
+            managed.lock.release()
+
+    def _op_graph_plan(self, req: Dict) -> Dict:
+        """What would re-run if the named inputs changed (pure topology)."""
+
+        changed = req.get("changed")
+        if not isinstance(changed, list) or not all(
+            isinstance(c, str) for c in changed
+        ):
+            raise _BadRequest(
+                "graph.plan needs 'changed': a list of input/node names"
+            )
+        managed = self._managed(req)
+        self._locked(managed, req.get("id"))
+        try:
+            from ..pipeline.graph import GraphError
+
+            try:
+                return managed.session.engine.plan(changed)
+            except GraphError as exc:
+                raise _BadRequest(str(exc))
+        finally:
+            managed.lock.release()
+
+    # ------------------------------------------------------------------
+    # corpus batch ops
+    # ------------------------------------------------------------------
+
+    def _corpus_programs(self, req: Dict):
+        programs = req.get("programs")
+        if not isinstance(programs, list):
+            raise _BadRequest(
+                "corpus.submit needs 'programs': a list of "
+                "{'name', 'source'} objects"
+            )
+        out = []
+        for item in programs:
+            if not isinstance(item, dict):
+                raise _BadRequest("each corpus program must be an object")
+            out.append((item.get("name"), item.get("source")))
+        return out
+
+    def _op_corpus_submit(self, req: Dict) -> Dict:
+        """Create or extend a corpus job and analyze its programs.
+
+        A streaming request (``"stream": true``) — or one carrying
+        ``"wait": true`` — runs the batch synchronously, emitting one
+        ``analysis.progress`` event (phase ``corpus.program``) per
+        finished program before the terminal reply.  Otherwise the batch
+        runs in the background and ``corpus.status`` polls it.
+        """
+
+        job = self.corpus.submit(
+            self._corpus_programs(req), job=req.get("job")
+        )
+        emit = self._emit()
+        if emit is not None or req.get("wait"):
+            progress = None
+            if emit is not None:
+
+                def progress(record: Dict) -> None:
+                    emit(protocol.EV_PROGRESS, record)
+
+            snapshot = self.corpus.run(job, progress=progress)
+            return {**snapshot, "started": False}
+        self._work.submit(self.corpus.run, job)
+        return {**job.snapshot(), "started": True}
+
+    def _op_corpus_status(self, req: Dict) -> Dict:
+        job = req.get("job")
+        if not isinstance(job, str) or not job:
+            raise _BadRequest("corpus.status needs a 'job' id")
+        return self.corpus.get(job).snapshot()
+
+    def _op_corpus_query(self, req: Dict) -> Dict:
+        """One aggregate rollup over a job's finished results."""
+
+        name = req.get("job")
+        aggregate = req.get("aggregate")
+        if not isinstance(name, str) or not name:
+            raise _BadRequest("corpus.query needs a 'job' id")
+        if not isinstance(aggregate, str) or not aggregate:
+            raise _BadRequest(
+                "corpus.query needs an 'aggregate' name "
+                f"(one of: {', '.join(sorted(AGGREGATES))})"
+            )
+        job = self.corpus.get(name)
+        value, cached = self.corpus.query(job, aggregate)
+        snapshot = job.snapshot()
+        return {
+            "job": name,
+            "aggregate": aggregate,
+            "cached": cached,
+            "complete": snapshot["complete"],
+            "done": snapshot["done"],
+            "total": snapshot["total"],
+            "value": value,
         }
 
     def _op_sleep(self, req: Dict) -> Dict:

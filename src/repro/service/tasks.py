@@ -17,6 +17,10 @@ per-unit work of one analysis pass:
   the unit, its direct callee units and the summary dictionaries; the
   task rebuilds the providers over a minimal call graph that answers
   exactly the same queries the whole-program graph would.
+* ``corpus`` — one whole corpus program end to end (the coarsest grain):
+  a fresh serial engine analyzes the payload's source and projects the
+  result onto the corpus record (:func:`repro.pipeline.corpus.
+  analyze_program_result`).  Errors come back as records, not raises.
 
 Determinism: every task output is a pure function of its payload, and
 the pool preserves submission order, so serial and parallel runs are
@@ -124,10 +128,19 @@ def task_dependence(payload: Dict) -> UnitAnalysis:
     return ua
 
 
+def task_corpus(payload: Dict) -> Dict:
+    """One corpus program → its result record (never raises)."""
+
+    from ..pipeline.corpus import analyze_program_result
+
+    return analyze_program_result(payload)
+
+
 _TASKS = {
     "parse": task_parse,
     "summary": task_summary,
     "dep": task_dependence,
+    "corpus": task_corpus,
 }
 
 

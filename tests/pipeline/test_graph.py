@@ -1,0 +1,161 @@
+"""Pipeline-node graph topology: scheduling, invalidation, entry.
+
+The graph is pure structure — these tests exercise it with toy nodes
+and with the real per-program analysis graph, without running any
+analysis.
+"""
+
+import pytest
+
+from repro.interproc.program import FeatureSet
+from repro.pipeline import (
+    ANALYSIS_NODES,
+    GraphError,
+    Node,
+    PipelineGraph,
+    build_program_graph,
+)
+
+
+def toy_graph():
+    """a → b → d, a → c → d, with one external input ``x``."""
+
+    g = PipelineGraph(external_inputs=("x",))
+    g.add(Node("a", inputs=("x",)))
+    g.add(Node("b", inputs=("a",)))
+    g.add(Node("c", inputs=("a",)))
+    g.add(Node("d", inputs=("b", "c")))
+    return g.finalize()
+
+
+class TestTopology:
+    def test_schedule_is_topological_with_declaration_ties(self):
+        assert toy_graph().schedule() == ["a", "b", "c", "d"]
+
+    def test_declaration_order_breaks_ties(self):
+        g = PipelineGraph(external_inputs=("x",))
+        g.add(Node("a", inputs=("x",)))
+        g.add(Node("c", inputs=("a",)))  # declared before b on purpose
+        g.add(Node("b", inputs=("a",)))
+        g.add(Node("d", inputs=("b", "c")))
+        assert g.finalize().schedule() == ["a", "c", "b", "d"]
+
+    def test_cycle_raises(self):
+        g = PipelineGraph()
+        g.add(Node("a", inputs=("b",)))
+        g.add(Node("b", inputs=("a",)))
+        with pytest.raises(GraphError, match="cycle"):
+            g.finalize()
+
+    def test_unknown_input_raises(self):
+        g = PipelineGraph()
+        g.add(Node("a", inputs=("nope",)))
+        with pytest.raises(GraphError, match="nope"):
+            g.finalize()
+
+    def test_duplicate_node_raises(self):
+        g = PipelineGraph()
+        g.add(Node("a"))
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add(Node("a"))
+
+    def test_shadowing_external_input_raises(self):
+        g = PipelineGraph(external_inputs=("x",))
+        with pytest.raises(GraphError, match="shadows"):
+            g.add(Node("x"))
+
+    def test_upstream_downstream(self):
+        g = toy_graph()
+        assert g.upstream("d") == {"a", "b", "c"}
+        assert g.downstream(["a"]) == {"b", "c", "d"}
+        assert g.downstream(["b"]) == {"d"}
+
+
+class TestInvalidation:
+    def test_external_input_invalidates_consumers_downstream(self):
+        g = toy_graph()
+        assert g.invalidated_by(["x"]) == {"a", "b", "c", "d"}
+
+    def test_node_override_invalidates_strictly_downstream(self):
+        g = toy_graph()
+        assert g.invalidated_by(["b"]) == {"d"}
+
+    def test_entry_is_first_invalidated_in_schedule(self):
+        g = toy_graph()
+        assert g.entry_for(["x"]) == "a"
+        assert g.entry_for(["c"]) == "d"
+        assert g.entry_for([]) is None
+
+    def test_unknown_change_raises(self):
+        with pytest.raises(GraphError):
+            toy_graph().invalidated_by(["nothing"])
+
+
+class TestNodeKeys:
+    def test_key_depends_on_name_inputs_and_params(self):
+        a, b = Node("a"), Node("b")
+        assert a.key(("k1",)) == a.key(("k1",))
+        assert a.key(("k1",)) != a.key(("k2",))
+        assert a.key(("k1",)) != b.key(("k1",))
+        assert a.key(("k1",)) != a.key(("k1",), params="p")
+
+    def test_outputs_default_to_name(self):
+        assert Node("a").outputs == ("a",)
+
+    def test_describe_is_jsonable(self):
+        row = Node("a", inputs=("x",), doc="hi").describe()
+        assert row == {
+            "name": "a",
+            "inputs": ["x"],
+            "outputs": ["a"],
+            "doc": "hi",
+        }
+
+
+class TestProgramGraph:
+    def test_schedule_matches_classic_chain(self):
+        g = build_program_graph()
+        assert g.schedule() == [
+            "split",
+            "parse",
+            "callgraph",
+            "modref",
+            "kill",
+            "sections",
+            "ipconst",
+            "dependence",
+        ]
+
+    def test_assertion_change_enters_at_dependence(self):
+        g = build_program_graph()
+        feats = FeatureSet()
+        assert g.entry_for(["assertions"], feats) == "dependence"
+        assert g.invalidated_by(["assertions"], feats) == {"dependence"}
+
+    def test_source_change_enters_at_split(self):
+        g = build_program_graph()
+        assert g.entry_for(["source"], FeatureSet()) == "split"
+
+    def test_minimal_features_drop_summary_nodes(self):
+        g = build_program_graph()
+        assert g.schedule(FeatureSet.minimal()) == [
+            "split",
+            "parse",
+            "callgraph",
+            "dependence",
+        ]
+
+    def test_summary_nodes_are_siblings_not_a_chain(self):
+        g = build_program_graph()
+        for phase in ("modref", "kill", "sections", "ipconst"):
+            assert g.downstream([phase]) == {"dependence"}
+
+    def test_describe_lists_schedule_and_nodes(self):
+        desc = build_program_graph().describe(FeatureSet())
+        assert desc["schedule"][0] == "split"
+        assert desc["external_inputs"] == [
+            "assertions",
+            "features",
+            "source",
+        ]
+        assert len(desc["nodes"]) == len(ANALYSIS_NODES)

@@ -1,0 +1,134 @@
+"""Node-level entry: re-running one node with upstream cache hits.
+
+The acceptance story of the pipeline-node refactor: re-running only the
+dependence node (new assertions) must leave every upstream node a cache
+hit — visible in the ``node.<name>.hit`` counters and the
+``graph.entry.dependence`` stamp — while producing analysis results
+byte-identical to a full cold re-analysis with the same inputs.
+"""
+
+from repro.incremental import AnalysisEngine, program_fingerprint
+from repro.incremental.fingerprint import fingerprint_digest
+from repro.interproc.program import FeatureSet
+
+THREE_UNITS = (
+    "      program main\n"
+    "      real x(100)\n"
+    "      call init(x, 100)\n"
+    "      call scale(x, 100)\n"
+    "      end\n"
+    "      subroutine init(a, n)\n"
+    "      real a(100)\n"
+    "      do i = 1, n\n"
+    "         a(i) = 0.0\n"
+    "      enddo\n"
+    "      end\n"
+    "      subroutine scale(a, n)\n"
+    "      real a(100)\n"
+    "      do i = 1, n\n"
+    "         a(i) = a(i) * 2.0\n"
+    "      enddo\n"
+    "      end\n"
+)
+
+UPSTREAM = (
+    "split",
+    "parse",
+    "callgraph",
+    "modref",
+    "kill",
+    "sections",
+    "ipconst",
+)
+
+
+def test_cold_analysis_enters_at_split():
+    engine = AnalysisEngine()
+    engine.analyze(THREE_UNITS)
+    report = engine.node_report()
+    assert report["entry"] == "split"
+    states = {r["node"]: r["state"] for r in report["nodes"]}
+    assert set(states.values()) == {"recomputed"}
+    assert engine.stats.counters["graph.entry.split"] == 1
+
+
+def test_assertion_change_reruns_only_dependence():
+    engine = AnalysisEngine()
+    engine.analyze(THREE_UNITS)
+    engine.analyze(
+        THREE_UNITS, assertions={"scale": ["n >= 1"]}
+    )
+    report = engine.node_report()
+    assert report["entry"] == "dependence"
+    states = {r["node"]: r["state"] for r in report["nodes"]}
+    for name in UPSTREAM:
+        assert states[name] == "hit", name
+    assert states["dependence"] == "recomputed"
+    # Counter-visible: one hit per upstream node, a second dependence miss.
+    for name in UPSTREAM:
+        assert engine.stats.counters[f"node.{name}.hit"] == 1, name
+    assert engine.stats.counters["node.dependence.miss"] == 2
+    assert engine.stats.counters["graph.entry.dependence"] == 1
+
+
+def test_dependence_entry_fingerprint_matches_cold_analysis():
+    """Entering at the dependence node is byte-identical to re-analyzing
+    everything from scratch with the same assertions."""
+
+    asserts = {"scale": ["n >= 1"]}
+    warm = AnalysisEngine()
+    warm.analyze(THREE_UNITS)  # no assertions
+    _, pa_warm = warm.analyze(THREE_UNITS, assertions=asserts)
+    assert warm.node_report()["entry"] == "dependence"
+
+    cold = AnalysisEngine()
+    _, pa_cold = cold.analyze(THREE_UNITS, assertions=asserts)
+    assert cold.node_report()["entry"] == "split"
+
+    assert program_fingerprint(pa_warm) == program_fingerprint(pa_cold)
+    assert fingerprint_digest(pa_warm) == fingerprint_digest(pa_cold)
+
+
+def test_identical_rerun_is_pure_replay():
+    engine = AnalysisEngine()
+    engine.analyze(THREE_UNITS)
+    engine.analyze(THREE_UNITS)
+    report = engine.node_report()
+    assert report["entry"] is None
+    assert engine.stats.counters["graph.entry.none"] == 1
+
+
+def test_source_edit_enters_at_split():
+    engine = AnalysisEngine()
+    engine.analyze(THREE_UNITS)
+    engine.analyze(THREE_UNITS.replace("* 2.0", "* 3.0"))
+    assert engine.node_report()["entry"] == "split"
+
+
+def test_minimal_features_skip_summary_nodes():
+    engine = AnalysisEngine(features=FeatureSet.minimal())
+    engine.analyze(THREE_UNITS)
+    states = {
+        r["node"]: r["state"] for r in engine.node_report()["nodes"]
+    }
+    for phase in ("modref", "kill", "sections", "ipconst"):
+        assert states[phase] == "skipped"
+    assert states["dependence"] == "recomputed"
+
+
+def test_clear_forgets_node_keys():
+    engine = AnalysisEngine()
+    engine.analyze(THREE_UNITS)
+    engine.clear()
+    engine.analyze(THREE_UNITS)
+    assert engine.node_report()["entry"] == "split"
+
+
+def test_plan_reports_entry_without_running():
+    engine = AnalysisEngine()
+    engine.analyze(THREE_UNITS)
+    plan = engine.plan(["assertions"])
+    assert plan == {"entry": "dependence", "invalidated": ["dependence"]}
+    plan = engine.plan(["source"])
+    assert plan["entry"] == "split"
+    assert "dependence" in plan["invalidated"]
