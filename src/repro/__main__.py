@@ -8,6 +8,9 @@
 ``python -m repro corpus submit``   — submit a corpus batch to a server
 ``python -m repro corpus status``   — poll a server-side corpus job
 ``python -m repro corpus query``    — fleet-wide aggregate from a server
+``python -m repro fleet shard``     — one shard server (asyncio transport)
+``python -m repro fleet route``     — shard router over a consistent ring
+``python -m repro stats``           — merged metrics from a server/router
 ``python -m repro tables``          — regenerate the evaluation tables
 ``python -m repro suite NAME``      — dump a suite program's source
 
@@ -142,7 +145,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_request_bytes=args.max_request_bytes or MAX_REQUEST_BYTES,
     )
     try:
-        if args.stdio:
+        if args.use_async:
+            from .fleet import serve_async_stdio, serve_async_tcp
+
+            if args.stdio:
+                serve_async_stdio(server)
+            else:
+                serve_async_tcp(server, bind=args.host, port=args.port)
+        elif args.stdio:
             serve_stdio(server)
         else:
             tcp = serve_tcp(server, host=args.host, port=args.port)
@@ -293,6 +303,72 @@ def cmd_corpus_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet_shard(args: argparse.Namespace) -> int:
+    """One shard server on the asyncio transport (``serve --async``
+    with fleet-flavoured defaults: ephemeral port unless given)."""
+
+    from .fleet import serve_async_tcp
+    from .service import MAX_REQUEST_BYTES, PedServer
+
+    server = PedServer(
+        jobs=args.jobs or 1,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+        max_request_bytes=args.max_request_bytes or MAX_REQUEST_BYTES,
+    )
+    try:
+        serve_async_tcp(server, bind=args.host, port=args.port)
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_fleet_route(args: argparse.Namespace) -> int:
+    """The shard router: one front end over ``--shard`` servers."""
+
+    from .fleet import FleetRouter, MemoGossip, serve_async_tcp
+
+    router = FleetRouter(
+        args.shard,
+        retries=args.retries,
+        backoff=args.backoff,
+    )
+    gossip = None
+    if args.gossip_interval > 0:
+        gossip = MemoGossip(
+            args.shard,
+            interval=args.gossip_interval,
+            stats=router.stats,
+        )
+        gossip.start()
+    try:
+        serve_async_tcp(router, bind=args.host, port=args.port)
+    finally:
+        if gossip is not None:
+            gossip.close()
+        router.close()
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Merged metrics from a running server or router."""
+
+    import json
+
+    with _corpus_client(args) as client:
+        metrics = client.request("metrics")["metrics"]
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+        return 0
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, float):
+            print(f"{name:<40} {value:.3f}")
+        else:
+            print(f"{name:<40} {value}")
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from .evaluation.tables import render_table1, render_table2, render_table3
 
@@ -376,6 +452,27 @@ def main(argv=None) -> int:
     service_flags(p)
     p.set_defaults(fn=cmd_auto)
 
+    def server_flags(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7077)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=8,
+            help="max concurrently handled requests (default 8)",
+        )
+        p.add_argument(
+            "--max-request-bytes",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "reject request lines over N bytes with a structured "
+                "payload-too-large error (default 4 MiB)"
+            ),
+        )
+        service_flags(p)
+
     p = sub.add_parser(
         "serve", help="Ped session server (JSON-lines protocol)"
     )
@@ -384,25 +481,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="serve one client on stdin/stdout instead of TCP",
     )
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=7077)
     p.add_argument(
-        "--workers",
-        type=int,
-        default=8,
-        help="max concurrently handled requests (default 8)",
-    )
-    p.add_argument(
-        "--max-request-bytes",
-        type=int,
-        default=None,
-        metavar="N",
+        "--async",
+        dest="use_async",
+        action="store_true",
         help=(
-            "reject request lines over N bytes with a structured "
-            "payload-too-large error (default 4 MiB)"
+            "serve on the asyncio fleet transport (one event loop for "
+            "all connections) instead of a thread per client"
         ),
     )
-    service_flags(p)
+    server_flags(p)
     p.set_defaults(fn=cmd_serve)
 
     corpus = sub.add_parser(
@@ -460,6 +548,58 @@ def main(argv=None) -> int:
     )
     remote_flags(p)
     p.set_defaults(fn=cmd_corpus_query)
+
+    fleet = sub.add_parser(
+        "fleet", help="sharded serving: asyncio shards behind a router"
+    )
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p = fsub.add_parser(
+        "shard", help="one shard server on the asyncio transport"
+    )
+    server_flags(p)
+    p.set_defaults(fn=cmd_fleet_shard, port=0, stdio=False)
+
+    p = fsub.add_parser(
+        "route", help="consistent-hash router over --shard servers"
+    )
+    p.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="a shard server address (repeatable; at least one)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070)
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="connect retries per shard before rehash (default 2)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="base retry backoff seconds, doubled per attempt",
+    )
+    p.add_argument(
+        "--gossip-interval",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="memo gossip period in seconds; 0 disables (default 5)",
+    )
+    p.set_defaults(fn=cmd_fleet_route)
+
+    p = sub.add_parser(
+        "stats", help="merged metrics from a running server or router"
+    )
+    p.add_argument("--json", action="store_true", help="raw JSON output")
+    remote_flags(p)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("tables", help="regenerate the evaluation tables")
     p.set_defaults(fn=cmd_tables)

@@ -1,0 +1,190 @@
+"""Cross-shard memo gossip: warm pair-test verdicts fleet-wide.
+
+Each shard server keeps a :class:`~repro.dependence.hierarchy.SharedPairMemo`
+— content-addressed pair-test verdicts that make re-analysis of a
+program (or an edited variant of it) cheap.  On one host the memo-delta
+files under the store directory spread verdicts between processes; in a
+fleet the shards share no filesystem, so :class:`MemoGossip` moves the
+same entries over the protocol instead.
+
+One gossip round is pull-then-push:
+
+1. ``memo.pull`` every shard's entries (cheap: entries are small tuples
+   of scalars, capped by the memo's own ``MAX_ENTRIES``);
+2. form the union;
+3. ``memo.push`` to each shard exactly the entries it is missing.
+
+Entries are content-addressed and ``absorb`` is an idempotent monotone
+merge, so rounds are safe to repeat, overlap with live analysis, and
+tolerate any interleaving with other gossipers — the same reasoning
+that makes the on-disk delta exchange safe (see
+:mod:`repro.service.storelock`).  An unreachable shard is simply
+skipped for the round and caught up on the next one; gossip is an
+optimization, never a correctness requirement.
+
+Run it inside the router process (``fleet route --gossip-interval N``)
+or standalone; it only needs shard addresses.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Dict, List, Optional
+
+from ..incremental.stats import EngineStats
+from ..service import protocol
+from ..service.client import PedClient, PedRequestError, ServerUnavailableError
+
+__all__ = ["MemoGossip"]
+
+log = logging.getLogger(__name__)
+
+
+class MemoGossip:
+    """Periodic pull/union/push of shared pair-test memos across shards."""
+
+    def __init__(
+        self,
+        shards: List[str],
+        *,
+        interval: float = 5.0,
+        retries: int = 1,
+        backoff: float = 0.05,
+        jitter: float = 0.25,
+        timeout: float = 60.0,
+        stats: Optional[EngineStats] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("gossip needs at least one shard")
+        self.shards = list(shards)
+        self.interval = interval
+        self.retries = retries
+        self.backoff = backoff
+        self.jitter = jitter
+        self.timeout = timeout
+        self.stats = stats or EngineStats()
+        self._clients: Dict[str, PedClient] = {}
+        self._clients_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    def _client(self, shard: str) -> PedClient:
+        with self._clients_lock:
+            client = self._clients.get(shard)
+            if client is not None:
+                return client
+        host, _, port = shard.rpartition(":")
+        client = PedClient.connect(
+            host or "127.0.0.1",
+            int(port),
+            retries=self.retries,
+            backoff=self.backoff,
+            jitter=self.jitter,
+        )
+        with self._clients_lock:
+            race = self._clients.setdefault(shard, client)
+        if race is not client:
+            client.close()
+        return race
+
+    def _drop(self, shard: str) -> None:
+        with self._clients_lock:
+            client = self._clients.pop(shard, None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    # ------------------------------------------------------------------
+
+    def run_once(self) -> Dict:
+        """One pull/union/push round; returns a summary for logs/tests."""
+
+        per_shard: Dict[str, Dict] = {}
+        union: Dict = {}
+        unreachable: List[str] = []
+        for shard in self.shards:
+            try:
+                result = self._client(shard).request(
+                    "memo.pull", wait=self.timeout
+                )
+                entries = protocol.decode_memo_entries(
+                    result.get("entries") or []
+                )
+            except (ServerUnavailableError, PedRequestError, OSError) as exc:
+                self._drop(shard)
+                unreachable.append(shard)
+                log.debug("gossip pull from %s failed: %s", shard, exc)
+                continue
+            per_shard[shard] = entries
+            for key, value in entries.items():
+                union.setdefault(key, value)
+        pushed = 0
+        for shard, have in per_shard.items():
+            missing = {
+                key: value
+                for key, value in union.items()
+                if key not in have
+            }
+            if not missing:
+                continue
+            try:
+                self._client(shard).request(
+                    "memo.push",
+                    wait=self.timeout,
+                    entries=protocol.encode_memo_entries(missing),
+                )
+            except (ServerUnavailableError, PedRequestError, OSError) as exc:
+                self._drop(shard)
+                unreachable.append(shard)
+                log.debug("gossip push to %s failed: %s", shard, exc)
+                continue
+            pushed += len(missing)
+        self.stats.bump("gossip.rounds")
+        self.stats.bump("gossip.pulled", sum(map(len, per_shard.values())))
+        self.stats.bump("gossip.pushed", pushed)
+        if unreachable:
+            self.stats.bump("gossip.unreachable", len(unreachable))
+        return {
+            "shards": len(per_shard),
+            "union": len(union),
+            "pushed": pushed,
+            "unreachable": sorted(set(unreachable)),
+        }
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Gossip every ``interval`` seconds on a daemon thread."""
+
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.run_once()
+                except Exception:  # noqa: BLE001 — keep gossiping
+                    log.warning("gossip round failed", exc_info=True)
+
+        self._thread = threading.Thread(
+            target=loop, name="memo-gossip", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        with self._clients_lock:
+            clients, self._clients = dict(self._clients), {}
+        for client in clients.values():
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001
+                pass

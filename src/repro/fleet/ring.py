@@ -1,0 +1,130 @@
+"""Consistent-hash ring: program/session keys onto shard nodes.
+
+Classic Karger-style consistent hashing: every node is hashed onto the
+unit circle at ``replicas`` virtual points, a key is owned by the first
+node point clockwise from the key's hash, and removing a node moves
+only the keys it owned (about ``1/N`` of the space) to the survivors —
+the property the router's shard-death rehash depends on.
+
+Hashes are SHA-1 (stable across processes and Python versions —
+``hash()`` is salted per process and useless here), truncated to 64
+bits.  :meth:`HashRing.preference` yields the *distinct* nodes in ring
+order starting at a key's owner: element 0 is the primary, element 1
+the first failover target, and so on — a bounded walk the router uses
+to retry work a dead shard dropped.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _hash64(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha1(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """An immutable-feeling ring over mutable node membership.
+
+    Nodes are opaque strings (the router uses ``host:port``).  Not
+    thread-safe by itself; the router serializes membership changes.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), replicas: int = 64
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current members, in insertion order."""
+
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes[node] = True
+        for i in range(self.replicas):
+            point = (_hash64(f"{node}#{i}"), node)
+            idx = bisect.bisect(self._hashes, point[0])
+            self._points.insert(idx, point)
+            self._hashes.insert(idx, point[0])
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        del self._nodes[node]
+        self._points = [p for p in self._points if p[1] != node]
+        self._hashes = [h for h, _n in self._points]
+
+    # ------------------------------------------------------------------
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The node owning ``key``, or ``None`` on an empty ring."""
+
+        if not self._points:
+            return None
+        idx = bisect.bisect(self._hashes, _hash64(key))
+        if idx == len(self._points):
+            idx = 0  # wrap: the circle closes
+        return self._points[idx][1]
+
+    def preference(
+        self, key: str, n: Optional[int] = None
+    ) -> List[str]:
+        """Distinct nodes in ring order from ``key``'s owner.
+
+        ``preference(k)[0] == node_for(k)``; subsequent elements are the
+        successive failover targets a rehash would land on as nodes die.
+        ``n`` caps the list (default: every member).
+        """
+
+        if not self._points:
+            return []
+        want = len(self._nodes) if n is None else min(n, len(self._nodes))
+        start = bisect.bisect(self._hashes, _hash64(key))
+        out: List[str] = []
+        seen = set()
+        for i in range(len(self._points)):
+            _h, node = self._points[(start + i) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= want:
+                    break
+        return out
+
+    def partition(
+        self, keys: Iterable[str]
+    ) -> Dict[str, List[str]]:
+        """Group ``keys`` by owning node (insertion order preserved)."""
+
+        out: Dict[str, List[str]] = {}
+        for key in keys:
+            node = self.node_for(key)
+            if node is None:
+                raise ValueError("cannot partition over an empty ring")
+            out.setdefault(node, []).append(key)
+        return out

@@ -56,6 +56,7 @@ __all__ = [
     "PedServer",
     "PedClient",
     "PedRequestError",
+    "ServerUnavailableError",
     "UnsupportedOpError",
     "ServerEvent",
     "serve_stdio",
@@ -106,6 +107,7 @@ def __getattr__(name: str):
     if name in (
         "PedClient",
         "PedRequestError",
+        "ServerUnavailableError",
         "UnsupportedOpError",
         "ServerEvent",
     ):

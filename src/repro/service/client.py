@@ -40,6 +40,15 @@ and message.  An ``unknown-op`` reply raises the sharper
 :class:`UnsupportedOpError`, whose ``op`` attribute names the operation
 the server does not speak — feature-detection against older servers
 catches that one type instead of string-matching messages.
+
+**Transport failures.**  A connect refusal, a reset socket or a broken
+pipe raises :class:`ServerUnavailableError` (type ``connection``) — a
+typed signal callers can branch on instead of catching raw ``OSError``.
+:meth:`PedClient.connect` takes ``retries``/``backoff``/``jitter``:
+transient connect errors are retried with exponential backoff plus
+jitter up to the bound.  Retries default *off* so tests (and anything
+asserting fail-fast behavior) see the first error immediately; the
+fleet router turns them on.
 """
 
 from __future__ import annotations
@@ -47,10 +56,12 @@ from __future__ import annotations
 import itertools
 import json
 import queue
+import random
 import socket
 import subprocess
 import sys
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional
@@ -63,6 +74,16 @@ class PedRequestError(Exception):
         super().__init__(f"{etype}: {message}")
         self.type = etype
         self.message = message
+
+
+class ServerUnavailableError(PedRequestError):
+    """The server cannot be reached (connect refused/reset, send on a
+    dead socket, or the retry budget exhausted).  Carries the underlying
+    OS error text; ``attempts`` counts how many connects were tried."""
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__("connection", message)
+        self.attempts = attempts
 
 
 class UnsupportedOpError(PedRequestError):
@@ -126,14 +147,60 @@ class PedClient:
     # ------------------------------------------------------------------
 
     @classmethod
-    def connect(cls, host: str = "127.0.0.1", port: int = 0) -> "PedClient":
-        """Connect to a ``ped serve --port`` server."""
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        jitter: float = 0.25,
+        timeout: Optional[float] = None,
+    ) -> "PedClient":
+        """Connect to a ``ped serve --port`` server.
 
-        sock = socket.create_connection((host, port))
+        ``retries`` bounds how many *additional* connect attempts follow
+        a transient failure (refused/reset/unreachable); attempt ``i``
+        sleeps ``backoff * 2**i`` seconds first, stretched by up to
+        ``jitter`` fraction of random extra so a fleet of reconnecting
+        clients does not thunder in lockstep.  Exhausting the budget
+        raises :class:`ServerUnavailableError` (never a raw ``OSError``).
+        """
+
+        attempts = max(0, int(retries)) + 1
+        last: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = backoff * (2 ** (attempt - 1))
+                delay *= 1.0 + random.random() * max(0.0, jitter)
+                time.sleep(delay)
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                sock.settimeout(None)
+                break
+            except OSError as exc:
+                last = exc
+        else:
+            raise ServerUnavailableError(
+                f"cannot connect to {host}:{port} after {attempts} "
+                f"attempt(s): {last}",
+                attempts=attempts,
+            ) from last
         rfile = sock.makefile("r", encoding="utf-8")
         wfile = sock.makefile("w", encoding="utf-8")
 
         def _close():
+            # ``makefile`` objects hold io-refs on the fd, and the
+            # reader thread keeps ``rfile`` open — a bare ``close()``
+            # would leave the TCP connection half-alive (no FIN) and
+            # the reader blocked forever.  ``shutdown`` tears the
+            # stream down for real and wakes the reader with EOF.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 sock.close()
             except OSError:
@@ -303,7 +370,7 @@ class PedClient:
                 self._pending.pop(rid, None)
                 self._ops.pop(rid, None)
                 self._event_sinks.pop(rid, None)
-            raise PedRequestError("connection", f"send failed: {exc}")
+            raise ServerUnavailableError(f"send failed: {exc}")
         return PendingReply(self, rid, future)
 
     def request(self, op: str, *, wait: Optional[float] = 30.0, **params):
@@ -389,6 +456,11 @@ class PedClient:
         or ``transforms``) over a corpus job's finished results."""
 
         return self.request("corpus.query", job=job, aggregate=aggregate)
+
+    def corpus_results(self, job: str):
+        """The raw per-program result records of one corpus job."""
+
+        return self.request("corpus.results", job=job)
 
     def cancel(self, target) -> None:
         """Ask the server to cancel request ``target`` (fire and forget)."""

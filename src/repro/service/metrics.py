@@ -22,6 +22,10 @@ shared memo and get one flat ``{key: number}`` dict:
   memo-delta exchange counters.
 * ``disk.*`` and ``lease.*`` — persistent-store and store-lease
   counters, passed through from the stats counters verbatim.
+* ``server.connections.open`` / ``server.connections.peak`` /
+  ``server.uptime_s`` — live transport gauges (how many clients are
+  connected right now, the high-water mark, and how long this server
+  process has been up), read from the server when one is attached.
 * ``analyses`` — how many engine analysis cycles fed these numbers.
 
 Keys with a zero value are still present (a dashboard wants stable
@@ -31,6 +35,8 @@ simply whatever the counters already recorded.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Dict, Optional
 
 
@@ -51,10 +57,38 @@ STABLE_KEYS = (
     "corpus.jobs",
     "corpus.programs",
     "corpus.errors",
+    "server.connections.open",
+    "server.connections.peak",
+    "server.uptime_s",
 )
 
 
-def merged_metrics(stats, pool=None, memo=None) -> Dict[str, float]:
+class ConnectionGauge:
+    """Open/peak connection counts, updated by every transport.
+
+    Both the thread-per-connection transport and the asyncio fleet
+    transport call :meth:`enter` / :meth:`leave` around each client, so
+    the ``metrics`` op reports one truthful pair of gauges regardless of
+    which front end accepted the connection.
+    """
+
+    def __init__(self) -> None:
+        self.open = 0
+        self.peak = 0
+        self._lock = threading.Lock()
+
+    def enter(self) -> None:
+        with self._lock:
+            self.open += 1
+            if self.open > self.peak:
+                self.peak = self.open
+
+    def leave(self) -> None:
+        with self._lock:
+            self.open = max(0, self.open - 1)
+
+
+def merged_metrics(stats, pool=None, memo=None, server=None) -> Dict[str, float]:
     """The one service-metrics dict (see module docstring for keys)."""
 
     out: Dict[str, float] = {}
@@ -72,6 +106,14 @@ def merged_metrics(stats, pool=None, memo=None) -> Dict[str, float]:
         out["memo.shared_hits"] = memo.hits
         out["memo.shared_misses"] = memo.misses
         out["memo.entries"] = len(memo.entries)
+    if server is not None:
+        gauge = getattr(server, "connections", None)
+        if gauge is not None:
+            out["server.connections.open"] = gauge.open
+            out["server.connections.peak"] = gauge.peak
+        started = getattr(server, "started_monotonic", None)
+        if started is not None:
+            out["server.uptime_s"] = time.monotonic() - started
     hits = out.get("memo.shared_hits", 0)
     misses = out.get("memo.shared_misses", 0)
     looked = hits + misses

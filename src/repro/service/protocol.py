@@ -45,7 +45,16 @@ server's byte limit; the request id is recovered when possible so the
 error still correlates).  Error types emitted across the protocol:
 ``bad-request``, ``payload-too-large``, ``unknown-op``,
 ``unknown-session``, ``session-exists``, ``ped-error``, ``timeout``,
-``cancelled``, ``shutting-down`` and ``internal``.
+``cancelled``, ``shutting-down``, ``shard-lost`` (a fleet router lost
+the shard holding the request's key mid-flight and ran out of retries)
+and ``internal``.
+
+**Memo gossip payloads.**  The cross-shard memo exchange (``memo.pull``
+/ ``memo.push``) moves shared pair-test memo entries — nested tuples of
+JSON scalars — over the wire; :func:`encode_memo_entries` /
+:func:`decode_memo_entries` are the canonical tuple↔list codecs, so a
+pulled entry pushed to a sibling shard round-trips to the exact key the
+memo indexes on.
 """
 
 from __future__ import annotations
@@ -59,8 +68,12 @@ from typing import Dict, Optional
 #: errors (``payload-too-large``).  v3: pipeline-graph ops
 #: (``graph.describe``, ``graph.last``, ``graph.plan``) and corpus batch
 #: ops (``corpus.submit``, ``corpus.status``, ``corpus.query``) with
-#: per-program ``analysis.progress`` events.
-PROTOCOL_VERSION = 3
+#: per-program ``analysis.progress`` events.  v4: fleet serving —
+#: ``corpus.results``, memo gossip ops (``memo.pull``, ``memo.push``),
+#: ``server.connections.*``/``server.uptime_s`` gauges in ``metrics``
+#: and the ``shard-lost`` error type.  The envelope grammar itself is
+#: unchanged since v2, so v3 clients interoperate with v4 servers.
+PROTOCOL_VERSION = 4
 
 #: Default cap on one request line; oversized requests get a structured
 #: ``payload-too-large`` error instead of an ad-hoc disconnect.
@@ -76,6 +89,7 @@ PED_ERROR = "ped-error"
 TIMEOUT = "timeout"
 CANCELLED = "cancelled"
 SHUTTING_DOWN = "shutting-down"
+SHARD_LOST = "shard-lost"
 INTERNAL = "internal"
 
 # Event kinds.
@@ -176,3 +190,42 @@ def is_event(envelope: Dict) -> bool:
 
 def is_reply(envelope: Dict) -> bool:
     return "ok" in envelope and "event" not in envelope
+
+
+# ----------------------------------------------------------------------
+# memo gossip payloads (tuple-keyed memo entries over JSON)
+# ----------------------------------------------------------------------
+
+
+def _to_wire(value):
+    if isinstance(value, tuple):
+        return [_to_wire(v) for v in value]
+    return value
+
+
+def _from_wire(value):
+    if isinstance(value, list):
+        return tuple(_from_wire(v) for v in value)
+    return value
+
+
+def encode_memo_entries(entries: Dict) -> list:
+    """Memo entries (tuple keys and values) → a JSON-safe pair list."""
+
+    return [[_to_wire(k), _to_wire(v)] for k, v in entries.items()]
+
+
+def decode_memo_entries(payload) -> Dict:
+    """The inverse of :func:`encode_memo_entries`; raises
+    :class:`ProtocolError` on a malformed payload."""
+
+    if not isinstance(payload, list):
+        raise ProtocolError(BAD_REQUEST, "memo entries must be a list")
+    out: Dict = {}
+    for item in payload:
+        if not isinstance(item, list) or len(item) != 2:
+            raise ProtocolError(
+                BAD_REQUEST, "each memo entry must be a [key, value] pair"
+            )
+        out[_from_wire(item[0])] = _from_wire(item[1])
+    return out

@@ -190,6 +190,7 @@ class _Connection:
 
     def run(self) -> None:
         self._listener_token = self.server.add_listener(self._broadcast)
+        self.server.connections.enter()
         try:
             for line in self.rfile:
                 if not self.handle_line(line):
@@ -197,6 +198,7 @@ class _Connection:
                 if self.server.shutdown_event.is_set():
                     break
         finally:
+            self.server.connections.leave()
             self.server.remove_listener(self._listener_token)
 
 

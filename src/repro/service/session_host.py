@@ -66,7 +66,7 @@ from ..pipeline.aggregate import AGGREGATES
 from ..pipeline.corpus import CorpusError, CorpusRunner
 from ..pipeline.program import build_program_graph
 from . import protocol
-from .metrics import merged_metrics
+from .metrics import ConnectionGauge, merged_metrics
 from .persist import PersistentStore
 from .pool import make_pool
 
@@ -143,6 +143,12 @@ class PedServer:
         self._listener_ids = 0
         self._tls = threading.local()
         self.shutdown_event = threading.Event()
+        #: Live transport gauges: every front end (threaded stdio/TCP,
+        #: asyncio fleet transport) counts its clients here, and
+        #: ``metrics`` reports them as ``server.connections.open/.peak``.
+        self.connections = ConnectionGauge()
+        #: Process start mark for the ``server.uptime_s`` gauge.
+        self.started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -152,6 +158,13 @@ class PedServer:
         self.shutdown_event.set()
         self._work.shutdown(wait=False, cancel_futures=True)
         self.pool.close()
+
+    @property
+    def executor(self):
+        """The request thread pool transports hand blocking work to
+        (the asyncio transport runs ``execute`` on it per request)."""
+
+        return self._work
 
     # ------------------------------------------------------------------
     # cancellation registry
@@ -700,13 +713,63 @@ class PedServer:
             engine = managed.session.engine
             return {
                 "metrics": merged_metrics(
-                    engine.stats, pool=self.pool, memo=self.shared_memo
+                    engine.stats,
+                    pool=self.pool,
+                    memo=self.shared_memo,
+                    server=self,
                 )
             }
         return {
             "metrics": merged_metrics(
-                self.stats, pool=self.pool, memo=self.shared_memo
+                self.stats,
+                pool=self.pool,
+                memo=self.shared_memo,
+                server=self,
             )
+        }
+
+    # ------------------------------------------------------------------
+    # memo gossip ops (the cross-shard exchange channel)
+    # ------------------------------------------------------------------
+
+    def _op_memo_pull(self, req: Dict) -> Dict:
+        """Export the shared pair-test memo for a gossip peer.
+
+        Entries are fully content-addressed (oracle digest + canonical
+        pair form + PARAMETER slice), so a peer can absorb any subset
+        without coordination — the same invariant the on-disk singleton
+        record relies on.  ``known`` (optional) is a list of encoded
+        keys the peer already holds; only the complement ships back.
+        """
+
+        entries = dict(self.shared_memo.entries)
+        known = req.get("known")
+        if known is not None:
+            if not isinstance(known, list):
+                raise _BadRequest("memo.pull 'known' must be a key list")
+            have = {protocol._from_wire(k) for k in known}
+            entries = {k: v for k, v in entries.items() if k not in have}
+        return {
+            "count": len(entries),
+            "total": len(self.shared_memo.entries),
+            "entries": protocol.encode_memo_entries(entries),
+        }
+
+    def _op_memo_push(self, req: Dict) -> Dict:
+        """Absorb memo entries a gossip peer proved — idempotent."""
+
+        try:
+            entries = protocol.decode_memo_entries(req.get("entries"))
+        except protocol.ProtocolError as exc:
+            raise _BadRequest(str(exc))
+        before = len(self.shared_memo.entries)
+        self.shared_memo.absorb({"entries": entries})
+        absorbed = len(self.shared_memo.entries) - before
+        if absorbed:
+            self.stats.bump("memo.gossip_absorbed", absorbed)
+        return {
+            "absorbed": absorbed,
+            "entries": len(self.shared_memo.entries),
         }
 
     # ------------------------------------------------------------------
@@ -806,6 +869,22 @@ class PedServer:
         if not isinstance(job, str) or not job:
             raise _BadRequest("corpus.status needs a 'job' id")
         return self.corpus.get(job).snapshot()
+
+    def _op_corpus_results(self, req: Dict) -> Dict:
+        """The raw per-program result records of one corpus job — the
+        fleet router concatenates these across shards, and the parity
+        bench compares their fingerprints against a single-host run."""
+
+        name = req.get("job")
+        if not isinstance(name, str) or not name:
+            raise _BadRequest("corpus.results needs a 'job' id")
+        job = self.corpus.get(name)
+        records = job.result_records()
+        return {
+            "job": name,
+            "count": len(records),
+            "records": records,
+        }
 
     def _op_corpus_query(self, req: Dict) -> Dict:
         """One aggregate rollup over a job's finished results."""

@@ -23,8 +23,12 @@ expires}``:
   crashed or hung past its TTL.  The next waiter *takes over*: it logs
   the dead holder, unlinks the stale file and loops back to the
   ``O_CREAT | O_EXCL`` race.  Crashed-holder recovery is therefore a
-  logged warning, not a fatal condition.  A corrupt/unreadable record
-  is treated exactly like a stale one.
+  logged warning (with the takeover reason), not a fatal condition.  A
+  corrupt/unreadable record is treated exactly like a stale one, and so
+  is a record carrying *our own* holder token — the lease is not
+  reentrant, so finding our token means a previous incarnation of this
+  process orphaned it (staleness compares holder tokens, never bare
+  pids, which the OS reuses across restarts).
 
 **Takeover race.**  Two waiters can both observe the same stale lease
 and race the takeover; ``O_EXCL`` plus the post-create read-back
@@ -151,6 +155,41 @@ class StoreLease:
 
     # ------------------------------------------------------------------
 
+    def _takeover_reason(self, rec: dict) -> Optional[str]:
+        """Why a found lease record may be broken, or ``None`` if it is
+        legitimately held.
+
+        Staleness is decided on the *holder token* (hostname + pid +
+        thread id), never on the pid alone: after a host restart the OS
+        happily hands a new process the pid a dead lease records, and a
+        pid-based check would treat the orphan as alive forever (or,
+        worse, let the unrelated new process "renew" it).  Three broken
+        states, each with its own logged reason:
+
+        * the TTL expired — the holder crashed or hung past its lease;
+        * the record is corrupt/unreadable — the writer died mid-write;
+        * the record carries *our own* holder token — this exact
+          host/pid/thread wrote it in a previous incarnation (the lease
+          is not reentrant, so a live self-wait is impossible), i.e.
+          the process restarted and inherited its own orphan.
+        """
+
+        expires = rec.get("expires", 0)
+        holder = rec.get("holder")
+        if holder is None and not expires:
+            return "corrupt or unreadable lease record"
+        if expires <= time.time():
+            return (
+                f"holder missed its {self.ttl:g}s TTL — crashed or hung"
+            )
+        if holder == self.holder:
+            return (
+                "lease carries our own holder token — orphaned by a "
+                "previous incarnation of this process (pid reuse after "
+                "restart)"
+            )
+        return None
+
     def acquire(self, timeout: float = 5.0) -> bool:
         """Take the lease, waiting up to ``timeout`` seconds.
 
@@ -171,14 +210,14 @@ class StoreLease:
             rec = self._read()
             if rec is None:
                 continue  # vanished between create and read: retry
-            if rec.get("expires", 0) <= time.time():
+            reason = self._takeover_reason(rec)
+            if reason is not None:
                 log.warning(
-                    "taking over stale lease %s (holder %r, pid %r "
-                    "missed its %gs TTL — crashed or hung)",
+                    "taking over lease %s (holder %r, pid %r): %s",
                     self.path,
                     rec.get("holder"),
                     rec.get("pid"),
-                    self.ttl,
+                    reason,
                 )
                 self._bump("lease.takeover")
                 try:

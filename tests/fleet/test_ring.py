@@ -1,0 +1,89 @@
+"""Consistent-hash ring: determinism, preference walks, minimal movement."""
+
+import pytest
+
+from repro.fleet import HashRing
+
+NODES = ["127.0.0.1:7001", "127.0.0.1:7002", "127.0.0.1:7003"]
+KEYS = [f"prog{i:03d}" for i in range(200)]
+
+
+def test_assignment_is_deterministic_across_instances():
+    """Two independently built rings (different insertion order) agree
+    on every key — the property that lets router and bench processes
+    reason about placement without coordination."""
+
+    a = HashRing(NODES)
+    b = HashRing(list(reversed(NODES)))
+    for key in KEYS:
+        assert a.node_for(key) == b.node_for(key)
+
+
+def test_every_node_owns_some_keys():
+    ring = HashRing(NODES)
+    owners = {ring.node_for(k) for k in KEYS}
+    assert owners == set(NODES)
+
+
+def test_preference_starts_at_owner_and_covers_all_nodes():
+    ring = HashRing(NODES)
+    for key in KEYS[:50]:
+        pref = ring.preference(key)
+        assert pref[0] == ring.node_for(key)
+        assert sorted(pref) == sorted(NODES)
+        assert ring.preference(key, n=2) == pref[:2]
+
+
+def test_removal_moves_only_the_dead_nodes_keys():
+    ring = HashRing(NODES)
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.remove(NODES[0])
+    for key in KEYS:
+        after = ring.node_for(key)
+        if before[key] != NODES[0]:
+            # Keys not owned by the removed node must not move.
+            assert after == before[key]
+        else:
+            assert after in NODES[1:]
+
+
+def test_failover_target_matches_preference_walk():
+    """The node a key lands on after its owner dies is exactly
+    ``preference(key)[1]`` — the invariant the router's rehash relies
+    on to find work a dead shard dropped."""
+
+    ring = HashRing(NODES)
+    for key in KEYS[:50]:
+        pref = ring.preference(key)
+        survivor = HashRing(NODES)
+        survivor.remove(pref[0])
+        assert survivor.node_for(key) == pref[1]
+
+
+def test_partition_groups_by_owner():
+    ring = HashRing(NODES)
+    parts = ring.partition(KEYS)
+    assert sorted(sum(parts.values(), [])) == sorted(KEYS)
+    for node, keys in parts.items():
+        for key in keys:
+            assert ring.node_for(key) == node
+
+
+def test_empty_ring_and_validation():
+    ring = HashRing()
+    assert ring.node_for("x") is None
+    assert ring.preference("x") == []
+    with pytest.raises(ValueError):
+        ring.partition(["x"])
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)
+
+
+def test_add_remove_roundtrip_restores_assignment():
+    ring = HashRing(NODES)
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.remove(NODES[1])
+    ring.add(NODES[1])
+    assert {k: ring.node_for(k) for k in KEYS} == before
+    assert len(ring) == 3
+    assert NODES[1] in ring

@@ -1,0 +1,400 @@
+"""The shard router: transparent forwarding, fan-out merges, shard death.
+
+Most tests run shards in-process behind :class:`AsyncTransport` (fast,
+deterministic); the kill tests run a real ``python -m repro fleet
+shard`` subprocess so death is a SIGKILL, not a polite drain.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import AsyncTransport, FleetRouter, MemoGossip
+from repro.incremental.stats import EngineStats
+from repro.interproc import FeatureSet
+from repro.pipeline import CorpusRunner
+from repro.service import PedClient, PedRequestError, PedServer
+from repro.workloads.generator import generate_program
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+AGG_NAMES = ("summary", "obstacles", "tiers", "transforms")
+
+
+def _programs(n=8):
+    return [
+        (
+            f"prog{i:02d}",
+            generate_program(
+                n_routines=2 + i % 3,
+                n_fields=2,
+                grid=8,
+                steps=2 + i % 3,
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def fleet():
+    """Two in-process shards behind a routed front end."""
+
+    shards = []
+    addrs = []
+    for _ in range(2):
+        srv = PedServer(max_workers=4)
+        transport = AsyncTransport(srv)
+        port = transport.start_background()
+        shards.append((srv, transport))
+        addrs.append(f"127.0.0.1:{port}")
+    router = FleetRouter(addrs, retries=1, backoff=0.01)
+    rtransport = AsyncTransport(router)
+    rport = rtransport.start_background()
+    yield addrs, router, rport
+    rtransport.stop_background()
+    router.close()
+    for srv, transport in shards:
+        transport.stop_background()
+        srv.close()
+
+
+@pytest.fixture
+def rclient(fleet):
+    _, _, rport = fleet
+    with PedClient.connect(port=rport) as c:
+        yield c
+
+
+def test_ping_reports_fleet(rclient):
+    reply = rclient.request("ping")
+    assert reply["pong"] is True
+    assert reply["fleet"] == {"shards": 2, "dead": []}
+
+
+def test_topology(rclient, fleet):
+    addrs, _, _ = fleet
+    topo = rclient.request("fleet.topology")
+    assert sorted(topo["shards"]) == sorted(addrs)
+    assert topo["dead"] == []
+
+
+def test_session_ops_route_transparently(rclient):
+    """Open/query/edit against the router behave exactly like a direct
+    server connection — including streamed event ordering."""
+
+    source = generate_program(n_routines=4)
+    events = list(
+        rclient.stream("open", session="s", source=source, wait=120)
+    )
+    assert events[-1].kind == "result"
+    seqs = [e.seq for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    assert any(e.kind == "analysis.progress" for e in events)
+
+    summary = rclient.request("parallel_summary", session="s", wait=60)
+    assert sum(u["loops"] for u in summary["units"]) > 0
+    assert rclient.request("close", session="s") == {"closed": "s"}
+
+
+def test_unknown_op_passes_through(rclient):
+    with pytest.raises(PedRequestError) as err:
+        rclient.request("definitely.not.an.op", session="x")
+    assert err.value.type == "unknown-op"
+
+
+def test_corpus_fanout_matches_single_host(rclient):
+    """The tentpole parity claim: a corpus routed across two shards
+    produces byte-identical aggregates and per-program fingerprints to
+    the same corpus on one host."""
+
+    programs = _programs(8)
+    reply = rclient.corpus_submit(programs, wait=True)
+    assert reply["complete"] is True
+    assert reply["total"] == 8 and reply["errors"] == 0
+    assert reply["lost"] == []
+    assert len(reply["shards"]) == 2, "partition should span both shards"
+    job = reply["job"]
+
+    runner = CorpusRunner(features=FeatureSet(), stats=EngineStats())
+    local = runner.submit(programs)
+    runner.run(local)
+
+    for name in AGG_NAMES:
+        fleet_value = rclient.corpus_query(job, name)["value"]
+        local_value = runner.query(local, name)[0]
+        assert json.dumps(fleet_value, sort_keys=True) == json.dumps(
+            local_value, sort_keys=True
+        ), name
+
+    routed = rclient.request("corpus.results", job=job, wait=60)
+    fleet_digests = {
+        r["program"]: r["digest"] for r in routed["records"]
+    }
+    local_digests = {
+        r["program"]: r["digest"] for r in local.result_records()
+    }
+    assert fleet_digests == local_digests
+
+
+def test_corpus_status_merges(rclient):
+    programs = _programs(4)
+    job = rclient.corpus_submit(programs, wait=True)["job"]
+    status = rclient.corpus_status(job)
+    assert status["total"] == 4
+    assert status["complete"] is True
+    assert set(status["programs"]) == {name for name, _src in programs}
+
+
+def test_streamed_corpus_renumbers_progress(rclient):
+    """Per-shard progress events come back renumbered to fleet-wide
+    ``done/total`` counts."""
+
+    programs = _programs(6)
+    events = list(
+        rclient.stream(
+            "corpus.submit",
+            wait=300,
+            programs=[
+                {"name": name, "source": src} for name, src in programs
+            ],
+        )
+    )
+    assert events[-1].kind == "result"
+    progress = [
+        e.data
+        for e in events
+        if e.data.get("phase") == "corpus.program"
+    ]
+    assert len(progress) == 6
+    assert [p["done"] for p in progress] == list(range(1, 7))
+    assert all(p["total"] == 6 for p in progress)
+
+
+def test_metrics_merge_sums_shards(rclient):
+    rclient.request("open", session="m", source=generate_program(), wait=120)
+    metrics = rclient.request("metrics", wait=60)["metrics"]
+    assert metrics["fleet.shards"] == 2
+    assert metrics["fleet.shards.reachable"] == 2
+    assert metrics["fleet.shards.dead"] == 0
+    assert metrics["router.forwarded"] >= 1
+    assert metrics["server.connections.open"] == 1
+    assert metrics["server.uptime_s"] > 0
+    assert metrics["memo.entries"] > 0  # summed across shards
+
+
+def test_memo_ops_fan_out(rclient):
+    """memo.pull through the router unions both shards; memo.push
+    reaches both."""
+
+    rclient.request("open", session="warm", source=generate_program(), wait=120)
+    pulled = rclient.request("memo.pull", wait=60)
+    assert pulled["count"] > 0
+    pushed = rclient.request(
+        "memo.push", entries=pulled["entries"], wait=60
+    )
+    assert pushed["shards"] == 2
+    # Idempotent: pushing what every shard now has absorbs nothing new.
+    again = rclient.request(
+        "memo.push", entries=pulled["entries"], wait=60
+    )
+    assert again["absorbed"] == 0
+
+
+def test_gossip_propagates_memo_between_shards(fleet):
+    """A memo warmed on one shard reaches the other within one gossip
+    round, and a second round is a no-op (converged)."""
+
+    addrs, _, _ = fleet
+    source = generate_program(n_routines=4)
+    with PedClient.connect(port=int(addrs[0].rsplit(":", 1)[1])) as direct:
+        direct.request("open", session="g", source=source, wait=120)
+        have = direct.request("memo.pull", wait=60)["count"]
+    assert have > 0
+
+    gossip = MemoGossip(addrs, interval=60)
+    try:
+        first = gossip.run_once()
+        assert first["pushed"] > 0
+        assert first["unreachable"] == []
+        second = gossip.run_once()
+        assert second["pushed"] == 0, "gossip should converge"
+    finally:
+        gossip.close()
+
+    with PedClient.connect(port=int(addrs[1].rsplit(":", 1)[1])) as other:
+        assert other.request("memo.pull", wait=60)["count"] >= have
+        metrics = other.request("metrics", wait=60)["metrics"]
+        assert metrics["memo.gossip_absorbed"] > 0
+
+
+# ----------------------------------------------------------------------
+# shard death
+# ----------------------------------------------------------------------
+
+
+def _spawn_shard(cache_dir=None):
+    """A real shard subprocess on an ephemeral port; returns (proc, addr)."""
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro", "fleet", "shard"]
+    if cache_dir:
+        argv += ["--cache-dir", str(cache_dir)]
+    proc = subprocess.Popen(
+        argv,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stderr.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"no listening banner from shard: {line!r}"
+    return proc, f"{match.group(1)}:{match.group(2)}"
+
+
+def test_dead_shard_rehashes_to_survivor():
+    """Kill one of two shards: session and corpus work lands on the
+    survivor (bounded retry + rehash), the reply completes with zero
+    losses, and the dead shard is reported in ping."""
+
+    doomed_proc, doomed = _spawn_shard()
+    live_proc, live = _spawn_shard()
+    router = FleetRouter([doomed, live], retries=1, backoff=0.01)
+    try:
+        transport = AsyncTransport(router)
+        rport = transport.start_background()
+        with PedClient.connect(port=rport) as client:
+            assert client.request("ping")["fleet"]["dead"] == []
+            doomed_proc.send_signal(signal.SIGKILL)
+            doomed_proc.wait(timeout=10)
+
+            programs = _programs(6)
+            reply = client.corpus_submit(programs, wait=True)
+            assert reply["complete"] is True
+            assert reply["lost"] == []
+            assert reply["errors"] == 0
+            assert reply["shards"] == [live]
+
+            # Sessions rehash too: whatever shard a key hashes to, the
+            # open lands on the survivor.
+            opened = client.request(
+                "open", session="anywhere", source=generate_program(), wait=120
+            )
+            assert opened["session"] == "anywhere"
+            assert client.request("ping")["fleet"]["dead"] == [doomed]
+    finally:
+        transport.stop_background()
+        router.close()
+        for proc in (doomed_proc, live_proc):
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_kill_mid_corpus_retries_in_flight_programs():
+    """SIGKILL a shard while its sub-batch is streaming results: the
+    router rehashes the in-flight programs onto the survivor and the
+    batch still completes — losses only if no candidate remains."""
+
+    doomed_proc, doomed = _spawn_shard()
+    live_proc, live = _spawn_shard()
+    router = FleetRouter([doomed, live], retries=0, backoff=0.01)
+    try:
+        transport = AsyncTransport(router)
+        rport = transport.start_background()
+        programs = _programs(12)
+        killed = threading.Event()
+
+        with PedClient.connect(port=rport) as client:
+            def on_event(ev):
+                # First streamed progress: both sub-batches are in
+                # flight — kill one shard under them.
+                if not killed.is_set():
+                    killed.set()
+                    doomed_proc.send_signal(signal.SIGKILL)
+
+            pending = client.submit(
+                "corpus.submit",
+                stream=True,
+                on_event=on_event,
+                programs=[
+                    {"name": name, "source": src}
+                    for name, src in programs
+                ],
+            )
+            reply = pending.result(300)
+            assert killed.is_set()
+            assert reply["complete"] is True
+            assert reply["total"] == 12
+            assert reply["lost"] == []
+            assert set(reply["programs"]) == {n for n, _s in programs}
+            assert all(
+                s in ("done", "error") for s in reply["programs"].values()
+            )
+            metrics = client.request("metrics", wait=60)["metrics"]
+            assert metrics["router.rehash"] >= 1
+    finally:
+        transport.stop_background()
+        router.close()
+        for proc in (doomed_proc, live_proc):
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_all_shards_dead_yields_lost_records():
+    """With nowhere left to rehash, the submit still completes — every
+    program becomes an explicit shard-lost error record."""
+
+    proc, addr = _spawn_shard()
+    router = FleetRouter([addr], retries=0, backoff=0.01)
+    try:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        reply = router.execute(
+            {
+                "id": 1,
+                "op": "corpus.submit",
+                "wait": True,
+                "programs": [
+                    {"name": name, "source": src}
+                    for name, src in _programs(3)
+                ],
+            }
+        )
+        assert reply["ok"] is True
+        result = reply["result"]
+        assert result["complete"] is True
+        assert sorted(result["lost"]) == ["prog00", "prog01", "prog02"]
+        assert result["errors"] == 3
+
+        results = router.execute(
+            {"id": 2, "op": "corpus.results", "job": result["job"]}
+        )["result"]
+        assert results["count"] == 3
+        assert all(
+            r["error"].startswith("shard-lost") for r in results["records"]
+        )
+
+        # A routed session op with every shard dead: structured
+        # shard-lost error, not a hang or a crash.
+        failed = router.execute(
+            {"id": 3, "op": "open", "session": "s", "source": "      end\n"}
+        )
+        assert failed["ok"] is False
+        assert failed["error"]["type"] == "shard-lost"
+    finally:
+        router.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

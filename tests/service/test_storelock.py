@@ -7,6 +7,7 @@ warning, never a crash) and corrupt-record handling.
 """
 
 import json
+import os
 import threading
 import time
 
@@ -73,8 +74,64 @@ def test_stale_lease_is_taken_over(tmp_path, caplog):
     with caplog.at_level("WARNING"):
         assert lease.acquire(timeout=2.0)
     assert stats.counter("lease.takeover") == 1
-    assert any("stale lease" in r.message for r in caplog.records)
+    assert any("taking over lease" in r.message for r in caplog.records)
     lease.release()
+
+
+def test_own_orphan_lease_taken_over_despite_live_ttl(tmp_path, caplog):
+    """A lease carrying *our own* holder token but an unexpired TTL: a
+    previous incarnation of this process orphaned it (the lease is not
+    reentrant, so a live self-wait is impossible).  Holder-token
+    comparison recovers it immediately; waiting out the TTL — or a
+    pid-liveness check, since the pid is ours and very much alive —
+    would stall every restart."""
+
+    stats = EngineStats()
+    path = tmp_path / "x.lease"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(
+        json.dumps(
+            {
+                "holder": "me",
+                "pid": os.getpid(),
+                "expires": time.time() + 3600,
+            }
+        ).encode()
+    )
+    lease = StoreLease(path, holder="me", stats=stats)
+    with caplog.at_level("WARNING"):
+        start = time.monotonic()
+        assert lease.acquire(timeout=30.0)
+    assert time.monotonic() - start < 5.0, "takeover must not wait a TTL"
+    assert stats.counter("lease.takeover") == 1
+    assert any(
+        "previous incarnation" in r.message for r in caplog.records
+    )
+    lease.release()
+
+
+def test_same_pid_different_holder_is_respected(tmp_path):
+    """The converse guard: a record with *our pid* but someone else's
+    holder token (another thread of this process, or a pid-reusing
+    sibling on another host) is legitimately held — pid alone proves
+    nothing either way."""
+
+    stats = EngineStats()
+    path = tmp_path / "x.lease"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(
+        json.dumps(
+            {
+                "holder": "someone-else",
+                "pid": os.getpid(),
+                "expires": time.time() + 3600,
+            }
+        ).encode()
+    )
+    lease = StoreLease(path, holder="me", stats=stats)
+    assert lease.acquire(timeout=0.2) is False
+    assert stats.counter("lease.takeover") == 0
+    assert stats.counter("lease.timeout") == 1
 
 
 def test_corrupt_record_treated_as_stale(tmp_path):
