@@ -30,10 +30,15 @@ from conftest import save_artifact
 def _hotpath_totals(pa):
     totals = {"pairs_pruned": 0, "memo_hits": 0, "memo_misses": 0}
     pairs = 0
+    tier_seconds = {}
     for ua in pa.units.values():
         for key, value in ua.hotpath_stats().items():
             totals[key] = totals.get(key, 0) + value
         pairs += sum(ua.tester.pair_resolution.values())
+        for tier, secs in (ua.tester.tier_seconds or {}).items():
+            tier_seconds[tier] = tier_seconds.get(tier, 0.0) + secs
+    if tier_seconds:
+        totals["tier_seconds"] = tier_seconds
     totals["pairs_total"] = pairs
     totals["prune_rate"] = totals["pairs_pruned"] / pairs if pairs else 0.0
     looked = totals["memo_hits"] + totals["memo_misses"]
@@ -41,14 +46,24 @@ def _hotpath_totals(pa):
     return totals
 
 
-def _with_hot_path(prune, memo, fn):
-    saved = (driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs)
+def _with_hot_path(prune, memo, fn, batch=None):
+    saved = (
+        driver.HOT_PATH.prune_pairs,
+        driver.HOT_PATH.memoize_pairs,
+        driver.HOT_PATH.batch_pairs,
+    )
     driver.HOT_PATH.prune_pairs = prune
     driver.HOT_PATH.memoize_pairs = memo
+    if batch is not None:
+        driver.HOT_PATH.batch_pairs = batch
     try:
         return fn()
     finally:
-        driver.HOT_PATH.prune_pairs, driver.HOT_PATH.memoize_pairs = saved
+        (
+            driver.HOT_PATH.prune_pairs,
+            driver.HOT_PATH.memoize_pairs,
+            driver.HOT_PATH.batch_pairs,
+        ) = saved
 
 
 @pytest.mark.parametrize("n_routines", [5, 20])
@@ -63,6 +78,16 @@ def test_analysis_scaling_is_near_linear(benchmark):
     results = []
 
     def measure():
+        # Per-tier wall time rides into hotpath.json (the --profile
+        # instrumentation; adds only perf_counter calls per test).
+        saved_profile = driver.HOT_PATH.profile_tiers
+        driver.HOT_PATH.profile_tiers = True
+        try:
+            return _measure_sizes()
+        finally:
+            driver.HOT_PATH.profile_tiers = saved_profile
+
+    def _measure_sizes():
         out = []
         for k in sizes:
             source = generate_program(n_routines=k)
@@ -122,23 +147,24 @@ def test_analysis_scaling_is_near_linear(benchmark):
 
 
 def test_hotpath_speedup_on_40_routines(benchmark):
-    """Pair pruning + memoization at least halve 40-routine analysis
-    time, with byte-identical dependence graphs (parity asserted here,
-    not assumed)."""
+    """The dependence hot path — pair pruning, memoization and batched
+    tier execution — at least halves 40-routine analysis time against
+    the fully scalar reference, with byte-identical dependence graphs
+    (parity asserted here, not assumed)."""
 
     source = generate_program(n_routines=40)
 
     def analyze():
         return analyze_program(parse_and_bind(source), FeatureSet())
 
-    def timed(prune, memo):
+    def timed(prune, memo, batch):
         t0 = time.perf_counter()
-        pa = _with_hot_path(prune, memo, analyze)
+        pa = _with_hot_path(prune, memo, analyze, batch=batch)
         return time.perf_counter() - t0, pa
 
     def measure():
-        t_ref, pa_ref = timed(False, False)
-        t_opt, pa_opt = timed(True, True)
+        t_ref, pa_ref = timed(False, False, False)
+        t_opt, pa_opt = timed(True, True, True)
         return t_ref, pa_ref, t_opt, pa_opt
 
     t_ref, pa_ref, t_opt, pa_opt = benchmark.pedantic(

@@ -1,0 +1,77 @@
+"""Compare fresh benchmark artifacts against committed perf baselines.
+
+Run after the benchmark suite has filled ``benchmarks/out/``::
+
+    python benchmarks/compare_baselines.py
+
+Reads ``benchmarks/baselines.json`` and fails (exit 1) when any gated
+metric regresses by more than ``TOLERANCE`` against its committed
+baseline.  Every gated metric is a same-machine ratio (speedup factors,
+byte ratios, overhead ratios) so the gate holds across CI runner
+hardware; absolute seconds live in the artifacts for humans but are
+never gated.  A missing artifact is an error too — silently skipping a
+metric would turn the gate into decoration.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+OUT = HERE / "out"
+TOLERANCE = 0.25
+
+
+def _dig(blob, path):
+    for key in path:
+        blob = blob[key]
+    return float(blob)
+
+
+def main() -> int:
+    spec = json.loads((HERE / "baselines.json").read_text())
+    failures = []
+    rows = []
+    for name, m in spec["metrics"].items():
+        artifact = OUT / m["artifact"]
+        if not artifact.exists():
+            failures.append(f"{name}: missing artifact {artifact.name}")
+            continue
+        blob = json.loads(artifact.read_text())
+        try:
+            value = _dig(blob, m["path"])
+            if "divide_by" in m:
+                value /= _dig(blob, m["divide_by"])
+        except (KeyError, IndexError, TypeError) as exc:
+            failures.append(f"{name}: bad path in {artifact.name}: {exc!r}")
+            continue
+        baseline = float(m["baseline"])
+        if m["direction"] == "higher":
+            floor = baseline * (1.0 - TOLERANCE)
+            ok = value >= floor
+            bound = f">= {floor:.3f}"
+        else:
+            ceiling = baseline * (1.0 + TOLERANCE)
+            ok = value <= ceiling
+            bound = f"<= {ceiling:.3f}"
+        rows.append(
+            f"{'ok  ' if ok else 'FAIL'} {name}: {value:.3f} "
+            f"(baseline {baseline:.3f}, gate {bound})"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {value:.3f} regressed past {bound} "
+                f"(baseline {baseline:.3f})"
+            )
+    print("\n".join(rows))
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} gated metrics within {TOLERANCE:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,13 @@ def _engine(args: argparse.Namespace, features=None):
 
     from .service import build_engine
 
+    if getattr(args, "profile", False):
+        # ``--profile`` also times the dependence tester per tier; the
+        # timings surface as ``tier.<name>_s`` counters in the stats
+        # table (and ride dep payloads into worker processes).
+        from .dependence.driver import HOT_PATH
+
+        HOT_PATH.profile_tiers = True
     return build_engine(
         features=features,
         jobs=getattr(args, "jobs", 1) or 1,

@@ -20,7 +20,8 @@ the paper's analysis-contribution table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from time import perf_counter
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..analysis.cfg import CFG, build_cfg
 from ..analysis.constants import ConstantMap, propagate_constants
@@ -57,7 +58,7 @@ from .graph import (
     PENDING,
     PROVEN,
 )
-from .hierarchy import DependenceTester, PairResult
+from .hierarchy import DependenceTester, PairResult, VectorResult
 from .references import (
     ArrayAccess,
     LoopNest,
@@ -82,6 +83,14 @@ class HotPathConfig:
     #: Consult/populate the program-scoped shared pair memo (requires
     #: ``memoize_pairs``; a config must still supply one).
     share_pairs: bool = True
+    #: Collect every surviving pair of a unit into one batch and run the
+    #: test hierarchy tier-by-tier over it (:mod:`repro.dependence.batch`)
+    #: instead of pair-at-a-time; results, counters and fingerprints are
+    #: identical either way.
+    batch_pairs: bool = True
+    #: Record per-tier wall time in every tester (``--profile``); off by
+    #: default because the timing calls sit inside the test hierarchy.
+    profile_tiers: bool = False
 
 
 #: Process-wide hot-path switches (monkeypatched by parity tests/benches).
@@ -212,6 +221,12 @@ class UnitAnalysis:
     #: Shared-memo export (fresh entries + counter deltas) recorded by
     #: worker tasks for merge-back; nulled once the engine absorbs it.
     memo_export: Optional[Dict[str, object]] = None
+    #: Wall seconds of the whole graph build (pair testing + scalar +
+    #: control dependences) and of the array-pair testing stage alone —
+    #: what ``bench_batch.py`` compares batched vs scalar.  Read with
+    #: ``getattr(..., 0.0)``: unpickled pre-upgrade records lack them.
+    build_seconds: float = 0.0
+    pair_seconds: float = 0.0
 
     def info_for(self, loop: DoLoop) -> LoopInfo:
         return self.loop_info[loop.sid]
@@ -295,7 +310,11 @@ def analyze_unit(
         else None
     )
     tester = DependenceTester(
-        table, oracle, memoize=HOT_PATH.memoize_pairs, shared=shared
+        table,
+        oracle,
+        memoize=HOT_PATH.memoize_pairs,
+        shared=shared,
+        profile=HOT_PATH.profile_tiers,
     )
     builder = _GraphBuilder(
         unit,
@@ -310,7 +329,9 @@ def analyze_unit(
         reductions,
         inductions,
     )
+    build_t0 = perf_counter()
     pair_results = builder.build()
+    build_seconds = perf_counter() - build_t0
     # The memos have done their job for this unit; drop the local one and
     # detach the shared one so cached/pickled UnitAnalysis objects stay
     # lean (hit/miss counters survive).
@@ -343,6 +364,8 @@ def analyze_unit(
         tester,
         pair_results,
         stmt_index,
+        build_seconds=build_seconds,
+        pair_seconds=builder.pair_seconds,
     )
 
 
@@ -379,6 +402,8 @@ class _GraphBuilder:
         self.oracle = config.resolved_oracle()
         self.stmt_index = stmt_index or UnitStatementIndex(unit)
         self._seen_scalar: Set[Tuple] = set()
+        #: Wall seconds of the array-pair testing stage of :meth:`build`.
+        self.pair_seconds = 0.0
         # Idioms per loop, used to annotate (not suppress) edges.  The
         # caller normally precomputes them (analyze_unit shares one
         # recognition pass with the loop verdicts); recompute only when
@@ -431,23 +456,17 @@ class _GraphBuilder:
             by_array.setdefault(r.array, []).append(r)
 
         prune = HOT_PATH.prune_pairs
-        results: List[PairResult] = []
-        for array, accs in sorted(by_array.items()):
-            for i in range(len(accs)):
-                for j in range(i, len(accs)):
-                    a, b = accs[i], accs[j]
-                    if not a.is_write and not b.is_write:
-                        if not self.config.input_deps:
-                            continue
-                    if i == j:
-                        # A single access only matters against itself when
-                        # it can recur across iterations (write in a loop).
-                        if not a.nest or not a.is_write:
-                            continue
-                    if prune and _prunable_pair(a, b):
-                        results.append(self.tester.count_pruned(a, b))
-                        continue
-                    results.append(self._test_and_add(array, a, b))
+        pair_t0 = perf_counter()
+        if HOT_PATH.batch_pairs:
+            results = self._build_batched(by_array, prune)
+        else:
+            results = []
+            for array, a, b in self._array_pairs(by_array):
+                if prune and _prunable_pair(a, b):
+                    results.append(self.tester.count_pruned(a, b))
+                    continue
+                results.append(self._test_and_add(array, a, b))
+        self.pair_seconds = perf_counter() - pair_t0
         self._scalar_dependences()
         self._procedure_scalar_deps()
         if self.config.control_deps:
@@ -465,6 +484,305 @@ class _GraphBuilder:
                     src_line=sa.line,
                     dst_line=sc.line,
                 )
+        return results
+
+    def _array_pairs(
+        self, by_array: Dict[str, List[ArrayAccess]]
+    ) -> Iterator[Tuple[str, ArrayAccess, ArrayAccess]]:
+        """Surviving (array, src, snk) pairs in canonical driver order."""
+
+        for array, accs in sorted(by_array.items()):
+            for i in range(len(accs)):
+                for j in range(i, len(accs)):
+                    a, b = accs[i], accs[j]
+                    if not a.is_write and not b.is_write:
+                        if not self.config.input_deps:
+                            continue
+                    if i == j:
+                        # A single access only matters against itself when
+                        # it can recur across iterations (write in a loop).
+                        if not a.nest or not a.is_write:
+                            continue
+                    yield array, a, b
+
+    def _build_batched(
+        self, by_array: Dict[str, List[ArrayAccess]], prune: bool
+    ) -> List[PairResult]:
+        """Batched pair testing: derive per-nest/per-statement context
+        once, resolve every surviving pair against the batch memo plan
+        in the same pass, run the test hierarchy tier-by-tier over the
+        misses (:func:`repro.dependence.batch.run_uncached`), then emit
+        results and graph edges in the scalar pair order — edge ids,
+        fingerprints, tier counters and memo accounting are identical
+        to the pair-at-a-time path."""
+
+        from .batch import BatchPair, run_uncached
+
+        tester = self.tester
+        count_pruned = tester.count_pruned
+        memoize = tester.memoize
+        shared = tester.shared
+        if memoize:
+            version = tester.oracle.version()
+            if version != tester._memo_oracle_version:
+                # Assertions changed under us (see test_pair): recompute
+                # the shared-key context so lookups land in the new
+                # fact-space.
+                tester.memo.clear()
+                tester._memo_oracle_version = version
+                tester._shared_ctx = tester._compute_shared_ctx()
+        # Pruned pairs resolve during collection (no edges, additive
+        # counters); tested pairs leave a ``None`` hole that the batch
+        # results fill afterwards, so ``results`` keeps scalar pair order.
+        results: List[Optional[PairResult]] = []
+        holes: List[int] = []
+        # One row per tested pair: (a, b, slot, array, common, nest_sids)
+        # where ``slot`` is the pair's plan outcome — a shared-memo value
+        # tuple, or the :class:`BatchPair` computing its canonical key.
+        rows: List[tuple] = []
+        # Batch memo plan: interned key id-tuple → slot.  First
+        # occurrence of a key probes the shared memo and (on a miss)
+        # becomes a BatchPair; every later occurrence is a local memo
+        # hit, exactly as the scalar sequential order would produce.
+        plan_map: Dict[tuple, object] = {}
+        uniques: List[BatchPair] = []
+        memo_hits = 0
+        # Nest context per (src-nest, snk-nest) identity: the common
+        # prefix, its bounds (and their key tuple) and the nest vars are
+        # all functions of the two nest tuples, derived once per batch.
+        # Keyed by id() — the tuples are held alive by the cache value.
+        ctx_cache: Dict[Tuple[int, int], tuple] = {}
+        bounds_cache: Dict[Tuple[int, ...], tuple] = {}
+        env_cache: Dict[int, Dict] = {}
+        slice_cache: Dict[tuple, tuple] = {}
+        # Value-interning of key components.  Every canonical-key part
+        # (signature shape, bounds key, env slice) is mapped to one
+        # representative object per batch, so the plan keys — tuples of
+        # the representatives' ids — are equal exactly when the deep
+        # canonical keys are, and the memo plan hashes four ints per
+        # pair instead of the full nested key.  The driver's caches keep
+        # every representative alive for the batch.
+        shape_intern: Dict[tuple, tuple] = {}
+        acc_cache: Dict[int, tuple] = {}
+        bk_intern: Dict[tuple, tuple] = {}
+        slice_intern: Dict[tuple, tuple] = {}
+        # Inlined :meth:`_array_pairs` enumeration (same canonical order)
+        # so per-source context — sid, env, signature, nest identity — is
+        # derived once per source access rather than once per pair.
+        input_deps = self.config.input_deps
+        constants = self.constants
+        for array, accs in sorted(by_array.items()):
+            n_acc = len(accs)
+            for i in range(n_acc):
+                a = accs[i]
+                a_write = a.is_write
+                a_self_ok = a_write and a.nest
+                a_ready = False
+                if prune:
+                    # Per-source pruner state, open-coding
+                    # :func:`_prunable_pair` with a's half hoisted.
+                    a_sid = a.sid
+                    a_no_nest = not a.nest
+                    ca = a._const_dims
+                    if ca is None:
+                        ca = a.const_dims()
+                # Everything the batch needs for a pair (a, b) is a pure
+                # function of a's context plus (b's signature, b's nest)
+                # — so with ``a`` fixed, one dict probe replaces the full
+                # derivation for every later ``b`` that repeats the
+                # combination (stencil statements do, constantly).
+                pair_cache: Dict[Tuple[int, int], tuple] = {}
+                for j in range(i, n_acc):
+                    b = accs[j]
+                    if not a_write and not b.is_write and not input_deps:
+                        continue
+                    if j == i and not a_self_ok:
+                        continue
+                    if prune:
+                        if a_no_nest and b.sid == a_sid:
+                            results.append(count_pruned(a, b))
+                            continue
+                        if ca:
+                            cb = b._const_dims
+                            if cb is None:
+                                cb = b.const_dims()
+                            if cb and _const_disjoint(ca, cb):
+                                results.append(count_pruned(a, b))
+                                continue
+                    if not a_ready:
+                        a_ready = True
+                        a_nid = id(a.nest)
+                        sid = a.sid
+                        env = env_cache.get(sid)
+                        if env is None:
+                            env = constants.linear_env(sid)
+                            env_cache[sid] = env
+                        a_info = acc_cache.get(id(a))
+                        if a_info is None:
+                            shape, names = a._sig or a.signature()
+                            rep = shape_intern.get(shape)
+                            if rep is None:
+                                shape_intern[shape] = rep = shape
+                            a_info = (rep, names)
+                            acc_cache[id(a)] = a_info
+                        src_shape, src_names = a_info
+                    b_sig = b._sig
+                    if b_sig is None:
+                        b_sig = b.signature()
+                    pc_key = (id(b_sig), id(b.nest))
+                    rec = pair_cache.get(pc_key)
+                    if rec is None:
+                        ctx = ctx_cache.get((a_nid, id(b.nest)))
+                        if ctx is None:
+                            common = a.common_nest(b)
+                            nest_sids = tuple(loop.sid for loop in common)
+                            cached = bounds_cache.get(nest_sids)
+                            if cached is None:
+                                bounds = self.bounds_for(common)
+                                bk = tuple(
+                                    (x.var, x.lo, x.hi) for x in bounds
+                                )
+                                rep = bk_intern.get(bk)
+                                if rep is None:
+                                    bk_intern[bk] = rep = bk
+                                cached = (
+                                    bounds,
+                                    [x.var for x in bounds],
+                                    rep,
+                                )
+                                bounds_cache[nest_sids] = cached
+                            ctx = (a.nest, b.nest, common, nest_sids) + cached
+                            ctx_cache[(a_nid, id(b.nest))] = ctx
+                        _, _, common, nest_sids, bounds, nest_vars, bounds_key = ctx
+                        b_info = acc_cache.get(id(b))
+                        if b_info is None:
+                            shape, names = b_sig
+                            rep = shape_intern.get(shape)
+                            if rep is None:
+                                shape_intern[shape] = rep = shape
+                            b_info = (rep, names)
+                            acc_cache[id(b)] = b_info
+                        snk_shape, snk_names = b_info
+                        if env:
+                            slice_key = (sid, src_names, snk_names)
+                            env_slice = slice_cache.get(slice_key)
+                            if env_slice is None:
+                                names = src_names | snk_names
+                                env_slice = tuple(
+                                    sorted(
+                                        (n, env[n]) for n in names if n in env
+                                    )
+                                )
+                                rep = slice_intern.get(env_slice)
+                                if rep is None:
+                                    slice_intern[env_slice] = rep = env_slice
+                                slice_cache[slice_key] = env_slice = rep
+                        else:
+                            env_slice = ()
+                        key = (src_shape, snk_shape, bounds_key, env_slice)
+                        ikey = (
+                            id(src_shape),
+                            id(snk_shape),
+                            id(bounds_key),
+                            id(env_slice),
+                        )
+                        rec = (key, ikey, common, nest_sids, bounds, nest_vars)
+                        pair_cache[pc_key] = rec
+                    slot = plan_map.get(rec[1])
+                    if slot is None:
+                        if memoize:
+                            shared_key = tester._shared_key(rec[0], a, b)
+                            if shared_key is not None:
+                                slot = shared.lookup(shared_key)
+                            if slot is not None:
+                                tester.shared_hits += 1
+                            else:
+                                if shared_key is not None:
+                                    tester.shared_misses += 1
+                                tester.memo_misses += 1
+                                slot = BatchPair(
+                                    a, b, rec[4], rec[5], env, shared_key
+                                )
+                                uniques.append(slot)
+                        else:
+                            slot = BatchPair(a, b, rec[4], rec[5], env, None)
+                            uniques.append(slot)
+                        plan_map[rec[1]] = slot
+                    elif memoize:
+                        memo_hits += 1
+                    holes.append(len(results))
+                    results.append(None)
+                    rows.append((a, b, slot, array, rec[2], rec[3]))
+        if memoize:
+            tester.memo_hits += memo_hits
+        run_uncached(tester, uniques)
+        if memoize:
+            # Stores stay in discovery order.  Within one batch a store
+            # can never feed a later lookup — distinct plan keys imply
+            # distinct shared keys — so storing after the sweeps is
+            # order-equivalent to the scalar interleaving.
+            for u in uniques:
+                if u.shared_key is not None:
+                    shared.store(u.shared_key, u.value)
+        # Emission: first occurrence of each unique hands out the result
+        # the sweeps built (its counters are already bumped); every other
+        # pair replays its recorded value — multiplicity-applied counter
+        # bumps afterwards, one reconstructed vectors list per distinct
+        # value, matching DependenceTester._replay pair-at-a-time.
+        add_edge = self._add_vector_edge
+        rcache: Dict[int, list] = {}
+        for row, pos in zip(rows, holes):
+            a, b, slot, array, common, nest_sids = row
+            if type(slot) is BatchPair:
+                if not slot.emitted:
+                    slot.emitted = True
+                    result = slot.result
+                    results[pos] = result
+                    for vr in result.vectors:
+                        add_edge(
+                            array, a, b, vr.vector, vr.proven, vr.test,
+                            common, nest_sids,
+                        )
+                    continue
+                value = slot.value
+            else:
+                value = slot
+            cached = rcache.get(id(value))
+            if cached is None:
+                independent, vec_t, resolved_by, tr_items, classic = value
+                vecs = [VectorResult(v, e, p, t) for (v, e, p, t) in vec_t]
+                cached = [
+                    independent, vecs, resolved_by, dict(tr_items), classic,
+                    tr_items, value, 0,
+                ]
+                rcache[id(value)] = cached
+            cached[7] += 1
+            results[pos] = PairResult(
+                a, b, cached[0], cached[1], cached[2], cached[3], cached[4]
+            )
+            for vr in cached[1]:
+                add_edge(
+                    array, a, b, vr.vector, vr.proven, vr.test,
+                    common, nest_sids,
+                )
+        if rcache:
+            tier_counts = tester.tier_counts
+            pair_resolution = tester.pair_resolution
+            resolution_classic = tester.pair_resolution_classic
+            for cached in rcache.values():
+                mult = cached[7]
+                for tier, cnt in cached[5]:
+                    tier_counts[tier] = (
+                        tier_counts.get(tier, 0) + cnt * mult
+                    )
+                tier = cached[2]
+                pair_resolution[tier] = (
+                    pair_resolution.get(tier, 0) + mult
+                )
+                if cached[4]:
+                    resolution_classic[tier] = (
+                        resolution_classic.get(tier, 0) + mult
+                    )
         return results
 
     def _test_and_add(
@@ -509,7 +827,7 @@ class _GraphBuilder:
                 src, snk = a, b
                 vec = vector
         kind = _dep_kind(src.is_write, snk.is_write)
-        reason = self._idiom_reason(array, common)
+        reason = ""  # arrays are never reduction/induction idioms here
         self.graph.add(
             kind,
             array,
@@ -524,9 +842,6 @@ class _GraphBuilder:
             reason=reason,
             nest_sids=nest_sids,
         )
-
-    def _idiom_reason(self, var: str, common: Tuple[DoLoop, ...]) -> str:
-        return ""  # arrays are never reduction/induction idioms here
 
     # -- scalar dependences ---------------------------------------------------
 
@@ -782,11 +1097,34 @@ def _prunable_pair(a: ArrayAccess, b: ArrayAccess) -> bool:
 
     if a.sid == b.sid and not a.nest:
         return True
-    for ra, rb in zip(a.const_dims(), b.const_dims()):
-        if ra is not None and rb is not None and (
-            ra[0] > rb[1] or rb[0] > ra[1]
-        ):
-            return True
+    ca = a._const_dims
+    if ca is None:
+        ca = a.const_dims()
+    if not ca:
+        return False
+    cb = b._const_dims
+    if cb is None:
+        cb = b.const_dims()
+    return bool(cb) and _const_disjoint(ca, cb)
+
+
+def _const_disjoint(
+    ca: Tuple[Tuple[int, int, int], ...], cb: Tuple[Tuple[int, int, int], ...]
+) -> bool:
+    """Disjoint constant ranges at any shared subscript position.
+
+    Both sides are sparse ``(dim, lo, hi)`` tuples, ascending by dim; a
+    dimension only prunes when constant on both sides.
+    """
+
+    for pos, alo, ahi in ca:
+        for pos2, blo, bhi in cb:
+            if pos2 == pos:
+                if alo > bhi or blo > ahi:
+                    return True
+                break
+            if pos2 > pos:
+                break
     return False
 
 

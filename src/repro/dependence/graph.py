@@ -169,16 +169,37 @@ class DependenceGraph:
             nest_sids,
         )
         self.edges.append(dep)
-        self.by_src.setdefault(src_sid, []).append(dep)
-        self.by_dst.setdefault(dst_sid, []).append(dep)
-        self.by_var.setdefault(var, []).append(dep)
+        # Index maintenance, open-coded: ``setdefault(k, [])`` allocates
+        # a throwaway list per call, and this is the hottest write path
+        # in the driver's pair stage.
+        bucket = self.by_src.get(src_sid)
+        if bucket is None:
+            self.by_src[src_sid] = bucket = []
+        bucket.append(dep)
+        bucket = self.by_dst.get(dst_sid)
+        if bucket is None:
+            self.by_dst[dst_sid] = bucket = []
+        bucket.append(dep)
+        bucket = self.by_var.get(var)
+        if bucket is None:
+            self.by_var[var] = bucket = []
+        bucket.append(dep)
         self._by_id[dep.id] = dep
         if kind != CONTROL:
-            carrier = dep.carrier_sid()
-            key = _NO_CARRIER if carrier is None else carrier
-            self.by_carrier.setdefault(key, []).append(dep)
+            # Inline carrier_sid(): the extra method call shows up here.
+            if 0 < level <= len(nest_sids):
+                key = nest_sids[level - 1]
+            else:
+                key = _NO_CARRIER
+            bucket = self.by_carrier.get(key)
+            if bucket is None:
+                self.by_carrier[key] = bucket = []
+            bucket.append(dep)
         for sid in nest_sids:
-            self.by_nest.setdefault(sid, []).append(dep)
+            bucket = self.by_nest.get(sid)
+            if bucket is None:
+                self.by_nest[sid] = bucket = []
+            bucket.append(dep)
         return dep
 
     def find(self, dep_id: int) -> Dependence:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.symbolic import Env, Linear
@@ -189,16 +190,8 @@ def _classic_pair(src: ArrayAccess, snk: ArrayAccess) -> bool:
     non-classic.  Used by the pruner, which never runs the classifier.
     """
 
-    def points(acc: ArrayAccess) -> Optional[int]:
-        if acc.subs is not None:
-            return len(acc.subs)
-        dims = acc.section or []
-        if all(not d.full and d.is_point for d in dims):
-            return len(dims)
-        return None
-
-    a, b = points(src), points(snk)
-    return a is not None and a == b
+    a = src.point_rank()
+    return a >= 0 and a == snk.point_rank()
 
 
 class DependenceTester:
@@ -217,12 +210,19 @@ class DependenceTester:
         max_nest: int = 6,
         memoize: bool = True,
         shared: Optional[SharedPairMemo] = None,
+        profile: bool = False,
     ) -> None:
         self.table = table
         self.oracle = oracle or Oracle()
         self.env = env
         self.max_nest = max_nest
         self.tier_counts: Dict[str, int] = {t: 0 for t in _TIER_ORDER}
+        #: tier → cumulative wall seconds spent in that tier's test
+        #: functions; ``None`` unless constructed with ``profile=True``
+        #: (the timing calls are skipped entirely when off).
+        self.tier_seconds: Optional[Dict[str, float]] = (
+            {} if profile else None
+        )
         self.pair_resolution: Dict[str, int] = {}
         #: Same, restricted to classic element-reference pairs (no
         #: call-site section dimensions) — the population the
@@ -308,10 +308,12 @@ class DependenceTester:
         src: ArrayAccess,
         snk: ArrayAccess,
         bounds: Sequence[LoopBound],
+        env: Optional[Env] = None,
     ) -> tuple:
         src_shape, src_names = src.signature()
         snk_shape, snk_names = snk.signature()
-        env = self.env
+        if env is None:
+            env = self.env
         if env:
             names = src_names | snk_names
             env_slice = tuple(
@@ -433,10 +435,16 @@ class DependenceTester:
         classic = not any(sp.kind in (RANGE, FULL) for sp in pairs)
 
         # Tier 1: ZIV positions settle the pair for every direction at once.
+        ts = self.tier_seconds
         for sp in pairs:
             if sp.kind == ZIV:
                 bump("ziv")
-                out = ziv_test(sp.src.rem - sp.snk.rem, self.oracle)
+                if ts is None:
+                    out = ziv_test(sp.src.rem - sp.snk.rem, self.oracle)
+                else:
+                    t0 = perf_counter()
+                    out = ziv_test(sp.src.rem - sp.snk.rem, self.oracle)
+                    ts["ziv"] = ts.get("ziv", 0.0) + (perf_counter() - t0)
                 if out.result == INDEP:
                     return self._finish(
                         src, snk, True, [], "ziv", tests_run, classic
@@ -486,13 +494,20 @@ class DependenceTester:
         bounds: Sequence[LoopBound],
         direction: Tuple[str, ...],
         bump,
+        bound_by_var: Optional[Dict[str, LoopBound]] = None,
     ) -> Tuple[bool, bool, str, str]:
         """Decide one direction vector.
+
+        ``bound_by_var`` may be supplied by callers that test many
+        directions over the same bounds (the batch executor); it must
+        equal ``{b.var: b for b in bounds}``.
 
         Returns ``(dep_exists_or_assumed, proven, highest_tier, test_name)``.
         """
 
-        bound_by_var = {b.var: b for b in bounds}
+        if bound_by_var is None:
+            bound_by_var = {b.var: b for b in bounds}
+        ts = self.tier_seconds
         all_exact = True
         tier_used = "ziv"
         deciding_test = ""
@@ -503,7 +518,14 @@ class DependenceTester:
                 all_exact = False
                 continue  # no information
             if sp.kind in (RANGE, FULL):
-                out = self._range_overlap(sp, bounds, direction)
+                if ts is None:
+                    out = self._range_overlap(sp, bounds, direction)
+                else:
+                    t0 = perf_counter()
+                    out = self._range_overlap(sp, bounds, direction)
+                    ts["banerjee"] = (
+                        ts.get("banerjee", 0.0) + (perf_counter() - t0)
+                    )
                 bump("banerjee")
                 tier_used = "banerjee"
                 if out.result == INDEP:
@@ -511,7 +533,16 @@ class DependenceTester:
                 all_exact = False
                 continue
             if sp.kind == SIV:
-                out = self._siv_position(sp, bound_by_var, direction, bounds, bump)
+                if ts is None:
+                    out = self._siv_position(
+                        sp, bound_by_var, direction, bounds, bump
+                    )
+                else:
+                    t0 = perf_counter()
+                    out = self._siv_position(
+                        sp, bound_by_var, direction, bounds, bump
+                    )
+                    ts["siv"] = ts.get("siv", 0.0) + (perf_counter() - t0)
                 if tier_used == "ziv":
                     tier_used = "siv"
                 if out.result == INDEP:
@@ -521,7 +552,7 @@ class DependenceTester:
                     # direction before giving up.
                     bump("banerjee")
                     tier_used = "banerjee"
-                    ban = self._banerjee_position(sp, bounds, direction)
+                    ban = self._timed_banerjee_position(sp, bounds, direction)
                     if ban.result == INDEP:
                         return (False, False, tier_used, ban.test)
                     all_exact = False
@@ -533,7 +564,9 @@ class DependenceTester:
                         # the exact test, so the pair still counts as
                         # SIV-resolved in the tier statistics.
                         bump("banerjee")
-                        ban = self._banerjee_position(sp, bounds, direction)
+                        ban = self._timed_banerjee_position(
+                            sp, bounds, direction
+                        )
                         if ban.result == INDEP:
                             return (False, False, tier_used, ban.test)
                     deciding_test = out.test
@@ -544,16 +577,46 @@ class DependenceTester:
                 if tier_used in ("ziv", "siv"):
                     tier_used = "gcd"
                 src_c, snk_c, diff = self._miv_parts(sp)
-                out = gcd_test(src_c, snk_c, diff)
+                if ts is None:
+                    out = gcd_test(src_c, snk_c, diff)
+                else:
+                    t0 = perf_counter()
+                    out = gcd_test(src_c, snk_c, diff)
+                    ts["gcd"] = ts.get("gcd", 0.0) + (perf_counter() - t0)
                 if out.result == INDEP:
                     return (False, False, tier_used, out.test)
                 bump("banerjee")
                 tier_used = "banerjee"
-                ban = banerjee_test(src_c, snk_c, diff, bounds, direction, self.oracle)
+                if ts is None:
+                    ban = banerjee_test(
+                        src_c, snk_c, diff, bounds, direction, self.oracle
+                    )
+                else:
+                    t0 = perf_counter()
+                    ban = banerjee_test(
+                        src_c, snk_c, diff, bounds, direction, self.oracle
+                    )
+                    ts["banerjee"] = (
+                        ts.get("banerjee", 0.0) + (perf_counter() - t0)
+                    )
                 if ban.result == INDEP:
                     return (False, False, tier_used, ban.test)
                 all_exact = False
         return (True, all_exact, tier_used, deciding_test or "assumed")
+
+    def _timed_banerjee_position(
+        self,
+        sp: SubscriptPair,
+        bounds: Sequence[LoopBound],
+        direction: Tuple[str, ...],
+    ) -> TestOutcome:
+        ts = self.tier_seconds
+        if ts is None:
+            return self._banerjee_position(sp, bounds, direction)
+        t0 = perf_counter()
+        out = self._banerjee_position(sp, bounds, direction)
+        ts["banerjee"] = ts.get("banerjee", 0.0) + (perf_counter() - t0)
+        return out
 
     def _siv_position(
         self,

@@ -70,9 +70,11 @@ class ArrayAccess:
     _sig: Optional[Tuple[tuple, frozenset]] = field(
         default=None, repr=False, compare=False
     )
-    _const_dims: Optional[Tuple[Optional[Tuple[int, int]], ...]] = field(
+    _const_dims: Optional[Tuple[Tuple[int, int, int], ...]] = field(
         default=None, repr=False, compare=False
     )
+    #: Lazily computed :meth:`point_rank` (-1 = not all-point).
+    _points: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def is_section(self) -> bool:
@@ -133,24 +135,24 @@ class ArrayAccess:
             self._sig = (shape, frozenset(names))
         return self._sig
 
-    def const_dims(self) -> Tuple[Optional[Tuple[int, int]], ...]:
-        """Per-dimension constant ranges, for cheap disjointness pruning.
+    def const_dims(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Constant-range dimensions, for cheap disjointness pruning.
 
-        Each entry is an inclusive integer ``(lo, hi)`` interval when the
-        dimension is a literal integer subscript (or a section dimension
-        with literal integer bounds), else ``None``.  Computed once.
+        Sparse: one ``(dim_index, lo, hi)`` triple per dimension that is
+        a literal integer subscript (or a section dimension with literal
+        integer bounds), ascending by index — most accesses have none,
+        so the pruner's common case is a single truth test.  Computed
+        once per access.
         """
 
         if self._const_dims is None:
-            out: List[Optional[Tuple[int, int]]] = []
+            out: List[Tuple[int, int, int]] = []
             if self.subs is not None:
-                for e in self.subs:
+                for pos, e in enumerate(self.subs):
                     if isinstance(e, Num) and isinstance(e.value, int):
-                        out.append((e.value, e.value))
-                    else:
-                        out.append(None)
+                        out.append((pos, e.value, e.value))
             else:
-                for d in self.section or []:
+                for pos, d in enumerate(self.section or []):
                     lo = hi = None
                     if not d.full:
                         if isinstance(d.lo, Num) and isinstance(d.lo.value, int):
@@ -158,11 +160,31 @@ class ArrayAccess:
                         if isinstance(d.hi, Num) and isinstance(d.hi.value, int):
                             hi = d.hi.value
                     if lo is not None and hi is not None and lo <= hi:
-                        out.append((lo, hi))
-                    else:
-                        out.append(None)
+                        out.append((pos, lo, hi))
             self._const_dims = tuple(out)
         return self._const_dims
+
+    def point_rank(self) -> int:
+        """Dimension count when every position is a single point.
+
+        Element references and all-point sections have a rank (their
+        dimension count); a full or true-range section dimension yields
+        ``-1``.  Two accesses pair "classically" — without RANGE/FULL
+        positions — iff both ranks are equal and ≥ 0.  Computed once.
+        """
+
+        rank = self._points
+        if rank is None:
+            if self.subs is not None:
+                rank = len(self.subs)
+            else:
+                dims = self.section or []
+                if all(not d.full and d.is_point for d in dims):
+                    rank = len(dims)
+                else:
+                    rank = -1
+            self._points = rank
+        return rank
 
 
 #: Provider turning a call statement into summary accesses.  Returns None

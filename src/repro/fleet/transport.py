@@ -24,6 +24,10 @@ same ``seq`` guarantees, byte-identical results.
   over-limit requests with ``payload-too-large`` and a recovered id; a
   line so large it blows past the slack is answered the same way
   (id ``null``) and discarded as it streams in, without buffering it.
+  After a client negotiates v5 binary frames (inline ``frames`` op),
+  the reader hands the residual buffer to a
+  :class:`~repro.service.protocol.FrameDecoder` and dispatches decoded
+  envelopes instead of lines.
 * *Writer*: one task draining a bounded outbound queue; it stamps
   ``seq`` (single consumer, so queue order *is* seq order *is* wire
   order) and awaits ``drain()`` after every line — TCP backpressure.
@@ -64,6 +68,20 @@ OUTBOUND_QUEUE = 256
 CHUNK = 64 * 1024
 
 
+class _FrameSwitch:
+    """Outbound-queue sentinel carrying the ``frames`` ok reply.
+
+    The write loop emits the reply as its *last* JSON line and encodes
+    everything after as binary frames — one queue item, so no envelope
+    a worker thread enqueues can land between the reply and the switch.
+    """
+
+    __slots__ = ("reply",)
+
+    def __init__(self, reply: Dict) -> None:
+        self.reply = reply
+
+
 class _AsyncConnection:
     """One client on the event loop."""
 
@@ -87,6 +105,10 @@ class _AsyncConnection:
         self._inflight: Set[asyncio.Task] = set()
         self._listener_token = None
         self._writer_task: Optional[asyncio.Task] = None
+        #: Reader-side framing flag (the write loop keeps its own state,
+        #: flipped by the :class:`_FrameSwitch` riding the queue).
+        self._binary = False
+        self._reply_keys: Dict[object, str] = {}
 
     # -- sending -------------------------------------------------------
 
@@ -111,14 +133,32 @@ class _AsyncConnection:
         self._send_threadsafe(protocol.event_envelope(None, kind, data))
 
     async def _write_loop(self) -> None:
+        encoder = None
         try:
             while True:
-                envelope = await self._outq.get()
-                if envelope is None:
+                item = await self._outq.get()
+                if item is None:
                     break
+                if type(item) is _FrameSwitch:
+                    envelope = item.reply
+                    envelope["seq"] = self._seq.next()
+                    line = protocol.encode(envelope)
+                    self.writer.write(line.encode("utf-8") + b"\n")
+                    await self.writer.drain()
+                    encoder = protocol.FrameEncoder()
+                    continue
+                envelope = item
                 envelope["seq"] = self._seq.next()
-                line = protocol.encode(envelope)
-                self.writer.write(line.encode("utf-8") + b"\n")
+                if encoder is not None:
+                    key = None
+                    if protocol.is_reply(envelope):
+                        key = self._reply_keys.pop(
+                            envelope.get("id"), None
+                        )
+                    self.writer.write(encoder.encode(envelope, key))
+                else:
+                    line = protocol.encode(envelope)
+                    self.writer.write(line.encode("utf-8") + b"\n")
                 await self.writer.drain()
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass  # client went away; nothing to tell it
@@ -127,6 +167,10 @@ class _AsyncConnection:
 
     def _run_request(self, req: Dict) -> None:
         rid = req.get("id")
+        if self._binary:
+            key = protocol.reply_delta_key(req)
+            if key is not None:
+                self._reply_keys[rid] = key
         timed_out = threading.Event()
 
         def emit(kind: str, data: Dict) -> None:
@@ -177,20 +221,25 @@ class _AsyncConnection:
 
     # -- one request line ----------------------------------------------
 
-    async def _handle_line(self, line: str) -> bool:
+    async def _handle_line(self, line: str, size: int) -> bool:
         """Process one request line; ``False`` ends the connection."""
 
         if not line.strip():
             return True
         try:
             req = protocol.parse_request(
-                line, max_bytes=self.host.max_request_bytes
+                line, max_bytes=self.host.max_request_bytes, size=size
             )
         except ProtocolError as exc:
             await self._send(
                 protocol.reply_error(exc.request_id, exc.type, str(exc))
             )
             return True
+        return await self._dispatch(req)
+
+    async def _dispatch(self, req: Dict) -> bool:
+        """One parsed request; ``False`` ends the connection."""
+
         if self.host.shutdown_event.is_set():
             await self._send(
                 protocol.reply_error(
@@ -200,6 +249,24 @@ class _AsyncConnection:
                 )
             )
             return False
+        if req.get("op") == protocol.FRAMES_OP:
+            rid = req.get("id")
+            if req.get("mode") != "binary":
+                await self._send(
+                    protocol.reply_error(
+                        rid,
+                        protocol.BAD_REQUEST,
+                        f"unknown framing mode {req.get('mode')!r}",
+                    )
+                )
+            elif self._binary:
+                await self._send(protocol.reply_ok(rid, {"frames": "binary"}))
+            else:
+                self._binary = True
+                await self._send(
+                    _FrameSwitch(protocol.reply_ok(rid, {"frames": "binary"}))
+                )
+            return True
         if req.get("op") == "cancel":
             self.host.request_cancel(req.get("target"))
             await self._send(
@@ -249,7 +316,13 @@ class _AsyncConnection:
                         discarding = False
                         continue
                     line = raw.decode("utf-8", errors="replace")
-                    if not await self._handle_line(line):
+                    if not await self._handle_line(line, len(raw)):
+                        stop = True
+                        break
+                    if self._binary:
+                        # Negotiated: whatever the buffer still holds
+                        # is the head of the frame stream.
+                        await self._run_binary(bytes(buf))
                         stop = True
                         break
                 if stop:
@@ -272,6 +345,39 @@ class _AsyncConnection:
                     break
         finally:
             await self._teardown()
+
+    async def _run_binary(self, head: bytes) -> None:
+        """Frame-mode read loop (after ``frames`` negotiation)."""
+
+        decoder = protocol.FrameDecoder(self.host.max_request_bytes)
+        if head:
+            decoder.feed(head)
+        while True:
+            while True:
+                try:
+                    req = decoder.next()
+                except ProtocolError as exc:
+                    # The decoder already arranged to skip the bad
+                    # frame; answer and keep reading.
+                    await self._send(
+                        protocol.reply_error(
+                            exc.request_id, exc.type, str(exc)
+                        )
+                    )
+                    continue
+                if req is None:
+                    break
+                if not await self._dispatch(req):
+                    return
+            if self.host.shutdown_event.is_set():
+                return
+            try:
+                chunk = await self.reader.read(CHUNK)
+            except (ConnectionError, OSError):
+                return
+            if not chunk:
+                return  # EOF: a partial frame just never completes
+            decoder.feed(chunk)
 
     async def _teardown(self) -> None:
         if self._torn_down:

@@ -1014,12 +1014,14 @@ class AnalysisEngine:
                 misses.append((name, key))
             if misses:
                 memo = self._dep_memo()
+                profile = HOT_PATH.profile_tiers
                 payloads = []
                 for name, _key in misses:
                     callees = sorted(cg.callees.get(name, ()))
                     payloads.append(
                         {
                             "unit": cg.units[name],
+                            "profile": profile,
                             "callee_units": {
                                 c: cg.units[c] for c in callees
                             },
@@ -1045,6 +1047,17 @@ class AnalysisEngine:
                     misses, self._pool.map("dep", payloads)
                 ):
                     self._emit_progress("dependence", unit=name)
+                    # Per-tier wall time (``--profile``): the tester's
+                    # timings surface as stats counters so batch-vs-
+                    # scalar tier costs land in ``stats``/hotpath.json.
+                    tier_s = ua.tester.tier_seconds
+                    if tier_s:
+                        for tier, secs in tier_s.items():
+                            stats.bump(f"tier.{tier}_s", secs)
+                    if ua.pair_seconds:
+                        stats.bump("dep.pair_s", ua.pair_seconds)
+                    if ua.build_seconds:
+                        stats.bump("dep.build_s", ua.build_seconds)
                     export, ua.memo_export = ua.memo_export, None
                     if export is not None:
                         # Merge worker-proved entries (or, with the

@@ -8,6 +8,14 @@ pipe pair (tests).  A reader thread matches replies to requests by id,
 so many requests may be in flight at once; :meth:`request` is the
 blocking convenience wrapper and :meth:`submit` the asynchronous one.
 
+On a byte-level transport (``connect`` and ``spawn`` both provide one)
+:meth:`negotiate_frames` upgrades the connection to the v5 binary frame
+format — length-prefixed envelopes with delta-encoded repeats, so a
+pane refresh or a progress stream costs bytes proportional to what
+*changed*.  The call degrades gracefully: an older server answers
+``unknown-op`` and the connection simply stays on JSON lines.
+``bytes_sent`` / ``bytes_received`` count wire traffic either way.
+
 >>> client = PedClient.connect(port=7077)
 >>> client.request("open", session="w", source=fortran_text)
 >>> client.request("loops", session="w", unit="main")
@@ -66,6 +74,13 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional
 
+from . import protocol
+
+#: Frame size cap on the *client's* receive side.  Server replies (whole
+#: panes, corpus rollups) dwarf requests, so the client accepts far more
+#: than the server's request cap.
+MAX_REPLY_FRAME_BYTES = 256 * 1024 * 1024
+
 
 class PedRequestError(Exception):
     """A structured error reply from the server."""
@@ -120,6 +135,22 @@ class ServerEvent:
 _DONE = object()
 
 
+def _is_binary(f) -> bool:
+    """True when ``f`` reads/writes bytes rather than text."""
+
+    mode = getattr(f, "mode", None)
+    if isinstance(mode, str) and mode:
+        return "b" in mode
+    # Pipes and wrappers without a mode: a zero-length read tells the
+    # truth without consuming anything (writers have no cheap probe;
+    # transports always pair like with like).
+    try:
+        probe = f.read(0)
+    except (AttributeError, OSError, ValueError):
+        return False
+    return isinstance(probe, bytes)
+
+
 class PedClient:
     """One protocol connection; safe to use from multiple threads."""
 
@@ -127,6 +158,20 @@ class PedClient:
         self._rfile = rfile
         self._wfile = wfile
         self._on_close = on_close
+        # Byte-level streams (socket/pipe makefiles in "b" mode) enable
+        # exact wire accounting and binary-frame negotiation; text
+        # streams (tests hand in StringIO pairs) stay JSON-lines only.
+        self._rbinary = _is_binary(rfile)
+        self._wbinary = _is_binary(wfile)
+        #: Wire traffic counters, framing-independent (binary streams
+        #: count exact bytes; text streams count characters, close
+        #: enough for the ASCII-dominated envelopes).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Non-None once binary framing is negotiated (the write side).
+        self._encoder: Optional[protocol.FrameEncoder] = None
+        self._frames_rid: object = None
+        self._switch_to_frames = False
         self._write_lock = threading.Lock()
         self._pending: Dict[object, Future] = {}
         self._ops: Dict[object, str] = {}
@@ -188,8 +233,8 @@ class PedClient:
                 f"attempt(s): {last}",
                 attempts=attempts,
             ) from last
-        rfile = sock.makefile("r", encoding="utf-8")
-        wfile = sock.makefile("w", encoding="utf-8")
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
 
         def _close():
             # ``makefile`` objects hold io-refs on the fd, and the
@@ -217,7 +262,6 @@ class PedClient:
             argv,
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
-            text=True,
             **popen_kwargs,
         )
 
@@ -258,22 +302,76 @@ class PedClient:
 
     def _read_loop(self) -> None:
         try:
-            for line in self._rfile:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    env = json.loads(line)
-                except ValueError:
-                    continue
-                if not isinstance(env, dict):
-                    continue
-                if "event" in env:
-                    self._handle_event(env)
-                    continue
-                self._handle_reply(env)
+            if self._rbinary:
+                self._read_lines_binary()
+            else:
+                for line in self._rfile:
+                    self.bytes_received += len(line)
+                    self._handle_line(line.strip())
+        except (OSError, ValueError):
+            pass  # stream torn down under the reader
         finally:
             self._fail_pending("connection closed")
+
+    def _read_lines_binary(self) -> None:
+        """JSON-lines over a byte stream; hands off to the frame loop
+        once a ``frames`` negotiation reply lands (the reply is the last
+        JSON line of the connection, so no readahead can straddle the
+        switch — ``readline`` stops at the newline and the buffered
+        remainder feeds the frame decoder through the same stream)."""
+
+        rfile = self._rfile
+        while True:
+            line = rfile.readline()
+            if not line:
+                return
+            self.bytes_received += len(line)
+            self._handle_line(
+                line.decode("utf-8", errors="replace").strip()
+            )
+            if self._switch_to_frames:
+                self._read_frames()
+                return
+
+    def _handle_line(self, text: str) -> None:
+        if not text:
+            return
+        try:
+            env = json.loads(text)
+        except ValueError:
+            return
+        if not isinstance(env, dict):
+            return
+        if "event" in env:
+            self._handle_event(env)
+        else:
+            self._handle_reply(env)
+
+    def _read_frames(self) -> None:
+        """Binary-frame read loop (after ``frames`` negotiation)."""
+
+        rfile = self._rfile
+        read1 = getattr(rfile, "read1", rfile.read)
+        decoder = protocol.FrameDecoder(MAX_REPLY_FRAME_BYTES)
+        while True:
+            try:
+                env = decoder.next()
+            except protocol.ProtocolError:
+                # A frame the client cannot decode (a server bug or a
+                # corrupted stream); skip it — the affected request
+                # times out rather than poisoning the connection.
+                continue
+            if env is not None:
+                if "event" in env:
+                    self._handle_event(env)
+                else:
+                    self._handle_reply(env)
+                continue
+            data = read1(65536)
+            if not data:
+                return
+            self.bytes_received += len(data)
+            decoder.feed(data)
 
     def _handle_event(self, env: Dict) -> None:
         ev = ServerEvent(
@@ -301,6 +399,15 @@ class PedClient:
 
     def _handle_reply(self, reply: Dict) -> None:
         rid = reply.get("id")
+        if (
+            rid is not None
+            and rid == self._frames_rid
+            and reply.get("ok")
+            and (reply.get("result") or {}).get("frames") == "binary"
+        ):
+            # Reader side of the negotiation: this reply is the last
+            # JSON line; everything after it arrives framed.
+            self._switch_to_frames = True
         with self._pending_lock:
             future = self._pending.pop(rid, None)
             op = self._ops.pop(rid, None)
@@ -360,11 +467,9 @@ class PedClient:
             self._ops[rid] = op
             if on_event is not None:
                 self._event_sinks[rid] = on_event
-        line = json.dumps(req)
         try:
             with self._write_lock:
-                self._wfile.write(line + "\n")
-                self._wfile.flush()
+                self._write_envelope(req)
         except (BrokenPipeError, ValueError, OSError) as exc:
             with self._pending_lock:
                 self._pending.pop(rid, None)
@@ -373,10 +478,70 @@ class PedClient:
             raise ServerUnavailableError(f"send failed: {exc}")
         return PendingReply(self, rid, future)
 
+    def _write_envelope(self, req: Dict) -> None:
+        """Send one request under the held write lock."""
+
+        if self._encoder is not None:
+            data = self._encoder.encode(req)
+            self._wfile.write(data)
+            self._wfile.flush()
+            self.bytes_sent += len(data)
+            return
+        line = json.dumps(req) + "\n"
+        if self._wbinary:
+            data = line.encode("utf-8")
+            self._wfile.write(data)
+            self.bytes_sent += len(data)
+        else:
+            self._wfile.write(line)
+            self.bytes_sent += len(line)
+        self._wfile.flush()
+
     def request(self, op: str, *, wait: Optional[float] = 30.0, **params):
         """Send one request and wait for its result (or raise)."""
 
         return self.submit(op, **params).result(wait)
+
+    def negotiate_frames(self, wait: Optional[float] = 30.0) -> bool:
+        """Upgrade the connection to v5 binary frames; True on success.
+
+        Returns False — and the connection stays on JSON lines, fully
+        usable — when the transport is text-level, the server predates
+        v5 (``unknown-op``) or refuses (``bad-request``).  The write
+        lock is held across the exchange: the negotiation request must
+        be the last JSON this side sends, so concurrent submitters
+        block for one round trip and then come out framed.
+        """
+
+        if self._encoder is not None:
+            return True
+        if not (self._rbinary and self._wbinary):
+            return False
+        rid = next(self._ids)
+        future: Future = Future()
+        with self._pending_lock:
+            self._pending[rid] = future
+            self._ops[rid] = protocol.FRAMES_OP
+            self._frames_rid = rid
+        req = {"id": rid, "op": protocol.FRAMES_OP, "mode": "binary"}
+        with self._write_lock:
+            try:
+                self._write_envelope(req)
+            except (BrokenPipeError, ValueError, OSError) as exc:
+                with self._pending_lock:
+                    self._pending.pop(rid, None)
+                    self._ops.pop(rid, None)
+                raise ServerUnavailableError(f"send failed: {exc}")
+            try:
+                result = future.result(wait)
+            except PedRequestError:
+                self._frames_rid = None
+                return False
+            if (result or {}).get("frames") == "binary":
+                self._encoder = protocol.FrameEncoder()
+                return True
+            self._frames_rid = None
+            return False
 
     def stream(
         self, op: str, *, wait: Optional[float] = 60.0, **params

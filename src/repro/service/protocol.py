@@ -1,8 +1,11 @@
 """The Ped wire protocol: framing, envelopes, sequence ids.
 
 Transport-agnostic half of the session server.  Everything that crosses
-a connection is one JSON object per line — an *envelope* — in one of
-three shapes:
+a connection is an *envelope* — a JSON object — carried either as one
+JSON line (the default framing every peer speaks) or, after per-
+connection negotiation, inside length-prefixed binary frames with
+delta-encoded repeats (see *Binary frames* below).  An envelope is one
+of three shapes:
 
 * **Request** (client → server)::
 
@@ -55,13 +58,50 @@ JSON scalars — over the wire; :func:`encode_memo_entries` /
 :func:`decode_memo_entries` are the canonical tuple↔list codecs, so a
 pulled entry pushed to a sibling shard round-trips to the exact key the
 memo indexes on.
+
+**Binary frames (v5).**  A connection starts in JSON-lines.  A client
+may send ``{"op": "frames", "mode": "binary"}``; a v5 transport answers
+it *inline* (a JSON-line ``ok`` reply carrying ``{"frames": "binary"}``)
+and both directions switch to binary framing immediately after — the
+request's bytes are the last JSON the server reads, the reply's the last
+JSON the client reads.  An older server routes the unknown op to its
+handler table and answers ``unknown-op``; the client stays on JSON-lines
+(:class:`~repro.service.client.PedClient` does this fallback
+automatically), so JSON-only peers interoperate unchanged.
+
+One frame is a 4-byte big-endian payload length followed by the
+payload; the payload's first byte is the frame *kind*:
+
+* ``0`` **raw** — the envelope's JSON bytes follow; no delta state.
+* ``1`` **baseline** — ``u16`` key length, the UTF-8 *delta key*, then
+  the envelope's JSON bytes.  Installs the body as the key's baseline.
+* ``2`` **delta** — key as above, then the ``crc32`` (u32) of the new
+  body, then copy/insert ops replaying it from the key's baseline:
+  ``0x01 off:u32 len:u32`` copies from the baseline, ``0x02 len:u32
+  bytes`` inserts literals.  The reconstructed body (checksum-verified)
+  becomes the key's new baseline.
+
+Delta keys name an evolving stream: pane updates and progress events
+key on ``(event kind, request id)``, requests on ``(op, session)``, and
+replies on the originating request's ``(op, session)`` — successive
+editor pane refreshes differ by a few lines of JSON, so frames carry
+the edit, not the pane.  The key travels in the frame, so either side
+may choose keys freely; :class:`FrameEncoder` falls back to a baseline
+frame whenever the delta would not pay for itself, and to raw frames
+for unkeyed envelopes.  :class:`FrameDecoder` raises
+:class:`ProtocolError` on oversized, malformed, unknown-key or
+checksum-failing frames; a frame truncated by disconnect simply never
+completes.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 import threading
-from typing import Dict, Optional
+import zlib
+from difflib import SequenceMatcher
+from typing import Dict, List, Optional
 
 #: Protocol/feature revision, echoed by ``ping``.  v2: streaming events,
 #: ``seq`` stamps, ``metrics``/``fingerprint`` ops, structured framing
@@ -71,9 +111,11 @@ from typing import Dict, Optional
 #: per-program ``analysis.progress`` events.  v4: fleet serving —
 #: ``corpus.results``, memo gossip ops (``memo.pull``, ``memo.push``),
 #: ``server.connections.*``/``server.uptime_s`` gauges in ``metrics``
-#: and the ``shard-lost`` error type.  The envelope grammar itself is
-#: unchanged since v2, so v3 clients interoperate with v4 servers.
-PROTOCOL_VERSION = 4
+#: and the ``shard-lost`` error type.  v5: the ``frames`` negotiation op
+#: and the length-prefixed binary framing with delta-encoded repeats.
+#: The envelope grammar itself is unchanged since v2, so v3 clients
+#: interoperate with v5 servers (binary framing is strictly opt-in).
+PROTOCOL_VERSION = 5
 
 #: Default cap on one request line; oversized requests get a structured
 #: ``payload-too-large`` error instead of an ad-hoc disconnect.
@@ -121,14 +163,32 @@ class Sequencer:
             return self._n
 
 
-def parse_request(line: str, max_bytes: int = MAX_REQUEST_BYTES) -> Dict:
+def parse_request(
+    line: str,
+    max_bytes: int = MAX_REQUEST_BYTES,
+    size: Optional[int] = None,
+) -> Dict:
     """One raw line → a request dict, or :class:`ProtocolError`.
+
+    ``size`` is the line's wire byte length when the transport already
+    knows it (every byte-oriented transport does — it decoded the line
+    from those bytes).  Without it the cap is enforced from the
+    character count: a line of ``n`` characters occupies at most ``4n``
+    UTF-8 bytes, so only lines within a factor 4 of the cap pay for a
+    measuring re-encode — the old unconditional per-request copy was
+    the service hot path's single biggest allocation.
 
     Oversized lines are rejected *after* a best-effort id recovery so
     the structured error still correlates with the client's request.
     """
 
-    if len(line.encode("utf-8", errors="replace")) > max_bytes:
+    if size is None:
+        n = len(line)
+        if n * 4 <= max_bytes:
+            size = n
+        else:
+            size = len(line.encode("utf-8", errors="replace"))
+    if size > max_bytes:
         raise ProtocolError(
             PAYLOAD_TOO_LARGE,
             f"request over the {max_bytes}-byte limit",
@@ -190,6 +250,284 @@ def is_event(envelope: Dict) -> bool:
 
 def is_reply(envelope: Dict) -> bool:
     return "ok" in envelope and "event" not in envelope
+
+
+# ----------------------------------------------------------------------
+# binary frames: length-prefixed envelopes with delta-encoded repeats
+# ----------------------------------------------------------------------
+
+#: The negotiation op a transport answers inline (never routed to the
+#: session host) to switch a connection's framing.
+FRAMES_OP = "frames"
+
+FRAME_RAW = 0
+FRAME_BASELINE = 1
+FRAME_DELTA = 2
+
+_OP_COPY = 1
+_OP_INSERT = 2
+
+#: Bodies past this size skip the SequenceMatcher middle-diff (the
+#: prefix/suffix trim still applies) — delta encoding stays O(pane),
+#: never O(corpus payload).
+_DELTA_DIFF_CAP = 256 * 1024
+
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+
+
+def delta_key(envelope: Dict) -> Optional[str]:
+    """The default delta-stream key of one envelope, or None for raw.
+
+    Events key on (kind, owning request id): every ``analysis.progress``
+    of one streamed request deltas against its predecessor.  Requests
+    key on (op, session): an editor resubmitting a whole source after
+    each keystroke sends the keystroke.  Replies carry nothing stable —
+    transports that know the originating request pass an explicit key to
+    :meth:`FrameEncoder.encode` instead (pane refreshes of one session
+    delta beautifully).
+    """
+
+    if "event" in envelope:
+        kind = envelope.get("event")
+        if kind:
+            return "e\x00%s\x00%r" % (kind, envelope.get("id"))
+        return None
+    op = envelope.get("op")
+    if op and envelope.get("session") is not None:
+        return "q\x00%s\x00%r" % (op, envelope.get("session"))
+    return None
+
+
+def reply_delta_key(req: Dict) -> Optional[str]:
+    """The delta key a transport should use for ``req``'s reply."""
+
+    op = req.get("op")
+    if op and req.get("session") is not None:
+        return "p\x00%s\x00%r" % (op, req.get("session"))
+    return None
+
+
+def _delta_ops(old: bytes, new: bytes) -> Optional[bytes]:
+    """Copy/insert ops rebuilding ``new`` from ``old``, or None when a
+    baseline frame would be no larger than the delta."""
+
+    # Prefix/suffix trim: JSON envelopes of one stream differ in a
+    # narrow middle (a few pane rows, one progress counter).
+    lo = 0
+    n_old, n_new = len(old), len(new)
+    cap = min(n_old, n_new)
+    while lo < cap and old[lo] == new[lo]:
+        lo += 1
+    hi = 0
+    while hi < cap - lo and old[n_old - 1 - hi] == new[n_new - 1 - hi]:
+        hi += 1
+    mid_old = old[lo : n_old - hi]
+    mid_new = new[lo : n_new - hi]
+    ops: List[bytes] = []
+    if lo:
+        ops.append(struct.pack(">BII", _OP_COPY, 0, lo))
+    if mid_new:
+        if mid_old and len(mid_old) + len(mid_new) <= _DELTA_DIFF_CAP:
+            sm = SequenceMatcher(None, mid_old, mid_new, autojunk=False)
+            for tag, i1, i2, j1, j2 in sm.get_opcodes():
+                if tag == "equal":
+                    ops.append(
+                        struct.pack(">BII", _OP_COPY, lo + i1, i2 - i1)
+                    )
+                elif j2 > j1:
+                    ops.append(
+                        struct.pack(">BI", _OP_INSERT, j2 - j1)
+                        + mid_new[j1:j2]
+                    )
+        else:
+            ops.append(
+                struct.pack(">BI", _OP_INSERT, len(mid_new)) + mid_new
+            )
+    if hi:
+        ops.append(struct.pack(">BII", _OP_COPY, n_old - hi, hi))
+    blob = b"".join(ops)
+    # 4 bytes of crc ride every delta frame; beyond that the framing
+    # overhead is identical, so this is the exact break-even test.
+    if len(blob) + 4 >= n_new:
+        return None
+    return blob
+
+
+def _apply_delta(baseline: bytes, blob: bytes) -> bytes:
+    parts: List[bytes] = []
+    pos = 0
+    end = len(blob)
+    n_base = len(baseline)
+    while pos < end:
+        op = blob[pos]
+        if op == _OP_COPY:
+            if pos + 9 > end:
+                raise ProtocolError(BAD_REQUEST, "truncated delta copy op")
+            off, length = struct.unpack_from(">II", blob, pos + 1)
+            if off + length > n_base:
+                raise ProtocolError(
+                    BAD_REQUEST, "delta copy outside baseline"
+                )
+            parts.append(baseline[off : off + length])
+            pos += 9
+        elif op == _OP_INSERT:
+            if pos + 5 > end:
+                raise ProtocolError(
+                    BAD_REQUEST, "truncated delta insert op"
+                )
+            (length,) = struct.unpack_from(">I", blob, pos + 1)
+            pos += 5
+            if pos + length > end:
+                raise ProtocolError(
+                    BAD_REQUEST, "truncated delta insert bytes"
+                )
+            parts.append(blob[pos : pos + length])
+            pos += length
+        else:
+            raise ProtocolError(BAD_REQUEST, f"unknown delta op {op}")
+    return b"".join(parts)
+
+
+class FrameEncoder:
+    """Envelope → one binary frame, tracking per-key delta baselines.
+
+    Single direction of one connection; serialize calls externally (the
+    transports already write under a lock / from one writer task).
+    """
+
+    def __init__(self) -> None:
+        self._baselines: Dict[str, bytes] = {}
+
+    def encode(self, envelope: Dict, key: Optional[str] = None) -> bytes:
+        body = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        if key is None:
+            key = delta_key(envelope)
+        if key is None:
+            payload = b"\x00" + body
+            return _U32.pack(len(payload)) + payload
+        kb = key.encode("utf-8")
+        old = self._baselines.get(key)
+        self._baselines[key] = body
+        if old is not None:
+            blob = _delta_ops(old, body)
+            if blob is not None:
+                payload = (
+                    b"\x02"
+                    + _U16.pack(len(kb))
+                    + kb
+                    + _U32.pack(zlib.crc32(body))
+                    + blob
+                )
+                return _U32.pack(len(payload)) + payload
+        payload = b"\x01" + _U16.pack(len(kb)) + kb + body
+        return _U32.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed bytes, pull envelopes.
+
+    ``feed`` only buffers; :meth:`next` yields one envelope, ``None``
+    when the buffer holds no complete frame, or raises
+    :class:`ProtocolError` — after which the decoder has already
+    advanced past (or arranged to skip) the offending frame, so the
+    transport can answer the error and keep reading.  A frame an
+    in-flight disconnect truncates simply never completes.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_REQUEST_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buf = bytearray()
+        self._baselines: Dict[str, bytes] = {}
+        self._skip = 0
+
+    def feed(self, data: bytes) -> None:
+        if self._skip:
+            if len(data) <= self._skip:
+                self._skip -= len(data)
+                return
+            data = data[self._skip :]
+            self._skip = 0
+        self._buf += data
+
+    def pending(self) -> int:
+        """Buffered bytes not yet consumed (0 ⇔ clean frame boundary)."""
+
+        return len(self._buf)
+
+    def next(self) -> Optional[Dict]:
+        buf = self._buf
+        if len(buf) < 4:
+            return None
+        (length,) = _U32.unpack_from(buf)
+        # Payload = kind byte + frame body; the cap bounds the body so a
+        # maximal JSON-lines request still fits its binary frame.
+        if length > self.max_frame_bytes + 1:
+            have = len(buf) - 4
+            if have >= length:
+                # The whole bad frame is already buffered: drop exactly
+                # it, keeping whatever follows.
+                del buf[: 4 + length]
+                self._skip = 0
+            else:
+                del self._buf[:]
+                self._skip = length - have
+            raise ProtocolError(
+                PAYLOAD_TOO_LARGE,
+                f"frame over the {self.max_frame_bytes}-byte limit",
+            )
+        if len(buf) < 4 + length:
+            return None
+        payload = bytes(buf[4 : 4 + length])
+        del buf[: 4 + length]
+        return self._decode(payload)
+
+    def _decode(self, payload: bytes) -> Dict:
+        if not payload:
+            raise ProtocolError(BAD_REQUEST, "empty frame")
+        kind = payload[0]
+        if kind == FRAME_RAW:
+            return self._json(payload[1:])
+        if kind not in (FRAME_BASELINE, FRAME_DELTA):
+            raise ProtocolError(BAD_REQUEST, f"unknown frame kind {kind}")
+        if len(payload) < 3:
+            raise ProtocolError(BAD_REQUEST, "truncated frame key")
+        (klen,) = _U16.unpack_from(payload, 1)
+        body_at = 3 + klen
+        if len(payload) < body_at:
+            raise ProtocolError(BAD_REQUEST, "truncated frame key")
+        key = payload[3:body_at].decode("utf-8", errors="replace")
+        if kind == FRAME_BASELINE:
+            body = payload[body_at:]
+            self._baselines[key] = body
+            return self._json(body)
+        if len(payload) < body_at + 4:
+            raise ProtocolError(BAD_REQUEST, "truncated delta checksum")
+        baseline = self._baselines.get(key)
+        if baseline is None:
+            raise ProtocolError(
+                BAD_REQUEST, f"delta against unknown key {key!r}"
+            )
+        (crc,) = _U32.unpack_from(payload, body_at)
+        body = _apply_delta(baseline, payload[body_at + 4 :])
+        if zlib.crc32(body) != crc:
+            raise ProtocolError(
+                BAD_REQUEST, f"delta checksum mismatch for key {key!r}"
+            )
+        self._baselines[key] = body
+        return self._json(body)
+
+    @staticmethod
+    def _json(body: bytes) -> Dict:
+        try:
+            env = json.loads(body.decode("utf-8", errors="replace"))
+        except ValueError as exc:
+            raise ProtocolError(BAD_REQUEST, f"bad JSON in frame: {exc}")
+        if not isinstance(env, dict):
+            raise ProtocolError(
+                BAD_REQUEST, "frame body must be a JSON object"
+            )
+        return env
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,12 @@ request size limit — are answered through the same structured error
 envelope as handler errors (``bad-request`` / ``payload-too-large``),
 never by dropping the line or the connection.
 
+Connections start on JSON lines; a client on a byte-capable transport
+(TCP, real stdio) may negotiate the v5 binary frame format with an
+inline ``frames`` request — see the :mod:`repro.service.protocol`
+docstring for the wire layout.  The switch is atomic under the write
+lock, and the frame read loop continues on the same buffered stream.
+
 For back compatibility this module re-exports the host's public names
 (``PedServer``, ``PROTOCOL_VERSION``), so pre-split imports keep
 working.
@@ -73,11 +79,17 @@ class _Connection:
         self._write_lock = threading.Lock()
         self._seq = protocol.Sequencer()
         self._listener_token = None
+        #: Binary framing state.  ``_binary`` flips inside the write
+        #: lock when the ``frames`` negotiation reply goes out, so no
+        #: envelope can straddle the JSON-lines → frames switch.
+        self._binary = False
+        self._encoder = None
+        self._reply_keys: Dict[object, str] = {}
 
     # -- writing -------------------------------------------------------
 
     def _write(self, envelope: Dict) -> None:
-        """Stamp ``seq`` and write one envelope line.
+        """Stamp ``seq`` and write one envelope line (or frame).
 
         The stamp happens under the write lock, so ``seq`` order and
         wire order are the same thing — the guarantee the client's
@@ -86,10 +98,17 @@ class _Connection:
 
         with self._write_lock:
             envelope["seq"] = self._seq.next()
-            line = protocol.encode(envelope)
             try:
-                self.wfile.write(line + "\n")
-                self.wfile.flush()
+                if self._binary:
+                    key = None
+                    if protocol.is_reply(envelope):
+                        key = self._reply_keys.pop(envelope.get("id"), None)
+                    self.wfile.raw.write(self._encoder.encode(envelope, key))
+                    self.wfile.raw.flush()
+                else:
+                    line = protocol.encode(envelope)
+                    self.wfile.write(line + "\n")
+                    self.wfile.flush()
             except (BrokenPipeError, ValueError, OSError):
                 pass  # client went away; nothing to tell it
 
@@ -106,6 +125,10 @@ class _Connection:
 
     def _run_request(self, req: Dict) -> None:
         rid = req.get("id")
+        if self._binary:
+            key = protocol.reply_delta_key(req)
+            if key is not None:
+                self._reply_keys[rid] = key
         timed_out = threading.Event()
 
         def emit(kind: str, data: Dict) -> None:
@@ -147,6 +170,54 @@ class _Connection:
 
             threading.Thread(target=_watchdog, daemon=True).start()
 
+    # -- framing negotiation -------------------------------------------
+
+    def _negotiate_frames(self, req: Dict) -> None:
+        """Inline ``frames`` op: switch this connection to binary.
+
+        The ok reply is the last JSON line of the connection; the mode
+        flips before the write lock is released, so every subsequent
+        envelope — whichever worker thread produces it — goes out as a
+        frame.  Refused (a plain error reply, connection stays on JSON
+        lines) when the transport has no byte-level streams.
+        """
+
+        rid = req.get("id")
+        if req.get("mode") != "binary":
+            self._write(
+                protocol.reply_error(
+                    rid,
+                    protocol.BAD_REQUEST,
+                    f"unknown framing mode {req.get('mode')!r}",
+                )
+            )
+            return
+        if self._binary:
+            self._write(protocol.reply_ok(rid, {"frames": "binary"}))
+            return
+        if (
+            getattr(self.rfile, "raw", None) is None
+            or getattr(self.wfile, "raw", None) is None
+        ):
+            self._write(
+                protocol.reply_error(
+                    rid,
+                    protocol.BAD_REQUEST,
+                    "transport cannot carry binary frames",
+                )
+            )
+            return
+        with self._write_lock:
+            envelope = protocol.reply_ok(rid, {"frames": "binary"})
+            envelope["seq"] = self._seq.next()
+            try:
+                self.wfile.write(protocol.encode(envelope) + "\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ValueError, OSError):
+                pass
+            self._encoder = protocol.FrameEncoder()
+            self._binary = True
+
     # -- the read loop -------------------------------------------------
 
     def handle_line(self, line: str) -> bool:
@@ -156,13 +227,20 @@ class _Connection:
             return True
         try:
             req = protocol.parse_request(
-                line, max_bytes=self.server.max_request_bytes
+                line,
+                max_bytes=self.server.max_request_bytes,
+                size=getattr(self.rfile, "last_size", None),
             )
         except ProtocolError as exc:
             self._write(
                 protocol.reply_error(exc.request_id, exc.type, str(exc))
             )
             return True
+        return self._dispatch(req)
+
+    def _dispatch(self, req: Dict) -> bool:
+        """One parsed request; False once the stream should end."""
+
         if self.server.shutdown_event.is_set():
             self._write(
                 protocol.reply_error(
@@ -172,6 +250,9 @@ class _Connection:
                 )
             )
             return False
+        if req.get("op") == protocol.FRAMES_OP:
+            self._negotiate_frames(req)
+            return True
         if req.get("op") == "cancel":
             self.server.request_cancel(req.get("target"))
             self._write(
@@ -197,17 +278,66 @@ class _Connection:
                     break
                 if self.server.shutdown_event.is_set():
                     break
+                if self._binary:
+                    # The client saw our negotiation reply before it
+                    # sends another byte, so the line iterator holds no
+                    # readahead past this point; frame reads continue
+                    # on the same buffered stream.
+                    self._run_binary()
+                    break
         finally:
             self.server.connections.leave()
             self.server.remove_listener(self._listener_token)
 
+    def _run_binary(self) -> None:
+        """Frame-mode read loop (after ``frames`` negotiation)."""
+
+        raw = self.rfile.raw
+        read1 = getattr(raw, "read1", raw.read)
+        decoder = protocol.FrameDecoder(self.server.max_request_bytes)
+        while not self.server.shutdown_event.is_set():
+            try:
+                req = decoder.next()
+            except ProtocolError as exc:
+                # The decoder already arranged to skip the bad frame;
+                # answer and keep the connection alive, like a bad
+                # JSON line would be answered.
+                self._write(
+                    protocol.reply_error(exc.request_id, exc.type, str(exc))
+                )
+                continue
+            if req is None:
+                try:
+                    data = read1(65536)
+                except (ValueError, OSError):
+                    return
+                if not data:
+                    return
+                decoder.feed(data)
+                continue
+            if not self._dispatch(req):
+                return
+
 
 def serve_stdio(server: PedServer, rfile=None, wfile=None) -> None:
-    """Serve one client over stdio (used by ``ped serve --stdio``)."""
+    """Serve one client over stdio (used by ``ped serve --stdio``).
 
-    _Connection(
-        server, rfile or sys.stdin, wfile or sys.stdout
-    ).run()
+    When the streams expose their byte-level ``buffer`` (real stdio
+    does), the connection runs on it — which makes stdio eligible for
+    binary-frame negotiation and gives the request parser exact wire
+    sizes.  Plain text streams (tests pass ``StringIO``) still work,
+    JSON-lines only.
+    """
+
+    rfile = rfile or sys.stdin
+    wfile = wfile or sys.stdout
+    rbuf = getattr(rfile, "buffer", None)
+    if rbuf is not None:
+        rfile = _TextReader(rbuf)
+    wbuf = getattr(wfile, "buffer", None)
+    if wbuf is not None:
+        wfile = _TextWriter(wbuf)
+    _Connection(server, rfile, wfile).run()
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -227,13 +357,20 @@ class _TCPHandler(socketserver.StreamRequestHandler):
 
 
 class _TextReader:
-    """Line iterator decoding a binary stream (socket rfile) as UTF-8."""
+    """Line iterator decoding a binary stream (socket rfile) as UTF-8.
+
+    Records each line's wire byte length in ``last_size`` so the
+    request parser can enforce its size cap without re-encoding the
+    decoded text (the old per-request copy).
+    """
 
     def __init__(self, raw) -> None:
         self.raw = raw
+        self.last_size = None
 
     def __iter__(self):
         for line in self.raw:
+            self.last_size = len(line)
             yield line.decode("utf-8", errors="replace")
 
 

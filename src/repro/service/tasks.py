@@ -34,7 +34,7 @@ import time
 from typing import Dict, List, Sequence
 
 from ..assertions.engine import AssertionDB
-from ..dependence.driver import UnitAnalysis, analyze_unit
+from ..dependence.driver import HOT_PATH, UnitAnalysis, analyze_unit
 from ..fortran.ast_nodes import ProcedureUnit
 from ..fortran.parser import parse_source
 from ..interproc.callgraph import CallGraph, CallSite
@@ -109,6 +109,10 @@ def task_dependence(payload: Dict) -> UnitAnalysis:
         oracle = AssertionDB()
         for text in payload["asserts"]:
             oracle.add(text)
+    # Worker processes have their own HOT_PATH defaults; the payload
+    # carries the engine's ``--profile`` choice so per-tier timings are
+    # recorded wherever the unit actually runs.
+    HOT_PATH.profile_tiers = bool(payload.get("profile", False))
     memo = payload.get("memo")
     config = unit_config(
         unit.name,
