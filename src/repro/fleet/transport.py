@@ -30,7 +30,9 @@ same ``seq`` guarantees, byte-identical results.
   envelopes instead of lines.
 * *Writer*: one task draining a bounded outbound queue; it stamps
   ``seq`` (single consumer, so queue order *is* seq order *is* wire
-  order) and awaits ``drain()`` after every line — TCP backpressure.
+  order), writes everything already queued as one burst and awaits
+  ``drain()`` once per burst — TCP backpressure without a syscall and
+  a loop round-trip per line.
   Worker threads enqueue via ``run_coroutine_threadsafe(...).result()``,
   which blocks the producing handler until the queue has room: a slow
   client throttles its own requests' event streams, never the loop.
@@ -66,6 +68,9 @@ OVERSIZE_SLACK = 64 * 1024
 OUTBOUND_QUEUE = 256
 #: Reader chunk size.
 CHUNK = 64 * 1024
+#: Cap on envelopes written per burst before the writer must drain —
+#: bounds the bytes buffered in the transport between drains.
+BURST_MAX = 64
 
 
 class _FrameSwitch:
@@ -132,34 +137,53 @@ class _AsyncConnection:
     def _broadcast(self, kind: str, data: Dict) -> None:
         self._send_threadsafe(protocol.event_envelope(None, kind, data))
 
+    def _encode_item(self, item, encoder) -> bytes:
+        """One outbound envelope → its wire bytes (seq stamped here)."""
+
+        envelope = item
+        envelope["seq"] = self._seq.next()
+        if encoder is not None:
+            key = None
+            if protocol.is_reply(envelope):
+                key = self._reply_keys.pop(envelope.get("id"), None)
+            return encoder.encode(envelope, key)
+        line = protocol.encode(envelope)
+        return line.encode("utf-8") + b"\n"
+
     async def _write_loop(self) -> None:
         encoder = None
         try:
             while True:
                 item = await self._outq.get()
-                if item is None:
-                    break
-                if type(item) is _FrameSwitch:
-                    envelope = item.reply
-                    envelope["seq"] = self._seq.next()
-                    line = protocol.encode(envelope)
-                    self.writer.write(line.encode("utf-8") + b"\n")
+                # Burst-drain: pull everything already queued and write
+                # it in one go, awaiting ``drain()`` once per burst
+                # instead of once per envelope — under event-storm load
+                # the kernel sees one large write, not N tiny ones.
+                burst = [item]
+                while len(burst) < BURST_MAX:
+                    try:
+                        burst.append(self._outq.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                out = bytearray()
+                stop = False
+                for item in burst:
+                    if item is None:
+                        stop = True
+                        break
+                    if type(item) is _FrameSwitch:
+                        envelope = item.reply
+                        envelope["seq"] = self._seq.next()
+                        line = protocol.encode(envelope)
+                        out += line.encode("utf-8") + b"\n"
+                        encoder = protocol.FrameEncoder()
+                        continue
+                    out += self._encode_item(item, encoder)
+                if out:
+                    self.writer.write(bytes(out))
                     await self.writer.drain()
-                    encoder = protocol.FrameEncoder()
-                    continue
-                envelope = item
-                envelope["seq"] = self._seq.next()
-                if encoder is not None:
-                    key = None
-                    if protocol.is_reply(envelope):
-                        key = self._reply_keys.pop(
-                            envelope.get("id"), None
-                        )
-                    self.writer.write(encoder.encode(envelope, key))
-                else:
-                    line = protocol.encode(envelope)
-                    self.writer.write(line.encode("utf-8") + b"\n")
-                await self.writer.drain()
+                if stop:
+                    break
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass  # client went away; nothing to tell it
 
