@@ -5,7 +5,8 @@ time to the full analysis: a progress bar that appears after the work is
 done is decoration.  This bench opens a 40-routine workload through the
 streaming protocol and measures the latency of the first
 ``analysis.progress`` event against the terminal reply, recording both
-to ``benchmarks/out/streaming.json``.  The qualitative shape asserted
+— plus the total wire bytes the client saw (``bench_wire.py`` compares
+those across protocol levels) — to ``benchmarks/out/streaming.json``.  The qualitative shape asserted
 before timing: at least one progress event strictly precedes the
 result, with ordered sequence ids, and the first event lands in a
 fraction of the full-reply latency.
@@ -79,6 +80,8 @@ def test_time_to_first_progress_event(benchmark, served_client):
                 "time_to_first_progress_s": first_s,
                 "time_to_full_reply_s": total_s,
                 "first_signal_fraction": first_s / total_s,
+                "bytes_received": served_client.bytes_received,
+                "bytes_sent": served_client.bytes_sent,
             },
             indent=2,
         )

@@ -35,6 +35,19 @@ budget exhausts become ``shard-lost`` error records in the merged reply
 are retried last on later requests, so a restarted shard heals back
 into the ring without operator action.
 
+**Shard wire mode.**  Each lazily created shard client climbs the v6
+negotiation ladder to ``wire`` ("json", "frames" or the default
+"compress"), falling back gracefully one rung at a time — a fleet can
+mix v6 shards with older ones and every hop just runs at the best level
+both ends speak.  When a compressed shard coalesces a burst of progress
+events into one multi-record frame, the router relays the burst *as a
+burst*: the shard client delivers it as one list, the router re-emits
+it as one ``events.batch`` pseudo-event, and the client-facing
+transport ships it as one frame again (re-deflated against that
+connection's own dictionaries — dictionaries are per-connection
+baselines, so bytes are re-encoded but the frame structure, ordering
+and event payloads survive the hop intact).
+
 **Memo gossip.**  ``memo.pull`` unions the shared pair-test memo across
 shards and ``memo.push`` fans entries to every shard — the ops
 :class:`~repro.fleet.gossip.MemoGossip` drives on an interval so a
@@ -92,10 +105,16 @@ class FleetRouter:
         max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
         forward_timeout: float = 600.0,
         stats: Optional[EngineStats] = None,
+        wire: str = "compress",
     ) -> None:
         if not shards:
             raise ValueError("a fleet router needs at least one shard")
+        if wire not in ("json", "frames", "compress"):
+            raise ValueError(
+                f"wire must be 'json', 'frames' or 'compress', not {wire!r}"
+            )
         self.ring = HashRing(shards, replicas=replicas)
+        self.wire = wire
         self.retries = retries
         self.backoff = backoff
         self.jitter = jitter
@@ -195,6 +214,14 @@ class FleetRouter:
         client.add_event_listener(
             lambda ev: self._notify(ev.kind, ev.data)
         )
+        # Climb the negotiation ladder to the configured wire mode;
+        # every rung falls back gracefully, so an old shard that only
+        # speaks JSON or v5 frames still joins the ring.
+        if self.wire in ("frames", "compress"):
+            if client.negotiate_frames():
+                self.stats.bump("router.wire_frames")
+                if self.wire == "compress" and client.negotiate_compression():
+                    self.stats.bump("router.wire_compress")
         with self._clients_lock:
             race = self._clients.get(shard)
             if race is not None:
@@ -232,6 +259,7 @@ class FleetRouter:
         params: Dict,
         emit: Optional[Callable[[str, Dict], None]] = None,
         on_event: Optional[Callable] = None,
+        on_batch: Optional[Callable] = None,
         timeout: Optional[float] = None,
     ) -> Dict:
         """One request to one shard; raises on transport loss."""
@@ -243,14 +271,31 @@ class FleetRouter:
             raise
         stream = emit is not None or on_event is not None
         sink = on_event
+        batch_sink = on_batch
         if sink is None and emit is not None:
             def sink(ev):  # noqa: E306 — local relay
                 emit(ev.kind, ev.data)
+
+            if batch_sink is None:
+                # A coalesced shard frame relays as one batch event, so
+                # the client-facing transport ships one frame again.
+                def batch_sink(evs):  # noqa: E306 — local relay
+                    self.stats.bump("router.batches_relayed")
+                    emit(
+                        protocol.EV_BATCH,
+                        {
+                            "events": [
+                                {"kind": ev.kind, "data": ev.data}
+                                for ev in evs
+                            ]
+                        },
+                    )
         try:
             pending = client.submit(
                 op,
                 stream=stream,
                 on_event=sink,
+                on_batch=batch_sink,
                 **params,
             )
             result = pending.result(timeout or self.forward_timeout)
@@ -414,6 +459,11 @@ class FleetRouter:
         merged["fleet.shards"] = len(self.ring)
         merged["fleet.shards.reachable"] = reachable
         merged["fleet.shards.dead"] = len(self._dead)
+        # Ratios don't sum — recompute the fleet-wide one from totals.
+        raw = merged.get("net.bytes_out_raw", 0)
+        merged["net.compress_ratio"] = (
+            merged.get("net.bytes_out", 0) / raw if raw else 1.0
+        )
         return {"metrics": merged}
 
     # ------------------------------------------------------------------
@@ -498,17 +548,37 @@ class FleetRouter:
         progress_lock = threading.Lock()
         done_counter = {"n": 0}
 
-        def shard_event(ev) -> None:
+        def renumber(data: Dict) -> Dict:
             # Renumber per-shard progress to fleet-wide done/total.
+            # Callers hold ``progress_lock``.
+            data = dict(data)
+            if data.get("phase") == "corpus.program":
+                done_counter["n"] += 1
+                data["done"] = done_counter["n"]
+                data["total"] = total
+            return data
+
+        def shard_event(ev) -> None:
             if emit is None:
                 return
-            data = dict(ev.data)
-            if data.get("phase") == "corpus.program":
-                with progress_lock:
-                    done_counter["n"] += 1
-                    data["done"] = done_counter["n"]
-                data["total"] = total
+            with progress_lock:
+                data = renumber(ev.data)
             emit(ev.kind, data)
+
+        def shard_batch(evs) -> None:
+            # A coalesced shard burst renumbers under one lock hold and
+            # relays as one batch, staying one frame on a v6 client hop.
+            if emit is None:
+                return
+            with progress_lock:
+                records = [
+                    {"kind": ev.kind, "data": renumber(ev.data)}
+                    for ev in evs
+                ]
+            self.stats.bump("router.batches_relayed")
+            emit(protocol.EV_BATCH, {"events": records})
+
+        streaming = wait and emit is not None
 
         def submit_to(shard: str, names: List[str]) -> Dict:
             payload = {
@@ -521,7 +591,8 @@ class FleetRouter:
                 shard,
                 "corpus.submit",
                 payload,
-                on_event=shard_event if (wait and emit is not None) else None,
+                on_event=shard_event if streaming else None,
+                on_batch=shard_batch if streaming else None,
             )
 
         # Partition onto the ring (live shards preferred) and fan out.

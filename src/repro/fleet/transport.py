@@ -32,7 +32,12 @@ same ``seq`` guarantees, byte-identical results.
   ``seq`` (single consumer, so queue order *is* seq order *is* wire
   order), writes everything already queued as one burst and awaits
   ``drain()`` once per burst — TCP backpressure without a syscall and
-  a loop round-trip per line.
+  a loop round-trip per line.  On connections that negotiated the v6
+  ``compress`` rung, a burst longer than one envelope is the queue's
+  back-pressure watermark: runs of ``analysis.progress`` events inside
+  it coalesce into one multi-record frame, and the adaptive zlib layer
+  squeezes whatever frames pay for it (``net.*`` counters land in the
+  host's stats either way).
   Worker threads enqueue via ``run_coroutine_threadsafe(...).result()``,
   which blocks the producing handler until the queue has room: a slow
   client throttles its own requests' event streams, never the loop.
@@ -87,6 +92,17 @@ class _FrameSwitch:
         self.reply = reply
 
 
+class _CompressSwitch:
+    """Outbound-queue sentinel for the ``compress`` rung: the reply
+    ships as a plain frame, everything after it may compress and
+    progress-event runs start coalescing into multi-record frames."""
+
+    __slots__ = ("reply",)
+
+    def __init__(self, reply: Dict) -> None:
+        self.reply = reply
+
+
 class _AsyncConnection:
     """One client on the event loop."""
 
@@ -110,10 +126,13 @@ class _AsyncConnection:
         self._inflight: Set[asyncio.Task] = set()
         self._listener_token = None
         self._writer_task: Optional[asyncio.Task] = None
-        #: Reader-side framing flag (the write loop keeps its own state,
-        #: flipped by the :class:`_FrameSwitch` riding the queue).
+        #: Reader-side framing flags (the write loop keeps its own
+        #: state, flipped by the switch sentinels riding the queue).
         self._binary = False
+        self._compress = False
         self._reply_keys: Dict[object, str] = {}
+        self._stats = getattr(self.host, "stats", None)
+        self._acct = [0, 0, 0, 0]  # wire, raw, compressed, coalesced
 
     # -- sending -------------------------------------------------------
 
@@ -137,6 +156,25 @@ class _AsyncConnection:
     def _broadcast(self, kind: str, data: Dict) -> None:
         self._send_threadsafe(protocol.event_envelope(None, kind, data))
 
+    def _bump(self, name: str, n: int = 1) -> None:
+        if self._stats is not None and n:
+            self._stats.bump(name, n)
+
+    def _account_frames(self, encoder) -> None:
+        """Bump ``net.*`` by the encoder's movement since last flush."""
+
+        now = [
+            encoder.bytes_wire,
+            encoder.bytes_raw,
+            encoder.frames_compressed,
+            encoder.coalesced_events,
+        ]
+        prev, self._acct = self._acct, now
+        self._bump("net.bytes_out", now[0] - prev[0])
+        self._bump("net.bytes_out_raw", now[1] - prev[1])
+        self._bump("net.frames_compressed", now[2] - prev[2])
+        self._bump("net.coalesced_events", now[3] - prev[3])
+
     def _encode_item(self, item, encoder) -> bytes:
         """One outbound envelope → its wire bytes (seq stamped here)."""
 
@@ -148,26 +186,73 @@ class _AsyncConnection:
                 key = self._reply_keys.pop(envelope.get("id"), None)
             return encoder.encode(envelope, key)
         line = protocol.encode(envelope)
-        return line.encode("utf-8") + b"\n"
+        data = line.encode("utf-8") + b"\n"
+        self._bump("net.bytes_out", len(data))
+        self._bump("net.bytes_out_raw", len(data))
+        return data
+
+    def _encode_group(self, envelopes, encoder) -> bytes:
+        """A coalesced event run → one multi-record frame."""
+
+        for envelope in envelopes:
+            envelope["seq"] = self._seq.next()
+        return encoder.encode_multi(envelopes)
+
+    @staticmethod
+    def _coalescible(envelope) -> bool:
+        return envelope.get("event") == protocol.EV_PROGRESS
 
     async def _write_loop(self) -> None:
         encoder = None
+        compress = False
         try:
             while True:
                 item = await self._outq.get()
                 # Burst-drain: pull everything already queued and write
                 # it in one go, awaiting ``drain()`` once per burst
                 # instead of once per envelope — under event-storm load
-                # the kernel sees one large write, not N tiny ones.
+                # the kernel sees one large write, not N tiny ones.  A
+                # burst longer than one item *is* the queue backing up:
+                # on compressed connections, runs of progress events
+                # inside it coalesce into one multi-record frame.
                 burst = [item]
                 while len(burst) < BURST_MAX:
                     try:
                         burst.append(self._outq.get_nowait())
                     except asyncio.QueueEmpty:
                         break
+                # Trickle aid: when a compressed connection has nothing
+                # but progress events in hand, wait out the coalescing
+                # window for company — the same grace the threaded
+                # server's flush timer gives.  Anything non-coalescible
+                # (a reply, a sentinel) aborts the wait immediately, so
+                # terminal replies are never held back.
+                if compress and all(
+                    isinstance(b, dict) and self._coalescible(b)
+                    for b in burst
+                ):
+                    deadline = self._loop.time() + protocol.COALESCE_WINDOW
+                    while len(burst) < protocol.COALESCE_MAX:
+                        remaining = deadline - self._loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            nxt = await asyncio.wait_for(
+                                self._outq.get(), remaining
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                        burst.append(nxt)
+                        if not (
+                            isinstance(nxt, dict) and self._coalescible(nxt)
+                        ):
+                            break
                 out = bytearray()
                 stop = False
-                for item in burst:
+                i, n = 0, len(burst)
+                while i < n:
+                    item = burst[i]
+                    i += 1
                     if item is None:
                         stop = True
                         break
@@ -175,13 +260,50 @@ class _AsyncConnection:
                         envelope = item.reply
                         envelope["seq"] = self._seq.next()
                         line = protocol.encode(envelope)
-                        out += line.encode("utf-8") + b"\n"
+                        data = line.encode("utf-8") + b"\n"
+                        self._bump("net.bytes_out", len(data))
+                        self._bump("net.bytes_out_raw", len(data))
+                        out += data
                         encoder = protocol.FrameEncoder()
                         continue
+                    if type(item) is _CompressSwitch:
+                        # The reply itself ships plain; the flag flips
+                        # after, so nothing before it compresses.
+                        out += self._encode_item(item.reply, encoder)
+                        encoder.compress = True
+                        compress = True
+                        continue
+                    batch = protocol.expand_event_batch(item)
+                    if batch is not None:
+                        # A host-side burst (router relay): keep it one
+                        # frame when compressing, else fan it out.
+                        if compress and batch:
+                            out += self._encode_group(batch, encoder)
+                        else:
+                            for env in batch:
+                                out += self._encode_item(env, encoder)
+                        continue
+                    if compress and self._coalescible(item):
+                        j = i - 1
+                        while (
+                            j + 1 < n
+                            and isinstance(burst[j + 1], dict)
+                            and self._coalescible(burst[j + 1])
+                        ):
+                            j += 1
+                        if j >= i:
+                            out += self._encode_group(
+                                burst[i - 1 : j + 1], encoder
+                            )
+                            i = j + 1
+                            continue
                     out += self._encode_item(item, encoder)
                 if out:
                     self.writer.write(bytes(out))
                     await self.writer.drain()
+                    self._bump("net.flushes")
+                    if encoder is not None:
+                        self._account_frames(encoder)
                 if stop:
                     break
         except (ConnectionError, OSError, asyncio.CancelledError):
@@ -291,6 +413,37 @@ class _AsyncConnection:
                     _FrameSwitch(protocol.reply_ok(rid, {"frames": "binary"}))
                 )
             return True
+        if req.get("op") == protocol.COMPRESS_OP:
+            rid = req.get("id")
+            if req.get("mode") != "zlib":
+                await self._send(
+                    protocol.reply_error(
+                        rid,
+                        protocol.BAD_REQUEST,
+                        f"unknown compression mode {req.get('mode')!r}",
+                    )
+                )
+            elif not self._binary:
+                await self._send(
+                    protocol.reply_error(
+                        rid,
+                        protocol.BAD_REQUEST,
+                        "compress requires binary frames "
+                        "(negotiate frames first)",
+                    )
+                )
+            elif self._compress:
+                await self._send(
+                    protocol.reply_ok(rid, {"compress": "zlib"})
+                )
+            else:
+                self._compress = True
+                await self._send(
+                    _CompressSwitch(
+                        protocol.reply_ok(rid, {"compress": "zlib"})
+                    )
+                )
+            return True
         if req.get("op") == "cancel":
             self.host.request_cancel(req.get("target"))
             await self._send(
@@ -328,6 +481,7 @@ class _AsyncConnection:
                     break
                 if not chunk:
                     break  # EOF: client closed (possibly mid-request)
+                self._bump("net.bytes_in", len(chunk))
                 buf += chunk
                 stop = False
                 while True:
@@ -401,6 +555,7 @@ class _AsyncConnection:
                 return
             if not chunk:
                 return  # EOF: a partial frame just never completes
+            self._bump("net.bytes_in", len(chunk))
             decoder.feed(chunk)
 
     async def _teardown(self) -> None:

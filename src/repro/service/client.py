@@ -12,9 +12,15 @@ On a byte-level transport (``connect`` and ``spawn`` both provide one)
 :meth:`negotiate_frames` upgrades the connection to the v5 binary frame
 format — length-prefixed envelopes with delta-encoded repeats, so a
 pane refresh or a progress stream costs bytes proportional to what
-*changed*.  The call degrades gracefully: an older server answers
-``unknown-op`` and the connection simply stays on JSON lines.
-``bytes_sent`` / ``bytes_received`` count wire traffic either way.
+*changed* — and :meth:`negotiate_compression` climbs the second rung:
+v6 adaptive zlib frames (dictionary-seeded from the delta baselines)
+plus server-side coalescing of progress-event bursts into multi-record
+frames, which this client transparently unpacks back into individual
+:class:`ServerEvent`\\ s, so ``stream()``/``on_event`` callers see the
+exact same sequence either way.  Both calls degrade gracefully: an
+older server answers ``unknown-op`` (or refuses the rung) and the
+connection stays at whatever level it reached.  ``bytes_sent`` /
+``bytes_received`` count wire traffic in every mode.
 
 >>> client = PedClient.connect(port=7077)
 >>> client.request("open", session="w", source=fortran_text)
@@ -172,11 +178,13 @@ class PedClient:
         self._encoder: Optional[protocol.FrameEncoder] = None
         self._frames_rid: object = None
         self._switch_to_frames = False
+        self._compress = False
         self._write_lock = threading.Lock()
         self._pending: Dict[object, Future] = {}
         self._ops: Dict[object, str] = {}
         self._pending_lock = threading.Lock()
         self._event_sinks: Dict[object, Callable[[ServerEvent], None]] = {}
+        self._batch_sinks: Dict[object, Callable[[list], None]] = {}
         self._reply_seq: Dict[object, Optional[int]] = {}
         self._listeners: Dict[int, Callable[[ServerEvent], None]] = {}
         self._listener_ids = itertools.count(1)
@@ -355,23 +363,62 @@ class PedClient:
         decoder = protocol.FrameDecoder(MAX_REPLY_FRAME_BYTES)
         while True:
             try:
-                env = decoder.next()
+                batch = decoder.next_batch()
             except protocol.ProtocolError:
                 # A frame the client cannot decode (a server bug or a
                 # corrupted stream); skip it — the affected request
                 # times out rather than poisoning the connection.
                 continue
-            if env is not None:
-                if "event" in env:
-                    self._handle_event(env)
+            if batch is not None:
+                if len(batch) > 1:
+                    self._handle_batch(batch)
                 else:
-                    self._handle_reply(env)
+                    env = batch[0]
+                    if "event" in env:
+                        self._handle_event(env)
+                    else:
+                        self._handle_reply(env)
                 continue
             data = read1(65536)
             if not data:
                 return
             self.bytes_received += len(data)
             decoder.feed(data)
+
+    def _handle_batch(self, envs: list) -> None:
+        """A multi-record frame: delivered whole to the owning request's
+        ``on_batch`` sink when one is registered (the fleet router uses
+        this to relay a coalesced burst as one frame), otherwise fanned
+        out envelope by envelope — indistinguishable from uncoalesced
+        delivery."""
+
+        rid = envs[0].get("id")
+        if rid is not None and all(
+            "event" in e and e.get("id") == rid for e in envs
+        ):
+            with self._pending_lock:
+                sink = self._batch_sinks.get(rid)
+            if sink is not None:
+                try:
+                    sink(
+                        [
+                            ServerEvent(
+                                kind=e.get("event", ""),
+                                data=e.get("data") or {},
+                                seq=e.get("seq"),
+                                request_id=rid,
+                            )
+                            for e in envs
+                        ]
+                    )
+                except Exception:  # noqa: BLE001 — sink bug ≠ reader death
+                    pass
+                return
+        for env in envs:
+            if "event" in env:
+                self._handle_event(env)
+            else:
+                self._handle_reply(env)
 
     def _handle_event(self, env: Dict) -> None:
         ev = ServerEvent(
@@ -411,6 +458,7 @@ class PedClient:
         with self._pending_lock:
             future = self._pending.pop(rid, None)
             op = self._ops.pop(rid, None)
+            self._batch_sinks.pop(rid, None)
             had_sink = self._event_sinks.pop(rid, None) is not None
             if had_sink:
                 # Only streaming requests read the terminal seq back;
@@ -430,6 +478,7 @@ class PedClient:
             pending, self._pending = dict(self._pending), {}
             self._ops.clear()
             self._event_sinks.clear()
+            self._batch_sinks.clear()
         for future in pending.values():
             if not future.done():
                 future.set_exception(PedRequestError("connection", why))
@@ -444,19 +493,23 @@ class PedClient:
         *,
         stream: bool = False,
         on_event: Optional[Callable[[ServerEvent], None]] = None,
+        on_batch: Optional[Callable[[list], None]] = None,
         **params,
     ) -> "PendingReply":
         """Send one request; returns a handle resolving to its result.
 
-        ``stream=True`` (implied by ``on_event``) opts the request into
-        server-push events; ``on_event`` receives each
-        :class:`ServerEvent` on the reader thread.
+        ``stream=True`` (implied by ``on_event``/``on_batch``) opts the
+        request into server-push events; ``on_event`` receives each
+        :class:`ServerEvent` on the reader thread.  ``on_batch``, when
+        given, receives a coalesced multi-record frame's events as one
+        list instead of event-by-event (uncoalesced events still go to
+        ``on_event``) — relays use it to forward a burst as a burst.
         """
 
         rid = params.pop("id", None)
         if rid is None:
             rid = next(self._ids)
-        if on_event is not None:
+        if on_event is not None or on_batch is not None:
             stream = True
         req = {"id": rid, "op": op, **params}
         if stream:
@@ -467,6 +520,8 @@ class PedClient:
             self._ops[rid] = op
             if on_event is not None:
                 self._event_sinks[rid] = on_event
+            if on_batch is not None:
+                self._batch_sinks[rid] = on_batch
         try:
             with self._write_lock:
                 self._write_envelope(req)
@@ -475,6 +530,7 @@ class PedClient:
                 self._pending.pop(rid, None)
                 self._ops.pop(rid, None)
                 self._event_sinks.pop(rid, None)
+                self._batch_sinks.pop(rid, None)
             raise ServerUnavailableError(f"send failed: {exc}")
         return PendingReply(self, rid, future)
 
@@ -542,6 +598,36 @@ class PedClient:
                 return True
             self._frames_rid = None
             return False
+
+    def negotiate_compression(self, wait: Optional[float] = 30.0) -> bool:
+        """Climb to v6 adaptive compression; True on success.
+
+        Negotiates binary frames first when needed — the ladder is
+        strictly ``frames`` → ``compress``.  Returns False (connection
+        fully usable at whatever rung it reached) when the transport is
+        text-level or the server predates v6 (``unknown-op``) or
+        refuses (``bad-request``).  On success the server compresses
+        and coalesces its side, and this client's requests compress
+        adaptively too.
+        """
+
+        if self._compress:
+            return True
+        if not self.negotiate_frames(wait):
+            return False
+        try:
+            result = self.request(
+                protocol.COMPRESS_OP, wait=wait, mode="zlib"
+            )
+        except PedRequestError:
+            return False
+        if (result or {}).get("compress") == "zlib":
+            with self._write_lock:
+                if self._encoder is not None:
+                    self._encoder.compress = True
+                    self._compress = True
+            return self._compress
+        return False
 
     def stream(
         self, op: str, *, wait: Optional[float] = 60.0, **params

@@ -26,6 +26,16 @@ shared memo and get one flat ``{key: number}`` dict:
   ``server.uptime_s`` — live transport gauges (how many clients are
   connected right now, the high-water mark, and how long this server
   process has been up), read from the server when one is attached.
+* ``net.bytes_in`` / ``net.bytes_out`` — wire bytes both transports
+  actually read and wrote (JSON lines and binary frames alike).
+  ``net.bytes_out_raw`` is what the same traffic would have cost
+  uncompressed, so ``net.compress_ratio = bytes_out / bytes_out_raw``
+  (1.0 when nothing was written, lower is better).
+  ``net.frames_compressed`` / ``net.coalesced_events`` /
+  ``net.flushes`` count v6 compressed frames shipped, progress events
+  folded into multi-record frames, and writer flushes.  Transport
+  counters are server-scoped, so a session-bound ``metrics`` request
+  overlays them from the server stats rather than the engine's.
 * ``analyses`` — how many engine analysis cycles fed these numbers.
 
 Keys with a zero value are still present (a dashboard wants stable
@@ -60,6 +70,12 @@ STABLE_KEYS = (
     "server.connections.open",
     "server.connections.peak",
     "server.uptime_s",
+    "net.bytes_in",
+    "net.bytes_out",
+    "net.bytes_out_raw",
+    "net.frames_compressed",
+    "net.coalesced_events",
+    "net.flushes",
 )
 
 
@@ -88,8 +104,14 @@ class ConnectionGauge:
             self.open = max(0, self.open - 1)
 
 
-def merged_metrics(stats, pool=None, memo=None, server=None) -> Dict[str, float]:
-    """The one service-metrics dict (see module docstring for keys)."""
+def merged_metrics(
+    stats, pool=None, memo=None, server=None, net_stats=None
+) -> Dict[str, float]:
+    """The one service-metrics dict (see module docstring for keys).
+
+    ``net_stats`` lets a session-bound snapshot overlay the server-scoped
+    transport counters (``net.*``) on top of the engine's own stats.
+    """
 
     out: Dict[str, float] = {}
     for key in STABLE_KEYS:
@@ -98,6 +120,10 @@ def merged_metrics(stats, pool=None, memo=None, server=None) -> Dict[str, float]
     # memo.delta_*, plus anything a future subsystem adds.
     for key, value in stats.counters.items():
         out[key] = value
+    if net_stats is not None and net_stats is not stats:
+        for key, value in net_stats.counters.items():
+            if key.startswith("net."):
+                out[key] = value
     out["analyses"] = stats.analyses
     if pool is not None:
         # Live gauges beat the last-published counter values.
@@ -121,6 +147,8 @@ def merged_metrics(stats, pool=None, memo=None, server=None) -> Dict[str, float]
     wall = out.get("pool.wall_s", 0.0)
     busy = out.get("pool.busy_s", 0.0)
     out["pool.utilization"] = busy / wall if wall else 0.0
+    raw = out.get("net.bytes_out_raw", 0)
+    out["net.compress_ratio"] = out.get("net.bytes_out", 0) / raw if raw else 1.0
     return out
 
 

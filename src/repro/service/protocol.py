@@ -92,6 +92,33 @@ for unkeyed envelopes.  :class:`FrameDecoder` raises
 :class:`ProtocolError` on oversized, malformed, unknown-key or
 checksum-failing frames; a frame truncated by disconnect simply never
 completes.
+
+**Compression + coalescing (v6).**  Two more frame kinds ride the same
+length-prefixed stream, produced only after a second negotiation rung —
+``{"op": "compress", "mode": "zlib"}``, answered inline like ``frames``
+(and refused with ``bad-request`` until frames are negotiated, so the
+ladder is strictly ``frames`` → ``compress``):
+
+* ``3`` **compressed** — ``u16`` dictionary-key length, the key's UTF-8
+  bytes (empty = no dictionary), then a zlib stream inflating to one
+  complete payload of kind 0, 1 or 2 (or 4; never another 3).  The
+  dictionary named by a non-empty key is the key's *current baseline on
+  the receiving side* — the encoder compresses against the baseline it
+  just replaced, which by construction is exactly what the decoder
+  still holds, so no dictionary bytes ever cross the wire.
+* ``4`` **multi** — repeated ``u32`` length + payload records, each of
+  kind 0–2, decoded in order as if they were separate frames.  Bursts
+  of ``analysis.progress`` / ``corpus.program`` events coalesce into
+  one multi frame: mostly one repeated JSON shape, so wrapping the
+  block in a kind-3 frame squeezes it far below per-record deltas.
+
+Compression is *adaptive* per frame: payloads under
+:data:`COMPRESS_MIN_BYTES`, and payloads whose trial compression fails
+to beat :data:`COMPRESS_MAX_RATIO` × the plain encoding, ship in their
+v5 form — the kind byte tells the decoder which it got, so the decoder
+accepts all five kinds at any time and only the *encoder* is gated on
+negotiation.  JSON-only and v5 peers are untouched: they never send
+``compress``, so they never see a kind-3/4 frame.
 """
 
 from __future__ import annotations
@@ -100,6 +127,7 @@ import json
 import struct
 import threading
 import zlib
+from collections import deque
 from difflib import SequenceMatcher
 from typing import Dict, List, Optional
 
@@ -113,9 +141,12 @@ from typing import Dict, List, Optional
 #: ``server.connections.*``/``server.uptime_s`` gauges in ``metrics``
 #: and the ``shard-lost`` error type.  v5: the ``frames`` negotiation op
 #: and the length-prefixed binary framing with delta-encoded repeats.
-#: The envelope grammar itself is unchanged since v2, so v3 clients
-#: interoperate with v5 servers (binary framing is strictly opt-in).
-PROTOCOL_VERSION = 5
+#: v6: the ``compress`` negotiation op, adaptive per-frame zlib
+#: compression with baseline-seeded dictionaries (frame kind 3) and
+#: multi-record event coalescing (frame kind 4).  The envelope grammar
+#: itself is unchanged since v2, so v3 clients interoperate with v6
+#: servers (binary framing and compression are strictly opt-in).
+PROTOCOL_VERSION = 6
 
 #: Default cap on one request line; oversized requests get a structured
 #: ``payload-too-large`` error instead of an ad-hoc disconnect.
@@ -137,6 +168,15 @@ INTERNAL = "internal"
 # Event kinds.
 EV_PROGRESS = "analysis.progress"
 EV_INVALIDATION = "invalidation"
+
+#: Transport-internal pseudo-event: a host that already holds a burst
+#: of events (the fleet router relaying a coalesced frame from a shard)
+#: hands the whole burst to the transport in one ``emit`` call as
+#: ``event_envelope(rid, EV_BATCH, {"events": [{"kind": …, "data": …},
+#: …]})``.  Transports expand it at write time — one multi-record frame
+#: when the peer negotiated compression, individual envelopes otherwise
+#: — so the batch shape itself never reaches a client.
+EV_BATCH = "events.batch"
 
 
 class ProtocolError(Exception):
@@ -252,6 +292,23 @@ def is_reply(envelope: Dict) -> bool:
     return "ok" in envelope and "event" not in envelope
 
 
+def expand_event_batch(envelope: Dict) -> Optional[List[Dict]]:
+    """The per-event envelopes of one :data:`EV_BATCH` envelope, or
+    ``None`` when ``envelope`` is not a batch.  Transports call this at
+    write time; the order of the records is the wire order."""
+
+    if envelope.get("event") != EV_BATCH:
+        return None
+    rid = envelope.get("id")
+    out: List[Dict] = []
+    for rec in (envelope.get("data") or {}).get("events") or []:
+        if isinstance(rec, dict):
+            out.append(
+                event_envelope(rid, rec.get("kind") or "", rec.get("data"))
+            )
+    return out
+
+
 # ----------------------------------------------------------------------
 # binary frames: length-prefixed envelopes with delta-encoded repeats
 # ----------------------------------------------------------------------
@@ -260,9 +317,33 @@ def is_reply(envelope: Dict) -> bool:
 #: session host) to switch a connection's framing.
 FRAMES_OP = "frames"
 
+#: The second negotiation rung: adaptive zlib compression + event
+#: coalescing, valid only after ``frames`` (also answered inline).
+COMPRESS_OP = "compress"
+
 FRAME_RAW = 0
 FRAME_BASELINE = 1
 FRAME_DELTA = 2
+FRAME_COMPRESSED = 3
+FRAME_MULTI = 4
+
+#: Payloads under this size never trial-compress — zlib's stream header
+#: plus the dictionary adler32 eat any win on tiny frames.
+COMPRESS_MIN_BYTES = 192
+#: A trial compression must reach this fraction of the plain encoding
+#: or the frame ships in its v5 form.
+COMPRESS_MAX_RATIO = 0.9
+#: zlib level for wire compression (6 = zlib's own default trade-off).
+COMPRESS_LEVEL = 6
+
+#: Event-coalescing knobs shared by both transports: a buffered burst
+#: flushes when it reaches COALESCE_MAX events, when any non-coalescible
+#: envelope (a reply, a broadcast) must go out behind it, or when the
+#: flush window expires — progress events trade at most this much
+#: latency for riding a shared frame, and only on connections that
+#: negotiated compression.
+COALESCE_MAX = 32
+COALESCE_WINDOW = 0.005
 
 _OP_COPY = 1
 _OP_INSERT = 2
@@ -394,34 +475,156 @@ class FrameEncoder:
 
     Single direction of one connection; serialize calls externally (the
     transports already write under a lock / from one writer task).
+
+    Setting :attr:`compress` (after the ``compress`` negotiation)
+    enables the adaptive v6 path: payloads at least
+    :data:`COMPRESS_MIN_BYTES` long are trial-compressed — the *full
+    body* in baseline form, zlib-dictionary-seeded from the key's
+    previous baseline, so zlib's back-references subsume the copy/insert
+    delta and entropy-code the rest — and ship compressed only when the
+    result beats :data:`COMPRESS_MAX_RATIO` × the plain v5 encoding.
+    ``bytes_raw`` / ``bytes_wire`` count what the plain encoding would
+    have cost vs what actually shipped (length prefixes included).
     """
 
     def __init__(self) -> None:
         self._baselines: Dict[str, bytes] = {}
+        #: Flipped by the transport when ``compress`` is negotiated.
+        self.compress = False
+        self.bytes_raw = 0
+        self.bytes_wire = 0
+        self.frames = 0
+        self.frames_compressed = 0
+        self.coalesced_events = 0
 
-    def encode(self, envelope: Dict, key: Optional[str] = None) -> bytes:
+    # -- payload assembly ----------------------------------------------
+
+    def _body(self, envelope: Dict, key: Optional[str]):
+        """Serialize; update the key's baseline.  → (body, kb, old)."""
+
         body = json.dumps(envelope, sort_keys=True).encode("utf-8")
         if key is None:
             key = delta_key(envelope)
         if key is None:
-            payload = b"\x00" + body
-            return _U32.pack(len(payload)) + payload
+            return body, None, None
         kb = key.encode("utf-8")
         old = self._baselines.get(key)
         self._baselines[key] = body
+        return body, kb, old
+
+    @staticmethod
+    def _plain_payload(
+        body: bytes, kb: Optional[bytes], old: Optional[bytes]
+    ) -> bytes:
+        """The v5 payload (kind 0/1/2) for one serialized envelope."""
+
+        if kb is None:
+            return b"\x00" + body
         if old is not None:
             blob = _delta_ops(old, body)
             if blob is not None:
-                payload = (
+                return (
                     b"\x02"
                     + _U16.pack(len(kb))
                     + kb
                     + _U32.pack(zlib.crc32(body))
                     + blob
                 )
-                return _U32.pack(len(payload)) + payload
-        payload = b"\x01" + _U16.pack(len(kb)) + kb + body
+        return b"\x01" + _U16.pack(len(kb)) + kb + body
+
+    @staticmethod
+    def _baseline_payload(body: bytes, kb: Optional[bytes]) -> bytes:
+        """The no-delta payload (kind 0/1) — what compression wraps."""
+
+        if kb is None:
+            return b"\x00" + body
+        return b"\x01" + _U16.pack(len(kb)) + kb + body
+
+    @staticmethod
+    def _deflate(payload: bytes, zdict: Optional[bytes]) -> bytes:
+        if zdict:
+            co = zlib.compressobj(COMPRESS_LEVEL, zdict=zdict)
+        else:
+            co = zlib.compressobj(COMPRESS_LEVEL)
+        return co.compress(payload) + co.flush()
+
+    def _wrap(
+        self,
+        inner: bytes,
+        dict_kb: Optional[bytes],
+        zdict: Optional[bytes],
+        plain_len: int,
+    ) -> Optional[bytes]:
+        """Trial-compress ``inner``; None when plain should ship."""
+
+        if dict_kb is None or zdict is None:
+            dict_kb, zdict = b"", None
+        blob = self._deflate(inner, zdict)
+        wrapped = b"\x03" + _U16.pack(len(dict_kb)) + dict_kb + blob
+        if len(wrapped) <= COMPRESS_MAX_RATIO * plain_len:
+            return wrapped
+        return None
+
+    def _ship(self, plain: bytes, wrapped: Optional[bytes]) -> bytes:
+        self.frames += 1
+        self.bytes_raw += 4 + len(plain)
+        payload = plain if wrapped is None else wrapped
+        if wrapped is not None:
+            self.frames_compressed += 1
+        self.bytes_wire += 4 + len(payload)
         return _U32.pack(len(payload)) + payload
+
+    # -- public entry points -------------------------------------------
+
+    def encode(self, envelope: Dict, key: Optional[str] = None) -> bytes:
+        body, kb, old = self._body(envelope, key)
+        plain = self._plain_payload(body, kb, old)
+        wrapped = None
+        if self.compress and len(plain) >= COMPRESS_MIN_BYTES:
+            wrapped = self._wrap(
+                self._baseline_payload(body, kb), kb, old, len(plain)
+            )
+        return self._ship(plain, wrapped)
+
+    def encode_multi(
+        self,
+        envelopes: List[Dict],
+        keys: Optional[List[Optional[str]]] = None,
+    ) -> bytes:
+        """Several envelopes → one multi-record frame (kind 4).
+
+        In compress mode the whole record block is trial-compressed as
+        one unit, dictionary-seeded from the first record whose key had
+        a baseline *before this frame* (a within-frame predecessor is
+        useless — the decoder inflates before it applies any record).
+        """
+
+        if len(envelopes) == 1:
+            return self.encode(envelopes[0], keys[0] if keys else None)
+        plain_parts = [b"\x04"]
+        flat_parts = [b"\x04"]
+        dict_kb = zdict = None
+        seen = set()
+        for i, envelope in enumerate(envelopes):
+            body, kb, old = self._body(
+                envelope, keys[i] if keys else None
+            )
+            sub = self._plain_payload(body, kb, old)
+            plain_parts.append(_U32.pack(len(sub)) + sub)
+            flat = self._baseline_payload(body, kb)
+            flat_parts.append(_U32.pack(len(flat)) + flat)
+            if kb is not None:
+                if dict_kb is None and old is not None and kb not in seen:
+                    dict_kb, zdict = kb, old
+                seen.add(kb)
+        plain = b"".join(plain_parts)
+        wrapped = None
+        if self.compress and len(plain) >= COMPRESS_MIN_BYTES:
+            wrapped = self._wrap(
+                b"".join(flat_parts), dict_kb, zdict, len(plain)
+            )
+        self.coalesced_events += len(envelopes)
+        return self._ship(plain, wrapped)
 
 
 class FrameDecoder:
@@ -433,6 +636,13 @@ class FrameDecoder:
     advanced past (or arranged to skip) the offending frame, so the
     transport can answer the error and keep reading.  A frame an
     in-flight disconnect truncates simply never completes.
+
+    All five kinds decode at any time — negotiation gates only the
+    *encoder* — so a peer that has not asked for compression still
+    decodes a compressed stream correctly.  A multi-record frame yields
+    its first envelope from :meth:`next` and queues the rest;
+    :meth:`next_batch` returns a whole frame's worth at once, which is
+    how the client keeps a coalesced burst together for relaying.
     """
 
     def __init__(self, max_frame_bytes: int = MAX_REQUEST_BYTES) -> None:
@@ -440,6 +650,7 @@ class FrameDecoder:
         self._buf = bytearray()
         self._baselines: Dict[str, bytes] = {}
         self._skip = 0
+        self._ready: "deque[Dict]" = deque()
 
     def feed(self, data: bytes) -> None:
         if self._skip:
@@ -456,6 +667,8 @@ class FrameDecoder:
         return len(self._buf)
 
     def next(self) -> Optional[Dict]:
+        if self._ready:
+            return self._ready.popleft()
         buf = self._buf
         if len(buf) < 4:
             return None
@@ -482,7 +695,101 @@ class FrameDecoder:
         del buf[: 4 + length]
         return self._decode(payload)
 
+    def next_batch(self) -> Optional[List[Dict]]:
+        """One frame's envelopes — a list of 1 for plain frames, the
+        whole record list for a multi frame — or ``None``."""
+
+        env = self.next()
+        if env is None:
+            return None
+        batch = [env]
+        while self._ready:
+            batch.append(self._ready.popleft())
+        return batch
+
     def _decode(self, payload: bytes) -> Dict:
+        if not payload:
+            raise ProtocolError(BAD_REQUEST, "empty frame")
+        if payload[0] == FRAME_COMPRESSED:
+            payload = self._inflate(payload)
+            if not payload:
+                raise ProtocolError(BAD_REQUEST, "empty compressed frame")
+            if payload[0] == FRAME_COMPRESSED:
+                raise ProtocolError(BAD_REQUEST, "nested compressed frame")
+        if payload[0] == FRAME_MULTI:
+            return self._decode_multi(payload)
+        return self._decode_one(payload)
+
+    def _inflate(self, payload: bytes) -> bytes:
+        """Kind-3 payload → the plain payload it wraps."""
+
+        if len(payload) < 3:
+            raise ProtocolError(BAD_REQUEST, "truncated compressed frame")
+        (klen,) = _U16.unpack_from(payload, 1)
+        blob_at = 3 + klen
+        if len(payload) < blob_at:
+            raise ProtocolError(BAD_REQUEST, "truncated compressed frame")
+        zdict = None
+        if klen:
+            key = payload[3:blob_at].decode("utf-8", errors="replace")
+            zdict = self._baselines.get(key)
+            if zdict is None:
+                raise ProtocolError(
+                    BAD_REQUEST,
+                    f"compressed frame names unknown dictionary {key!r}",
+                )
+        do = (
+            zlib.decompressobj(zdict=zdict)
+            if zdict is not None
+            else zlib.decompressobj()
+        )
+        try:
+            inner = do.decompress(
+                payload[blob_at:], self.max_frame_bytes + 1
+            )
+        except zlib.error as exc:
+            raise ProtocolError(
+                BAD_REQUEST, f"bad compressed frame: {exc}"
+            )
+        if do.unconsumed_tail:
+            raise ProtocolError(
+                PAYLOAD_TOO_LARGE,
+                f"compressed frame inflates over the "
+                f"{self.max_frame_bytes}-byte limit",
+            )
+        if not do.eof:
+            raise ProtocolError(
+                BAD_REQUEST, "truncated compressed frame"
+            )
+        return inner
+
+    def _decode_multi(self, payload: bytes) -> Dict:
+        envs: List[Dict] = []
+        pos, end = 1, len(payload)
+        while pos < end:
+            if pos + 4 > end:
+                raise ProtocolError(
+                    BAD_REQUEST, "truncated multi-frame record"
+                )
+            (length,) = _U32.unpack_from(payload, pos)
+            pos += 4
+            if pos + length > end:
+                raise ProtocolError(
+                    BAD_REQUEST, "truncated multi-frame record"
+                )
+            sub = payload[pos : pos + length]
+            pos += length
+            if sub[:1] and sub[0] in (FRAME_COMPRESSED, FRAME_MULTI):
+                raise ProtocolError(
+                    BAD_REQUEST, "nested multi-frame record"
+                )
+            envs.append(self._decode_one(sub))
+        if not envs:
+            raise ProtocolError(BAD_REQUEST, "empty multi frame")
+        self._ready.extend(envs[1:])
+        return envs[0]
+
+    def _decode_one(self, payload: bytes) -> Dict:
         if not payload:
             raise ProtocolError(BAD_REQUEST, "empty frame")
         kind = payload[0]

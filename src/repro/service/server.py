@@ -30,9 +30,16 @@ never by dropping the line or the connection.
 
 Connections start on JSON lines; a client on a byte-capable transport
 (TCP, real stdio) may negotiate the v5 binary frame format with an
-inline ``frames`` request — see the :mod:`repro.service.protocol`
-docstring for the wire layout.  The switch is atomic under the write
-lock, and the frame read loop continues on the same buffered stream.
+inline ``frames`` request, and on top of that the v6 ``compress`` rung
+— adaptive zlib frames plus flush-timer coalescing of progress-event
+bursts into multi-record frames — see the
+:mod:`repro.service.protocol` docstring for the wire layout.  Each
+switch is atomic under the write lock, and the frame read loop
+continues on the same buffered stream.  Wire traffic lands in the
+host's stats as ``net.bytes_in`` / ``net.bytes_out`` (plus
+``net.bytes_out_raw``, ``net.frames_compressed``,
+``net.coalesced_events`` and ``net.flushes``) for every connection,
+compressed or not.
 
 For back compatibility this module re-exports the host's public names
 (``PedServer``, ``PROTOCOL_VERSION``), so pre-split imports keep
@@ -81,36 +88,129 @@ class _Connection:
         self._listener_token = None
         #: Binary framing state.  ``_binary`` flips inside the write
         #: lock when the ``frames`` negotiation reply goes out, so no
-        #: envelope can straddle the JSON-lines → frames switch.
+        #: envelope can straddle the JSON-lines → frames switch;
+        #: ``_compress`` flips the same way on the second rung.
         self._binary = False
+        self._compress = False
         self._encoder = None
         self._reply_keys: Dict[object, str] = {}
+        #: Coalescing state (compress mode only): progress events wait
+        #: here *unstamped* — ``seq`` is assigned at flush time, under
+        #: the write lock, so stamps still equal wire order.
+        self._pending_events: list = []
+        self._flush_timer: "threading.Timer | None" = None
+        self._stats = getattr(server, "stats", None)
+        self._acct = [0, 0, 0, 0]  # wire, raw, compressed, coalesced
 
     # -- writing -------------------------------------------------------
+
+    def _bump(self, name: str, n: int = 1) -> None:
+        if self._stats is not None and n:
+            self._stats.bump(name, n)
+
+    def _account_frames(self) -> None:
+        """Bump ``net.*`` by the encoder's movement since last write."""
+
+        enc = self._encoder
+        now = [
+            enc.bytes_wire,
+            enc.bytes_raw,
+            enc.frames_compressed,
+            enc.coalesced_events,
+        ]
+        prev, self._acct = self._acct, now
+        self._bump("net.bytes_out", now[0] - prev[0])
+        self._bump("net.bytes_out_raw", now[1] - prev[1])
+        self._bump("net.frames_compressed", now[2] - prev[2])
+        self._bump("net.coalesced_events", now[3] - prev[3])
 
     def _write(self, envelope: Dict) -> None:
         """Stamp ``seq`` and write one envelope line (or frame).
 
         The stamp happens under the write lock, so ``seq`` order and
         wire order are the same thing — the guarantee the client's
-        stream API asserts on.
+        stream API asserts on.  On a compressed connection progress
+        events buffer briefly and flush as one multi-record frame; any
+        non-coalescible envelope flushes the buffer ahead of itself, so
+        events still precede their terminal reply on the wire.
         """
 
+        batch = protocol.expand_event_batch(envelope)
         with self._write_lock:
-            envelope["seq"] = self._seq.next()
-            try:
-                if self._binary:
-                    key = None
-                    if protocol.is_reply(envelope):
-                        key = self._reply_keys.pop(envelope.get("id"), None)
-                    self.wfile.raw.write(self._encoder.encode(envelope, key))
-                    self.wfile.raw.flush()
+            if batch is not None:
+                if not batch:
+                    return
+                if self._compress:
+                    self._flush_locked()
+                    self._write_multi(batch)
                 else:
-                    line = protocol.encode(envelope)
-                    self.wfile.write(line + "\n")
-                    self.wfile.flush()
-            except (BrokenPipeError, ValueError, OSError):
-                pass  # client went away; nothing to tell it
+                    for env in batch:
+                        self._write_one(env)
+                return
+            if (
+                self._compress
+                and envelope.get("event") == protocol.EV_PROGRESS
+            ):
+                self._pending_events.append(envelope)
+                if len(self._pending_events) >= protocol.COALESCE_MAX:
+                    self._flush_locked()
+                elif self._flush_timer is None:
+                    timer = threading.Timer(
+                        protocol.COALESCE_WINDOW, self._flush_timed
+                    )
+                    timer.daemon = True
+                    self._flush_timer = timer
+                    timer.start()
+                return
+            self._flush_locked()
+            self._write_one(envelope)
+
+    def _flush_timed(self) -> None:
+        with self._write_lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        """Ship buffered progress events (caller holds the lock)."""
+
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
+        pending, self._pending_events = self._pending_events, []
+        if pending:
+            self._write_multi(pending)
+
+    def _write_one(self, envelope: Dict) -> None:
+        envelope["seq"] = self._seq.next()
+        try:
+            if self._binary:
+                key = None
+                if protocol.is_reply(envelope):
+                    key = self._reply_keys.pop(envelope.get("id"), None)
+                self.wfile.raw.write(self._encoder.encode(envelope, key))
+                self.wfile.raw.flush()
+                self._account_frames()
+            else:
+                line = protocol.encode(envelope) + "\n"
+                self.wfile.write(line)
+                self.wfile.flush()
+                self._bump("net.bytes_out", len(line))
+                self._bump("net.bytes_out_raw", len(line))
+            self._bump("net.flushes")
+        except (BrokenPipeError, ValueError, OSError):
+            pass  # client went away; nothing to tell it
+
+    def _write_multi(self, envelopes: list) -> None:
+        """One multi-record frame (compress mode; caller holds lock)."""
+
+        for env in envelopes:
+            env["seq"] = self._seq.next()
+        try:
+            self.wfile.raw.write(self._encoder.encode_multi(envelopes))
+            self.wfile.raw.flush()
+            self._account_frames()
+            self._bump("net.flushes")
+        except (BrokenPipeError, ValueError, OSError):
+            pass
 
     def _broadcast(self, kind: str, data: Dict) -> None:
         """Host-originated event (no owning request): ``"id": null``."""
@@ -211,12 +311,51 @@ class _Connection:
             envelope = protocol.reply_ok(rid, {"frames": "binary"})
             envelope["seq"] = self._seq.next()
             try:
-                self.wfile.write(protocol.encode(envelope) + "\n")
+                line = protocol.encode(envelope) + "\n"
+                self.wfile.write(line)
                 self.wfile.flush()
+                self._bump("net.bytes_out", len(line))
+                self._bump("net.bytes_out_raw", len(line))
+                self._bump("net.flushes")
             except (BrokenPipeError, ValueError, OSError):
                 pass
             self._encoder = protocol.FrameEncoder()
             self._binary = True
+
+    def _negotiate_compress(self, req: Dict) -> None:
+        """Inline ``compress`` op: the second negotiation rung.
+
+        The ok reply ships as a plain (uncompressed) frame; the flag
+        flips before the write lock is released, so every subsequent
+        frame may compress and progress events start coalescing.
+        Refused while the connection still speaks JSON lines — the
+        ladder is strictly ``frames`` → ``compress``.
+        """
+
+        rid = req.get("id")
+        if req.get("mode") != "zlib":
+            self._write(
+                protocol.reply_error(
+                    rid,
+                    protocol.BAD_REQUEST,
+                    f"unknown compression mode {req.get('mode')!r}",
+                )
+            )
+            return
+        if not self._binary:
+            self._write(
+                protocol.reply_error(
+                    rid,
+                    protocol.BAD_REQUEST,
+                    "compress requires binary frames "
+                    "(negotiate frames first)",
+                )
+            )
+            return
+        with self._write_lock:
+            self._write_one(protocol.reply_ok(rid, {"compress": "zlib"}))
+            self._encoder.compress = True
+            self._compress = True
 
     # -- the read loop -------------------------------------------------
 
@@ -253,6 +392,9 @@ class _Connection:
         if req.get("op") == protocol.FRAMES_OP:
             self._negotiate_frames(req)
             return True
+        if req.get("op") == protocol.COMPRESS_OP:
+            self._negotiate_compress(req)
+            return True
         if req.get("op") == "cancel":
             self.server.request_cancel(req.get("target"))
             self._write(
@@ -274,6 +416,10 @@ class _Connection:
         self.server.connections.enter()
         try:
             for line in self.rfile:
+                self._bump(
+                    "net.bytes_in",
+                    getattr(self.rfile, "last_size", None) or len(line),
+                )
                 if not self.handle_line(line):
                     break
                 if self.server.shutdown_event.is_set():
@@ -286,6 +432,8 @@ class _Connection:
                     self._run_binary()
                     break
         finally:
+            with self._write_lock:
+                self._flush_locked()
             self.server.connections.leave()
             self.server.remove_listener(self._listener_token)
 
@@ -313,6 +461,7 @@ class _Connection:
                     return
                 if not data:
                     return
+                self._bump("net.bytes_in", len(data))
                 decoder.feed(data)
                 continue
             if not self._dispatch(req):

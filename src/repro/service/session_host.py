@@ -39,7 +39,12 @@ different sessions proceed in parallel.  A request may carry ``timeout``
 outright and flags a running one.  Every request is timed into the
 server's stats as a ``req.<op>`` stage; ``{"op": "stats"}`` returns the
 raw server snapshot and ``{"op": "metrics"}`` the merged service
-metrics (same key names as the ``stats`` CLI command).
+metrics (same key names as the ``stats`` CLI command).  Transports bump
+their wire accounting — ``net.bytes_in`` / ``net.bytes_out`` plus the
+v6 compression and coalescing counters — into the *server-level* stats,
+so ``metrics`` reports transport traffic even for a session-bound
+request (the merge overlays ``net.*`` from the host onto the engine's
+own counters).
 
 All sessions share the server's worker pool, persistent store and
 shared pair-test memo, so a server with ``--jobs``/``--cache-dir``
@@ -717,6 +722,7 @@ class PedServer:
                     pool=self.pool,
                     memo=self.shared_memo,
                     server=self,
+                    net_stats=self.stats,
                 )
             }
         return {
