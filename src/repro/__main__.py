@@ -11,6 +11,8 @@
 ``python -m repro fleet shard``     — one shard server (asyncio transport)
 ``python -m repro fleet route``     — shard router over a consistent ring
 ``python -m repro stats``           — merged metrics from a server/router
+``python -m repro journal NAME``    — page a session's mutation journal
+``python -m repro replay NAME``     — replay/restore a session's journal
 ``python -m repro tables``          — regenerate the evaluation tables
 ``python -m repro suite NAME``      — dump a suite program's source
 
@@ -385,6 +387,58 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_journal(args: argparse.Namespace) -> int:
+    """Page through a session's mutation journal on a server/router."""
+
+    import json
+
+    with _corpus_client(args) as client:
+        page = client.session_log(
+            args.session, start=args.start, count=args.count
+        )
+    if args.json:
+        print(json.dumps(page, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"session {page['session']} ({page['origin']}): "
+        f"{page['total']} record(s), showing "
+        f"{page['start']}..{page['start'] + page['count']}"
+    )
+    for offset, record in enumerate(page["records"]):
+        arg_text = " ".join(
+            f"{k}={v!r}" for k, v in sorted(record.get("args", {}).items())
+        )
+        print(f"  [{page['start'] + offset:>4}] {record['op']:<10} {arg_text}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a session's journal server-side (or restore it live)."""
+
+    import json
+
+    with _corpus_client(args) as client:
+        if args.restore:
+            result = client.session_restore(
+                args.session, replace=args.replace
+            )
+        else:
+            result = client.session_replay(args.session, upto=args.upto)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    verb = "restored" if args.restore else "replayed"
+    print(
+        f"{verb} session {result['session']}: "
+        f"{result['records']} record(s), "
+        f"fingerprint {result['fingerprint'][:16]}…, "
+        f"units: {', '.join(result['units'])}"
+    )
+    if "undo_depth" in result:
+        print(f"undo depth {result['undo_depth']}")
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from .evaluation.tables import render_table1, render_table2, render_table3
 
@@ -629,6 +683,47 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true", help="raw JSON output")
     remote_flags(p)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "journal", help="page a session's mutation journal from a server"
+    )
+    p.add_argument("session", help="the session name")
+    p.add_argument(
+        "--start", type=int, default=0, help="first record index (default 0)"
+    )
+    p.add_argument(
+        "--count", type=int, default=None, help="records per page (default all)"
+    )
+    p.add_argument("--json", action="store_true", help="raw JSON output")
+    remote_flags(p)
+    p.set_defaults(fn=cmd_journal)
+
+    p = sub.add_parser(
+        "replay",
+        help="rebuild a session from its journal on a server "
+        "(time travel with --upto, crash recovery with --restore)",
+    )
+    p.add_argument("session", help="the session name")
+    p.add_argument(
+        "--upto",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay only the first N records (default: all)",
+    )
+    p.add_argument(
+        "--restore",
+        action="store_true",
+        help="re-register the replayed session live (crash recovery)",
+    )
+    p.add_argument(
+        "--replace",
+        action="store_true",
+        help="with --restore: replace an already-open session",
+    )
+    p.add_argument("--json", action="store_true", help="raw JSON output")
+    remote_flags(p)
+    p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("tables", help="regenerate the evaluation tables")
     p.set_defaults(fn=cmd_tables)

@@ -3,6 +3,13 @@ variable classification, navigation, display and the command language."""
 
 from .marking import DepKey, MarkingStore  # noqa: F401
 from .filters import DependenceFilter, SourceFilter  # noqa: F401
+from .journal import (  # noqa: F401
+    JournalError,
+    MutationRecord,
+    SessionJournal,
+    apply_record,
+    replay_journal,
+)
 from .session import PedSession  # noqa: F401
 from .variables import VariableRow, classify_variables  # noqa: F401
 from .panes import dependence_pane, loop_pane, source_pane, variable_pane  # noqa: F401

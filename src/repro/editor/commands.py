@@ -31,6 +31,8 @@ interpreter so sessions can be scripted, replayed and tested:
 ``stats``           incremental-engine timers and cache hit rates
 ``graph [plan ..]`` pipeline-node outcomes / what-if invalidation
 ``undo`` ``redo``   session history
+``journal``         the session's mutation journal (the event log
+                    undo/redo and crash restore replay)
 =================  =====================================================
 """
 
@@ -358,6 +360,22 @@ class CommandInterpreter:
     def _cmd_redo(self, rest: str) -> str:
         self.session.redo()
         return "redone"
+
+    def _cmd_journal(self, rest: str) -> str:
+        records = self.session.journal.records
+        if not records:
+            return "journal empty"
+        out = [
+            f"{len(records)} record(s), undo depth "
+            f"{self.session.undo_depth}, redo depth "
+            f"{self.session.redo_depth}"
+        ]
+        for i, record in enumerate(records):
+            arg_text = " ".join(
+                f"{k}={v!r}" for k, v in sorted(record.args.items())
+            )
+            out.append(f"  [{i:>4}] {record.op:<10} {arg_text}".rstrip())
+        return "\n".join(out)
 
     def _cmd_source(self, rest: str) -> str:
         return self.session.source

@@ -4,15 +4,21 @@ The workshop evaluation is a set of *user stories*: sequences of editor
 actions that took each application from serial to parallel.  This module
 replays them deterministically — the reproduction's substitute for human
 participants — and records full transcripts for inspection.
+
+Since sessions are event-sourced, every scripted run doubles as a
+replayable log: the transcript carries the session's mutation journal in
+wire form, and :func:`replay_transcript` rebuilds the exact final state
+from it without re-running the command interpreter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..interproc.program import FeatureSet
 from .commands import CommandInterpreter
+from .journal import SessionJournal, replay_journal
 from .session import PedSession
 
 
@@ -24,6 +30,9 @@ class SessionTranscript:
     exchanges: List[Tuple[str, str]] = field(default_factory=list)
     final_source: str = ""
     errors: List[str] = field(default_factory=list)
+    #: The session's mutation journal (wire form): the canonical,
+    #: serializable log this script reduced to.
+    journal: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -58,7 +67,24 @@ def replay(
         if reply.startswith("error:"):
             transcript.errors.append(f"{command!r}: {reply}")
     transcript.final_source = session.source
+    transcript.journal = session.journal.to_wire()
     return session, transcript
+
+
+def replay_transcript(
+    transcript: SessionTranscript,
+    features: Optional[FeatureSet] = None,
+    upto: Optional[int] = None,
+) -> PedSession:
+    """Rebuild the session a transcript recorded, straight from its
+    journal — no command interpreter involved."""
+
+    if transcript.journal is None:
+        raise ValueError(
+            f"transcript for {transcript.program!r} carries no journal"
+        )
+    journal = SessionJournal.from_wire(transcript.journal)
+    return replay_journal(journal, upto, features=features)
 
 
 def replay_all(features: Optional[FeatureSet] = None) -> List[SessionTranscript]:

@@ -15,10 +15,27 @@ an assertion or reclassification change reanalyzes without any reparse,
 and undo/redo restore previously seen program states straight from the
 engine's content-keyed caches — bench M2 quantifies all of it, and the
 ``stats`` command shows the per-stage numbers live.
+
+The session is event-sourced: every successful mutation appends a typed
+record to :attr:`PedSession.journal`
+(:class:`~repro.editor.journal.SessionJournal`), and the live state is
+always exactly what replaying that journal from the base source would
+produce.  Undo/redo are journal *positions*: each mutation remembers the
+record count it happened at, plus an interned snapshot of the state then.
+Undo appends an ``undo`` marker and restores the target position — from
+its snapshot when still cached, otherwise by replaying the journal
+prefix (cheap: previously seen program states hit the engine's
+content-keyed caches).  Snapshots intern identical unit texts across
+history and are capped (``max_snapshots``), with evictions counted on
+``session.undo_evicted`` — undo depth stays unbounded while undo memory
+does not.
 """
 
 from __future__ import annotations
 
+import logging
+import re
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -31,22 +48,38 @@ from ..interproc.program import FeatureSet, ProgramAnalysis
 from ..transform.base import Advice, TransformContext
 from ..transform.registry import get_transformation
 from .filters import DependenceFilter, SourceFilter
+from .journal import SessionJournal, replay_journal
 from .marking import MarkingStore
+
+log = logging.getLogger(__name__)
 
 #: Stable identity of a loop across edits that renumber loop indexes:
 #: (loop variable, occurrence of that variable among the unit's loops).
 LoopAnchor = Tuple[str, int]
 
+#: A standalone ``END`` statement line (optionally labeled) — the cheap
+#: snapshot-fragment boundary :meth:`PedSession._intern_pieces` cuts at.
+_END_STMT = re.compile(r"(?:\d+\s+)?end", re.IGNORECASE)
+
 
 @dataclass
 class _Snapshot:
-    source: str
+    #: Interned source fragments (cut at ``END`` statement lines, so one
+    #: fragment per program unit in practice); joining them reproduces
+    #: the program text exactly.  Fragments are shared across snapshots,
+    #: so N history entries of a lightly edited program cost far less
+    #: than N full copies.
+    pieces: Tuple[str, ...]
     assertions: Dict[str, List[str]]
     marks: Dict
     overrides: Dict
     unit: str
     loop_index: Optional[int]
     anchors: Dict = field(default_factory=dict)
+
+    @property
+    def source(self) -> str:
+        return "".join(self.pieces)
 
 
 class PedError(Exception):
@@ -56,15 +89,21 @@ class PedError(Exception):
 class PedSession:
     """An interactive ParaScope Editor session over one Fortran program."""
 
+    #: Default cap on cached undo/redo snapshots (journal positions past
+    #: the cap restore via prefix replay instead).
+    MAX_SNAPSHOTS = 64
+
     def __init__(
         self,
         source: str,
         features: Optional[FeatureSet] = None,
         engine: Optional[AnalysisEngine] = None,
+        max_snapshots: Optional[int] = None,
     ) -> None:
         self.engine = engine or AnalysisEngine(features=features)
         self.features = self.engine.features
         self.source = source
+        self.journal = SessionJournal(base_source=source)
         self.assertion_texts: Dict[str, List[str]] = {}
         self.markings = MarkingStore()
         #: (unit, loop_line-independent) variable reclassifications:
@@ -79,8 +118,15 @@ class PedSession:
         self.src_filter = SourceFilter()
         self.current_unit: str = ""
         self.loop_index: Optional[int] = None
-        self._undo: List[_Snapshot] = []
-        self._redo: List[_Snapshot] = []
+        #: Undo/redo stacks hold journal *positions* (record counts);
+        #: ``_snapshots`` caches the interned state at each position.
+        self._undo: List[int] = []
+        self._redo: List[int] = []
+        self._snapshots: "OrderedDict[int, _Snapshot]" = OrderedDict()
+        self._max_snapshots = (
+            self.MAX_SNAPSHOTS if max_snapshots is None else max(1, max_snapshots)
+        )
+        self._intern_pool: Dict[str, str] = {}
         self.sf: SourceFile = None  # type: ignore[assignment]
         self.analysis: ProgramAnalysis = None  # type: ignore[assignment]
         self.last_message = ""
@@ -232,6 +278,10 @@ class PedSession:
             raise PedError(f"unknown unit {name!r}; program units: {known}")
         self.current_unit = name
         self.loop_index = None
+        # Selection is journaled because mutations depend on it (apply,
+        # reclassify, add_assertion): a replayed prefix must land on the
+        # same unit/loop the live session had at that point.
+        self.journal.append("select", unit=name)
 
     def loops(self) -> List:
         return self.unit_analysis.loops
@@ -243,6 +293,7 @@ class PedSession:
                 f"loop index {index} out of range (unit has {len(loops)} loops)"
             )
         self.loop_index = index
+        self.journal.append("select", loop=index)
 
     @property
     def selected_loop(self) -> Optional[DoLoop]:
@@ -288,9 +339,39 @@ class PedSession:
     # mutations
     # ------------------------------------------------------------------
 
+    def _intern(self, text: str) -> str:
+        return self._intern_pool.setdefault(text, text)
+
+    def _intern_pieces(self, source: str) -> Tuple[str, ...]:
+        """Source as a tuple of interned fragments.
+
+        Fragments are cut at standalone ``END`` statements — a cheap
+        line scan, not a full tokenize, because this runs on *every*
+        mutation and only feeds snapshot interning: pieces always
+        concatenate back to ``source`` exactly, so a missed boundary
+        merely coarsens sharing, never corrupts a snapshot.  Unedited
+        units keep byte-identical fragment texts across snapshots and
+        collapse to one interned string each.
+        """
+
+        pieces: List[str] = []
+        buf: List[str] = []
+        for line in source.splitlines(keepends=True):
+            buf.append(line)
+            if line[:1] in ("c", "C", "*", "!"):
+                continue  # fixed-form comment, never a boundary
+            if _END_STMT.fullmatch(line.strip()):
+                pieces.append(self._intern("".join(buf)))
+                buf = []
+        if buf:
+            pieces.append(self._intern("".join(buf)))
+        if not pieces:
+            return (self._intern(source),)
+        return tuple(pieces)
+
     def _current_snapshot(self) -> _Snapshot:
         return _Snapshot(
-            self.source,
+            self._intern_pieces(self.source),
             {k: list(v) for k, v in self.assertion_texts.items()},
             self.markings.snapshot(),
             {
@@ -302,8 +383,27 @@ class PedSession:
             {u: dict(a) for u, a in self._override_anchors.items()},
         )
 
+    def _remember(self, position: int) -> None:
+        """Cache the current state as the snapshot for journal ``position``,
+        evicting the oldest cached snapshot past the cap (restoring an
+        evicted position replays the journal prefix instead)."""
+
+        self._snapshots.pop(position, None)
+        self._snapshots[position] = self._current_snapshot()
+        while len(self._snapshots) > self._max_snapshots:
+            evicted, _ = self._snapshots.popitem(last=False)
+            self.engine.stats.bump("session.undo_evicted")
+            log.info(
+                "undo snapshot for journal position %d evicted "
+                "(cap %d); undo to it will replay the journal prefix",
+                evicted,
+                self._max_snapshots,
+            )
+
     def _push_undo(self) -> None:
-        self._undo.append(self._current_snapshot())
+        position = len(self.journal)
+        self._remember(position)
+        self._undo.append(position)
         self._redo.clear()
 
     def _restore(self, snap: _Snapshot) -> None:
@@ -321,19 +421,57 @@ class PedSession:
         self.loop_index = snap.loop_index
         self.reanalyze()
 
+    def _snapshot_of(self, other: "PedSession") -> _Snapshot:
+        return _Snapshot(
+            self._intern_pieces(other.source),
+            {k: list(v) for k, v in other.assertion_texts.items()},
+            other.markings.snapshot(),
+            {
+                u: {i: dict(c) for i, c in per.items()}
+                for u, per in other.overrides.items()
+            },
+            other.current_unit,
+            other.loop_index,
+            {u: dict(a) for u, a in other._override_anchors.items()},
+        )
+
+    def _restore_position(self, position: int) -> None:
+        snap = self._snapshots.get(position)
+        if snap is None:
+            # Evicted: rebuild the state by replaying the journal prefix
+            # through this session's (warm) engine.
+            self.engine.stats.bump("session.undo_replayed")
+            scratch = replay_journal(self.journal, position, engine=self.engine)
+            snap = self._snapshot_of(scratch)
+        self._restore(snap)
+
+    @property
+    def undo_depth(self) -> int:
+        return len(self._undo)
+
+    @property
+    def redo_depth(self) -> int:
+        return len(self._redo)
+
     def undo(self) -> None:
         if not self._undo:
             raise PedError("nothing to undo")
-        snap = self._undo.pop()
-        self._redo.append(self._current_snapshot())
-        self._restore(snap)
+        target = self._undo.pop()
+        position = len(self.journal)
+        self._remember(position)
+        self._redo.append(position)
+        self.journal.append("undo")
+        self._restore_position(target)
 
     def redo(self) -> None:
         if not self._redo:
             raise PedError("nothing to redo")
-        snap = self._redo.pop()
-        self._undo.append(self._current_snapshot())
-        self._restore(snap)
+        target = self._redo.pop()
+        position = len(self.journal)
+        self._remember(position)
+        self._undo.append(position)
+        self.journal.append("redo")
+        self._restore_position(target)
 
     def mark_dependence(self, dep_id: int, marking: str) -> str:
         dep = self.find_dependence(dep_id)
@@ -347,6 +485,7 @@ class PedSession:
             raise PedError(str(exc)) from exc
         for ua in self.analysis.units.values():
             self._recompute_verdicts(ua)
+        self.journal.append("mark", dep=dep_id, marking=marking)
         return f"dependence #{dep_id} on {dep.var} marked {marking}"
 
     def add_assertion(self, text: str) -> str:
@@ -359,6 +498,7 @@ class PedSession:
         self._push_undo()
         self.assertion_texts.setdefault(self.current_unit, []).append(text)
         self.reanalyze()
+        self.journal.append("assert", text=text)
         return f"assertion recorded for {self.current_unit}: {text}"
 
     def reclassify(self, var: str, classification: str) -> str:
@@ -384,6 +524,7 @@ class PedSession:
                 self.loop_index, None
             )
         self.reanalyze()
+        self.journal.append("reclassify", var=var, classification=classification)
         return f"{var} reclassified as {classification}"
 
     def diagnose(self, name: str, **kwargs) -> Advice:
@@ -400,6 +541,10 @@ class PedSession:
         from ..transform.base import TransformError
 
         transform = get_transformation(name)
+        # Journal the caller's arguments, not the resolved AST targets:
+        # replay re-resolves from the (journaled) selection, which is
+        # what keeps the record serializable and the replay honest.
+        given = dict(kwargs)
         self._push_undo()
         ctx = TransformContext(self.unit, self.unit_analysis, self.sf)
         kwargs = self._resolve_selection(kwargs)
@@ -414,6 +559,7 @@ class PedSession:
         # trustworthy, so drop them and reanalyze from the new source.
         self.engine.invalidate()
         self.reanalyze()
+        self.journal.append("apply", transform=name, args=given)
         self.last_message = summary
         return summary
 
@@ -486,6 +632,9 @@ class PedSession:
             self._undo.pop()
             self.reanalyze()
             raise PedError(f"edit rejected: {exc}") from exc
+        self.journal.append(
+            "edit", start=start_line, end=end_line, text=new_text
+        )
         message = f"replaced lines {start_line}-{end_line}"
         for warning in self.warnings:
             message += f"\nwarning: {warning}"

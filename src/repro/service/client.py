@@ -713,6 +713,49 @@ class PedClient:
 
         return self.request("corpus.results", job=job)
 
+    # -- event-sourced session ops (protocol v7) ------------------------
+
+    def session_log(
+        self,
+        session: str,
+        start: int = 0,
+        count: Optional[int] = None,
+        wait: Optional[float] = 30.0,
+    ):
+        """A page of the session's mutation journal (live or persisted)."""
+
+        req = {"session": session, "start": start}
+        if count is not None:
+            req["count"] = count
+        return self.request("session.log", wait=wait, **req)
+
+    def session_replay(
+        self,
+        session: str,
+        upto: Optional[int] = None,
+        wait: Optional[float] = 120.0,
+    ):
+        """Rebuild the session's state at journal record ``upto`` (all
+        records when omitted) and return its analysis fingerprint."""
+
+        req = {"session": session}
+        if upto is not None:
+            req["upto"] = upto
+        return self.request("session.replay", wait=wait, **req)
+
+    def session_restore(
+        self,
+        session: str,
+        replace: bool = False,
+        wait: Optional[float] = 120.0,
+    ):
+        """Resurrect a session from its journal persisted on the server."""
+
+        req = {"session": session}
+        if replace:
+            req["replace"] = True
+        return self.request("session.restore", wait=wait, **req)
+
     def cancel(self, target) -> None:
         """Ask the server to cancel request ``target`` (fire and forget)."""
 

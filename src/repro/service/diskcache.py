@@ -19,9 +19,11 @@ starts warm.  Design points, each load-bearing:
   unpickle logs a warning, deletes the offending file where possible,
   and returns a miss; persistence problems degrade to a cold analysis,
   never to a crash or a stale result.
-* **Size-bounded LRU** — after each write the store evicts
-  least-recently-used records (file mtime, refreshed on every hit)
-  until the total size fits ``max_bytes``.
+* **Size-bounded LRU** — when a running size estimate says the store
+  outgrew ``max_bytes``, a full walk evicts least-recently-used records
+  (file mtime, refreshed on every hit) until the total fits again; the
+  estimate keeps the common under-budget write O(1) instead of
+  O(store).
 
 Counters (``disk.hit`` / ``disk.miss`` / ``disk.write`` / ``disk.evict``
 / ``disk.error``) feed the attached engine stats.
@@ -65,6 +67,9 @@ class DiskCache:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.stats = stats
+        #: Running size estimate (None until the first write walks the
+        #: store once); keeps the per-write eviction check O(1).
+        self._approx_bytes: Optional[int] = None
         self.root.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -158,7 +163,7 @@ class DiskCache:
             log.warning("cache write failed for %s: %s", path, exc)
             return False
         self._bump("disk.write")
-        self._evict()
+        self._maybe_evict(len(blob))
         return True
 
     def contains(self, kind: str, key: str) -> bool:
@@ -206,10 +211,33 @@ class DiskCache:
                         continue
                     yield path, st.st_size, st.st_mtime
 
+    def _maybe_evict(self, added_bytes: int) -> None:
+        """Approximate-size gate in front of :meth:`_evict`.
+
+        Walking and stat-ing every record on *every* write is O(store)
+        — it dominated per-mutation latency once session journaling made
+        small writes frequent.  Instead, a running byte counter (seeded
+        by one walk on the first write, advanced by each write's blob
+        size) decides when the real walk is worth it.  Sibling
+        processes' writes aren't counted, so a shared store can
+        transiently overshoot ``max_bytes`` until this process's own
+        writes accumulate — the budget is best-effort either way.
+        """
+
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(
+                size for _, size, _ in self._records()
+            )
+        else:
+            self._approx_bytes += added_bytes
+        if self._approx_bytes > self.max_bytes:
+            self._evict()
+
     def _evict(self) -> None:
         entries = list(self._records())
         total = sum(size for _, size, _ in entries)
         if total <= self.max_bytes:
+            self._approx_bytes = total
             return
         entries.sort(key=lambda e: e[2])  # oldest mtime first
         for path, size, _mtime in entries:
@@ -218,3 +246,4 @@ class DiskCache:
             self._discard(path)
             total -= size
             self._bump("disk.evict")
+        self._approx_bytes = total

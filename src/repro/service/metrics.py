@@ -76,6 +76,10 @@ STABLE_KEYS = (
     "net.frames_compressed",
     "net.coalesced_events",
     "net.flushes",
+    "journal.records",
+    "journal.bytes",
+    "journal.replays",
+    "journal.restores",
 )
 
 
@@ -121,8 +125,11 @@ def merged_metrics(
     for key, value in stats.counters.items():
         out[key] = value
     if net_stats is not None and net_stats is not stats:
+        # Transport traffic and journal durability are server-scoped
+        # counters; overlay them so a session-bound snapshot still
+        # reports them truthfully.
         for key, value in net_stats.counters.items():
-            if key.startswith("net."):
+            if key.startswith(("net.", "journal.")):
                 out[key] = value
     out["analyses"] = stats.analyses
     if pool is not None:

@@ -38,15 +38,34 @@ The digests mirror the engine's own content keys, so a record can never
 be served for content it was not computed from; anything else (format
 drift, truncation, corruption) is the :class:`DiskCache`'s problem and
 degrades to a cold analysis.
+
+Next to the content-addressed records, the store also keeps one
+**session journal file** per named session (``<root>/journal/``, outside
+the ``.pkl`` eviction walk like ``locks/``): an append-only JSON-lines
+log — a format-stamped header line followed by one mutation record per
+line — that a :class:`~repro.service.session_host.PedServer` streams
+every session mutation into.  Appends flush to the kernel page cache,
+so the log survives a SIGKILL of the server process, and
+``session.restore`` rebuilds the live session by replaying it.  The
+loader follows the cache's degradation philosophy: a truncated trailing
+line (the append the crash interrupted) is dropped with a warning, and
+any other corruption or format drift logs and falls back cold
+(``None`` — the session just isn't restorable).
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import logging
+import os
 from dataclasses import asdict
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from .diskcache import DiskCache
+
+log = logging.getLogger(__name__)
 
 SPAN_KIND = "span"
 PROG_KIND = "prog"
@@ -58,9 +77,164 @@ MEMO_KIND = "memo"
 MEMO_KEY = "shared-pair-memo"
 
 
+#: Bump when the journal file layout (header/line grammar) changes
+#: incompatibly; the loader refuses mismatched files and falls back cold.
+JOURNAL_FORMAT_VERSION = 1
+JOURNAL_MAGIC = "ped-journal"
+
+
 def features_digest(features) -> str:
     payload = repr(sorted(asdict(features).items()))
     return hashlib.sha1(payload.encode()).hexdigest()
+
+
+class JournalFile:
+    """One session's durable, append-only mutation journal.
+
+    Layout: a header line ``{"magic", "format", "session", "base"}``
+    followed by one JSON mutation record (wire form, see
+    :mod:`repro.editor.journal`) per line.  :meth:`append` writes and
+    flushes one line, so every acknowledged mutation is in the kernel
+    page cache before the reply leaves the server — a SIGKILL loses at
+    most the record being written, which :meth:`load` then drops as a
+    truncated tail.
+    """
+
+    def __init__(self, path: Path, session: str, stats=None) -> None:
+        self.path = Path(path)
+        self.session = session
+        self.stats = stats
+        self._fh = None
+
+    # -- writing --------------------------------------------------------
+
+    def reset(self, base_source: str) -> None:
+        """Start a fresh journal (atomic header swap), ready to append."""
+
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {
+                "magic": JOURNAL_MAGIC,
+                "format": JOURNAL_FORMAT_VERSION,
+                "session": self.session,
+                "base": base_source,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        tmp = self.path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(header + "\n")
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def open_append(self) -> None:
+        """Attach to an existing journal without rewriting it (the
+        restore path: the file already holds the replayed records)."""
+
+        self.close()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record_wire: Dict) -> None:
+        if self._fh is None:  # pragma: no cover - misuse guard
+            raise RuntimeError("journal file is not open for appends")
+        line = json.dumps(record_wire, separators=(",", ":"), sort_keys=True)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.stats is not None:
+            self.stats.bump("journal.records")
+            self.stats.bump("journal.bytes", len(line) + 1)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    # -- reading --------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> Optional[Dict]:
+        """The persisted journal in wire form (``{"version", "base",
+        "records"}``), or ``None`` (missing/corrupt — logged, cold)."""
+
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().split("\n")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            log.warning(
+                "journal for %r unreadable (%s); falling back cold",
+                self.session,
+                exc,
+            )
+            return None
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            log.warning(
+                "journal for %r is empty; falling back cold", self.session
+            )
+            return None
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("magic") != JOURNAL_MAGIC
+            or not isinstance(header.get("base"), str)
+        ):
+            log.warning(
+                "journal for %r has a corrupt header; falling back cold",
+                self.session,
+            )
+            return None
+        if header.get("format") != JOURNAL_FORMAT_VERSION:
+            log.warning(
+                "journal for %r is format v%r (this build reads v%d); "
+                "falling back cold",
+                self.session,
+                header.get("format"),
+                JOURNAL_FORMAT_VERSION,
+            )
+            return None
+        records: List[Dict] = []
+        for i, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if i == len(lines):
+                    # The append a crash interrupted: drop it, keep the rest.
+                    log.warning(
+                        "journal for %r has a truncated trailing record "
+                        "(line %d); dropping it",
+                        self.session,
+                        i,
+                    )
+                    break
+                log.warning(
+                    "journal for %r is corrupt at line %d; "
+                    "falling back cold",
+                    self.session,
+                    i,
+                )
+                return None
+            if not isinstance(record, dict):
+                log.warning(
+                    "journal for %r line %d is not a record object; "
+                    "falling back cold",
+                    self.session,
+                    i,
+                )
+                return None
+            records.append(record)
+        return {"version": 1, "base": header["base"], "records": records}
 
 
 class PersistentStore:
@@ -148,6 +322,21 @@ class PersistentStore:
 
     def save_memo(self, entries: Dict[tuple, tuple]) -> bool:
         return self.cache.put(MEMO_KIND, MEMO_KEY, dict(entries))
+
+    # -- session journals ----------------------------------------------
+
+    def journal(self, session: str) -> JournalFile:
+        """The durable journal file for one named session.
+
+        Files live under ``<root>/journal/`` — like ``locks/``, outside
+        the ``.pkl`` eviction walk, so the LRU sweep never reaps a
+        session's history — and are named by the session-name digest
+        (client-chosen names are not filesystem-safe).
+        """
+
+        digest = hashlib.sha1(session.encode()).hexdigest()
+        path = self.cache.root / "journal" / f"{digest}.jsonl"
+        return JournalFile(path, session, stats=self.stats)
 
     def memo_lease(self, holder=None, ttl: float = 10.0):
         """The lease guarding read-merge-write on the singleton memo

@@ -143,10 +143,15 @@ from typing import Dict, List, Optional
 #: and the length-prefixed binary framing with delta-encoded repeats.
 #: v6: the ``compress`` negotiation op, adaptive per-frame zlib
 #: compression with baseline-seeded dictionaries (frame kind 3) and
-#: multi-record event coalescing (frame kind 4).  The envelope grammar
-#: itself is unchanged since v2, so v3 clients interoperate with v6
-#: servers (binary framing and compression are strictly opt-in).
-PROTOCOL_VERSION = 6
+#: multi-record event coalescing (frame kind 4).  v7: event-sourced
+#: sessions — ``session.log`` (paged journal read), ``session.replay``
+#: (rebuild the session at record N with streamed ``journal.replay``
+#: progress) and ``session.restore`` (resurrect a killed server's
+#: session from its persisted journal), plus the ``journal.*`` counters
+#: in ``metrics``.  The envelope grammar itself is unchanged since v2,
+#: so v3 clients interoperate with v7 servers (binary framing,
+#: compression and journal ops are strictly opt-in).
+PROTOCOL_VERSION = 7
 
 #: Default cap on one request line; oversized requests get a structured
 #: ``payload-too-large`` error instead of an ad-hoc disconnect.

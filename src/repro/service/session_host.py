@@ -32,6 +32,15 @@ transformation applicability) cached under content keys.  The
 pipeline-node graph itself: topology, last-analysis node outcomes
 (entry node, per-node hit/recomputed states) and what-if invalidation.
 
+**Event-sourced sessions.**  Every session mutation flows through one
+``_apply_mutation`` path and appends a typed record to the session's
+mutation journal; on a server with a store, each record is also flushed
+to a durable per-session journal file *before* the reply leaves, so the
+v7 ops can page the history (``session.log``), rebuild the state at any
+record (``session.replay``) and resurrect a killed server's sessions
+(``session.restore``) — see :mod:`repro.editor.journal` and
+:class:`~repro.service.persist.JournalFile`.
+
 **Concurrency.**  Each request runs on a bounded worker-thread pool;
 per-session locks serialize operations on the same session while
 different sessions proceed in parallel.  A request may carry ``timeout``
@@ -64,6 +73,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from ..dependence.hierarchy import SharedPairMemo
+from ..editor.journal import JournalError, SessionJournal, replay_journal
 from ..editor.session import PedError, PedSession
 from ..incremental.stats import EngineStats
 from ..interproc.program import FeatureSet
@@ -100,6 +110,9 @@ class _Managed:
 
     session: PedSession
     lock: threading.Lock
+    #: Durable journal sink (servers with a ``--cache-dir`` only): the
+    #: session's journal listener streams every mutation record here.
+    journal_file: Optional[object] = None
 
 
 class PedServer:
@@ -378,7 +391,7 @@ class PedServer:
             )
         except CorpusError as exc:
             return protocol.reply_error(rid, protocol.BAD_REQUEST, str(exc))
-        except PedError as exc:
+        except (PedError, JournalError) as exc:
             return protocol.reply_error(rid, protocol.PED_ERROR, str(exc))
         except Exception as exc:  # noqa: BLE001 — must answer the client
             log.exception("internal error handling %r", op)
@@ -416,12 +429,46 @@ class PedServer:
         engine = self._session_engine()
         with self._progress_stream(engine):
             session = PedSession(source, engine=engine)
+        journal_file = self._attach_journal(name, session, fresh=True)
         with self._sessions_lock:
-            self.sessions[name] = _Managed(session, threading.Lock())
+            previous = self.sessions.get(name)
+            self.sessions[name] = _Managed(
+                session, threading.Lock(), journal_file
+            )
+        if previous is not None and previous.journal_file is not None:
+            previous.journal_file.close()
         return {
             "session": name,
             "units": [u.name for u in session.sf.units],
         }
+
+    def _attach_journal(self, name: str, session: PedSession, fresh: bool):
+        """Hook the session's journal to its durable file (store-backed
+        servers only).  ``fresh`` starts a new file; otherwise the file
+        already holds the session's records (the restore path) and is
+        merely reopened for appends.  Durability is best-effort: an
+        unwritable store degrades to in-memory journaling, logged."""
+
+        if self.store is None:
+            return None
+        journal_file = self.store.journal(name)
+        try:
+            if fresh:
+                journal_file.reset(session.journal.base_source)
+            else:
+                journal_file.open_append()
+        except OSError as exc:
+            log.warning(
+                "cannot persist journal for session %r (%s); "
+                "journaling in memory only",
+                name,
+                exc,
+            )
+            return None
+        session.journal.listener = lambda record: journal_file.append(
+            record.to_wire()
+        )
+        return journal_file
 
     def _op_close(self, req: Dict) -> Dict:
         name = req.get("session")
@@ -429,7 +476,11 @@ class PedServer:
             managed = self.sessions.pop(name, None)
         if managed is None:
             raise _UnknownSession(f"no session named {name!r}")
-        # The engine shares the server's pool/store: nothing to release.
+        # The engine shares the server's pool/store: nothing to release —
+        # but the durable journal handle closes (the file itself stays,
+        # so ``session.restore`` can resurrect the session later).
+        if managed.journal_file is not None:
+            managed.journal_file.close()
         return {"closed": name}
 
     def _op_list(self, req: Dict) -> Dict:
@@ -437,7 +488,24 @@ class PedServer:
             names = sorted(self.sessions)
         return {"sessions": names}
 
-    def _op_edit(self, req: Dict) -> Dict:
+    def _apply_mutation(
+        self,
+        req: Dict,
+        op: str,
+        mutate: Callable[[PedSession], Optional[str]],
+        select: bool = False,
+    ) -> Dict:
+        """The single path every session mutation takes.
+
+        Under the session lock: optionally move the selection from the
+        request (``unit``/``loop``), run ``mutate`` with analysis
+        progress routed to a streaming request, then compute the
+        cross-session ``invalidation`` broadcast.  Journaling and
+        durability need no code here — the session appends each record
+        itself, and its journal listener streams the record to the
+        per-session file while the lock is still held.
+        """
+
         managed = self._managed(req)
         rid = req.get("id")
         name = req["session"]
@@ -445,69 +513,57 @@ class PedServer:
         self._locked(managed, rid)
         try:
             self._check_cancel(rid)
+            if select:
+                if req.get("unit"):
+                    managed.session.select_unit(req["unit"])
+                if req.get("loop") is not None:
+                    managed.session.select_loop(int(req["loop"]))
             old_source = managed.session.source
             with self._progress_stream(managed.session.engine):
-                message = managed.session.edit(
-                    int(req["start"]), int(req["end"]), req.get("text", "")
-                )
+                message = mutate(managed.session)
             invalidation = self._invalidation_for(
-                name, managed, old_source, "edit"
+                name, managed, old_source, op
             )
         except KeyError as exc:
-            raise _BadRequest(f"edit needs {exc.args[0]!r}")
+            raise _BadRequest(f"{op} needs {exc.args[0]!r}")
         finally:
             managed.lock.release()
         if invalidation:
             self._notify(protocol.EV_INVALIDATION, invalidation)
         return {"message": message}
 
+    def _op_edit(self, req: Dict) -> Dict:
+        return self._apply_mutation(
+            req,
+            "edit",
+            lambda s: s.edit(
+                int(req["start"]), int(req["end"]), req.get("text", "")
+            ),
+        )
+
     def _op_assert(self, req: Dict) -> Dict:
-        managed = self._managed(req)
         text = req.get("text")
         if not isinstance(text, str):
             raise _BadRequest("assert needs assertion 'text'")
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            with self._progress_stream(managed.session.engine):
-                message = managed.session.add_assertion(text)
-        finally:
-            managed.lock.release()
-        return {"message": message}
+        return self._apply_mutation(
+            req, "assert", lambda s: s.add_assertion(text), select=True
+        )
 
     def _op_mark(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            message = managed.session.mark_dependence(
-                int(req["dep"]), req["marking"]
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"mark needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {"message": message}
+        return self._apply_mutation(
+            req,
+            "mark",
+            lambda s: s.mark_dependence(int(req["dep"]), req["marking"]),
+            select=True,
+        )
 
     def _op_reclassify(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-            with self._progress_stream(managed.session.engine):
-                message = managed.session.reclassify(
-                    req["var"], req["as"]
-                )
-        except KeyError as exc:
-            raise _BadRequest(f"reclassify needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        return {"message": message}
+        return self._apply_mutation(
+            req,
+            "reclassify",
+            lambda s: s.reclassify(req["var"], req["as"]),
+            select=True,
+        )
 
     def _op_select(self, req: Dict) -> Dict:
         managed = self._managed(req)
@@ -621,66 +677,177 @@ class PedServer:
         }
 
     def _op_apply(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        name = req["session"]
-        invalidation = None
-        self._locked(managed, req.get("id"))
-        try:
-            if req.get("unit"):
-                managed.session.select_unit(req["unit"])
-            if req.get("loop") is not None:
-                managed.session.select_loop(int(req["loop"]))
-            old_source = managed.session.source
-            with self._progress_stream(managed.session.engine):
-                message = managed.session.apply(
-                    req["transform"], **(req.get("args") or {})
-                )
-            invalidation = self._invalidation_for(
-                name, managed, old_source, "apply"
-            )
-        except KeyError as exc:
-            raise _BadRequest(f"apply needs {exc.args[0]!r}")
-        finally:
-            managed.lock.release()
-        if invalidation:
-            self._notify(protocol.EV_INVALIDATION, invalidation)
-        return {"message": message}
+        return self._apply_mutation(
+            req,
+            "apply",
+            lambda s: s.apply(req["transform"], **(req.get("args") or {})),
+            select=True,
+        )
 
     def _op_undo(self, req: Dict) -> Dict:
-        managed = self._managed(req)
-        name = req.get("session")
-        invalidation = None
-        self._locked(managed, req.get("id"))
-        try:
-            old_source = managed.session.source
-            with self._progress_stream(managed.session.engine):
-                managed.session.undo()
-            invalidation = self._invalidation_for(
-                name, managed, old_source, "undo"
-            )
-        finally:
-            managed.lock.release()
-        if invalidation:
-            self._notify(protocol.EV_INVALIDATION, invalidation)
-        return {"message": "undone"}
+        return self._apply_mutation(
+            req, "undo", lambda s: (s.undo(), "undone")[1]
+        )
 
     def _op_redo(self, req: Dict) -> Dict:
-        managed = self._managed(req)
+        return self._apply_mutation(
+            req, "redo", lambda s: (s.redo(), "redone")[1]
+        )
+
+    # ------------------------------------------------------------------
+    # event-sourced session ops (protocol v7)
+    # ------------------------------------------------------------------
+
+    def _session_journal(self, req: Dict):
+        """``(journal, origin)`` for the request's session: a copy of
+        the live session's journal when the session is open, else the
+        persisted one (``origin`` is ``"live"``/``"disk"``)."""
+
         name = req.get("session")
-        invalidation = None
-        self._locked(managed, req.get("id"))
-        try:
-            old_source = managed.session.source
-            with self._progress_stream(managed.session.engine):
-                managed.session.redo()
-            invalidation = self._invalidation_for(
-                name, managed, old_source, "redo"
+        if not isinstance(name, str) or not name:
+            raise _BadRequest("request needs a 'session' name")
+        with self._sessions_lock:
+            managed = self.sessions.get(name)
+        if managed is not None:
+            self._locked(managed, req.get("id"))
+            try:
+                live = managed.session.journal
+                journal = SessionJournal(
+                    base_source=live.base_source,
+                    records=list(live.records),
+                )
+            finally:
+                managed.lock.release()
+            return journal, "live"
+        if self.store is not None:
+            payload = self.store.journal(name).load()
+            if payload is not None:
+                return SessionJournal.from_wire(payload), "disk"
+        raise _UnknownSession(
+            f"no session named {name!r} (live or persisted)"
+        )
+
+    def _op_session_log(self, req: Dict) -> Dict:
+        """Paged read of a session's mutation journal (live or persisted)."""
+
+        journal, origin = self._session_journal(req)
+        total = len(journal)
+        start = req.get("start", 0)
+        count = req.get("count")
+        if not isinstance(start, int) or start < 0:
+            raise _BadRequest("session.log 'start' must be a non-negative int")
+        if count is not None and (not isinstance(count, int) or count < 0):
+            raise _BadRequest("session.log 'count' must be a non-negative int")
+        page = journal.records[start:]
+        if count is not None:
+            page = page[:count]
+        return {
+            "session": req["session"],
+            "origin": origin,
+            "total": total,
+            "start": start,
+            "count": len(page),
+            "records": [r.to_wire() for r in page],
+        }
+
+    def _replay(self, journal, upto, progress_phase: str):
+        """Replay a journal prefix on a scratch engine (sharing the
+        server's pool/store/memo, so previously seen states are warm),
+        streaming one progress event per record."""
+
+        emit = self._emit()
+        total = len(journal) if upto is None else upto
+
+        def progress(i, record):
+            if emit is not None:
+                emit(
+                    protocol.EV_PROGRESS,
+                    {
+                        "phase": progress_phase,
+                        "record": i,
+                        "total": total,
+                        "op": record.op,
+                    },
+                )
+
+        engine = self._session_engine()
+        with self._progress_stream(engine):
+            return replay_journal(
+                journal, upto, engine=engine, progress=progress
             )
-        finally:
-            managed.lock.release()
-        if invalidation:
-            self._notify(protocol.EV_INVALIDATION, invalidation)
-        return {"message": "redone"}
+
+    def _op_session_replay(self, req: Dict) -> Dict:
+        """Rebuild the session's state at journal record ``upto`` (all
+        records when omitted) and report its analysis fingerprint — the
+        deterministic time-travel op the parity suite leans on."""
+
+        from ..incremental.fingerprint import fingerprint_digest
+
+        journal, origin = self._session_journal(req)
+        upto = req.get("upto")
+        if upto is not None:
+            if not isinstance(upto, int) or not 0 <= upto <= len(journal):
+                raise _BadRequest(
+                    f"session.replay 'upto' must be an int in "
+                    f"0..{len(journal)}"
+                )
+        session = self._replay(journal, upto, "journal.replay")
+        self.stats.bump("journal.replays")
+        return {
+            "session": req["session"],
+            "origin": origin,
+            "records": len(session.journal),
+            "total": len(journal),
+            "fingerprint": fingerprint_digest(session.analysis),
+            "units": [u.name for u in session.sf.units],
+            "unit": session.current_unit,
+            "loop": session.loop_index,
+            "undo_depth": session.undo_depth,
+        }
+
+    def _op_session_restore(self, req: Dict) -> Dict:
+        """Resurrect a session from its persisted journal (the
+        crash-recovery path: a killed server reopens with every
+        acknowledged mutation intact)."""
+
+        from ..incremental.fingerprint import fingerprint_digest
+
+        name = req.get("session")
+        if not isinstance(name, str) or not name:
+            raise _BadRequest("session.restore needs a 'session' name")
+        if self.store is None:
+            raise _BadRequest(
+                "session.restore needs a server with a --cache-dir"
+            )
+        with self._sessions_lock:
+            if name in self.sessions and not req.get("replace"):
+                raise _SessionExists(f"session {name!r} already open")
+        payload = self.store.journal(name).load()
+        if payload is None:
+            raise _UnknownSession(
+                f"no persisted journal for session {name!r}"
+            )
+        journal = SessionJournal.from_wire(payload)
+        session = self._replay(journal, None, "journal.restore")
+        # The file already holds every replayed record: reopen it for
+        # appends and hook the listener only now, after the replay.
+        journal_file = self._attach_journal(name, session, fresh=False)
+        with self._sessions_lock:
+            previous = self.sessions.get(name)
+            self.sessions[name] = _Managed(
+                session, threading.Lock(), journal_file
+            )
+        if previous is not None and previous.journal_file is not None:
+            previous.journal_file.close()
+        self.stats.bump("journal.restores")
+        return {
+            "session": name,
+            "records": len(journal),
+            "fingerprint": fingerprint_digest(session.analysis),
+            "units": [u.name for u in session.sf.units],
+            "undo_depth": session.undo_depth,
+            "redo_depth": session.redo_depth,
+        }
 
     def _op_parallel_summary(self, req: Dict) -> Dict:
         managed = self._managed(req)

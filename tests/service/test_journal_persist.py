@@ -1,0 +1,128 @@
+"""Durable journal files: header stamping, crash-tolerant loads, and the
+stats plumbing the ``journal.*`` metrics feed on.
+"""
+
+import json
+
+import pytest
+
+from repro.incremental.engine import EngineStats
+from repro.service.persist import (
+    JOURNAL_FORMAT_VERSION,
+    JOURNAL_MAGIC,
+    JournalFile,
+    PersistentStore,
+)
+
+
+@pytest.fixture
+def jfile(tmp_path):
+    return JournalFile(tmp_path / "sess.jsonl", "demo", stats=EngineStats())
+
+
+def _records(jfile, n=3):
+    jfile.reset("      program p\n      end\n")
+    for i in range(n):
+        jfile.append({"op": "select", "args": {"loop": i}})
+    jfile.close()
+
+
+def test_reset_append_load_round_trip(jfile):
+    _records(jfile)
+    wire = jfile.load()
+    assert wire is not None
+    assert wire["base"] == "      program p\n      end\n"
+    assert [r["args"]["loop"] for r in wire["records"]] == [0, 1, 2]
+    assert wire["version"] == 1
+
+
+def test_header_carries_format_stamp(jfile):
+    _records(jfile, n=0)
+    header = json.loads(jfile.path.read_text().splitlines()[0])
+    assert header["magic"] == JOURNAL_MAGIC
+    assert header["format"] == JOURNAL_FORMAT_VERSION
+    assert header["session"] == "demo"
+
+
+def test_reset_truncates_previous_history(jfile):
+    _records(jfile, n=3)
+    jfile.reset("      program q\n      end\n")
+    jfile.close()
+    wire = jfile.load()
+    assert wire["records"] == []
+    assert "program q" in wire["base"]
+
+
+def test_open_append_keeps_existing_records(jfile):
+    _records(jfile, n=2)
+    jfile.open_append()
+    jfile.append({"op": "undo", "args": {}})
+    jfile.close()
+    wire = jfile.load()
+    assert [r["op"] for r in wire["records"]] == ["select", "select", "undo"]
+
+
+def test_missing_file_loads_none(tmp_path):
+    assert JournalFile(tmp_path / "nope.jsonl", "demo").load() is None
+
+
+def test_truncated_tail_is_dropped_rest_kept(jfile):
+    _records(jfile, n=3)
+    # Simulate a SIGKILL mid-append: a half-written final line.
+    with open(jfile.path, "a", encoding="utf-8") as fh:
+        fh.write('{"op": "undo", "ar')
+    wire = jfile.load()
+    assert wire is not None
+    assert len(wire["records"]) == 3
+
+
+def test_corrupt_header_falls_back_cold(jfile):
+    _records(jfile)
+    lines = jfile.path.read_text().splitlines()
+    lines[0] = '{"magic": "not-a-journal"}'
+    jfile.path.write_text("\n".join(lines) + "\n")
+    assert jfile.load() is None
+
+
+def test_format_version_mismatch_falls_back_cold(jfile):
+    _records(jfile)
+    lines = jfile.path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["format"] = JOURNAL_FORMAT_VERSION + 1
+    lines[0] = json.dumps(header)
+    jfile.path.write_text("\n".join(lines) + "\n")
+    assert jfile.load() is None
+
+
+def test_corrupt_mid_file_falls_back_cold(jfile):
+    _records(jfile, n=3)
+    lines = jfile.path.read_text().splitlines()
+    lines[2] = "garbage not json"
+    jfile.path.write_text("\n".join(lines) + "\n")
+    assert jfile.load() is None
+
+
+def test_empty_file_falls_back_cold(jfile):
+    jfile.path.write_text("")
+    assert jfile.load() is None
+
+
+def test_append_bumps_journal_counters(jfile):
+    _records(jfile, n=2)
+    counters = jfile.stats.counters
+    assert counters["journal.records"] == 2
+    assert counters["journal.bytes"] > 0
+
+
+def test_store_names_journals_by_session_digest(tmp_path):
+    store = PersistentStore.at(tmp_path, stats=EngineStats())
+    a = store.journal("alpha")
+    b = store.journal("weird name / with: stuff")
+    assert a.path != b.path
+    assert a.path.parent == b.path.parent == store.cache.root / "journal"
+    assert a.path.suffix == ".jsonl"
+    # Same name always maps to the same file (restore finds it).
+    assert store.journal("alpha").path == a.path
+    b.reset("x\n")
+    b.close()
+    assert store.journal("weird name / with: stuff").load() is not None
